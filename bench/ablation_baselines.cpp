@@ -1,0 +1,92 @@
+// Ablation: LIA against both related-work baselines from the paper's
+// Table 1 lineage — SCFS (single snapshot, uniform prior; Duffield 2006)
+// and CLINK (multiple snapshots, learned congestion priors, binary data;
+// Nguyen & Thiran 2007).  All three consume the same measurements; only
+// LIA exploits second-order statistics, and only LIA outputs *rates*.
+#include "common.hpp"
+
+#include "baselines/clink.hpp"
+
+int main(int argc, char** argv) {
+  using namespace losstomo;
+  const util::Args args(argc, argv);
+  const bool full = util::Args::full_scale();
+  const auto nodes = args.get_size("nodes", full ? 1000 : 400);
+  const auto m = args.get_size("m", 50);
+  const double p = args.get_double("p", 0.1);
+  const auto runs = args.get_size("runs", full ? 10 : 4);
+  const auto seed = args.get_size("seed", 67);
+  args.finish();
+
+  std::cout << "Ablation: LIA vs SCFS vs CLINK on the tree (nodes=" << nodes
+            << ", m=" << m << ", p=" << p << ", runs=" << runs << ")\n\n";
+
+  sim::ScenarioConfig config;
+  config.p = p;
+  const double tl = config.loss_model.threshold_tl;
+
+  stats::RunningStat lia_dr, lia_fpr, scfs_dr, scfs_fpr, clink_dr, clink_fpr;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const auto inst = bench::make_tree_instance(nodes, 10, seed + run);
+    const auto& rrm = inst.matrix();
+    sim::SnapshotSimulator simulator(inst.graph, rrm, config,
+                                     seed * 23 + run);
+    auto series = sim::run_snapshots(simulator, m + 1);
+
+    // Shared inputs.
+    stats::SnapshotMatrix history(rrm.path_count(), m);
+    std::vector<std::vector<bool>> binary_history;
+    const auto lengths = baselines::path_lengths(rrm.matrix());
+    for (std::size_t l = 0; l < m; ++l) {
+      const auto& snap = series.snapshots[l];
+      std::copy(snap.path_log_trans.begin(), snap.path_log_trans.end(),
+                history.sample(l).begin());
+      binary_history.push_back(
+          baselines::binarize_paths(snap.path_trans, lengths, tl));
+    }
+    const auto& current = series.snapshots[m];
+    const auto current_bad =
+        baselines::binarize_paths(current.path_trans, lengths, tl);
+
+    // LIA.
+    core::Lia lia(rrm.matrix());
+    lia.learn(history);
+    const auto inference = lia.infer(current.path_log_trans);
+    const auto acc_lia =
+        core::locate_congested(inference.loss, current.link_congested, tl);
+    lia_dr.add(acc_lia.dr);
+    lia_fpr.add(acc_lia.fpr);
+
+    // SCFS.
+    const auto acc_scfs = core::locate_congested(
+        baselines::scfs_tree(rrm, current_bad), current.link_congested);
+    scfs_dr.add(acc_scfs.dr);
+    scfs_fpr.add(acc_scfs.fpr);
+
+    // CLINK.
+    const auto model = baselines::clink_learn(rrm.matrix(), binary_history);
+    const auto acc_clink = core::locate_congested(
+        baselines::clink_locate(rrm.matrix(), model, current_bad),
+        current.link_congested);
+    clink_dr.add(acc_clink.dr);
+    clink_fpr.add(acc_clink.fpr);
+  }
+
+  util::Table table({"algorithm", "data used", "DR", "FPR", "outputs rates?"});
+  table.add_row({"SCFS", "1 snapshot, binary", util::Table::num(scfs_dr.mean(), 4),
+                 util::Table::num(scfs_fpr.mean(), 4), "no"});
+  table.add_row({"CLINK", "m snapshots, binary",
+                 util::Table::num(clink_dr.mean(), 4),
+                 util::Table::num(clink_fpr.mean(), 4), "no"});
+  table.add_row({"LIA", "m snapshots, 2nd-order",
+                 util::Table::num(lia_dr.mean(), 4),
+                 util::Table::num(lia_fpr.mean(), 4), "yes"});
+  table.print(std::cout);
+  std::cout << "\nExpected shape: LIA clearly beats both binary baselines on "
+               "DR while additionally producing per-link loss rates (the "
+               "paper's headline).  Under §6's static congestion CLINK's "
+               "learned priors track the truth but binary data still cannot "
+               "see a congested link hiding below another congested link — "
+               "that is precisely what second-order statistics unlock.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: Phase-2 column-elimination policy (beyond-the-paper analysis).
+//
+// The paper's loop removes the lowest-variance columns until R* has full
+// column rank — equivalently, it keeps the maximal *suffix* of the
+// variance ordering that is linearly independent.  When a dependence
+// involves high-variance (congested) columns, that policy evicts every
+// column below the dependence point, including independent congested ones
+// ("some of the congested links can form a linearly dependent set", §5.2).
+// The greedy alternative keeps scanning past the first dependent column
+// and admits any later column that is independent of the kept set: R*
+// still has full column rank, but strictly more congested links survive.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace losstomo;
+  const util::Args args(argc, argv);
+  const bool full = util::Args::full_scale();
+  const double scale = args.get_double("scale", full ? 0.5 : 0.25);
+  const auto m = args.get_size("m", 50);
+  const double p = args.get_double("p", 0.1);
+  const auto runs = args.get_size("runs", full ? 6 : 3);
+  const auto seed = args.get_size("seed", 61);
+  args.finish();
+
+  std::cout << "Ablation: Phase-2 elimination policy (scale=" << scale
+            << ", m=" << m << ", p=" << p << ", runs=" << runs << ")\n\n";
+
+  struct Variant {
+    std::string name;
+    bool stop_at_first;
+  };
+  const std::vector<Variant> variants = {
+      {"minimal-suffix removal (paper)", true},
+      {"greedy independent set", false},
+  };
+
+  util::Table table({"Topology", "policy", "DR", "FPR", "kept cols",
+                     "evicted congested"});
+  auto instances = bench::table2_instances(scale, seed);
+  for (const auto& inst : instances) {
+    for (const auto& variant : variants) {
+      core::LiaOptions options;
+      options.elimination.stop_at_first_dependence = variant.stop_at_first;
+      sim::ScenarioConfig config;
+      config.p = p;
+      stats::RunningStat dr, fpr, kept, evicted;
+      for (std::size_t run = 0; run < runs; ++run) {
+        const auto outcome = bench::run_pipeline(
+            inst, config, m, seed * 100 + run, false, options);
+        dr.add(outcome.lia.dr);
+        fpr.add(outcome.lia.fpr);
+        kept.add(static_cast<double>(outcome.kept_columns));
+        evicted.add(static_cast<double>(outcome.congested_evicted));
+      }
+      table.add_row({inst.name, variant.name, util::Table::num(dr.mean(), 4),
+                     util::Table::num(fpr.mean(), 4),
+                     util::Table::num(kept.mean(), 1),
+                     util::Table::num(evicted.mean(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: greedy admission keeps far more columns "
+               "and evicts fewer congested links (DR ticks up), but the "
+               "extra kept good links absorb sampling noise and the FPR "
+               "explodes.  The paper's aggressive minimal-suffix removal "
+               "doubles as regularization — eliminating quiet links to "
+               "exactly zero is what keeps the diagnosis clean.\n";
+  return 0;
+}

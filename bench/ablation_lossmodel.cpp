@@ -1,0 +1,122 @@
+// Ablation: loss-model and measurement-model sensitivity (beyond-the-paper
+// analysis grounded in the paper's own robustness remarks).
+//
+//  (a) Gilbert vs Bernoulli losses ("differences insignificant", §6)
+//  (b) LLRD1 vs LLRD2 rate models ("very little difference", §6)
+//  (c) slot-synchronised vs per-packet probe interleaving (Assumption S.1)
+//  (d) congestion dynamics: static vs Markov vs iid across snapshots —
+//      the iid row documents why the static reading of §6 is the only one
+//      consistent with the paper's results (DESIGN.md §5)
+//  (e) good-link loss ceiling good_hi — the calibration knob behind
+//      LossModelConfig::llrd1_calibrated()
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace losstomo;
+  const util::Args args(argc, argv);
+  const bool full = util::Args::full_scale();
+  const auto nodes = args.get_size("nodes", full ? 600 : 300);
+  const auto m = args.get_size("m", 50);
+  const double p = args.get_double("p", 0.1);
+  const auto runs = args.get_size("runs", full ? 6 : 3);
+  const auto seed = args.get_size("seed", 53);
+  args.finish();
+
+  std::cout << "Ablation: loss/measurement model sensitivity (tree nodes="
+            << nodes << ", m=" << m << ", p=" << p << ", runs=" << runs
+            << ")\n\n";
+
+  struct Variant {
+    std::string name;
+    sim::ScenarioConfig config;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v{.name = "Gilbert + LLRD1-calibrated (default)", .config = {}};
+    v.config.p = p;
+    variants.push_back(v);
+  }
+  {
+    Variant v{.name = "Bernoulli losses", .config = {}};
+    v.config.p = p;
+    v.config.process = sim::LossProcess::kBernoulli;
+    variants.push_back(v);
+  }
+  {
+    Variant v{.name = "LLRD2 rates", .config = {}};
+    v.config.p = p;
+    v.config.loss_model = sim::LossModelConfig::llrd2();
+    v.config.loss_model.good_hi = 0.0005;
+    variants.push_back(v);
+  }
+  {
+    // Per-packet interleaving destroys slot-level loss correlation across
+    // paths; with a static rate the spatial covariance signal vanishes.
+    Variant v{.name = "per-packet probes, static rate", .config = {}};
+    v.config.p = p;
+    v.config.mode = sim::ProbeMode::kPerPacket;
+    v.config.probes_per_snapshot = 300;  // per-packet mode is expensive
+    variants.push_back(v);
+  }
+  {
+    // ...but fluctuating congestion intensity restores it: the rate itself
+    // varies across snapshots and is shared by all paths through the link.
+    Variant v{.name = "per-packet probes, fluctuating rate", .config = {}};
+    v.config.p = p;
+    v.config.mode = sim::ProbeMode::kPerPacket;
+    v.config.probes_per_snapshot = 300;
+    v.config.redraw_rate_each_snapshot = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{.name = "fluctuating rate (slot mode)", .config = {}};
+    v.config.p = p;
+    v.config.redraw_rate_each_snapshot = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{.name = "Markov congestion (rho=0.7, hot spots)", .config = {}};
+    v.config.p = p;
+    v.config.dynamics = sim::CongestionDynamics::kMarkov;
+    v.config.persistence = 0.7;
+    v.config.congestible_fraction = 0.25;
+    variants.push_back(v);
+  }
+  {
+    Variant v{.name = "iid congestion (breaks S.3 learning)", .config = {}};
+    v.config.p = p;
+    v.config.dynamics = sim::CongestionDynamics::kIid;
+    variants.push_back(v);
+  }
+  {
+    Variant v{.name = "literal LLRD1 good range [0,0.002]", .config = {}};
+    v.config.p = p;
+    v.config.loss_model = sim::LossModelConfig::llrd1();
+    variants.push_back(v);
+  }
+
+  util::Table table({"variant", "DR", "FPR"});
+  for (const auto& variant : variants) {
+    stats::RunningStat dr, fpr;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto inst = bench::make_tree_instance(nodes, 10, seed + run);
+      const auto outcome = bench::run_pipeline(inst, variant.config, m,
+                                               seed * 11 + run);
+      dr.add(outcome.lia.dr);
+      fpr.add(outcome.lia.fpr);
+    }
+    table.add_row({variant.name, util::Table::num(dr.mean(), 4),
+                   util::Table::num(fpr.mean(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: Gilbert ~ Bernoulli (paper's claim); LLRD2 "
+               "loses the near-threshold congested links (tiny variance, "
+               "legitimately hard); per-packet probing breaks the spatial "
+               "covariance under a static rate but recovers once congestion "
+               "intensity fluctuates across snapshots; Markov churn works "
+               "when congestion lives on chronic hot spots; iid congestion "
+               "collapses (all links exchangeable => variance ordering "
+               "uninformative — evidence for the static reading of §6); the "
+               "literal good range inflates threshold-crossing noise.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3: relationship between the mean and the variance of end-to-end
+// path loss rates.  The paper measured 17200 PlanetLab paths over one day
+// (250 snapshots of 1000 probes); we run the same campaign on the
+// synthetic PlanetLab-like overlay (substitution documented in DESIGN.md
+// §4) and print the binned mean -> variance series plus rank correlations,
+// which quantify the monotone relationship Assumption S.3 rests on.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace losstomo;
+  const util::Args args(argc, argv);
+  const bool full = util::Args::full_scale();
+  const double scale = args.get_double("scale", full ? 0.5 : 0.12);
+  const auto snapshots = args.get_size("snapshots", full ? 250 : 120);
+  const double p = args.get_double("p", 0.08);
+  const auto seed = args.get_size("seed", 3);
+  args.finish();
+
+  std::cout << "Figure 3: mean vs variance of path loss rates "
+               "(PlanetLab-like, scale=" << scale << ", snapshots="
+            << snapshots << ", p=" << p << ")\n\n";
+
+  stats::Rng topo_rng(seed);
+  const auto inst = bench::from_topology(
+      topology::make_planetlab_like_scaled(scale, topo_rng), "PlanetLab");
+  const auto& rrm = inst.matrix();
+  std::cout << "paths measured: " << rrm.path_count() << "\n\n";
+
+  // A day of measurement: congestion episodes come and go (Markov
+  // dynamics), so paths see a spread of mean loss levels.
+  sim::ScenarioConfig config;
+  config.p = p;
+  config.dynamics = sim::CongestionDynamics::kMarkov;
+  config.persistence = 0.5;
+  sim::SnapshotSimulator simulator(inst.graph, rrm, config, seed * 77);
+
+  std::vector<stats::RunningStat> per_path(rrm.path_count());
+  for (std::size_t t = 0; t < snapshots; ++t) {
+    const auto snap = simulator.next();
+    for (std::size_t i = 0; i < rrm.path_count(); ++i) {
+      per_path[i].add(1.0 - snap.path_trans[i]);
+    }
+  }
+  std::vector<double> means, variances;
+  for (const auto& stat : per_path) {
+    means.push_back(stat.mean());
+    variances.push_back(stat.variance());
+  }
+
+  // Binned series (the scatter's backbone): mean-loss bins -> average
+  // variance, as in the paper's 0..0.5 x-axis.
+  util::Table table({"mean loss bin", "paths", "avg variance"});
+  const std::size_t bins = 10;
+  const double lo = 0.0, hi = 0.5;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double from = lo + (hi - lo) * static_cast<double>(b) / bins;
+    const double to = lo + (hi - lo) * static_cast<double>(b + 1) / bins;
+    stats::RunningStat var_in_bin;
+    for (std::size_t i = 0; i < means.size(); ++i) {
+      if (means[i] >= from && means[i] < to) var_in_bin.add(variances[i]);
+    }
+    table.add_row({util::Table::num(from, 2) + "-" + util::Table::num(to, 2),
+                   std::to_string(var_in_bin.count()),
+                   var_in_bin.count() == 0
+                       ? "-"
+                       : util::Table::num(var_in_bin.mean(), 6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSpearman rank correlation(mean, variance) = "
+            << util::Table::num(stats::spearman(means, variances), 3)
+            << "\nPearson correlation = "
+            << util::Table::num(stats::pearson(means, variances), 3)
+            << "\nExpected shape (paper): variance increases monotonically "
+               "with mean loss (Assumption S.3); high rank correlation.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 6: CDFs of the absolute error and of the error factor f_delta
+// (eq. (10), delta = 1e-3) of LIA's inferred link loss rates on the tree
+// topology with m = 50 snapshots.  Prints both CDFs as (x, F(x)) series.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace losstomo;
+  const util::Args args(argc, argv);
+  const bool full = util::Args::full_scale();
+  const auto nodes = args.get_size("nodes", full ? 1000 : 400);
+  const auto m = args.get_size("m", 50);
+  const double p = args.get_double("p", 0.1);
+  const auto runs = args.get_size("runs", full ? 10 : 4);
+  const auto seed = args.get_size("seed", 7);
+  args.finish();
+
+  std::cout << "Figure 6: error CDFs on the tree (nodes=" << nodes
+            << ", m=" << m << ", p=" << p << ", runs=" << runs << ")\n\n";
+
+  sim::ScenarioConfig config;
+  config.p = p;
+
+  std::vector<double> abs_errors, factors;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const auto inst = bench::make_tree_instance(nodes, 10, seed + run);
+    const auto outcome =
+        bench::run_pipeline(inst, config, m, seed * 1000 + run);
+    abs_errors.insert(abs_errors.end(), outcome.errors.absolute.begin(),
+                      outcome.errors.absolute.end());
+    factors.insert(factors.end(), outcome.errors.factor.begin(),
+                   outcome.errors.factor.end());
+  }
+  const stats::EmpiricalCdf abs_cdf(std::move(abs_errors));
+  const stats::EmpiricalCdf factor_cdf(std::move(factors));
+
+  util::Table abs_table({"absolute error", "CDF"});
+  for (const double x : {0.0, 0.0005, 0.001, 0.0015, 0.002, 0.0025, 0.005, 0.01}) {
+    abs_table.add_row({util::Table::num(x, 4), util::Table::num(abs_cdf.at(x), 4)});
+  }
+  abs_table.print(std::cout);
+  std::cout << '\n';
+
+  util::Table factor_table({"error factor", "CDF"});
+  for (const double x : {1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.5, 2.0}) {
+    factor_table.add_row(
+        {util::Table::num(x, 2), util::Table::num(factor_cdf.at(x), 4)});
+  }
+  factor_table.print(std::cout);
+
+  std::cout << "\nmedian |error| = " << util::Table::num(abs_cdf.median(), 5)
+            << ", 90th pct = " << util::Table::num(abs_cdf.quantile(0.9), 5)
+            << "; median f_delta = " << util::Table::num(factor_cdf.median(), 3)
+            << ", 90th pct = " << util::Table::num(factor_cdf.quantile(0.9), 3)
+            << "\nExpected shape (paper): both CDFs concentrated at the left "
+               "edge (|err| mostly < 0.0025, f_delta mostly < 1.25).\n";
+  return 0;
+}

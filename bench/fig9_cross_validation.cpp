@@ -1,0 +1,74 @@
+// Figure 9: cross-validation of LIA on the (simulated) PlanetLab overlay.
+// Paths are split at random into an inference half and a validation half;
+// LIA learns and infers on the inference half only, and each validation
+// path checks eq. (11): measured transmission within epsilon = 0.005 of
+// the product of inferred link rates over the covered portion.  Prints the
+// percentage of consistent paths as a function of m.
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "core/validation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace losstomo;
+  const util::Args args(argc, argv);
+  const bool full = util::Args::full_scale();
+  const double scale = args.get_double("scale", full ? 0.4 : 0.1);
+  const double p = args.get_double("p", 0.05);
+  const double epsilon = args.get_double("epsilon", 0.005);
+  const auto runs = args.get_size("runs", full ? 10 : 4);
+  const auto ms = args.get_ints("m", {20, 40, 60, 80, 100});
+  const auto seed = args.get_size("seed", 29);
+  args.finish();
+
+  std::cout << "Figure 9: cross-validation on the PlanetLab-like overlay "
+               "(scale=" << scale << ", p=" << p << ", epsilon=" << epsilon
+            << ", runs=" << runs << ")\n"
+            << "Internet-like loss profile: good links near-lossless "
+               "(DESIGN.md §4).\n\n";
+
+  stats::Rng topo_rng(seed);
+  const auto inst = bench::from_topology(
+      topology::make_planetlab_like_scaled(scale, topo_rng), "PlanetLab");
+  const auto& rrm = inst.matrix();
+  std::cout << "paths: " << rrm.path_count()
+            << ", links: " << rrm.link_count() << "\n\n";
+
+  sim::ScenarioConfig config;
+  config.p = p;
+  config.loss_model.good_hi = 0.0002;
+  config.probes_per_snapshot = 2000;
+
+  const int max_m = *std::max_element(ms.begin(), ms.end());
+  util::Table table({"m", "consistent paths"});
+  for (const int m : ms) {
+    stats::RunningStat consistency;
+    for (std::size_t run = 0; run < runs; ++run) {
+      sim::SnapshotSimulator simulator(inst.graph, rrm, config,
+                                       seed * 31 + run);
+      // Generate max_m + 1 snapshots once per run shape; use the first m
+      // for learning and the last as the evaluation snapshot.
+      auto series = sim::run_snapshots(simulator,
+                                       static_cast<std::size_t>(max_m) + 1);
+      stats::SnapshotMatrix history(rrm.path_count(),
+                                    static_cast<std::size_t>(m));
+      for (int l = 0; l < m; ++l) {
+        const auto& y = series.snapshots[l].path_log_trans;
+        std::copy(y.begin(), y.end(), history.sample(l).begin());
+      }
+      const auto& current = series.snapshots.back();
+      stats::Rng split_rng(seed * 997 + run);
+      const auto split = core::split_paths(rrm.path_count(), split_rng);
+      const auto result = core::cross_validate(
+          inst.graph, inst.paths, history, current.path_log_trans,
+          current.path_trans, split, epsilon);
+      consistency.add(result.consistency());
+    }
+    table.add_row({std::to_string(m), util::Table::pct(consistency.mean())});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper): > 95% consistent, increasing with m "
+               "and flattening once m is large (m > 80).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// §6.4: running time of the LIA building blocks, as a google-benchmark
+// binary.  The paper reports (on 2 GHz Matlab): building A up to an hour
+// but done once; solving the Phase-1 moment system within seconds even for
+// thousand-node networks; solving eq. (3)/(9) in milliseconds-to-a-second.
+// We time: co-traversal Gram + normal-equation assembly (the "build A
+// once" analogue), Phase-1 variance estimation, Phase-2 elimination, and
+// the per-snapshot eq. (9) solve.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace losstomo;
+
+struct Setup {
+  bench::Instance inst;
+  stats::SnapshotMatrix history{1, 1};
+  linalg::Vector current;
+  core::VarianceEstimate variances;
+  core::Elimination elimination;
+
+  explicit Setup(std::size_t nodes) {
+    inst = bench::make_tree_instance(nodes, 10, 5);
+    sim::ScenarioConfig config;
+    sim::SnapshotSimulator simulator(inst.graph, inst.matrix(), config, 5);
+    const std::size_t m = 50;
+    auto series = sim::run_snapshots(simulator, m + 1);
+    history = stats::SnapshotMatrix(inst.matrix().path_count(), m);
+    for (std::size_t l = 0; l < m; ++l) {
+      const auto& y = series.snapshots[l].path_log_trans;
+      std::copy(y.begin(), y.end(), history.sample(l).begin());
+    }
+    current = series.snapshots[m].path_log_trans;
+    variances = core::estimate_link_variances(inst.matrix().matrix(), history);
+    elimination = core::eliminate_low_variance_links(inst.matrix().matrix(),
+                                                     variances.v);
+  }
+};
+
+Setup& setup(std::size_t nodes) {
+  static std::map<std::size_t, std::unique_ptr<Setup>> cache;
+  auto& slot = cache[nodes];
+  if (!slot) slot = std::make_unique<Setup>(nodes);
+  return *slot;
+}
+
+void BM_BuildCoTraversalGram(benchmark::State& state) {
+  auto& s = setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    linalg::CoTraversalGram gram(s.inst.matrix().matrix());
+    benchmark::DoNotOptimize(gram.nnz());
+  }
+}
+BENCHMARK(BM_BuildCoTraversalGram)->Arg(250)->Arg(500)->Arg(1000);
+
+void BM_Phase1_VarianceEstimation(benchmark::State& state) {
+  auto& s = setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto est = core::estimate_link_variances(s.inst.matrix().matrix(),
+                                             s.history);
+    benchmark::DoNotOptimize(est.v.data());
+  }
+}
+BENCHMARK(BM_Phase1_VarianceEstimation)->Arg(250)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Phase2_Elimination(benchmark::State& state) {
+  auto& s = setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto elim = core::eliminate_low_variance_links(s.inst.matrix().matrix(),
+                                                   s.variances.v);
+    benchmark::DoNotOptimize(elim.kept.data());
+  }
+}
+BENCHMARK(BM_Phase2_Elimination)->Arg(250)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Phase2_SnapshotSolve(benchmark::State& state) {
+  // The per-snapshot eq. (9) solve the paper reports in milliseconds;
+  // A/R*'s factor is built once and reused across snapshots.
+  auto& s = setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto inference = core::infer_snapshot_losses(s.inst.matrix().matrix(),
+                                                 s.elimination, s.current);
+    benchmark::DoNotOptimize(inference.loss.data());
+  }
+}
+BENCHMARK(BM_Phase2_SnapshotSolve)->Arg(250)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullInferencePipeline(benchmark::State& state) {
+  // learn + infer end to end (what a monitoring tick costs).
+  auto& s = setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Lia lia(s.inst.matrix().matrix());
+    lia.learn(s.history);
+    auto inference = lia.infer(s.current);
+    benchmark::DoNotOptimize(inference.loss.data());
+  }
+}
+BENCHMARK(BM_FullInferencePipeline)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 2: LIA accuracy across the six evaluation topologies (BRITE
+// Barabasi-Albert / Waxman / hierarchical top-down / bottom-up, plus the
+// PlanetLab-like and DIMES-like overlays).  Prints DR, FPR and the
+// max/median/min of the error factors and absolute errors, averaged over
+// `runs` repetitions — the same row layout as the paper.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace losstomo;
+  const util::Args args(argc, argv);
+  const bool full = util::Args::full_scale();
+  const double scale = args.get_double("scale", full ? 1.0 : 0.35);
+  const auto m = args.get_size("m", 50);
+  const double p = args.get_double("p", 0.1);
+  const auto runs = args.get_size("runs", full ? 10 : 3);
+  const auto seed = args.get_size("seed", 11);
+  args.finish();
+
+  std::cout << "Table 2: simulations with BRITE, PlanetLab-like and "
+               "DIMES-like topologies (scale=" << scale << ", m=" << m
+            << ", p=" << p << ", runs=" << runs << ")\n\n";
+
+  sim::ScenarioConfig config;
+  config.p = p;
+
+  util::Table table({"Topology", "np", "nc", "DR", "FPR", "EF max", "EF med",
+                     "EF min", "AE max", "AE med", "AE min"});
+  auto instances = bench::table2_instances(scale, seed);
+  for (const auto& inst : instances) {
+    stats::RunningStat dr, fpr;
+    std::vector<double> factors, abs_errors;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto outcome =
+          bench::run_pipeline(inst, config, m, seed * 100 + run);
+      dr.add(outcome.lia.dr);
+      fpr.add(outcome.lia.fpr);
+      factors.insert(factors.end(), outcome.errors.factor.begin(),
+                     outcome.errors.factor.end());
+      abs_errors.insert(abs_errors.end(), outcome.errors.absolute.begin(),
+                        outcome.errors.absolute.end());
+    }
+    const stats::EmpiricalCdf ef(std::move(factors));
+    const stats::EmpiricalCdf ae(std::move(abs_errors));
+    table.add_row({inst.name, std::to_string(inst.matrix().path_count()),
+                   std::to_string(inst.matrix().link_count()),
+                   util::Table::pct(dr.mean()), util::Table::pct(fpr.mean()),
+                   util::Table::num(ef.max(), 2), util::Table::num(ef.median(), 2),
+                   util::Table::num(ef.min(), 2), util::Table::num(ae.max(), 4),
+                   util::Table::num(ae.median(), 4),
+                   util::Table::num(ae.min(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper): DR ~ 86-96%, FPR ~ 3-6%, median "
+               "error factor 1.00, absolute errors in the 1e-3 range.\n";
+  return 0;
+}

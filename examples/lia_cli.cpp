@@ -1,0 +1,156 @@
+// lia_cli — run LIA on measurement files (the "bring your own traces"
+// entry point).
+//
+// Modes:
+//   generate: writes a sample campaign (topology/paths/snapshots files)
+//             from the built-in simulator, so the file formats are easy to
+//             copy:
+//       lia_cli mode=generate out=/tmp/campaign [hosts=16] [m=50]
+//   infer:    reads a campaign, learns on all but the last snapshot,
+//             diagnoses the last one, prints per-link loss rates and the
+//             identifiability report:
+//       lia_cli mode=infer topology=... paths=... snapshots=... [tl=0.002]
+//
+// File formats are documented in src/io/trace_io.hpp.
+#include <algorithm>
+#include <iostream>
+
+#include "core/identifiability.hpp"
+#include "core/lia.hpp"
+#include "io/trace_io.hpp"
+#include "net/routing_matrix.hpp"
+#include "sim/probe_sim.hpp"
+#include "topology/overlay.hpp"
+#include "topology/routing.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace losstomo;
+
+namespace {
+
+int generate(const util::Args& args) {
+  const auto out = args.get_string("out", "/tmp/losstomo_campaign");
+  const auto hosts = args.get_size("hosts", 16);
+  const auto m = args.get_size("m", 50);
+  const auto seed = args.get_size("seed", 1);
+  args.finish();
+
+  stats::Rng rng(seed);
+  auto topo = topology::make_planetlab_like(
+      {.hosts = hosts, .as_count = 8, .routers_per_as = 6}, rng);
+  const auto routed = topology::route_paths(topo.graph, topo.hosts, topo.hosts);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+
+  sim::ScenarioConfig config;
+  config.p = 0.08;
+  sim::SnapshotSimulator simulator(topo.graph, rrm, config, seed * 5);
+  std::vector<std::vector<double>> phi_rows;
+  for (std::size_t l = 0; l < m + 1; ++l) {
+    phi_rows.push_back(simulator.next().path_trans);
+  }
+
+  io::save_topology(out + ".topology", topo.graph);
+  io::save_paths(out + ".paths", routed.paths);
+  io::save_snapshots(out + ".snapshots", phi_rows);
+  std::cout << "wrote " << out << ".topology (" << topo.graph.edge_count()
+            << " edges), " << out << ".paths (" << routed.paths.size()
+            << " paths), " << out << ".snapshots (" << phi_rows.size()
+            << " snapshots)\n"
+            << "try:  lia_cli mode=infer topology=" << out
+            << ".topology paths=" << out << ".paths snapshots=" << out
+            << ".snapshots\n";
+  return 0;
+}
+
+int infer(const util::Args& args) {
+  const auto topology_file = args.get_string("topology", "");
+  const auto paths_file = args.get_string("paths", "");
+  const auto snapshots_file = args.get_string("snapshots", "");
+  const double tl = args.get_double("tl", 0.002);
+  const auto top = args.get_size("top", 20);
+  args.finish();
+  if (topology_file.empty() || paths_file.empty() || snapshots_file.empty()) {
+    std::cerr << "mode=infer needs topology=, paths=, snapshots= files\n";
+    return 2;
+  }
+
+  const auto graph = io::load_topology(topology_file);
+  const auto paths = io::load_paths(paths_file);
+  const auto y = io::load_snapshots(snapshots_file);
+  const net::ReducedRoutingMatrix rrm(graph, paths);
+  if (y.dim() != rrm.path_count()) {
+    std::cerr << "snapshot arity " << y.dim() << " != path count "
+              << rrm.path_count() << '\n';
+    return 2;
+  }
+  if (y.count() < 3) {
+    std::cerr << "need at least 3 snapshots (m >= 2 to learn + 1 to infer)\n";
+    return 2;
+  }
+  std::cout << "campaign: " << rrm.path_count() << " paths, "
+            << rrm.link_count() << " measurable links, " << y.count()
+            << " snapshots\n";
+
+  const auto report = core::analyze_identifiability(rrm.matrix());
+  std::cout << "identifiability: rank(R) = " << report.routing_rank
+            << ", rank(A) = " << report.augmented_rank << " of "
+            << report.link_count
+            << (report.variances_identifiable()
+                    ? " -> variances identifiable (Theorem 1)\n"
+                    : " -> WARNING: some variances not identifiable\n");
+
+  // Learn on snapshots [0, m); infer snapshot m.
+  const std::size_t m = y.count() - 1;
+  stats::SnapshotMatrix history(y.dim(), m);
+  for (std::size_t l = 0; l < m; ++l) {
+    const auto src = y.sample(l);
+    std::copy(src.begin(), src.end(), history.sample(l).begin());
+  }
+  core::Lia lia(rrm.matrix());
+  const auto& learned = lia.learn(history);
+  const auto inference = lia.infer(y.sample(m));
+  std::cout << "phase 1: " << learned.method << ", "
+            << learned.equations_used << " equations ("
+            << learned.equations_dropped << " dropped)\n\n";
+
+  // Report: congested links first, by inferred loss.
+  std::vector<std::size_t> order(rrm.link_count());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inference.loss[a] > inference.loss[b];
+  });
+  util::Table table({"link", "edges", "inferred loss", "learned variance",
+                     "verdict"});
+  std::size_t shown = 0;
+  for (const auto k : order) {
+    if (shown++ >= top) break;
+    std::string edges;
+    for (const auto e : rrm.members(k)) {
+      if (!edges.empty()) edges += ",";
+      edges += std::to_string(e);
+    }
+    table.add_row({"link#" + std::to_string(k), edges,
+                   util::Table::num(inference.loss[k], 4),
+                   util::Table::num(learned.v[k], 6),
+                   inference.loss[k] > tl ? "CONGESTED" : "ok"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    const auto mode = args.get_string("mode", "infer");
+    if (mode == "generate") return generate(args);
+    if (mode == "infer") return infer(args);
+    std::cerr << "unknown mode: " << mode << " (use generate|infer)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,118 @@
+// Quickstart: the paper's Figure 1 story, end to end, on six nodes.
+//
+//  1. Build the three-path, five-link network of Fig. 1.
+//  2. Show that first-moment (mean) measurements cannot identify link loss
+//     rates: two different assignments produce identical path data.
+//  3. Show that the augmented matrix A has full column rank (Theorem 1):
+//     link *variances* are identifiable.
+//  4. Run LIA: learn variances from snapshots, eliminate quiet links,
+//     recover the loss rates of the congested links exactly.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cmath>
+#include <iostream>
+
+#include "baselines/first_moment.hpp"
+#include "core/augmented_matrix.hpp"
+#include "core/lia.hpp"
+#include "linalg/qr.hpp"
+#include "net/routing_matrix.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+#include "util/table.hpp"
+
+using namespace losstomo;
+
+int main() {
+  // --- 1. The Figure-1 network: beacon B1, destinations D1..D3 ----------
+  // B1 -> v -> {D1, w}, w -> {D2, D3}.  Five links; e1 = B1->v is shared
+  // by all three paths.
+  net::Graph graph(6);
+  const auto e1 = graph.add_edge(0, 1);  // B1 -> v (shared)
+  const auto e2 = graph.add_edge(1, 3);  // v  -> D1
+  const auto e3 = graph.add_edge(1, 2);  // v  -> w (shared by P2, P3)
+  const auto e4 = graph.add_edge(2, 4);  // w  -> D2
+  const auto e5 = graph.add_edge(2, 5);  // w  -> D3
+  std::vector<net::Path> paths{
+      {.source = 0, .destination = 3, .edges = {e1, e2}},
+      {.source = 0, .destination = 4, .edges = {e1, e3, e4}},
+      {.source = 0, .destination = 5, .edges = {e1, e3, e5}},
+  };
+  const net::ReducedRoutingMatrix rrm(graph, paths);
+  const auto& r = rrm.matrix();
+  std::cout << "Routing matrix R (" << r.rows() << " paths x " << r.cols()
+            << " links), rank " << linalg::matrix_rank(r.to_dense()) << "\n\n";
+
+  // --- 2. Means are not identifiable ------------------------------------
+  // Two different link transmission-rate assignments that induce the SAME
+  // end-to-end transmission rates (the paper's Fig. 1 ambiguity).
+  const linalg::Vector phi_a{0.90, 0.95, 0.88, 0.92, 0.85};
+  linalg::Vector phi_b = phi_a;
+  phi_b[0] = phi_a[0] * 0.95;  // shift loss from the shared link...
+  phi_b[1] = phi_a[1] / 0.95;  // ...onto each downstream branch
+  phi_b[2] = phi_a[2] / 0.95;
+  const auto to_y = [&](const linalg::Vector& phi) {
+    linalg::Vector x(phi.size());
+    for (std::size_t k = 0; k < phi.size(); ++k) x[k] = std::log(phi[k]);
+    return r.multiply(x);
+  };
+  const auto ya = to_y(phi_a);
+  const auto yb = to_y(phi_b);
+  std::cout << "Two distinct assignments, max path-measurement difference: "
+            << util::Table::num(linalg::max_abs_diff(ya, yb), 12)
+            << "  (identical => means unidentifiable)\n";
+  const auto naive = baselines::solve_first_moment(r, ya);
+  std::cout << "First-moment solver: rank " << naive.rank << " of "
+            << naive.columns << " -> "
+            << (naive.identifiable() ? "identifiable" : "NOT identifiable")
+            << "\n\n";
+
+  // --- 3. Variances ARE identifiable (Theorem 1) ------------------------
+  const auto a = core::build_augmented_matrix(r);
+  std::cout << "Augmented matrix A: " << a.rows() << " pair equations x "
+            << a.cols() << " links, rank " << linalg::matrix_rank(a)
+            << "  (full column rank => variances identifiable)\n\n";
+
+  // --- 4. LIA ------------------------------------------------------------
+  // Scenario: links e1 and e4 are congested (lossy and variable); the rest
+  // are quiet.  Draw m snapshots of the exact log-linear model.
+  const linalg::Vector mu{-0.10, -1e-4, -1e-4, -0.15, -1e-4};
+  const linalg::Vector v_true{0.004, 1e-10, 1e-10, 0.006, 1e-10};
+  stats::Rng rng(2007);
+  const std::size_t m = 200;
+  stats::SnapshotMatrix history(r.rows(), m);
+  linalg::Vector x(r.cols());
+  for (std::size_t l = 0; l < m; ++l) {
+    for (std::size_t k = 0; k < r.cols(); ++k) {
+      x[k] = std::min(rng.gaussian(mu[k], std::sqrt(v_true[k])), 0.0);
+    }
+    const auto y = r.multiply(x);
+    std::copy(y.begin(), y.end(), history.sample(l).begin());
+  }
+
+  core::Lia lia(r);
+  const auto& learned = lia.learn(history);
+  std::cout << "Phase 1 (" << learned.method << "): learned variances\n";
+
+  // A fresh snapshot to diagnose.
+  linalg::Vector x_now(r.cols());
+  for (std::size_t k = 0; k < r.cols(); ++k) {
+    x_now[k] = std::min(rng.gaussian(mu[k], std::sqrt(v_true[k])), 0.0);
+  }
+  const auto result = lia.infer(r.multiply(x_now));
+
+  util::Table table({"link", "true loss", "inferred loss", "learned var",
+                     "phase-2"});
+  const char* names[] = {"e1 B1->v", "e2 v->D1", "e3 v->w", "e4 w->D2",
+                         "e5 w->D3"};
+  for (std::size_t k = 0; k < r.cols(); ++k) {
+    table.add_row({names[k], util::Table::num(1.0 - std::exp(x_now[k]), 4),
+                   util::Table::num(result.loss[k], 4),
+                   util::Table::num(learned.v[k], 6),
+                   result.removed[k] ? "eliminated (loss ~ 0)" : "solved"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe two congested links are recovered from measurements "
+               "that could not even identify the means.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "baselines/clink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/nnls.hpp"
+
+namespace losstomo::baselines {
+
+ClinkModel clink_learn(const linalg::SparseBinaryMatrix& r,
+                       const std::vector<std::vector<bool>>& path_bad,
+                       const ClinkOptions& options) {
+  const std::size_t np = r.rows();
+  const std::size_t nc = r.cols();
+  if (path_bad.empty()) throw std::invalid_argument("no snapshots");
+  for (const auto& snap : path_bad) {
+    if (snap.size() != np) throw std::invalid_argument("snapshot size");
+  }
+  const auto m = static_cast<double>(path_bad.size());
+
+  // Empirical good rates, clamped away from 0 so the log stays finite
+  // (a path bad in every snapshot still carries bounded evidence).
+  linalg::Vector y(np, 0.0);
+  for (std::size_t i = 0; i < np; ++i) {
+    double good = 0.0;
+    for (const auto& snap : path_bad) good += snap[i] ? 0.0 : 1.0;
+    const double rate = std::max(good / m, 0.5 / m);
+    y[i] = -std::log(rate);
+  }
+
+  // Non-negative least squares on G = R^T R, h = R^T y.
+  linalg::Matrix g(nc, nc);
+  linalg::Vector h(nc, 0.0);
+  for (std::size_t i = 0; i < np; ++i) {
+    const auto row = r.row(i);
+    for (const auto a : row) {
+      h[a] += y[i];
+      for (const auto b : row) g(a, b) += 1.0;
+    }
+  }
+  const auto nnls = linalg::nnls_gram(g, h);
+
+  ClinkModel model;
+  model.converged = nnls.converged;
+  model.congestion_probability.resize(nc);
+  for (std::size_t k = 0; k < nc; ++k) {
+    const double p = 1.0 - std::exp(-nnls.x[k]);
+    model.congestion_probability[k] =
+        std::clamp(p, options.floor_probability, options.ceil_probability);
+  }
+  return model;
+}
+
+std::vector<bool> clink_locate(const linalg::SparseBinaryMatrix& r,
+                               const ClinkModel& model,
+                               const std::vector<bool>& path_bad) {
+  const std::size_t np = r.rows();
+  const std::size_t nc = r.cols();
+  if (path_bad.size() != np) throw std::invalid_argument("snapshot size");
+  if (model.congestion_probability.size() != nc) {
+    throw std::invalid_argument("model size");
+  }
+
+  // MAP weights: w_k = log((1-p_k)/p_k) > 0 for p_k < 0.5; smaller weight
+  // means cheaper to blame.
+  linalg::Vector weight(nc);
+  for (std::size_t k = 0; k < nc; ++k) {
+    const double p = model.congestion_probability[k];
+    weight[k] = std::log((1.0 - p) / p);
+  }
+
+  std::vector<bool> exonerated(nc, false);
+  for (std::size_t i = 0; i < np; ++i) {
+    if (path_bad[i]) continue;
+    for (const auto k : r.row(i)) exonerated[k] = true;
+  }
+  std::vector<bool> uncovered(np, false);
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < np; ++i) {
+    if (path_bad[i]) {
+      uncovered[i] = true;
+      ++remaining;
+    }
+  }
+
+  const auto columns = r.column_lists();
+  std::vector<bool> diagnosed(nc, false);
+  while (remaining > 0) {
+    std::size_t best_link = nc;
+    double best_ratio = 0.0;
+    for (std::size_t k = 0; k < nc; ++k) {
+      if (exonerated[k] || diagnosed[k]) continue;
+      std::size_t cover = 0;
+      for (const auto i : columns[k]) {
+        if (uncovered[i]) ++cover;
+      }
+      if (cover == 0) continue;
+      // Maximize coverage per unit weight (greedy weighted set cover).
+      const double ratio =
+          static_cast<double>(cover) / std::max(weight[k], 1e-9);
+      if (best_link == nc || ratio > best_ratio) {
+        best_ratio = ratio;
+        best_link = k;
+      }
+    }
+    if (best_link == nc) break;  // inconsistent snapshot: give up
+    diagnosed[best_link] = true;
+    for (const auto i : columns[best_link]) {
+      if (uncovered[i]) {
+        uncovered[i] = false;
+        --remaining;
+      }
+    }
+  }
+  return diagnosed;
+}
+
+}  // namespace losstomo::baselines

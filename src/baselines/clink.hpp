@@ -1,0 +1,61 @@
+// CLINK — congested-link location with learned link priors
+// (Nguyen & Thiran, INFOCOM 2007; the authors' prior work, compared in the
+// paper's Table 1 under "First Order Moments / Multiple Snapshots").
+//
+// CLINK also uses multiple snapshots of unicast flows, but only their
+// binary projections: it learns each link's *probability of being
+// congested* and then, per snapshot, finds the most likely congested set
+// explaining the binary path states.
+//
+//  Phase 1 (learning).  Under link independence the probability that path
+//  i is good in a snapshot is prod_{k in i} (1 - p_k).  With g_i the
+//  empirical fraction of snapshots where path i was good,
+//      -log g_i  ~  sum_{k in i} x_k,   x_k = -log(1 - p_k) >= 0,
+//  a non-negative least-squares problem on the routing matrix (we solve it
+//  with the library's NNLS; CLINK's original gradient scheme solves the
+//  same program).
+//
+//  Phase 2 (MAP inference).  Given one snapshot's binary path states, the
+//  maximum a-posteriori congested set minimizes
+//      sum_{k in X} w_k,   w_k = log((1 - p_k) / p_k),
+//  over sets X covering every bad path while touching no good path — a
+//  weighted set cover, approximated greedily (cost/coverage), as in the
+//  original paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace losstomo::baselines {
+
+struct ClinkModel {
+  /// Learned per-link congestion probabilities, clamped to
+  /// [floor_probability, ceil_probability].
+  linalg::Vector congestion_probability;
+  bool converged = false;
+};
+
+struct ClinkOptions {
+  /// Probability clamp: keeps the set-cover weights finite and encodes the
+  /// prior that no link is ever certainly good/congested.
+  double floor_probability = 1e-4;
+  double ceil_probability = 0.5;
+};
+
+/// Phase 1: learns link congestion probabilities from m snapshots of
+/// binary path states (path_bad[l][i] = path i bad in snapshot l).
+ClinkModel clink_learn(const linalg::SparseBinaryMatrix& r,
+                       const std::vector<std::vector<bool>>& path_bad,
+                       const ClinkOptions& options = {});
+
+/// Phase 2: MAP congested set for one snapshot.  Links on good paths are
+/// exonerated; remaining bad paths are covered greedily by the link with
+/// the best weight-per-newly-covered-path ratio.
+std::vector<bool> clink_locate(const linalg::SparseBinaryMatrix& r,
+                               const ClinkModel& model,
+                               const std::vector<bool>& path_bad);
+
+}  // namespace losstomo::baselines

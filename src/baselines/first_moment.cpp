@@ -1,0 +1,50 @@
+#include "baselines/first_moment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/qr.hpp"
+
+namespace losstomo::baselines {
+
+namespace {
+
+FirstMomentResult from_solution(linalg::Vector x, std::size_t rank,
+                                std::size_t columns) {
+  FirstMomentResult out;
+  out.rank = rank;
+  out.columns = columns;
+  out.phi.resize(columns);
+  out.loss.resize(columns);
+  for (std::size_t k = 0; k < columns; ++k) {
+    out.phi[k] = std::clamp(std::exp(x[k]), 0.0, 1.0);
+    out.loss[k] = 1.0 - out.phi[k];
+  }
+  out.x = std::move(x);
+  return out;
+}
+
+}  // namespace
+
+FirstMomentResult solve_first_moment(const linalg::SparseBinaryMatrix& r,
+                                     std::span<const double> y_log) {
+  const std::size_t columns = r.cols();
+  auto dense = r.to_dense();
+  // PivotedQr requires rows >= cols for its Householder sweep; pad wide
+  // systems with zero rows (the basic solution is unaffected).
+  if (dense.rows() < dense.cols()) {
+    linalg::Matrix padded(dense.cols(), dense.cols());
+    for (std::size_t i = 0; i < dense.rows(); ++i) {
+      const auto src = dense.row(i);
+      std::copy(src.begin(), src.end(), padded.row(i).begin());
+    }
+    linalg::Vector rhs(dense.cols(), 0.0);
+    std::copy(y_log.begin(), y_log.end(), rhs.begin());
+    const linalg::PivotedQr qr(padded);
+    return from_solution(qr.solve_basic(rhs), qr.rank(), columns);
+  }
+  const linalg::PivotedQr qr(dense);
+  return from_solution(qr.solve_basic(y_log), qr.rank(), columns);
+}
+
+}  // namespace losstomo::baselines

@@ -1,0 +1,30 @@
+// First-moment strawman: solve Y = R X directly.
+//
+// The system is rank deficient in any realistic topology (paper Fig. 1),
+// so the minimum-norm/basic solution is *one of infinitely many* loss
+// assignments consistent with the measurements.  Included as the baseline
+// that motivates the paper: it demonstrates the unidentifiability LIA
+// overcomes (see examples/quickstart and tests/core/identifiability_test).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace losstomo::baselines {
+
+struct FirstMomentResult {
+  linalg::Vector x;     // raw log transmission rates (basic LS solution)
+  linalg::Vector phi;   // exp(x), clamped to [0, 1]
+  linalg::Vector loss;  // 1 - phi
+  std::size_t rank = 0;
+  std::size_t columns = 0;
+  [[nodiscard]] bool identifiable() const { return rank == columns; }
+};
+
+/// Basic (rank-revealing) least-squares solution of Y = R X.
+FirstMomentResult solve_first_moment(const linalg::SparseBinaryMatrix& r,
+                                     std::span<const double> y_log);
+
+}  // namespace losstomo::baselines

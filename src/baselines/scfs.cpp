@@ -1,0 +1,115 @@
+#include "baselines/scfs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace losstomo::baselines {
+
+std::vector<bool> binarize_paths(std::span<const double> path_phi,
+                                 std::span<const std::size_t> path_lengths,
+                                 double tl) {
+  if (path_phi.size() != path_lengths.size()) {
+    throw std::invalid_argument("binarize: size mismatch");
+  }
+  std::vector<bool> bad(path_phi.size());
+  for (std::size_t i = 0; i < path_phi.size(); ++i) {
+    const double threshold =
+        std::pow(1.0 - tl, static_cast<double>(path_lengths[i]));
+    bad[i] = path_phi[i] < threshold;
+  }
+  return bad;
+}
+
+std::vector<std::size_t> path_lengths(const linalg::SparseBinaryMatrix& r) {
+  std::vector<std::size_t> lengths(r.rows());
+  for (std::size_t i = 0; i < r.rows(); ++i) lengths[i] = r.row(i).size();
+  return lengths;
+}
+
+std::vector<bool> scfs_tree(const net::ReducedRoutingMatrix& rrm,
+                            const std::vector<bool>& path_bad) {
+  const std::size_t np = rrm.path_count();
+  const std::size_t nc = rrm.link_count();
+  if (path_bad.size() != np) throw std::invalid_argument("scfs: size mismatch");
+
+  // Parent link of each virtual link along the (unique) root-to-leaf order.
+  constexpr std::uint32_t kNoParent = 0xffffffffu;
+  std::vector<std::uint32_t> parent(nc, kNoParent);
+  std::vector<bool> has_parent(nc, false);
+  for (std::size_t i = 0; i < np; ++i) {
+    const auto links = rrm.links_of_path(i);
+    for (std::size_t pos = 1; pos < links.size(); ++pos) {
+      const auto cur = links[pos];
+      const auto prev = links[pos - 1];
+      if (has_parent[cur] && parent[cur] != prev) {
+        throw std::invalid_argument("scfs_tree: paths are not a tree");
+      }
+      parent[cur] = prev;
+      has_parent[cur] = true;
+    }
+  }
+
+  // allbad[k]: every path through k is bad.
+  std::vector<bool> allbad(nc, true);
+  for (std::size_t i = 0; i < np; ++i) {
+    if (path_bad[i]) continue;
+    for (const auto k : rrm.matrix().row(i)) allbad[k] = false;
+  }
+  // No path through a link at all cannot happen (reduced matrix), so
+  // allbad is well-defined.  Blame the topmost all-bad links.
+  std::vector<bool> diagnosed(nc, false);
+  for (std::size_t k = 0; k < nc; ++k) {
+    if (!allbad[k]) continue;
+    if (!has_parent[k] || !allbad[parent[k]]) diagnosed[k] = true;
+  }
+  return diagnosed;
+}
+
+std::vector<bool> scfs_general(const linalg::SparseBinaryMatrix& r,
+                               const std::vector<bool>& path_bad) {
+  const std::size_t np = r.rows();
+  const std::size_t nc = r.cols();
+  if (path_bad.size() != np) throw std::invalid_argument("scfs: size mismatch");
+
+  std::vector<bool> exonerated(nc, false);
+  for (std::size_t i = 0; i < np; ++i) {
+    if (path_bad[i]) continue;
+    for (const auto k : r.row(i)) exonerated[k] = true;
+  }
+  std::vector<bool> uncovered(np, false);
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < np; ++i) {
+    if (path_bad[i]) {
+      uncovered[i] = true;
+      ++remaining;
+    }
+  }
+  const auto columns = r.column_lists();
+  std::vector<bool> diagnosed(nc, false);
+  while (remaining > 0) {
+    std::size_t best_link = nc;
+    std::size_t best_cover = 0;
+    for (std::size_t k = 0; k < nc; ++k) {
+      if (exonerated[k] || diagnosed[k]) continue;
+      std::size_t cover = 0;
+      for (const auto i : columns[k]) {
+        if (uncovered[i]) ++cover;
+      }
+      if (cover > best_cover) {
+        best_cover = cover;
+        best_link = k;
+      }
+    }
+    if (best_link == nc) break;  // inconsistent measurements: give up
+    diagnosed[best_link] = true;
+    for (const auto i : columns[best_link]) {
+      if (uncovered[i]) {
+        uncovered[i] = false;
+        --remaining;
+      }
+    }
+  }
+  return diagnosed;
+}
+
+}  // namespace losstomo::baselines

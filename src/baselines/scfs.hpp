@@ -1,0 +1,49 @@
+// SCFS — Smallest Consistent Failure Set (Duffield, IEEE Trans. IT 2006).
+//
+// The single-snapshot baseline the paper compares against in Fig. 5.  SCFS
+// consumes *binary* path states (good/bad) from one snapshot and returns
+// the smallest set of links whose failure explains every bad path, under
+// the priors that links fail independently with equal probability and that
+// failures are rare:
+//   * on a tree, blame the highest (closest to the root) link whose entire
+//     downstream path set is bad;
+//   * on a general topology (extension), greedy set cover over links not
+//     appearing on any good path.
+//
+// Path binarisation: a path is declared bad when its measured transmission
+// rate falls below (1 - tl)^|path| — the value it would have if every
+// traversed link sat exactly at the good/congested threshold tl (see
+// DESIGN.md §5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "net/routing_matrix.hpp"
+
+namespace losstomo::baselines {
+
+/// Binary path states from measured transmission rates.
+/// `path_phi[i]` is the measured transmission rate of path i;
+/// `path_lengths[i]` its hop count (virtual links).
+std::vector<bool> binarize_paths(std::span<const double> path_phi,
+                                 std::span<const std::size_t> path_lengths,
+                                 double tl);
+
+/// Convenience: path lengths (in virtual links) of a routing matrix.
+std::vector<std::size_t> path_lengths(const linalg::SparseBinaryMatrix& r);
+
+/// Tree SCFS.  `r` must be the reduced routing matrix of a single-beacon
+/// tree (every path starts at the root); `path_bad[i]` is the binary state
+/// of path i.  Returns the per-link diagnosis (true = congested).
+std::vector<bool> scfs_tree(const net::ReducedRoutingMatrix& rrm,
+                            const std::vector<bool>& path_bad);
+
+/// General-topology greedy variant: links on any good path are exonerated;
+/// remaining bad paths are covered greedily by the link explaining the
+/// most of them (ties: smaller id).
+std::vector<bool> scfs_general(const linalg::SparseBinaryMatrix& r,
+                               const std::vector<bool>& path_bad);
+
+}  // namespace losstomo::baselines

@@ -1,0 +1,44 @@
+#include "core/lia.hpp"
+
+#include <stdexcept>
+
+namespace losstomo::core {
+
+Lia::Lia(const linalg::SparseBinaryMatrix& r, LiaOptions options)
+    : r_(r), options_(options) {}
+
+const VarianceEstimate& Lia::learn(const stats::SnapshotMatrix& history) {
+  variance_ = estimate_link_variances(r_, history, options_.variance);
+  elimination_ =
+      eliminate_low_variance_links(r_, variance_->v, options_.elimination);
+  return *variance_;
+}
+
+const VarianceEstimate& Lia::learn_from_variances(linalg::Vector variances) {
+  VarianceEstimate est;
+  est.v = std::move(variances);
+  est.method = "external";
+  variance_ = std::move(est);
+  elimination_ =
+      eliminate_low_variance_links(r_, variance_->v, options_.elimination);
+  return *variance_;
+}
+
+LossInference Lia::infer(std::span<const double> y) const {
+  if (!elimination_) throw std::logic_error("Lia::infer before learn");
+  return infer_snapshot_losses(r_, *elimination_, y);
+}
+
+const VarianceEstimate& Lia::variances() const {
+  if (!variance_) throw std::logic_error("variances unavailable before learn");
+  return *variance_;
+}
+
+const Elimination& Lia::elimination() const {
+  if (!elimination_) {
+    throw std::logic_error("elimination unavailable before learn");
+  }
+  return *elimination_;
+}
+
+}  // namespace losstomo::core

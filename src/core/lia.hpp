@@ -1,0 +1,61 @@
+// LIA — the Loss Inference Algorithm (paper §5.3).
+//
+// Facade tying the two phases together:
+//   Phase 1: learn link variances from m snapshots (variance_estimator).
+//   Phase 2: order links by variance, eliminate the least-variant columns
+//            until R* has full column rank (elimination), solve eq. (9) on
+//            the current snapshot (loss_solver).
+//
+// Typical use:
+//   Lia lia(rrm.matrix());
+//   lia.learn(history_y);                  // m snapshots
+//   const auto result = lia.infer(y_now);  // (m+1)-th snapshot
+//   // result.loss[k] is the inferred loss rate of virtual link k.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/elimination.hpp"
+#include "core/loss_solver.hpp"
+#include "core/variance_estimator.hpp"
+#include "linalg/sparse.hpp"
+#include "stats/moments.hpp"
+
+namespace losstomo::core {
+
+struct LiaOptions {
+  VarianceOptions variance;
+  EliminationOptions elimination;
+};
+
+class Lia {
+ public:
+  explicit Lia(const linalg::SparseBinaryMatrix& r, LiaOptions options = {});
+
+  /// Phase 1: estimates link variances from the history of snapshots and
+  /// prepares the Phase-2 elimination.  May be called again as new history
+  /// accumulates (sliding window).
+  const VarianceEstimate& learn(const stats::SnapshotMatrix& history);
+
+  /// Phase 1 bypass for callers that already know the variances (tests,
+  /// delay extension).
+  const VarianceEstimate& learn_from_variances(linalg::Vector variances);
+
+  /// Phase 2: infers per-link loss rates for one snapshot.  Requires a
+  /// prior learn().
+  [[nodiscard]] LossInference infer(std::span<const double> y) const;
+
+  [[nodiscard]] bool trained() const { return variance_.has_value(); }
+  [[nodiscard]] const VarianceEstimate& variances() const;
+  [[nodiscard]] const Elimination& elimination() const;
+  [[nodiscard]] const linalg::SparseBinaryMatrix& routing() const { return r_; }
+
+ private:
+  const linalg::SparseBinaryMatrix& r_;
+  LiaOptions options_;
+  std::optional<VarianceEstimate> variance_;
+  std::optional<Elimination> elimination_;
+};
+
+}  // namespace losstomo::core

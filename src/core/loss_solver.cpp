@@ -1,0 +1,57 @@
+#include "core/loss_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace losstomo::core {
+
+LossInference infer_snapshot_losses(const linalg::SparseBinaryMatrix& r,
+                                    const Elimination& elimination,
+                                    std::span<const double> y) {
+  const std::size_t nc = r.cols();
+  if (y.size() != r.rows()) throw std::invalid_argument("snapshot size");
+
+  // rhs_a = sum over paths through kept link a of Y_i, in admission order.
+  constexpr std::uint32_t kNotKept = 0xffffffffu;
+  std::vector<std::uint32_t> position(nc, kNotKept);
+  for (std::size_t a = 0; a < elimination.kept.size(); ++a) {
+    position[elimination.kept[a]] = static_cast<std::uint32_t>(a);
+  }
+  linalg::Vector rhs(elimination.kept.size(), 0.0);
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    const double yi = y[i];
+    if (yi == 0.0) continue;
+    for (const auto link : r.row(i)) {
+      const auto pos = position[link];
+      if (pos != kNotKept) rhs[pos] += yi;
+    }
+  }
+  const linalg::Vector x = elimination.factor.solve(rhs);
+
+  LossInference out;
+  out.phi.assign(nc, 1.0);
+  out.loss.assign(nc, 0.0);
+  out.removed.assign(nc, true);
+  linalg::Vector full_x(nc, 0.0);
+  for (std::size_t a = 0; a < elimination.kept.size(); ++a) {
+    const auto link = elimination.kept[a];
+    out.removed[link] = false;
+    // Log transmission rates are non-positive; noise can push the LS
+    // estimate slightly above 0 (phi > 1), which we clamp.
+    const double phi = std::clamp(std::exp(x[a]), 1e-12, 1.0);
+    out.phi[link] = phi;
+    out.loss[link] = 1.0 - phi;
+    full_x[link] = x[a];
+  }
+  const linalg::Vector fitted = r.multiply(full_x);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    const double d = fitted[i] - y[i];
+    acc += d * d;
+  }
+  out.residual_norm = std::sqrt(acc);
+  return out;
+}
+
+}  // namespace losstomo::core

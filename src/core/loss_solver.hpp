@@ -1,0 +1,32 @@
+// Phase 2, step B of LIA: solving the reduced first-moment system (eq. (9))
+// for one snapshot.
+//
+// With R* fixed by the elimination, X* = argmin ||Y - R* X*|| via the
+// normal equations (R*^T R*) X* = R*^T Y, reusing the Cholesky factor the
+// elimination already built.  Removed links are approximated as loss-free
+// (phi = 1), per the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/elimination.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace losstomo::core {
+
+struct LossInference {
+  linalg::Vector phi;         // per-link transmission rate, clamped to [~0, 1]
+  linalg::Vector loss;        // 1 - phi
+  std::vector<bool> removed;  // true for links eliminated in Phase 2
+  double residual_norm = 0.0; // ||Y - R x|| over all paths
+};
+
+/// Solves eq. (9) for the snapshot `y` (log path transmission rates,
+/// length r.rows()).
+LossInference infer_snapshot_losses(const linalg::SparseBinaryMatrix& r,
+                                    const Elimination& elimination,
+                                    std::span<const double> y);
+
+}  // namespace losstomo::core

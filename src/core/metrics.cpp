@@ -1,0 +1,72 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace losstomo::core {
+
+LocationAccuracy locate_congested(std::span<const double> inferred_loss,
+                                  const std::vector<bool>& truly_congested,
+                                  double tl) {
+  if (inferred_loss.size() != truly_congested.size()) {
+    throw std::invalid_argument("metric size mismatch");
+  }
+  std::vector<bool> diagnosed(inferred_loss.size());
+  for (std::size_t k = 0; k < inferred_loss.size(); ++k) {
+    diagnosed[k] = inferred_loss[k] > tl;
+  }
+  return locate_congested(diagnosed, truly_congested);
+}
+
+LocationAccuracy locate_congested(const std::vector<bool>& diagnosed,
+                                  const std::vector<bool>& truly_congested) {
+  if (diagnosed.size() != truly_congested.size()) {
+    throw std::invalid_argument("metric size mismatch");
+  }
+  LocationAccuracy acc;
+  for (std::size_t k = 0; k < diagnosed.size(); ++k) {
+    if (truly_congested[k]) ++acc.actual_congested;
+    if (diagnosed[k]) {
+      ++acc.diagnosed_congested;
+      if (truly_congested[k]) {
+        ++acc.hits;
+      } else {
+        ++acc.false_alarms;
+      }
+    }
+  }
+  acc.dr = acc.actual_congested == 0
+               ? 1.0
+               : static_cast<double>(acc.hits) /
+                     static_cast<double>(acc.actual_congested);
+  acc.fpr = acc.diagnosed_congested == 0
+                ? 0.0
+                : static_cast<double>(acc.false_alarms) /
+                      static_cast<double>(acc.diagnosed_congested);
+  return acc;
+}
+
+double error_factor(double q_true, double q_inferred, double delta) {
+  const double qd = std::max(delta, q_true);
+  const double qsd = std::max(delta, q_inferred);
+  return std::max(qd / qsd, qsd / qd);
+}
+
+ErrorVectors per_link_errors(std::span<const double> true_loss,
+                             std::span<const double> inferred_loss,
+                             double delta) {
+  if (true_loss.size() != inferred_loss.size()) {
+    throw std::invalid_argument("metric size mismatch");
+  }
+  ErrorVectors out;
+  out.absolute.reserve(true_loss.size());
+  out.factor.reserve(true_loss.size());
+  for (std::size_t k = 0; k < true_loss.size(); ++k) {
+    out.absolute.push_back(std::fabs(true_loss[k] - inferred_loss[k]));
+    out.factor.push_back(error_factor(true_loss[k], inferred_loss[k], delta));
+  }
+  return out;
+}
+
+}  // namespace losstomo::core

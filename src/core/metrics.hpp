@@ -1,0 +1,49 @@
+// Accuracy metrics, exactly as the paper defines them (§6).
+//
+//   DR  = |F ∩ X| / |F|   (detection rate: congested links found)
+//   FPR = |X \ F| / |X|   (false positive rate: fraction of the *diagnosed*
+//                          set that is actually good — note the denominator
+//                          is |X|, the paper's definition)
+//   error factor f_delta(q, q*) = max{q(d)/q*(d), q*(d)/q(d)},
+//     q(d) = max(delta, q)  (eq. (10); default delta = 1e-3)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace losstomo::core {
+
+struct LocationAccuracy {
+  std::size_t actual_congested = 0;    // |F|
+  std::size_t diagnosed_congested = 0; // |X|
+  std::size_t hits = 0;                // |F ∩ X|
+  std::size_t false_alarms = 0;        // |X \ F|
+  double dr = 1.0;                     // 1 when |F| = 0
+  double fpr = 0.0;                    // 0 when |X| = 0
+};
+
+/// Compares inferred loss rates against true congestion flags at threshold
+/// tl: a link is diagnosed congested iff inferred_loss > tl.
+LocationAccuracy locate_congested(std::span<const double> inferred_loss,
+                                  const std::vector<bool>& truly_congested,
+                                  double tl);
+
+/// As above but from an explicit diagnosed set (for binary baselines).
+LocationAccuracy locate_congested(const std::vector<bool>& diagnosed,
+                                  const std::vector<bool>& truly_congested);
+
+/// Error factor of eq. (10).
+double error_factor(double q_true, double q_inferred, double delta = 1e-3);
+
+/// Per-link |q - q*| and f_delta vectors for CDF reporting.
+struct ErrorVectors {
+  std::vector<double> absolute;
+  std::vector<double> factor;
+};
+
+ErrorVectors per_link_errors(std::span<const double> true_loss,
+                             std::span<const double> inferred_loss,
+                             double delta = 1e-3);
+
+}  // namespace losstomo::core

@@ -1,0 +1,44 @@
+#include "core/monitor.hpp"
+
+#include <stdexcept>
+
+namespace losstomo::core {
+
+LiaMonitor::LiaMonitor(const linalg::SparseBinaryMatrix& r,
+                       MonitorOptions options)
+    : r_(r), options_(options), lia_(r_, options_.lia) {
+  if (options_.window < 2) throw std::invalid_argument("window must be >= 2");
+  if (options_.relearn_every == 0) {
+    throw std::invalid_argument("relearn_every must be >= 1");
+  }
+}
+
+void LiaMonitor::relearn() {
+  stats::SnapshotMatrix history(r_.rows(), options_.window);
+  for (std::size_t l = 0; l < options_.window; ++l) {
+    const auto& y = window_[l];
+    std::copy(y.begin(), y.end(), history.sample(l).begin());
+  }
+  lia_.learn(history);
+  since_learn_ = 0;
+}
+
+std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
+  if (y.size() != r_.rows()) throw std::invalid_argument("snapshot size");
+  ++ticks_;
+
+  std::optional<LossInference> result;
+  if (window_.size() == options_.window) {
+    // Window full: (re)learn if due, then diagnose this snapshot using the
+    // PRECEDING window only (the paper's m-then-(m+1) split).
+    if (!lia_.trained() || ++since_learn_ >= options_.relearn_every) {
+      relearn();
+    }
+    result = lia_.infer(y);
+  }
+  window_.emplace_back(y.begin(), y.end());
+  if (window_.size() > options_.window) window_.pop_front();
+  return result;
+}
+
+}  // namespace losstomo::core

@@ -1,0 +1,63 @@
+// LiaMonitor — continuous monitoring on a sliding snapshot window.
+//
+// The deployment loop of the paper's §7: every measurement period a new
+// snapshot arrives; the monitor keeps the most recent m snapshots,
+// re-learns the link variances, and diagnoses the newest snapshot.  This
+// is the pattern used by examples/overlay_monitoring and the §7.2.2
+// duration study, packaged so library users get it directly.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+
+#include "core/lia.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "stats/moments.hpp"
+
+namespace losstomo::core {
+
+struct MonitorOptions {
+  /// Learning-window length (the paper's m).
+  std::size_t window = 50;
+  /// Re-learn variances every `relearn_every` ticks (1 = every tick, the
+  /// paper's procedure; larger values amortise Phase 1, which is the
+  /// dominant cost — see bench/sec64_runtime).
+  std::size_t relearn_every = 1;
+  LiaOptions lia;
+};
+
+/// Feeds snapshots one at a time; once the window is full, every further
+/// snapshot is diagnosed against variances learned from the preceding
+/// window.
+class LiaMonitor {
+ public:
+  LiaMonitor(const linalg::SparseBinaryMatrix& r, MonitorOptions options = {});
+
+  /// Observes one snapshot (Y = log path transmission rates).  Returns the
+  /// inference for this snapshot, or std::nullopt while the window is
+  /// still filling (the first `window` snapshots are learning-only).
+  std::optional<LossInference> observe(std::span<const double> y);
+
+  /// Number of snapshots consumed so far.
+  [[nodiscard]] std::size_t ticks() const { return ticks_; }
+  /// True once diagnoses are being produced.
+  [[nodiscard]] bool warmed_up() const { return ticks_ >= options_.window; }
+  /// Variances from the most recent learn (requires warmed_up()).
+  [[nodiscard]] const VarianceEstimate& variances() const {
+    return lia_.variances();
+  }
+
+ private:
+  void relearn();
+
+  linalg::SparseBinaryMatrix r_;
+  MonitorOptions options_;
+  Lia lia_;
+  std::deque<linalg::Vector> window_;
+  std::size_t ticks_ = 0;
+  std::size_t since_learn_ = 0;
+};
+
+}  // namespace losstomo::core

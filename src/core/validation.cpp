@@ -1,0 +1,97 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace losstomo::core {
+
+SplitIndices split_paths(std::size_t path_count, stats::Rng& rng) {
+  std::vector<std::size_t> order(path_count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  SplitIndices split;
+  const std::size_t half = path_count / 2;
+  split.inference.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(half));
+  split.validation.assign(order.begin() + static_cast<std::ptrdiff_t>(half), order.end());
+  std::sort(split.inference.begin(), split.inference.end());
+  std::sort(split.validation.begin(), split.validation.end());
+  return split;
+}
+
+CrossValidationResult cross_validate(
+    const net::Graph& g, const std::vector<net::Path>& all_paths,
+    const stats::SnapshotMatrix& history_y,
+    std::span<const double> current_y_log,
+    std::span<const double> current_phi, const SplitIndices& split,
+    double epsilon, const LiaOptions& options) {
+  if (history_y.dim() != all_paths.size() ||
+      current_y_log.size() != all_paths.size() ||
+      current_phi.size() != all_paths.size()) {
+    throw std::invalid_argument("cross_validate: size mismatch");
+  }
+
+  // Inference topology: reduced routing matrix over the inference paths.
+  std::vector<net::Path> inf_paths;
+  inf_paths.reserve(split.inference.size());
+  for (const auto i : split.inference) inf_paths.push_back(all_paths[i]);
+  const net::ReducedRoutingMatrix inf_rrm(g, std::move(inf_paths));
+
+  // Restrict history/current snapshots to the inference rows.
+  stats::SnapshotMatrix inf_history(split.inference.size(), history_y.count());
+  for (std::size_t l = 0; l < history_y.count(); ++l) {
+    const auto src = history_y.sample(l);
+    auto dst = inf_history.sample(l);
+    for (std::size_t i = 0; i < split.inference.size(); ++i) {
+      dst[i] = src[split.inference[i]];
+    }
+  }
+  linalg::Vector inf_y(split.inference.size());
+  for (std::size_t i = 0; i < split.inference.size(); ++i) {
+    inf_y[i] = current_y_log[split.inference[i]];
+  }
+
+  Lia lia(inf_rrm.matrix(), options);
+  lia.learn(inf_history);
+  const LossInference inference = lia.infer(inf_y);
+
+  // Distribute each virtual link's log rate uniformly over its member
+  // edges so partially-covered validation paths can be scored.
+  std::vector<double> edge_log_phi(g.edge_count(), 0.0);
+  std::vector<bool> edge_covered(g.edge_count(), false);
+  for (std::size_t k = 0; k < inf_rrm.link_count(); ++k) {
+    const auto members = inf_rrm.members(k);
+    const double per_edge =
+        std::log(std::max(inference.phi[k], 1e-12)) /
+        static_cast<double>(members.size());
+    for (const auto e : members) {
+      edge_log_phi[e] = per_edge;
+      edge_covered[e] = true;
+    }
+  }
+
+  CrossValidationResult result;
+  for (const auto i : split.validation) {
+    double predicted_log = 0.0;
+    bool any_covered = false;
+    for (const auto e : all_paths[i].edges) {
+      if (edge_covered[e]) {
+        predicted_log += edge_log_phi[e];
+        any_covered = true;
+      }
+    }
+    if (!any_covered) {
+      ++result.uncovered;
+      continue;
+    }
+    ++result.checked;
+    const double predicted_phi = std::exp(predicted_log);
+    if (std::fabs(current_phi[i] - predicted_phi) <= epsilon) {
+      ++result.consistent;
+    }
+  }
+  return result;
+}
+
+}  // namespace losstomo::core

@@ -1,0 +1,59 @@
+// Indirect cross-validation of inferred link rates (paper §7.2, eq. (11)).
+//
+// Without ground truth (the Internet experiments), the paths are split
+// randomly into an inference set and a validation set of equal size.  LIA
+// runs on the inference set; each validation path is then checked for
+// consistency: the measured path transmission rate must match the product
+// of inferred link rates over the covered portion of the path within a
+// tolerance epsilon (= 0.005 in the paper).
+//
+// The inference topology's virtual links may cover only part of a
+// validation path's edges; the inferred log rate of a virtual link is
+// attributed uniformly across its member edges so partial traversals can
+// be scored (documented substitution, DESIGN.md §5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/lia.hpp"
+#include "net/graph.hpp"
+#include "net/routing_matrix.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace losstomo::core {
+
+struct SplitIndices {
+  std::vector<std::size_t> inference;
+  std::vector<std::size_t> validation;
+};
+
+/// Random half/half split of path indices.
+SplitIndices split_paths(std::size_t path_count, stats::Rng& rng);
+
+struct CrossValidationResult {
+  std::size_t consistent = 0;
+  std::size_t checked = 0;      // validation paths with >= 1 covered edge
+  std::size_t uncovered = 0;    // validation paths sharing no edge with E_inf
+  [[nodiscard]] double consistency() const {
+    return checked == 0 ? 1.0
+                        : static_cast<double>(consistent) /
+                              static_cast<double>(checked);
+  }
+};
+
+/// Runs the full §7.2 procedure on one snapshot collection:
+///  * builds the inference routing matrix from `split.inference`,
+///  * learns variances on the history (m snapshots) restricted to those
+///    paths and infers link rates on the final snapshot,
+///  * checks eq. (11) on `split.validation` paths of the final snapshot.
+/// `paths` and the snapshot path order must match `all_paths` row order.
+CrossValidationResult cross_validate(
+    const net::Graph& g, const std::vector<net::Path>& all_paths,
+    const stats::SnapshotMatrix& history_y,
+    std::span<const double> current_y_log,
+    std::span<const double> current_phi, const SplitIndices& split,
+    double epsilon = 0.005, const LiaOptions& options = {});
+
+}  // namespace losstomo::core

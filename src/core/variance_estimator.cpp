@@ -1,0 +1,186 @@
+#include "core/variance_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/augmented_matrix.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/nnls.hpp"
+#include "linalg/qr.hpp"
+
+namespace losstomo::core {
+
+namespace {
+
+struct NormalSystem {
+  linalg::Matrix g;   // A^T A (possibly restricted to kept equations)
+  linalg::Vector h;   // A^T sigma
+  std::size_t used = 0;
+  std::size_t dropped = 0;
+};
+
+// Pairwise accumulation with the drop-negative policy: iterate every path
+// pair, compute its sample covariance, and (unless dropped) add the outer
+// product of the shared-link indicator into G and the covariance into h.
+NormalSystem accumulate_pairwise(const linalg::SparseBinaryMatrix& r,
+                                 const stats::CenteredSnapshots& y,
+                                 bool drop_negative) {
+  const std::size_t np = r.rows();
+  const std::size_t nc = r.cols();
+  const std::size_t m = y.count();
+  NormalSystem sys{linalg::Matrix(nc, nc), linalg::Vector(nc, 0.0)};
+
+  std::vector<std::uint32_t> shared;
+  for (std::size_t i = 0; i < np; ++i) {
+    const auto ri = r.row(i);
+    for (std::size_t j = i; j < np; ++j) {
+      const auto rj = r.row(j);
+      shared.clear();
+      std::size_t x = 0, yy = 0;
+      while (x < ri.size() && yy < rj.size()) {
+        if (ri[x] < rj[yy]) {
+          ++x;
+        } else if (ri[x] > rj[yy]) {
+          ++yy;
+        } else {
+          shared.push_back(ri[x]);
+          ++x;
+          ++yy;
+        }
+      }
+      if (shared.empty()) continue;  // all-zero equation carries nothing
+      double cov = 0.0;
+      for (std::size_t l = 0; l < m; ++l) {
+        const auto row = y.sample(l);
+        cov += row[i] * row[j];
+      }
+      cov /= static_cast<double>(m - 1);
+      if (drop_negative && cov < 0.0) {
+        ++sys.dropped;
+        continue;
+      }
+      ++sys.used;
+      for (const auto a : shared) {
+        sys.h[a] += cov;
+        for (const auto b : shared) sys.g(a, b) += 1.0;
+      }
+    }
+  }
+  return sys;
+}
+
+// Closed-form accumulation keeping all equations (policy kKeep).
+NormalSystem accumulate_closed_form(const linalg::SparseBinaryMatrix& r,
+                                    const stats::CenteredSnapshots& y) {
+  NormalSystem sys;
+  const linalg::CoTraversalGram gram(r);
+  sys.g = augmented_normal_matrix(gram);
+  sys.h = augmented_normal_rhs(y, r.column_lists());
+  sys.used = pair_count(r.rows());
+  return sys;
+}
+
+VarianceEstimate finish(linalg::Vector v, VarianceEstimate partial) {
+  for (auto& value : v) {
+    if (value < 0.0) {
+      value = 0.0;
+      ++partial.negative_clamped;
+    }
+  }
+  partial.v = std::move(v);
+  return partial;
+}
+
+}  // namespace
+
+VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
+                                         const stats::SnapshotMatrix& y,
+                                         const VarianceOptions& options) {
+  if (y.dim() != r.rows()) {
+    throw std::invalid_argument("snapshot dimension != path count");
+  }
+  if (y.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
+  const stats::CenteredSnapshots centered(y);
+  const std::size_t np = r.rows();
+  const std::size_t nc = r.cols();
+
+  // Resolve the auto knobs.
+  VarianceMethod method = options.method;
+  if (method == VarianceMethod::kAuto) {
+    method = VarianceMethod::kNormal;
+  }
+  bool drop_negative;
+  switch (options.negatives) {
+    case NegativeCovariancePolicy::kDrop:
+      drop_negative = true;
+      break;
+    case NegativeCovariancePolicy::kKeep:
+      drop_negative = false;
+      break;
+    case NegativeCovariancePolicy::kAuto:
+    default:
+      drop_negative = np <= options.pairwise_path_cap;
+      break;
+  }
+
+  if (method == VarianceMethod::kDenseQr) {
+    // Paper-exact path: materialise A and Sigma*, drop negative rows, QR.
+    // All-zero rows (path pairs with no shared link) carry no equation and
+    // are excluded up front, mirroring the pairwise accumulation.
+    const auto a_full = build_augmented_matrix(r, options.dense_entry_cap);
+    const auto sigma_full = packed_covariances(centered);
+    std::vector<std::size_t> keep;
+    std::size_t dropped = 0;
+    keep.reserve(sigma_full.size());
+    for (std::size_t row = 0; row < sigma_full.size(); ++row) {
+      const auto arow = a_full.row(row);
+      const bool informative =
+          std::any_of(arow.begin(), arow.end(), [](double x) { return x != 0.0; });
+      if (!informative) continue;
+      if (drop_negative && sigma_full[row] < 0.0) {
+        ++dropped;
+        continue;
+      }
+      keep.push_back(row);
+    }
+    linalg::Matrix a(keep.size(), nc);
+    linalg::Vector sigma(keep.size());
+    for (std::size_t out = 0; out < keep.size(); ++out) {
+      const auto src = a_full.row(keep[out]);
+      std::copy(src.begin(), src.end(), a.row(out).begin());
+      sigma[out] = sigma_full[keep[out]];
+    }
+    VarianceEstimate est;
+    est.method = "dense-qr";
+    est.equations_used = keep.size();
+    est.equations_dropped = dropped;
+    const linalg::HouseholderQr qr(a);
+    if (qr.full_column_rank()) {
+      return finish(qr.solve(sigma), std::move(est));
+    }
+    // Dropping rows can (rarely) lose rank; fall back to the basic
+    // rank-revealing solution.
+    est.method = "dense-qr(pivoted-fallback)";
+    return finish(linalg::PivotedQr(a).solve_basic(sigma), std::move(est));
+  }
+
+  NormalSystem sys = drop_negative ? accumulate_pairwise(r, centered, true)
+                                   : accumulate_closed_form(r, centered);
+  VarianceEstimate est;
+  est.equations_used = sys.used;
+  est.equations_dropped = sys.dropped;
+
+  if (method == VarianceMethod::kNnls) {
+    est.method = drop_negative ? "nnls(drop-negative)" : "nnls(keep-all)";
+    auto result = linalg::nnls_gram(sys.g, sys.h);
+    return finish(std::move(result.x), std::move(est));
+  }
+
+  est.method = drop_negative ? "normal(drop-negative)" : "normal(closed-form)";
+  const linalg::RegularizedCholesky chol(sys.g);
+  est.jitter_used = chol.jitter_used();
+  return finish(chol.solve(sys.h), std::move(est));
+}
+
+}  // namespace losstomo::core

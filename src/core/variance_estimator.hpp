@@ -1,0 +1,69 @@
+// Phase 1 of LIA: estimating the link variances v from end-to-end snapshots
+// (paper §5.1).
+//
+// The moment system Sigma* = A v is solved by least squares.  Three solver
+// backends are provided:
+//  * kDenseQr      — materialise A, drop rows with negative sample
+//                    covariance (the paper's policy), Householder QR.
+//                    Exact paper method; only viable for small path sets.
+//  * kNormal       — normal equations G v = h accumulated either pairwise
+//                    (exact drop-negative policy) or in closed form from
+//                    the co-traversal Gram matrix (keep-all policy, scales
+//                    to tens of thousands of paths without materialising
+//                    the np(np+1)/2-row system).
+//  * kNnls         — non-negative least squares on the normal equations;
+//                    enforces v >= 0 by construction (extension, ablated in
+//                    bench/ablation_estimator).
+// kAuto picks per problem size; sampling-noise negatives in the LS solution
+// are clamped to zero and counted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "stats/moments.hpp"
+
+namespace losstomo::core {
+
+enum class VarianceMethod {
+  kAuto,
+  kDenseQr,
+  kNormal,
+  kNnls,
+};
+
+enum class NegativeCovariancePolicy {
+  kAuto,  // drop when the pairwise pass is affordable, else keep
+  kDrop,  // paper §5.1: "we ignore equations with sigma_ii' < 0"
+  kKeep,  // keep every pair equation (enables the closed-form fast path)
+};
+
+struct VarianceOptions {
+  VarianceMethod method = VarianceMethod::kAuto;
+  NegativeCovariancePolicy negatives = NegativeCovariancePolicy::kAuto;
+  /// Largest dense A (in doubles) the kDenseQr backend may build.
+  std::size_t dense_entry_cap = 20'000'000;
+  /// Largest path count for which the pairwise (drop-negative) accumulation
+  /// runs; beyond it kAuto switches to the closed form (keep-all), whose
+  /// cost is independent of the number of path pairs.
+  std::size_t pairwise_path_cap = 2000;
+};
+
+struct VarianceEstimate {
+  linalg::Vector v;                  // per-link variance (>= 0)
+  std::string method;                // backend actually used
+  std::size_t equations_used = 0;    // pair equations entering the LS
+  std::size_t equations_dropped = 0; // negative-covariance rows removed
+  std::size_t negative_clamped = 0;  // LS outputs clamped up to 0
+  double jitter_used = 0.0;          // Cholesky regularization, if any
+};
+
+/// Estimates link variances from m snapshots of the path observations.
+/// `y` must have dim() == r.rows() and count() >= 2.
+VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
+                                         const stats::SnapshotMatrix& y,
+                                         const VarianceOptions& options = {});
+
+}  // namespace losstomo::core

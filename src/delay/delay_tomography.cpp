@@ -1,0 +1,95 @@
+#include "delay/delay_tomography.hpp"
+
+#include <cmath>
+
+namespace losstomo::delay {
+
+DelaySimulator::DelaySimulator(const net::ReducedRoutingMatrix& rrm,
+                               DelayScenarioConfig config, std::uint64_t seed)
+    : rrm_(rrm), config_(config), rng_(seed) {
+  prop_delay_.resize(rrm_.link_count());
+  for (auto& d : prop_delay_) {
+    d = rng_.uniform(config_.prop_delay_lo_ms, config_.prop_delay_hi_ms);
+  }
+  // As in the loss simulations, the congested set is drawn once per run;
+  // the per-snapshot variability (large, redrawn queueing delays) is what
+  // identifies congested links through their delay variance.
+  congested_.resize(rrm_.link_count());
+  for (std::size_t k = 0; k < rrm_.link_count(); ++k) {
+    congested_[k] = rng_.bernoulli(config_.p);
+  }
+}
+
+DelaySnapshot DelaySimulator::next() {
+  const std::size_t nc = rrm_.link_count();
+  const std::size_t np = rrm_.path_count();
+  DelaySnapshot snap;
+  snap.link_delay.resize(nc);
+  snap.link_congested.resize(nc);
+  for (std::size_t k = 0; k < nc; ++k) {
+    double queue;
+    if (congested_[k]) {
+      queue = rng_.uniform(config_.congested_queue_lo_ms,
+                           config_.congested_queue_hi_ms);
+    } else {
+      queue = std::fabs(rng_.gaussian(0.0, config_.good_jitter_ms));
+    }
+    snap.link_delay[k] = prop_delay_[k] + queue;
+    snap.link_congested[k] = queue > config_.congestion_threshold_ms;
+  }
+  snap.path_delay.resize(np);
+  const double probe_sd =
+      config_.probe_noise_ms /
+      std::sqrt(static_cast<double>(config_.probes_per_snapshot));
+  const auto& r = rrm_.matrix();
+  for (std::size_t i = 0; i < np; ++i) {
+    double d = 0.0;
+    for (const auto k : r.row(i)) d += snap.link_delay[k];
+    snap.path_delay[i] = d + rng_.gaussian(0.0, probe_sd);
+  }
+  return snap;
+}
+
+DelayInference infer_snapshot_delays(const linalg::SparseBinaryMatrix& r,
+                                     const core::Elimination& elimination,
+                                     std::span<const double> y) {
+  // Identical normal-equation solve as the loss case, without the log/exp
+  // transform (delays are already additive).
+  constexpr std::uint32_t kNotKept = 0xffffffffu;
+  std::vector<std::uint32_t> position(r.cols(), kNotKept);
+  for (std::size_t a = 0; a < elimination.kept.size(); ++a) {
+    position[elimination.kept[a]] = static_cast<std::uint32_t>(a);
+  }
+  linalg::Vector rhs(elimination.kept.size(), 0.0);
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    const double yi = y[i];
+    if (yi == 0.0) continue;
+    for (const auto link : r.row(i)) {
+      const auto pos = position[link];
+      if (pos != kNotKept) rhs[pos] += yi;
+    }
+  }
+  const linalg::Vector x = elimination.factor.solve(rhs);
+  DelayInference out;
+  out.delay.assign(r.cols(), 0.0);
+  out.removed.assign(r.cols(), true);
+  for (std::size_t a = 0; a < elimination.kept.size(); ++a) {
+    const auto link = elimination.kept[a];
+    out.removed[link] = false;
+    out.delay[link] = x[a];
+  }
+  return out;
+}
+
+DelayInference run_delay_tomography(const linalg::SparseBinaryMatrix& r,
+                                    const stats::SnapshotMatrix& history,
+                                    std::span<const double> current,
+                                    const core::VarianceOptions& var_options,
+                                    const core::EliminationOptions& elim_options) {
+  const auto variances = core::estimate_link_variances(r, history, var_options);
+  const auto elimination =
+      core::eliminate_low_variance_links(r, variances.v, elim_options);
+  return infer_snapshot_delays(r, elimination, current);
+}
+
+}  // namespace losstomo::delay

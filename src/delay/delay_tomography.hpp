@@ -1,0 +1,87 @@
+// Link-delay tomography from second-order statistics — the paper's first
+// proposed extension (§8): "Congested links usually have high delay
+// variations.  [...] take multiple snapshots of the network to learn the
+// delay variances [...] then reduce the first order moment equations by
+// removing links with small congestion delays and solve for the delays of
+// the remaining congested links."
+//
+// Delays are additive along a path (no logarithm needed), so the moment
+// system is literally Y = R X with X the per-link mean delays of the
+// snapshot; the identical Phase-1/Phase-2 machinery applies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/elimination.hpp"
+#include "core/variance_estimator.hpp"
+#include "linalg/sparse.hpp"
+#include "net/routing_matrix.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace losstomo::delay {
+
+struct DelayScenarioConfig {
+  double p = 0.1;                    // fraction of congested links
+  double prop_delay_lo_ms = 0.1;     // fixed propagation delay range
+  double prop_delay_hi_ms = 5.0;
+  double good_jitter_ms = 0.05;      // per-snapshot queueing sd, good links
+  double congested_queue_lo_ms = 5.0;  // congested queueing delay range
+  double congested_queue_hi_ms = 50.0;
+  std::size_t probes_per_snapshot = 1000;  // averaging shrinks probe noise
+  double probe_noise_ms = 1.0;             // per-probe measurement noise sd
+  /// A link is "high-delay congested" when its queueing delay of the
+  /// snapshot exceeds this (classification threshold for metrics).
+  double congestion_threshold_ms = 1.0;
+};
+
+struct DelaySnapshot {
+  linalg::Vector path_delay;     // Y: measured mean path delays (ms)
+  linalg::Vector link_delay;     // truth: per virtual link mean delay (ms)
+  std::vector<bool> link_congested;
+};
+
+/// Streams delay snapshots over the same routing substrate as the loss
+/// simulator.  Propagation delays are fixed per physical edge; queueing
+/// delays are redrawn per snapshot (congested links get large, variable
+/// queues — the delay analogue of bursty loss).
+class DelaySimulator {
+ public:
+  DelaySimulator(const net::ReducedRoutingMatrix& rrm,
+                 DelayScenarioConfig config, std::uint64_t seed);
+
+  DelaySnapshot next();
+
+  [[nodiscard]] const DelayScenarioConfig& config() const { return config_; }
+
+ private:
+  const net::ReducedRoutingMatrix& rrm_;
+  DelayScenarioConfig config_;
+  stats::Rng rng_;
+  std::vector<double> prop_delay_;  // per virtual link, fixed
+  std::vector<bool> congested_;     // per virtual link, fixed per run
+};
+
+struct DelayInference {
+  linalg::Vector delay;       // per-link inferred mean delay (ms)
+  std::vector<bool> removed;  // links approximated as zero-queue
+};
+
+/// Solves the reduced delay system for one snapshot; removed links are
+/// assigned their (unknown) delay as 0 — they are the lowest-variance,
+/// hence lowest-queueing, links.
+DelayInference infer_snapshot_delays(const linalg::SparseBinaryMatrix& r,
+                                     const core::Elimination& elimination,
+                                     std::span<const double> y);
+
+/// Full pipeline: learn delay variances on `history`, eliminate, solve the
+/// current snapshot.
+DelayInference run_delay_tomography(const linalg::SparseBinaryMatrix& r,
+                                    const stats::SnapshotMatrix& history,
+                                    std::span<const double> current,
+                                    const core::VarianceOptions& var_options = {},
+                                    const core::EliminationOptions& elim_options = {});
+
+}  // namespace losstomo::delay

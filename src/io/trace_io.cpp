@@ -1,0 +1,168 @@
+#include "io/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace losstomo::io {
+
+namespace {
+
+// Strips comments and returns false for blank lines.
+bool next_content_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream probe(line);
+    std::string token;
+    if (probe >> token) return true;
+  }
+  return false;
+}
+
+template <typename Open>
+auto with_input(const std::string& file, Open&& open) {
+  std::ifstream is(file);
+  if (!is) throw std::runtime_error("cannot open for reading: " + file);
+  return open(is);
+}
+
+template <typename Open>
+void with_output(const std::string& file, Open&& open) {
+  std::ofstream os(file);
+  if (!os) throw std::runtime_error("cannot open for writing: " + file);
+  open(os);
+  if (!os) throw std::runtime_error("write failed: " + file);
+}
+
+}  // namespace
+
+void write_topology(std::ostream& os, const net::Graph& g) {
+  os << "# losstomo topology\n";
+  os << "nodes " << g.node_count() << '\n';
+  for (net::NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.as_of(v) != net::kNoAs) os << "as " << v << ' ' << g.as_of(v) << '\n';
+  }
+  for (net::EdgeId e = 0; e < g.edge_count(); ++e) {
+    os << "edge " << g.edge(e).from << ' ' << g.edge(e).to << '\n';
+  }
+}
+
+net::Graph read_topology(std::istream& is) {
+  std::string line;
+  if (!next_content_line(is, line)) throw std::runtime_error("empty topology");
+  std::istringstream header(line);
+  std::string keyword;
+  std::size_t nv = 0;
+  header >> keyword >> nv;
+  if (keyword != "nodes") throw std::runtime_error("expected 'nodes <count>'");
+  net::Graph g(nv);
+  while (next_content_line(is, line)) {
+    std::istringstream ss(line);
+    ss >> keyword;
+    if (keyword == "as") {
+      net::NodeId v;
+      std::uint32_t as_id;
+      if (!(ss >> v >> as_id)) throw std::runtime_error("bad 'as' line");
+      g.set_as(v, as_id);
+    } else if (keyword == "edge") {
+      net::NodeId from, to;
+      if (!(ss >> from >> to)) throw std::runtime_error("bad 'edge' line");
+      g.add_edge(from, to);
+    } else {
+      throw std::runtime_error("unknown topology keyword: " + keyword);
+    }
+  }
+  return g;
+}
+
+void write_paths(std::ostream& os, const std::vector<net::Path>& paths) {
+  os << "# losstomo paths: <source> <destination> <edge ids...>\n";
+  for (const auto& p : paths) {
+    os << p.source << ' ' << p.destination;
+    for (const auto e : p.edges) os << ' ' << e;
+    os << '\n';
+  }
+}
+
+std::vector<net::Path> read_paths(std::istream& is) {
+  std::vector<net::Path> paths;
+  std::string line;
+  while (next_content_line(is, line)) {
+    std::istringstream ss(line);
+    net::Path p;
+    if (!(ss >> p.source >> p.destination)) {
+      throw std::runtime_error("bad path line: " + line);
+    }
+    net::EdgeId e;
+    while (ss >> e) p.edges.push_back(e);
+    if (p.edges.empty()) throw std::runtime_error("path without edges");
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+void write_snapshots(std::ostream& os,
+                     const std::vector<std::vector<double>>& phi_rows) {
+  os << "# losstomo snapshots: one line per snapshot, phi per path\n";
+  for (const auto& row : phi_rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ' ';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+stats::SnapshotMatrix read_snapshots(std::istream& is, bool log_transform) {
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (next_content_line(is, line)) {
+    std::istringstream ss(line);
+    std::vector<double> row;
+    double phi;
+    while (ss >> phi) {
+      if (phi < 0.0 || phi > 1.0) {
+        throw std::runtime_error("phi out of [0,1]");
+      }
+      row.push_back(log_transform ? std::log(std::max(phi, 1e-9)) : phi);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      throw std::runtime_error("ragged snapshot file");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) throw std::runtime_error("empty snapshot file");
+  return stats::SnapshotMatrix::from_rows(rows);
+}
+
+void save_topology(const std::string& file, const net::Graph& g) {
+  with_output(file, [&](std::ostream& os) { write_topology(os, g); });
+}
+
+net::Graph load_topology(const std::string& file) {
+  return with_input(file, [&](std::istream& is) { return read_topology(is); });
+}
+
+void save_paths(const std::string& file, const std::vector<net::Path>& paths) {
+  with_output(file, [&](std::ostream& os) { write_paths(os, paths); });
+}
+
+std::vector<net::Path> load_paths(const std::string& file) {
+  return with_input(file, [&](std::istream& is) { return read_paths(is); });
+}
+
+void save_snapshots(const std::string& file,
+                    const std::vector<std::vector<double>>& phi_rows) {
+  with_output(file, [&](std::ostream& os) { write_snapshots(os, phi_rows); });
+}
+
+stats::SnapshotMatrix load_snapshots(const std::string& file,
+                                     bool log_transform) {
+  return with_input(file, [&](std::istream& is) {
+    return read_snapshots(is, log_transform);
+  });
+}
+
+}  // namespace losstomo::io

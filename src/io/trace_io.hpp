@@ -1,0 +1,52 @@
+// Plain-text trace formats so LIA can run on external measurements.
+//
+// Three files describe a measurement campaign (whitespace-separated, '#'
+// comments):
+//
+//  topology file:  one header line `nodes <nv>`, then `as <node> <as_id>`
+//                  lines (optional) and `edge <from> <to>` lines; the edge
+//                  id is its 0-based line order.
+//  paths file:     one path per line: `<source> <destination> <edge>...`
+//  snapshot file:  one snapshot per line: np path transmission rates phi_i
+//                  in [0, 1] (space separated), in the paths-file order.
+//
+// These mirror what a traceroute + probing pipeline (paper §7.1) would
+// emit, and are exactly what examples/lia_cli consumes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+#include "stats/moments.hpp"
+
+namespace losstomo::io {
+
+/// Writes/reads the graph (node count, AS annotations, edges).
+void write_topology(std::ostream& os, const net::Graph& g);
+net::Graph read_topology(std::istream& is);
+
+/// Writes/reads measurement paths (edge-id sequences).
+void write_paths(std::ostream& os, const std::vector<net::Path>& paths);
+std::vector<net::Path> read_paths(std::istream& is);
+
+/// Writes/reads snapshots of per-path transmission rates phi in [0, 1].
+/// Readers return a SnapshotMatrix of Y = log phi (ready for Lia::learn);
+/// `raw=true` keeps phi untransformed.
+void write_snapshots(std::ostream& os,
+                     const std::vector<std::vector<double>>& phi_rows);
+stats::SnapshotMatrix read_snapshots(std::istream& is, bool log_transform = true);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_topology(const std::string& file, const net::Graph& g);
+net::Graph load_topology(const std::string& file);
+void save_paths(const std::string& file, const std::vector<net::Path>& paths);
+std::vector<net::Path> load_paths(const std::string& file);
+void save_snapshots(const std::string& file,
+                    const std::vector<std::vector<double>>& phi_rows);
+stats::SnapshotMatrix load_snapshots(const std::string& file,
+                                     bool log_transform = true);
+
+}  // namespace losstomo::io

@@ -1,0 +1,44 @@
+#include "linalg/cgls.hpp"
+
+#include <cmath>
+
+namespace losstomo::linalg {
+
+CglsResult cgls(const std::function<Vector(std::span<const double>)>& apply,
+                const std::function<Vector(std::span<const double>)>& apply_t,
+                std::span<const double> b, std::size_t n,
+                const CglsOptions& options) {
+  CglsResult result;
+  result.x.assign(n, 0.0);
+
+  Vector r(b.begin(), b.end());    // r = b - A x (x = 0)
+  Vector s = apply_t(r);            // s = A^T r
+  Vector p = s;
+  double gamma = dot(s, s);
+  const double target = options.tolerance * std::sqrt(gamma);
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    result.residual_norm = std::sqrt(gamma);
+    if (result.residual_norm <= target || gamma == 0.0) {
+      result.converged = true;
+      return result;
+    }
+    const Vector q = apply(p);
+    const double qq = dot(q, q);
+    if (qq == 0.0) break;
+    const double alpha = gamma / qq;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, q, r);
+    s = apply_t(r);
+    const double gamma_new = dot(s, s);
+    const double beta = gamma_new / gamma;
+    gamma = gamma_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = s[i] + beta * p[i];
+  }
+  result.residual_norm = std::sqrt(gamma);
+  result.converged = result.residual_norm <= target;
+  return result;
+}
+
+}  // namespace losstomo::linalg

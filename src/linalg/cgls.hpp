@@ -1,0 +1,38 @@
+// CGLS: conjugate gradient on the normal equations, in operator form.
+//
+// Iterative fallback for least-squares problems where neither the explicit
+// matrix nor its Gram matrix fits comfortably in memory.  The caller
+// provides y = A x and x = A^T y as callables, so the routing-matrix
+// structures can be used directly without densification.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace losstomo::linalg {
+
+struct CglsOptions {
+  std::size_t max_iterations = 1000;
+  /// Stop when ||A^T r|| <= tolerance * ||A^T b||.
+  double tolerance = 1e-10;
+};
+
+struct CglsResult {
+  Vector x;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double residual_norm = 0.0;  // final ||A^T r||
+};
+
+/// Minimizes ||A x - b||_2 with A given implicitly.
+/// `apply(x)` must return A x (length m); `apply_t(y)` must return A^T y
+/// (length n); b has length m; the solution has length n.
+CglsResult cgls(const std::function<Vector(std::span<const double>)>& apply,
+                const std::function<Vector(std::span<const double>)>& apply_t,
+                std::span<const double> b, std::size_t n,
+                const CglsOptions& options = {});
+
+}  // namespace losstomo::linalg

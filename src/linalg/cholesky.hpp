@@ -1,0 +1,127 @@
+// Cholesky-family factorizations for symmetric positive (semi-)definite
+// systems.
+//
+// These power the "implicit" large-scale paths of the library: the Phase-1
+// normal equations (A^T A) v = A^T sigma and the Phase-2 reduced
+// first-moment solve, both of which operate on Gram matrices derived from
+// the routing matrix.  IncrementalCholesky is the core of the Phase-2
+// column-elimination procedure: columns are admitted in decreasing variance
+// order until the first dependent column, which identifies the minimal
+// removal set (see src/core/elimination.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace losstomo::linalg {
+
+/// Standard Cholesky (L L^T) of a symmetric positive definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes `a` (copied; only the lower triangle is read).  Throws
+  /// std::runtime_error if a pivot is not strictly positive.
+  explicit Cholesky(Matrix a);
+
+  [[nodiscard]] std::size_t dim() const { return l_.rows(); }
+
+  /// Solves a x = b.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// Lower-triangular factor.
+  [[nodiscard]] const Matrix& l() const { return l_; }
+
+  /// det(a)^(1/2) = prod of diagonal entries (useful for diagnostics).
+  [[nodiscard]] double sqrt_det() const;
+
+ private:
+  Matrix l_;
+};
+
+/// Cholesky with additive diagonal regularization fallback: attempts a plain
+/// factorization and, on failure, retries with `jitter * max_diag * I`
+/// escalating by 10x up to `max_attempts`.  Returns the jitter actually
+/// used; 0 for a clean factorization.  This is the pragmatic guard for
+/// nearly-singular normal equations produced by sampling noise.
+class RegularizedCholesky {
+ public:
+  explicit RegularizedCholesky(const Matrix& a, double jitter = 1e-12,
+                               int max_attempts = 6);
+
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+  [[nodiscard]] double jitter_used() const { return jitter_used_; }
+
+ private:
+  std::vector<Cholesky> holder_;  // size 1; indirection for late init
+  double jitter_used_ = 0.0;
+};
+
+/// Diagonal-pivoted (rank-revealing) Cholesky of a PSD matrix:
+/// P^T A P = L L^T with non-increasing pivots.  Stops when the largest
+/// remaining pivot falls below rel_tol * (largest initial pivot), which
+/// yields the numerical rank.
+class PivotedCholesky {
+ public:
+  explicit PivotedCholesky(Matrix a, double rel_tol = 1e-10);
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  /// permutation()[k] = original index of the k-th pivot.
+  [[nodiscard]] const std::vector<std::size_t>& permutation() const {
+    return perm_;
+  }
+
+ private:
+  std::size_t rank_ = 0;
+  std::vector<std::size_t> perm_;
+};
+
+/// Incrementally grown Cholesky factor of a Gram matrix whose columns are
+/// revealed one at a time.
+///
+/// Each `try_add(diag, cross)` call attempts to append a column with
+/// self-inner-product `diag` and inner products `cross` against the
+/// already-accepted columns.  If the squared residual of the new column
+/// against the span of the accepted ones falls at or below
+/// rel_tol * diag, the column is rejected (linearly dependent) and the
+/// factor is unchanged.  Otherwise the factor grows by one row.
+///
+/// After construction, `solve(b)` solves (C^T C) x = b where C is the
+/// matrix of accepted columns in insertion order.
+class IncrementalCholesky {
+ public:
+  explicit IncrementalCholesky(double rel_tol = 1e-9);
+
+  /// Number of accepted columns.
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Attempts to append a column; returns true when accepted.
+  /// `cross.size()` must equal size().
+  bool try_add(double diag, std::span<const double> cross);
+
+  /// Squared residual of the most recent try_add (accepted or not);
+  /// diagnostic for tolerance tuning.
+  [[nodiscard]] double last_residual_sq() const { return last_res2_; }
+
+  /// Solves (C^T C) x = b for b of length size().
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// Forward substitution L w = b.
+  [[nodiscard]] Vector forward(std::span<const double> b) const;
+  /// Back substitution L^T x = w.
+  [[nodiscard]] Vector backward(std::span<const double> w) const;
+
+ private:
+  // Row k of L (length k+1) starts at offset k(k+1)/2 in the packed store.
+  [[nodiscard]] const double* row(std::size_t k) const {
+    return packed_.data() + k * (k + 1) / 2;
+  }
+
+  double rel_tol_;
+  std::size_t n_ = 0;
+  std::vector<double> packed_;  // packed lower-triangular rows
+  double last_res2_ = 0.0;
+};
+
+}  // namespace losstomo::linalg

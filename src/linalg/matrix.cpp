@@ -1,0 +1,137 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace losstomo::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("ragged matrix literal");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Vector Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("mv size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto rr = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += rr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::multiply_transpose(std::span<const double> y) const {
+  if (y.size() != rows_) throw std::invalid_argument("mtv size mismatch");
+  Vector x(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto rr = row(r);
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) x[c] += rr[c] * yr;
+  }
+  return x;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows()) throw std::invalid_argument("mm size mismatch");
+  Matrix out(rows_, other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const auto ok = other.row(k);
+      auto oi = out.row(i);
+      for (std::size_t j = 0; j < other.cols(); ++j) oi[j] += a * ok[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto rr = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = rr[i];
+      if (a == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += a * rr[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+double Matrix::frobenius() const {
+  double acc = 0.0;
+  for (const double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double norm2(std::span<const double> x) {
+  double acc = 0.0;
+  for (const double v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector subtract(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("sub size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace losstomo::linalg

@@ -1,0 +1,89 @@
+// Dense row-major matrix and the vector helpers used across the library.
+//
+// The library solves two linear systems (paper eqs. (8) and (9)) with
+// dimensions from a handful to a few thousand; a straightforward dense
+// row-major matrix with explicit algorithms (qr.hpp, cholesky.hpp) covers
+// that without external dependencies.  Sparse structures for the routing
+// matrix live in sparse.hpp.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace losstomo::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Builds from nested initializer lists; all rows must have equal arity.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix-vector product; x.size() must equal cols().
+  [[nodiscard]] Vector multiply(std::span<const double> x) const;
+  /// Transpose-vector product; y.size() must equal rows().
+  [[nodiscard]] Vector multiply_transpose(std::span<const double> y) const;
+  /// Dense matrix product this * other.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// Gram matrix (this^T * this), exploiting symmetry.
+  [[nodiscard]] Matrix gram() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius() const;
+
+  /// Largest |a_ij|.
+  [[nodiscard]] double max_abs() const;
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> x);
+
+/// Dot product; sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Elementwise difference a - b.
+Vector subtract(std::span<const double> a, std::span<const double> b);
+
+/// Largest |a_i - b_i|; sizes must match.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace losstomo::linalg

@@ -1,0 +1,133 @@
+#include "linalg/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+
+namespace losstomo::linalg {
+
+namespace {
+
+// Solves the unconstrained problem restricted to the passive set:
+// G[P,P] z = h[P].  Returns z aligned with `passive`.
+Vector solve_passive(const Matrix& g, std::span<const double> h,
+                     const std::vector<std::size_t>& passive) {
+  const std::size_t p = passive.size();
+  Matrix sub(p, p);
+  Vector rhs(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    rhs[i] = h[passive[i]];
+    for (std::size_t j = 0; j < p; ++j) sub(i, j) = g(passive[i], passive[j]);
+  }
+  return RegularizedCholesky(sub).solve(rhs);
+}
+
+}  // namespace
+
+NnlsResult nnls_gram(const Matrix& g, std::span<const double> h,
+                     const NnlsOptions& options) {
+  if (g.rows() != g.cols()) throw std::invalid_argument("G not square");
+  const std::size_t n = g.rows();
+  if (h.size() != n) throw std::invalid_argument("h size mismatch");
+
+  double gmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) gmax = std::max(gmax, g(i, i));
+  const double tol = options.tolerance * std::max(gmax, 1.0);
+  const std::size_t max_iter =
+      options.max_iterations == 0 ? 3 * n + 16 : options.max_iterations;
+
+  NnlsResult result;
+  result.x.assign(n, 0.0);
+  std::vector<bool> in_passive(n, false);
+  std::vector<std::size_t> passive;
+
+  for (result.iterations = 0; result.iterations < max_iter;
+       ++result.iterations) {
+    // Gradient of the active coordinates: w = h - G x.
+    Vector w(h.begin(), h.end());
+    for (std::size_t j = 0; j < n; ++j) {
+      const double xj = result.x[j];
+      if (xj == 0.0) continue;
+      for (std::size_t i = 0; i < n; ++i) w[i] -= g(i, j) * xj;
+    }
+    // Most violated KKT coordinate among the active set.
+    std::size_t best = n;
+    double best_w = tol;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_passive[i] && w[i] > best_w) {
+        best_w = w[i];
+        best = i;
+      }
+    }
+    if (best == n) {
+      result.converged = true;
+      return result;
+    }
+    in_passive[best] = true;
+    passive.push_back(best);
+
+    // Inner loop: restore feasibility of the passive-set solution.
+    while (true) {
+      Vector z = solve_passive(g, h, passive);
+      bool feasible = true;
+      for (const double zi : z) {
+        if (zi <= 0.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        std::fill(result.x.begin(), result.x.end(), 0.0);
+        for (std::size_t i = 0; i < passive.size(); ++i) {
+          result.x[passive[i]] = z[i];
+        }
+        break;
+      }
+      // Line search toward z, stopping at the first coordinate to hit zero.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < passive.size(); ++i) {
+        if (z[i] <= 0.0) {
+          const double xi = result.x[passive[i]];
+          const double a = xi / (xi - z[i]);
+          alpha = std::min(alpha, a);
+        }
+      }
+      if (!std::isfinite(alpha)) alpha = 0.0;
+      for (std::size_t i = 0; i < passive.size(); ++i) {
+        const std::size_t idx = passive[i];
+        result.x[idx] += alpha * (z[i] - result.x[idx]);
+      }
+      // Remove coordinates pinned at (numerical) zero from the passive set.
+      std::vector<std::size_t> kept;
+      kept.reserve(passive.size());
+      for (const std::size_t idx : passive) {
+        if (result.x[idx] > 1e-14) {
+          kept.push_back(idx);
+        } else {
+          result.x[idx] = 0.0;
+          in_passive[idx] = false;
+        }
+      }
+      if (kept.size() == passive.size()) {
+        // Nothing left the set; avoid an infinite loop by dropping the
+        // smallest coordinate (classical LH degeneracy guard).
+        std::size_t drop = 0;
+        for (std::size_t i = 1; i < kept.size(); ++i) {
+          if (result.x[kept[i]] < result.x[kept[drop]]) drop = i;
+        }
+        result.x[kept[drop]] = 0.0;
+        in_passive[kept[drop]] = false;
+        kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(drop));
+      }
+      passive = std::move(kept);
+      if (passive.empty()) break;
+    }
+  }
+  return result;  // converged stays false: iteration cap hit
+}
+
+}  // namespace losstomo::linalg

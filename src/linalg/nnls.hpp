@@ -1,0 +1,39 @@
+// Non-negative least squares (Lawson–Hanson active set) in Gram form.
+//
+// Phase 1 of LIA estimates link *variances*, which are non-negative by
+// definition; the paper's plain least-squares estimate can dip slightly
+// negative under sampling noise.  The library offers NNLS as an alternative
+// Phase-1 solver (ablated in bench/ablation_estimator): minimize
+// ||A v - b||^2 subject to v >= 0, expressed through G = A^T A and
+// h = A^T b so the caller never materialises A.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace losstomo::linalg {
+
+struct NnlsResult {
+  Vector x;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+struct NnlsOptions {
+  /// Stop when no inactive coordinate has gradient above this threshold
+  /// (relative to the largest diagonal of G).
+  double tolerance = 1e-10;
+  /// Hard cap on outer iterations (3n is the classical guidance).
+  std::size_t max_iterations = 0;  // 0 => 3 * n
+};
+
+/// Solves min ||A x - b||^2 s.t. x >= 0, given G = A^T A (symmetric PSD)
+/// and h = A^T b.  Classical Lawson–Hanson with an inner feasibility line
+/// search; unconstrained subproblems are solved with a jitter-guarded
+/// Cholesky of the passive-set principal submatrix.
+NnlsResult nnls_gram(const Matrix& g, std::span<const double> h,
+                     const NnlsOptions& options = {});
+
+}  // namespace losstomo::linalg

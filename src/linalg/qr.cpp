@@ -1,0 +1,201 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace losstomo::linalg {
+
+namespace {
+
+// Performs one Householder step on column k of `a` (rows k..m-1), writing
+// the reflector into the subdiagonal and returning the scalar beta.
+// On return a(k,k) holds the R diagonal entry.
+double householder_step(Matrix& a, std::size_t k) {
+  const std::size_t m = a.rows();
+  double norm = 0.0;
+  for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+  norm = std::sqrt(norm);
+  if (norm == 0.0) return 0.0;  // zero column: identity reflector
+
+  const double akk = a(k, k);
+  const double alpha = (akk >= 0.0) ? -norm : norm;
+  // v = x - alpha e1, stored with v_k implicit below after normalization.
+  const double vk = akk - alpha;
+  // beta = 2 / (v^T v); v^T v = norm^2 - 2 alpha akk + alpha^2 = 2 alpha(alpha - akk)
+  const double vtv = vk * vk + (norm * norm - akk * akk);
+  const double beta = (vtv == 0.0) ? 0.0 : 2.0 / vtv;
+
+  // Apply to remaining columns: A -= beta v (v^T A)
+  for (std::size_t j = k + 1; j < a.cols(); ++j) {
+    double s = vk * a(k, j);
+    for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, j);
+    s *= beta;
+    a(k, j) -= s * vk;
+    for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= s * a(i, k);
+  }
+  a(k, k) = alpha;
+  // Store the unnormalized head v_k in a side channel: we keep v below the
+  // diagonal and return vk via beta bookkeeping.  To keep the storage
+  // compact we scale the sub-diagonal entries so the head becomes 1:
+  // v' = v / vk, and fold vk^2 into beta' = beta * vk^2.
+  if (vk != 0.0) {
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) /= vk;
+    return beta * vk * vk;
+  }
+  return 0.0;
+}
+
+// Applies the stored reflector k (head 1, tail below diagonal) to vector b.
+void apply_reflector(const Matrix& qr, double beta, std::size_t k,
+                     std::span<double> b) {
+  if (beta == 0.0) return;
+  const std::size_t m = qr.rows();
+  double s = b[k];
+  for (std::size_t i = k + 1; i < m; ++i) s += qr(i, k) * b[i];
+  s *= beta;
+  b[k] -= s;
+  for (std::size_t i = k + 1; i < m; ++i) b[i] -= s * qr(i, k);
+}
+
+}  // namespace
+
+HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
+  if (qr_.rows() < qr_.cols()) {
+    throw std::invalid_argument("HouseholderQr requires rows >= cols");
+  }
+  beta_.resize(qr_.cols());
+  for (std::size_t k = 0; k < qr_.cols(); ++k) {
+    beta_[k] = householder_step(qr_, k);
+  }
+}
+
+double HouseholderQr::min_diag() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < qr_.cols(); ++k) {
+    m = std::min(m, std::fabs(qr_(k, k)));
+  }
+  return qr_.cols() == 0 ? 0.0 : m;
+}
+
+double HouseholderQr::max_diag() const {
+  double m = 0.0;
+  for (std::size_t k = 0; k < qr_.cols(); ++k) {
+    m = std::max(m, std::fabs(qr_(k, k)));
+  }
+  return m;
+}
+
+bool HouseholderQr::full_column_rank(double rel_tol) const {
+  const double hi = max_diag();
+  return hi > 0.0 && min_diag() > rel_tol * hi;
+}
+
+void HouseholderQr::apply_qt(std::span<double> b) const {
+  if (b.size() != qr_.rows()) throw std::invalid_argument("rhs size mismatch");
+  for (std::size_t k = 0; k < qr_.cols(); ++k) {
+    apply_reflector(qr_, beta_[k], k, b);
+  }
+}
+
+Vector HouseholderQr::back_substitute(std::span<const double> c) const {
+  const std::size_t n = qr_.cols();
+  Vector x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = c[ri];
+    for (std::size_t j = ri + 1; j < n; ++j) s -= qr_(ri, j) * x[j];
+    const double d = qr_(ri, ri);
+    if (d == 0.0) throw std::runtime_error("singular R in back substitution");
+    x[ri] = s / d;
+  }
+  return x;
+}
+
+Vector HouseholderQr::solve(std::span<const double> b) const {
+  if (!full_column_rank()) {
+    throw std::runtime_error("HouseholderQr::solve: rank deficient system");
+  }
+  Vector c(b.begin(), b.end());
+  apply_qt(c);
+  return back_substitute(c);
+}
+
+PivotedQr::PivotedQr(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  const std::size_t steps = std::min(m, n);
+  beta_.assign(steps, 0.0);
+  perm_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) perm_[j] = j;
+
+  // Column squared norms, downdated as the factorization proceeds.
+  std::vector<double> colnorm(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) colnorm[j] += qr_(i, j) * qr_(i, j);
+  }
+
+  factored_ = 0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Pivot: bring the column with the largest remaining norm to position k.
+    std::size_t best = k;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      if (colnorm[j] > colnorm[best]) best = j;
+    }
+    if (colnorm[best] <= 0.0) break;
+    if (best != k) {
+      for (std::size_t i = 0; i < m; ++i) std::swap(qr_(i, k), qr_(i, best));
+      std::swap(colnorm[k], colnorm[best]);
+      std::swap(perm_[k], perm_[best]);
+    }
+    beta_[k] = householder_step(qr_, k);
+    ++factored_;
+    // Downdate column norms (recompute periodically for stability).
+    for (std::size_t j = k + 1; j < n; ++j) {
+      colnorm[j] -= qr_(k, j) * qr_(k, j);
+      if (colnorm[j] < 0.0) colnorm[j] = 0.0;
+    }
+  }
+}
+
+std::size_t PivotedQr::rank(double rel_tol) const {
+  if (factored_ == 0) return 0;
+  const double r00 = std::fabs(qr_(0, 0));
+  if (r00 == 0.0) return 0;
+  std::size_t r = 0;
+  for (std::size_t k = 0; k < factored_; ++k) {
+    if (std::fabs(qr_(k, k)) > rel_tol * r00) ++r;
+  }
+  return r;
+}
+
+Vector PivotedQr::solve_basic(std::span<const double> b, double rel_tol) const {
+  if (b.size() != qr_.rows()) throw std::invalid_argument("rhs size mismatch");
+  const std::size_t r = rank(rel_tol);
+  Vector c(b.begin(), b.end());
+  for (std::size_t k = 0; k < factored_; ++k) {
+    apply_reflector(qr_, beta_[k], k, c);
+  }
+  // Back-substitute on the leading r x r block of R.
+  Vector z(r, 0.0);
+  for (std::size_t ri = r; ri-- > 0;) {
+    double s = c[ri];
+    for (std::size_t j = ri + 1; j < r; ++j) s -= qr_(ri, j) * z[j];
+    z[ri] = s / qr_(ri, ri);
+  }
+  Vector x(qr_.cols(), 0.0);
+  for (std::size_t k = 0; k < r; ++k) x[perm_[k]] = z[k];
+  return x;
+}
+
+std::size_t matrix_rank(const Matrix& a, double rel_tol) {
+  if (a.empty()) return 0;
+  if (a.rows() >= a.cols()) return PivotedQr(a).rank(rel_tol);
+  return PivotedQr(a.transposed()).rank(rel_tol);
+}
+
+Vector least_squares(const Matrix& a, std::span<const double> b) {
+  return HouseholderQr(a).solve(b);
+}
+
+}  // namespace losstomo::linalg

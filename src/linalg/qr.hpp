@@ -1,0 +1,93 @@
+// Householder orthogonal-triangular factorization and least-squares solvers.
+//
+// This is the solver the paper prescribes for the Phase-1 moment system
+// (§5.1: "using Householder reflection to compute an orthogonal-triangular
+// factorization of A") and for the reduced first-moment system of eq. (9).
+// Both a plain QR (full-column-rank fast path) and a column-pivoted,
+// rank-revealing QR (used for rank decisions and rank-deficient fallbacks)
+// are provided.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace losstomo::linalg {
+
+/// Householder QR of an m x n matrix with m >= n (tall or square).
+///
+/// The factorization is computed once; `solve` can then be applied to any
+/// number of right-hand sides (the paper builds A once and reuses it, §5.1).
+class HouseholderQr {
+ public:
+  /// Factorizes `a` (copied).  Throws if rows < cols.
+  explicit HouseholderQr(Matrix a);
+
+  [[nodiscard]] std::size_t rows() const { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return qr_.cols(); }
+
+  /// Smallest |r_kk| on the diagonal of R — 0 signals rank deficiency.
+  [[nodiscard]] double min_diag() const;
+  /// Largest |r_kk|.
+  [[nodiscard]] double max_diag() const;
+
+  /// True when min_diag > tol * max_diag (column space is full rank at the
+  /// given relative tolerance).
+  [[nodiscard]] bool full_column_rank(double rel_tol = 1e-10) const;
+
+  /// Least-squares solution of min ||a x - b||_2.  Throws if the factor is
+  /// numerically rank deficient.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// Applies Q^T to b in place (length rows()).
+  void apply_qt(std::span<double> b) const;
+
+  /// Back-substitution with the stored R on the first cols() entries of c.
+  [[nodiscard]] Vector back_substitute(std::span<const double> c) const;
+
+ private:
+  Matrix qr_;               // R in the upper triangle, Householder vectors below
+  std::vector<double> beta_;  // Householder scalars
+};
+
+/// Column-pivoted (rank-revealing) Householder QR: A P = Q R.
+class PivotedQr {
+ public:
+  explicit PivotedQr(Matrix a);
+
+  [[nodiscard]] std::size_t rows() const { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return qr_.cols(); }
+
+  /// Numerical rank: number of diagonal entries with
+  /// |r_kk| > rel_tol * |r_00| (diagonal is non-increasing by pivoting).
+  [[nodiscard]] std::size_t rank(double rel_tol = 1e-10) const;
+
+  /// Column permutation: permutation()[k] = original column index of the
+  /// k-th pivoted column.
+  [[nodiscard]] const std::vector<std::size_t>& permutation() const {
+    return perm_;
+  }
+
+  /// Basic least-squares solution: the `rank()` pivot columns carry the
+  /// solution and the remaining free variables are set to zero.  (For
+  /// full-rank systems this is the unique LS solution.)
+  [[nodiscard]] Vector solve_basic(std::span<const double> b,
+                                   double rel_tol = 1e-10) const;
+
+ private:
+  Matrix qr_;
+  std::vector<double> beta_;
+  std::vector<std::size_t> perm_;
+  std::size_t factored_;  // number of Householder steps actually performed
+};
+
+/// Convenience wrapper: numerical rank of a dense matrix (via PivotedQr on
+/// the matrix or its transpose, whichever is taller).
+std::size_t matrix_rank(const Matrix& a, double rel_tol = 1e-10);
+
+/// Convenience wrapper: least-squares solution of min ||a x - b|| via plain
+/// Householder QR (requires full column rank).
+Vector least_squares(const Matrix& a, std::span<const double> b);
+
+}  // namespace losstomo::linalg

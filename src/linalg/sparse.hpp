@@ -1,0 +1,102 @@
+// Sparse structures tailored to routing matrices.
+//
+// A reduced routing matrix R is a 0/1 matrix with one row per end-to-end
+// path (the links the path traverses).  Everything the inference needs at
+// scale derives from R's sparsity pattern:
+//   * R x and R^T y products (first-moment system),
+//   * the co-traversal Gram matrix N = R^T R, whose entry N_kl counts the
+//     paths traversing both links k and l.  N determines both the Phase-1
+//     normal equations ((A^T A)_kl = N_kl (N_kl + 1) / 2, see
+//     core/augmented_matrix.hpp) and the Phase-2 rank structure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace losstomo::linalg {
+
+/// Immutable 0/1 sparse matrix stored as sorted column indices per row.
+class SparseBinaryMatrix {
+ public:
+  SparseBinaryMatrix() = default;
+  /// `rows[i]` lists the column indices of row i (need not be sorted;
+  /// duplicates are rejected).
+  SparseBinaryMatrix(std::size_t cols,
+                     std::vector<std::vector<std::uint32_t>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const;
+
+  /// Sorted column indices of row i.
+  [[nodiscard]] std::span<const std::uint32_t> row(std::size_t i) const {
+    return rows_[i];
+  }
+
+  /// True when row i contains column c (binary search).
+  [[nodiscard]] bool contains(std::size_t i, std::uint32_t c) const;
+
+  /// y = R x.
+  [[nodiscard]] Vector multiply(std::span<const double> x) const;
+  /// x = R^T y.
+  [[nodiscard]] Vector multiply_transpose(std::span<const double> y) const;
+
+  /// Transpose incidence: for each column, the sorted list of rows that
+  /// contain it.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> column_lists() const;
+
+  /// Dense copy (for small problems and tests).
+  [[nodiscard]] Matrix to_dense() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::vector<std::uint32_t>> rows_;
+};
+
+/// Symmetric sparse matrix of co-occurrence counts N = R^T R for a
+/// SparseBinaryMatrix R.  Stores a full (both-triangles) adjacency per row,
+/// sorted by column, for O(log nnz_row) lookup and linear row scans.
+class CoTraversalGram {
+ public:
+  explicit CoTraversalGram(const SparseBinaryMatrix& r);
+
+  [[nodiscard]] std::size_t dim() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t nnz() const { return cols_.size(); }
+
+  /// N_kl (0 when the links share no path).
+  [[nodiscard]] double at(std::size_t k, std::size_t l) const;
+
+  /// Row access: parallel spans of column indices and count values.
+  [[nodiscard]] std::span<const std::uint32_t> row_cols(std::size_t k) const;
+  [[nodiscard]] std::span<const double> row_values(std::size_t k) const;
+
+  /// Dense copy of N (for small problems and tests).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Dense matrix with entries f(N_kl) for nonzero N_kl; used to build the
+  /// Phase-1 normal equations (A^T A)_kl = N_kl (N_kl + 1) / 2 without
+  /// materializing A.  Entries with N_kl = 0 stay 0 (f(0) must be 0).
+  template <typename F>
+  [[nodiscard]] Matrix map_to_dense(F&& f) const {
+    Matrix out(dim(), dim());
+    for (std::size_t k = 0; k < dim(); ++k) {
+      const auto cols = row_cols(k);
+      const auto vals = row_values(k);
+      for (std::size_t idx = 0; idx < cols.size(); ++idx) {
+        out(k, cols[idx]) = f(vals[idx]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;   // dim+1 CSR offsets
+  std::vector<std::uint32_t> cols_;    // column indices, sorted per row
+  std::vector<double> values_;         // counts
+};
+
+}  // namespace losstomo::linalg

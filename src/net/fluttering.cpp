@@ -1,0 +1,90 @@
+#include "net/fluttering.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace losstomo::net {
+
+namespace {
+
+// True when paths a and b violate T.2.  The shared edges must appear as a
+// single contiguous run at identical relative order on both paths.
+bool pair_flutters(const Path& a, const Path& b) {
+  // Positions of b's edges for O(1) lookup.
+  std::unordered_map<EdgeId, std::size_t> pos_b;
+  pos_b.reserve(b.edges.size());
+  for (std::size_t i = 0; i < b.edges.size(); ++i) pos_b[b.edges[i]] = i;
+
+  // Collect shared edge positions in a-order.
+  std::vector<std::pair<std::size_t, std::size_t>> shared;  // (pos_a, pos_b)
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    const auto it = pos_b.find(a.edges[i]);
+    if (it != pos_b.end()) shared.emplace_back(i, it->second);
+  }
+  if (shared.size() < 2) return false;
+
+  // Contiguous on a: positions are consecutive by construction order.
+  for (std::size_t i = 1; i < shared.size(); ++i) {
+    if (shared[i].first != shared[i - 1].first + 1) return true;
+    // Same segment must advance in lockstep on b.
+    if (shared[i].second != shared[i - 1].second + 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FlutteringViolation> detect_fluttering(
+    const std::vector<Path>& paths) {
+  // Candidate pairs: only paths sharing at least two edges can violate T.2.
+  std::unordered_map<EdgeId, std::vector<std::uint32_t>> edge_paths;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (const auto e : paths[i].edges) {
+      edge_paths[e].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> share_count;
+  for (const auto& [edge, list] : edge_paths) {
+    for (std::size_t x = 0; x < list.size(); ++x) {
+      for (std::size_t y = x + 1; y < list.size(); ++y) {
+        ++share_count[{list[x], list[y]}];
+      }
+    }
+  }
+  std::vector<FlutteringViolation> out;
+  for (const auto& [pair, count] : share_count) {
+    if (count < 2) continue;
+    if (pair_flutters(paths[pair.first], paths[pair.second])) {
+      out.push_back({pair.first, pair.second});
+    }
+  }
+  return out;
+}
+
+SanitizeResult remove_fluttering_paths(std::vector<Path> paths) {
+  SanitizeResult result;
+  std::vector<std::size_t> original(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) original[i] = i;
+
+  while (true) {
+    const auto violations = detect_fluttering(paths);
+    if (violations.empty()) break;
+    std::vector<std::size_t> involvement(paths.size(), 0);
+    for (const auto& v : violations) {
+      ++involvement[v.path_a];
+      ++involvement[v.path_b];
+    }
+    const std::size_t worst = static_cast<std::size_t>(
+        std::max_element(involvement.begin(), involvement.end()) -
+        involvement.begin());
+    result.removed.push_back(original[worst]);
+    paths.erase(paths.begin() + static_cast<std::ptrdiff_t>(worst));
+    original.erase(original.begin() + static_cast<std::ptrdiff_t>(worst));
+  }
+  result.kept = std::move(original);
+  result.paths = std::move(paths);
+  return result;
+}
+
+}  // namespace losstomo::net

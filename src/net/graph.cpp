@@ -1,0 +1,75 @@
+#include "net/graph.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace losstomo::net {
+
+Graph::Graph(std::size_t node_count) { add_nodes(node_count); }
+
+NodeId Graph::add_nodes(std::size_t count) {
+  const auto first = static_cast<NodeId>(out_.size());
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  as_.resize(as_.size() + count, kNoAs);
+  return first;
+}
+
+EdgeId Graph::add_edge(NodeId from, NodeId to) {
+  if (from >= node_count() || to >= node_count()) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (from == to) throw std::invalid_argument("self-loop not allowed");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({from, to});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+EdgeId Graph::add_bidirectional(NodeId a, NodeId b) {
+  const EdgeId forward = add_edge(a, b);
+  add_edge(b, a);
+  return forward;
+}
+
+bool Graph::is_inter_as(EdgeId e) const {
+  const auto& ed = edges_[e];
+  const auto a = as_[ed.from];
+  const auto b = as_[ed.to];
+  return a != kNoAs && b != kNoAs && a != b;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  for (const auto e : out_[a]) {
+    if (edges_[e].to == b) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Graph::reachable_from(NodeId v) const {
+  std::vector<bool> seen(node_count(), false);
+  std::vector<NodeId> order;
+  std::queue<NodeId> frontier;
+  frontier.push(v);
+  seen[v] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    order.push_back(u);
+    for (const auto e : out_[u]) {
+      const NodeId w = edges_[e].to;
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push(w);
+      }
+    }
+  }
+  return order;
+}
+
+bool Graph::all_reachable_from(NodeId v) const {
+  return reachable_from(v).size() == node_count();
+}
+
+}  // namespace losstomo::net

@@ -1,0 +1,81 @@
+// Directed network graph: routers/hosts as nodes, communication links as
+// directed edges (paper §3.1).  Nodes carry an optional AS (autonomous
+// system) id so links can be classified intra-/inter-AS for the Table 3
+// experiment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace losstomo::net {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr std::uint32_t kNoAs = 0xffffffffu;
+
+/// A directed communication link.
+struct Edge {
+  NodeId from;
+  NodeId to;
+};
+
+/// Directed multigraph with per-node AS annotation.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  /// Adds `count` nodes; returns the id of the first.
+  NodeId add_nodes(std::size_t count);
+  NodeId add_node() { return add_nodes(1); }
+
+  /// Adds a directed edge; returns its id.  Parallel edges are allowed
+  /// (they model distinct physical circuits) but self-loops are not.
+  EdgeId add_edge(NodeId from, NodeId to);
+
+  /// Adds a pair of antiparallel directed edges (an undirected link as two
+  /// independent directions, the standard loss-tomography convention);
+  /// returns the id of the forward edge (the reverse is id+1).
+  EdgeId add_bidirectional(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t node_count() const { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const {
+    return out_[v];
+  }
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId v) const {
+    return in_[v];
+  }
+  [[nodiscard]] std::size_t out_degree(NodeId v) const { return out_[v].size(); }
+  [[nodiscard]] std::size_t in_degree(NodeId v) const { return in_[v].size(); }
+
+  /// AS annotation (kNoAs when unassigned).
+  void set_as(NodeId v, std::uint32_t as_id) { as_[v] = as_id; }
+  [[nodiscard]] std::uint32_t as_of(NodeId v) const { return as_[v]; }
+
+  /// True when the edge crosses an AS boundary (both endpoints annotated
+  /// and different).
+  [[nodiscard]] bool is_inter_as(EdgeId e) const;
+
+  /// True when there is an edge from `a` to `b`.
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// Nodes reachable from `v` along directed edges (BFS).
+  [[nodiscard]] std::vector<NodeId> reachable_from(NodeId v) const;
+
+  /// True when every node is reachable from `v`.
+  [[nodiscard]] bool all_reachable_from(NodeId v) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::uint32_t> as_;
+};
+
+}  // namespace losstomo::net

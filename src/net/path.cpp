@@ -1,0 +1,41 @@
+#include "net/path.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace losstomo::net {
+
+void validate_path(const Graph& g, const Path& path) {
+  if (path.edges.empty()) throw std::invalid_argument("empty path");
+  NodeId at = path.source;
+  std::set<NodeId> visited{at};
+  for (const auto e : path.edges) {
+    const auto& ed = g.edge(e);
+    if (ed.from != at) throw std::invalid_argument("discontinuous path");
+    at = ed.to;
+    if (!visited.insert(at).second) {
+      throw std::invalid_argument("path revisits a node");
+    }
+  }
+  if (at != path.destination) {
+    throw std::invalid_argument("path does not end at destination");
+  }
+}
+
+bool paths_form_tree(const Graph& g, const std::vector<Path>& paths) {
+  // Each node reached by any path must be reached through a unique parent
+  // edge; a second distinct parent edge means two paths from the beacon
+  // reach the node along different routes (not a tree).
+  std::map<NodeId, EdgeId> parent;
+  for (const auto& path : paths) {
+    for (const auto e : path.edges) {
+      const NodeId child = g.edge(e).to;
+      const auto [it, inserted] = parent.emplace(child, e);
+      if (!inserted && it->second != e) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace losstomo::net

@@ -1,0 +1,30 @@
+// End-to-end measurement paths: the edge sequence a probe traverses from a
+// beacon to a probing destination (paper §3.1, P_{s,d}).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace losstomo::net {
+
+/// A beacon-to-destination path through the physical graph.
+struct Path {
+  NodeId source = 0;
+  NodeId destination = 0;
+  std::vector<EdgeId> edges;  // in traversal order
+
+  [[nodiscard]] std::size_t length() const { return edges.size(); }
+};
+
+/// Validates that `path.edges` is a contiguous walk from source to
+/// destination in `g` with no repeated node (simple path).  Throws
+/// std::invalid_argument on violation.
+void validate_path(const Graph& g, const Path& path);
+
+/// True when the paths (interpreted as from a common beacon) form a tree:
+/// whenever two paths share a node they share the entire prefix up to it.
+/// This is the per-beacon consequence of Assumption T.2 (paper §3.1).
+bool paths_form_tree(const Graph& g, const std::vector<Path>& paths);
+
+}  // namespace losstomo::net

@@ -1,0 +1,91 @@
+#include "net/routing_matrix.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace losstomo::net {
+
+ReducedRoutingMatrix::ReducedRoutingMatrix(const Graph& g,
+                                           std::vector<Path> paths)
+    : paths_(std::move(paths)) {
+  if (paths_.empty()) throw std::invalid_argument("no paths");
+  for (const auto& p : paths_) validate_path(g, p);
+
+  // Path incidence list per covered edge.
+  std::map<EdgeId, std::vector<std::uint32_t>> edge_paths;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    for (const auto e : paths_[i].edges) {
+      edge_paths[e].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Group covered edges by identical incidence signature.  std::map keys on
+  // the signature vector; edges iterate in ascending id order so the first
+  // edge of each group is its smallest member.
+  std::map<std::vector<std::uint32_t>, std::uint32_t> signature_to_link;
+  edge_link_.reserve(edge_paths.size());
+  for (const auto& [edge, incidence] : edge_paths) {
+    const auto [it, inserted] = signature_to_link.emplace(
+        incidence, static_cast<std::uint32_t>(members_.size()));
+    if (inserted) members_.emplace_back();
+    members_[it->second].push_back(edge);
+    edge_link_.emplace_back(edge, it->second);
+  }
+
+  // Rows: virtual links per path, deduplicated.
+  std::vector<std::vector<std::uint32_t>> rows(paths_.size());
+  path_links_.resize(paths_.size());
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    std::vector<std::uint32_t> seen;
+    for (const auto e : paths_[i].edges) {
+      const auto lk = static_cast<std::uint32_t>(*link_of(e));
+      if (std::find(seen.begin(), seen.end(), lk) == seen.end()) {
+        seen.push_back(lk);
+      }
+    }
+    path_links_[i] = seen;
+    rows[i] = seen;
+  }
+  matrix_ = linalg::SparseBinaryMatrix(members_.size(), std::move(rows));
+}
+
+std::optional<std::size_t> ReducedRoutingMatrix::link_of(EdgeId e) const {
+  const auto it = std::lower_bound(
+      edge_link_.begin(), edge_link_.end(), e,
+      [](const auto& pair, EdgeId value) { return pair.first < value; });
+  if (it == edge_link_.end() || it->first != e) return std::nullopt;
+  return it->second;
+}
+
+linalg::Vector ReducedRoutingMatrix::aggregate_edge_values(
+    std::span<const double> per_edge) const {
+  linalg::Vector out(link_count(), 0.0);
+  for (std::size_t k = 0; k < link_count(); ++k) {
+    double acc = 0.0;
+    for (const auto e : members_[k]) acc += per_edge[e];
+    out[k] = acc;
+  }
+  return out;
+}
+
+linalg::Vector ReducedRoutingMatrix::aggregate_edge_losses(
+    std::span<const double> per_edge_loss) const {
+  linalg::Vector out(link_count(), 0.0);
+  for (std::size_t k = 0; k < link_count(); ++k) {
+    double trans = 1.0;
+    for (const auto e : members_[k]) trans *= 1.0 - per_edge_loss[e];
+    out[k] = 1.0 - trans;
+  }
+  return out;
+}
+
+bool ReducedRoutingMatrix::link_is_inter_as(const Graph& g,
+                                            std::size_t k) const {
+  for (const auto e : members_[k]) {
+    if (g.is_inter_as(e)) return true;
+  }
+  return false;
+}
+
+}  // namespace losstomo::net

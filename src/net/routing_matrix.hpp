@@ -1,0 +1,85 @@
+// The reduced routing matrix R (paper §3.1).
+//
+// Construction performs the paper's two reduction steps:
+//  1. drop links not covered by any path (all-zero columns), and
+//  2. group links that are indistinguishable from end-to-end measurements
+//     into a single *virtual link*.
+//
+// Two physical links are indistinguishable exactly when they are traversed
+// by the same set of paths (identical columns of the unreduced matrix);
+// consecutive "alias" links without a branching point are the common case,
+// but the column criterion is the precise one and is what the paper's
+// proofs require ("the columns of the resulting reduced routing matrix are
+// therefore all distinct and nonzero").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "net/graph.hpp"
+#include "net/path.hpp"
+
+namespace losstomo::net {
+
+/// Reduced routing matrix: rows = paths, columns = virtual links.
+class ReducedRoutingMatrix {
+ public:
+  /// Builds the reduced matrix for the given paths over `g`.
+  /// Paths must be non-empty; edges referenced must exist in `g`.
+  ReducedRoutingMatrix(const Graph& g, std::vector<Path> paths);
+
+  [[nodiscard]] std::size_t path_count() const { return matrix_.rows(); }
+  [[nodiscard]] std::size_t link_count() const { return matrix_.cols(); }
+
+  /// The 0/1 path-by-link matrix.
+  [[nodiscard]] const linalg::SparseBinaryMatrix& matrix() const {
+    return matrix_;
+  }
+
+  /// The paths, in row order.
+  [[nodiscard]] const std::vector<Path>& paths() const { return paths_; }
+
+  /// Physical edges grouped into virtual link k (ascending edge id).
+  [[nodiscard]] std::span<const EdgeId> members(std::size_t k) const {
+    return members_[k];
+  }
+
+  /// Virtual link containing physical edge e, if e is covered.
+  [[nodiscard]] std::optional<std::size_t> link_of(EdgeId e) const;
+
+  /// Virtual links of path i in traversal order (first-encounter order of
+  /// the path's physical edges).
+  [[nodiscard]] std::span<const std::uint32_t> links_of_path(
+      std::size_t i) const {
+    return path_links_[i];
+  }
+
+  /// Sums a per-physical-edge quantity over each virtual link's members
+  /// (e.g. log transmission rates: the virtual link's log rate is the sum
+  /// of its members').
+  [[nodiscard]] linalg::Vector aggregate_edge_values(
+      std::span<const double> per_edge) const;
+
+  /// Combines per-edge loss rates into per-virtual-link loss rates:
+  /// loss_k = 1 - prod_members (1 - loss_e).
+  [[nodiscard]] linalg::Vector aggregate_edge_losses(
+      std::span<const double> per_edge_loss) const;
+
+  /// True when any member edge crosses an AS boundary.
+  [[nodiscard]] bool link_is_inter_as(const Graph& g, std::size_t k) const;
+
+  /// Number of physical edges covered by at least one path.
+  [[nodiscard]] std::size_t covered_edge_count() const { return edge_link_.size(); }
+
+ private:
+  std::vector<Path> paths_;
+  linalg::SparseBinaryMatrix matrix_;
+  std::vector<std::vector<EdgeId>> members_;
+  std::vector<std::pair<EdgeId, std::uint32_t>> edge_link_;  // sorted by edge
+  std::vector<std::vector<std::uint32_t>> path_links_;       // traversal order
+};
+
+}  // namespace losstomo::net

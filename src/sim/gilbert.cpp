@@ -1,0 +1,46 @@
+#include "sim/gilbert.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace losstomo::sim {
+
+double GilbertParams::stationary_loss() const {
+  const double denom = good_to_bad + 1.0 - stay_bad;
+  if (denom <= 0.0) return 1.0;
+  return good_to_bad / denom;
+}
+
+GilbertParams GilbertParams::for_loss_rate(double loss_rate, double stay_bad) {
+  if (loss_rate < 0.0 || loss_rate > 1.0) {
+    throw std::invalid_argument("loss rate out of [0,1]");
+  }
+  GilbertParams p;
+  p.stay_bad = stay_bad;
+  if (loss_rate >= 1.0) {
+    p.good_to_bad = 1.0;
+    p.stay_bad = 1.0;
+    return p;
+  }
+  // Solve r = g / (g + 1 - b) for g: g = r (1 - b) / (1 - r).
+  const double g = loss_rate * (1.0 - stay_bad) / (1.0 - loss_rate);
+  if (g <= 1.0) {
+    p.good_to_bad = g;
+  } else {
+    // Infeasible at this stay_bad; pin g = 1 and raise b: r = 1/(2 - b).
+    p.good_to_bad = 1.0;
+    p.stay_bad = 2.0 - 1.0 / loss_rate;
+  }
+  return p;
+}
+
+GilbertChain::GilbertChain(const GilbertParams& params, stats::Rng& rng)
+    : params_(params), bad_(rng.bernoulli(params.stationary_loss())) {}
+
+bool GilbertChain::step(stats::Rng& rng) {
+  const double p_bad = bad_ ? params_.stay_bad : params_.good_to_bad;
+  bad_ = rng.bernoulli(p_bad);
+  return bad_;
+}
+
+}  // namespace losstomo::sim

@@ -1,0 +1,45 @@
+// Gilbert two-state loss process (paper §6).
+//
+// A link alternates between a good state (no loss) and a bad state (all
+// packets dropped).  Following the paper (and Padmanabhan et al. / Zhao et
+// al.), the probability of *remaining* in the bad state is fixed at 0.35;
+// the good-to-bad probability is chosen so the stationary loss probability
+// matches the link's assigned loss rate.  For very high target rates
+// (possible under LLRD2) where that equation has no solution with
+// stay_bad = 0.35, stay_bad is raised instead (g is capped at 1).
+#pragma once
+
+#include "stats/rng.hpp"
+
+namespace losstomo::sim {
+
+/// Transition parameters of the two-state chain.
+struct GilbertParams {
+  double good_to_bad = 0.0;  // g: P(bad at t+1 | good at t)
+  double stay_bad = 0.35;    // b: P(bad at t+1 | bad at t)
+
+  /// Stationary probability of the bad state: g / (g + 1 - b).
+  [[nodiscard]] double stationary_loss() const;
+
+  /// Parameters whose stationary loss equals `loss_rate`, holding
+  /// stay_bad = `stay_bad` where feasible (see header comment).
+  static GilbertParams for_loss_rate(double loss_rate, double stay_bad = 0.35);
+};
+
+/// The chain itself; one instance per link per snapshot.
+class GilbertChain {
+ public:
+  /// Starts from the stationary distribution.
+  GilbertChain(const GilbertParams& params, stats::Rng& rng);
+
+  /// Advances one probe slot; returns true when the slot is bad (drops).
+  bool step(stats::Rng& rng);
+
+  [[nodiscard]] bool bad() const { return bad_; }
+
+ private:
+  GilbertParams params_;
+  bool bad_;
+};
+
+}  // namespace losstomo::sim

@@ -1,0 +1,27 @@
+#include "sim/loss_model.hpp"
+
+namespace losstomo::sim {
+
+LossModelConfig LossModelConfig::llrd1() { return LossModelConfig{}; }
+
+LossModelConfig LossModelConfig::llrd2() {
+  LossModelConfig c;
+  c.model = LossRateModel::kLlrd2;
+  c.congested_lo = 0.002;
+  c.congested_hi = 1.0;
+  return c;
+}
+
+LossModelConfig LossModelConfig::llrd1_calibrated() {
+  LossModelConfig c;
+  c.good_hi = 0.0005;
+  return c;
+}
+
+double draw_loss_rate(const LossModelConfig& config, bool congested,
+                      stats::Rng& rng) {
+  if (congested) return rng.uniform(config.congested_lo, config.congested_hi);
+  return rng.uniform(config.good_lo, config.good_hi);
+}
+
+}  // namespace losstomo::sim

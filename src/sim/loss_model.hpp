@@ -1,0 +1,49 @@
+// Link loss-rate models LLRD1 / LLRD2 (paper §6, after Padmanabhan et al.).
+//
+// In every snapshot each link is congested with probability p.  Under
+// LLRD1 congested links get loss rates uniform in [0.05, 0.2] and good
+// links uniform in [0, 0.002]; LLRD2 widens the congested range to
+// [0.002, 1].  The threshold tl = 0.002 separates good from congested in
+// both models and is the classification threshold used by the DR/FPR
+// metrics.
+#pragma once
+
+#include "stats/rng.hpp"
+
+namespace losstomo::sim {
+
+enum class LossRateModel {
+  kLlrd1,
+  kLlrd2,
+};
+
+struct LossModelConfig {
+  LossRateModel model = LossRateModel::kLlrd1;
+  double threshold_tl = 0.002;  // good/congested classification threshold
+  double good_lo = 0.0;
+  double good_hi = 0.002;
+  double congested_lo = 0.05;   // LLRD1 default; LLRD2 uses [0.002, 1]
+  double congested_hi = 0.2;
+
+  /// Canonical configurations from the paper.
+  static LossModelConfig llrd1();
+  static LossModelConfig llrd2();
+
+  /// LLRD1 with near-lossless good links (good_hi = 5e-4).
+  ///
+  /// Calibration note: the paper's reported accuracy (Fig. 6 absolute
+  /// errors capped at ~0.0025, Fig. 5 FPR ~3%) is unattainable if good
+  /// links realise losses from the full [0, 0.002] range — at S = 1000 a
+  /// 0.002-rate link crosses the tl = 0.002 classification threshold in
+  /// ~30% of snapshots through sampling alone.  Their numbers imply good
+  /// links that essentially never drop probes; this profile is the largest
+  /// good-loss range consistent with the reported FPR.  The sensitivity to
+  /// good_hi is quantified in bench/ablation_lossmodel.
+  static LossModelConfig llrd1_calibrated();
+};
+
+/// Draws a loss rate for a link given its congestion state.
+double draw_loss_rate(const LossModelConfig& config, bool congested,
+                      stats::Rng& rng);
+
+}  // namespace losstomo::sim

@@ -1,0 +1,340 @@
+#include "sim/probe_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace losstomo::sim {
+
+namespace {
+
+// Floor for a sampled transmission fraction: a path losing all S probes
+// would give log(0); half a probe's worth is the standard continuity
+// correction (documented in DESIGN.md).
+double clamp_fraction(double fraction, std::size_t s) {
+  const double floor_value = 0.5 / static_cast<double>(s);
+  return std::max(fraction, floor_value);
+}
+
+}  // namespace
+
+SnapshotSimulator::SnapshotSimulator(const net::Graph& g,
+                                     const net::ReducedRoutingMatrix& rrm,
+                                     ScenarioConfig config, std::uint64_t seed)
+    : graph_(g), rrm_(rrm), config_(config), rng_(seed) {
+  if (config_.p < 0.0 || config_.p > 1.0) {
+    throw std::invalid_argument("p out of [0,1]");
+  }
+  if (config_.probes_per_snapshot == 0) {
+    throw std::invalid_argument("S must be positive");
+  }
+  // Covered physical edges, ascending (diagnostics + per-edge mode).
+  std::set<net::EdgeId> covered;
+  for (std::size_t k = 0; k < rrm_.link_count(); ++k) {
+    for (const auto e : rrm_.members(k)) covered.insert(e);
+  }
+  covered_edges_.assign(covered.begin(), covered.end());
+
+  // Loss-process "units": one per virtual link (paper's model) or one per
+  // covered physical edge (realism ablation).
+  const bool per_edge =
+      config_.granularity == LossGranularity::kPerPhysicalEdge;
+  const std::size_t nc = rrm_.link_count();
+  const std::size_t np = rrm_.path_count();
+
+  if (per_edge) {
+    unit_count_ = covered_edges_.size();
+    std::vector<std::uint32_t> edge_slot(graph_.edge_count(), 0xffffffffu);
+    for (std::size_t i = 0; i < covered_edges_.size(); ++i) {
+      edge_slot[covered_edges_[i]] = static_cast<std::uint32_t>(i);
+    }
+    path_units_.resize(np);
+    for (std::size_t i = 0; i < np; ++i) {
+      for (const auto e : rrm_.paths()[i].edges) {
+        path_units_[i].push_back(edge_slot[e]);
+      }
+    }
+    link_units_.resize(nc);
+    for (std::size_t k = 0; k < nc; ++k) {
+      for (const auto e : rrm_.members(k)) {
+        link_units_[k].push_back(edge_slot[e]);
+      }
+    }
+    unit_inter_as_.resize(unit_count_);
+    for (std::size_t u = 0; u < unit_count_; ++u) {
+      unit_inter_as_[u] = graph_.is_inter_as(covered_edges_[u]);
+    }
+  } else {
+    unit_count_ = nc;
+    path_units_.resize(np);
+    for (std::size_t i = 0; i < np; ++i) {
+      const auto links = rrm_.links_of_path(i);
+      path_units_[i].assign(links.begin(), links.end());
+    }
+    link_units_.resize(nc);
+    for (std::size_t k = 0; k < nc; ++k) {
+      link_units_[k] = {static_cast<std::uint32_t>(k)};
+    }
+    unit_inter_as_.resize(unit_count_);
+    for (std::size_t k = 0; k < nc; ++k) {
+      unit_inter_as_[k] = rrm_.link_is_inter_as(graph_, k);
+    }
+  }
+
+  if (config_.congestible_fraction <= 0.0 ||
+      config_.congestible_fraction > 1.0) {
+    throw std::invalid_argument("congestible_fraction out of (0,1]");
+  }
+  congestion_prob_.resize(unit_count_);
+  for (std::size_t u = 0; u < unit_count_; ++u) {
+    double pu = 0.0;
+    if (config_.congestible_fraction >= 1.0 ||
+        rng_.bernoulli(config_.congestible_fraction)) {
+      pu = config_.p / config_.congestible_fraction;
+      if (unit_inter_as_[u]) pu *= config_.inter_as_congestion_bias;
+    }
+    congestion_prob_[u] = std::min(pu, 0.9);
+  }
+  congested_.assign(unit_count_, false);
+  rate_.assign(unit_count_, 0.0);
+  words_ = (config_.probes_per_snapshot + 63) / 64;
+  bad_masks_.assign(unit_count_ * words_, 0);
+}
+
+void SnapshotSimulator::refresh_congestion() {
+  if (first_snapshot_) {
+    for (std::size_t u = 0; u < unit_count_; ++u) {
+      congested_[u] = rng_.bernoulli(congestion_prob_[u]);
+      rate_[u] = draw_loss_rate(config_.loss_model, congested_[u], rng_);
+    }
+    first_snapshot_ = false;
+    return;
+  }
+  if (config_.redraw_rate_each_snapshot) {
+    for (std::size_t u = 0; u < unit_count_; ++u) {
+      rate_[u] = draw_loss_rate(config_.loss_model, congested_[u], rng_);
+    }
+  }
+  switch (config_.dynamics) {
+    case CongestionDynamics::kStatic:
+      return;  // one draw per run; only the loss-process realisation varies
+    case CongestionDynamics::kIid:
+      for (std::size_t u = 0; u < unit_count_; ++u) {
+        congested_[u] = rng_.bernoulli(congestion_prob_[u]);
+        rate_[u] = draw_loss_rate(config_.loss_model, congested_[u], rng_);
+      }
+      return;
+    case CongestionDynamics::kMarkov: {
+      const double rho = config_.persistence;
+      for (std::size_t u = 0; u < unit_count_; ++u) {
+        const double pu = congestion_prob_[u];
+        // Binary Markov chain with stationary pu and lag-1 autocorrelation
+        // rho: P(1|1) = rho + (1-rho) pu, P(1|0) = (1-rho) pu.
+        const double p_next =
+            congested_[u] ? rho + (1.0 - rho) * pu : (1.0 - rho) * pu;
+        const bool next = rng_.bernoulli(p_next);
+        if (next != congested_[u]) {
+          // Redraw the rate only on a state change so a congestion episode
+          // keeps one rate for its whole duration.
+          congested_[u] = next;
+          rate_[u] = draw_loss_rate(config_.loss_model, next, rng_);
+        }
+      }
+      return;
+    }
+  }
+}
+
+void SnapshotSimulator::fill_masks(stats::Rng& rng) {
+  const std::size_t s = config_.probes_per_snapshot;
+  std::fill(bad_masks_.begin(), bad_masks_.end(), 0);
+  for (std::size_t u = 0; u < unit_count_; ++u) {
+    std::uint64_t* mask = bad_masks_.data() + u * words_;
+    if (rate_[u] <= 0.0) continue;
+    if (config_.process == LossProcess::kGilbert) {
+      GilbertChain chain(
+          GilbertParams::for_loss_rate(rate_[u], config_.gilbert_stay_bad),
+          rng);
+      for (std::size_t t = 0; t < s; ++t) {
+        if (chain.step(rng)) mask[t >> 6] |= (1ULL << (t & 63));
+      }
+    } else {
+      for (std::size_t t = 0; t < s; ++t) {
+        if (rng.bernoulli(rate_[u])) mask[t >> 6] |= (1ULL << (t & 63));
+      }
+    }
+  }
+}
+
+Snapshot SnapshotSimulator::evaluate_slot_synchronized() {
+  const std::size_t s = config_.probes_per_snapshot;
+  const std::size_t np = rrm_.path_count();
+  const std::size_t nc = rrm_.link_count();
+  Snapshot snap;
+  snap.path_log_trans.resize(np);
+  snap.path_trans.resize(np);
+  snap.link_sampled_log_trans.resize(nc);
+
+  std::vector<std::uint64_t> acc(words_);
+  const auto popcount_or = [&](const std::vector<std::uint32_t>& units) {
+    std::fill(acc.begin(), acc.end(), 0);
+    for (const auto u : units) {
+      const std::uint64_t* mask = bad_masks_.data() + u * words_;
+      for (std::size_t w = 0; w < words_; ++w) acc[w] |= mask[w];
+    }
+    std::size_t bad = 0;
+    for (const auto w : acc) bad += static_cast<std::size_t>(std::popcount(w));
+    return bad;
+  };
+
+  // Paths: a probe survives iff no traversed unit is bad in its slot.
+  for (std::size_t i = 0; i < np; ++i) {
+    const std::size_t bad = popcount_or(path_units_[i]);
+    const double phi = clamp_fraction(
+        static_cast<double>(s - bad) / static_cast<double>(s), s);
+    snap.path_trans[i] = phi;
+    snap.path_log_trans[i] = std::log(phi);
+  }
+  // Virtual links: a probe traverses the link successfully iff every unit
+  // backing it is good in its slot.
+  for (std::size_t k = 0; k < nc; ++k) {
+    const std::size_t bad = popcount_or(link_units_[k]);
+    const double phi = clamp_fraction(
+        static_cast<double>(s - bad) / static_cast<double>(s), s);
+    snap.link_sampled_log_trans[k] = std::log(phi);
+  }
+  return snap;
+}
+
+Snapshot SnapshotSimulator::evaluate_per_packet(stats::Rng& rng) {
+  const std::size_t s = config_.probes_per_snapshot;
+  const std::size_t np = rrm_.path_count();
+  const std::size_t nc = rrm_.link_count();
+  Snapshot snap;
+  snap.path_log_trans.resize(np);
+  snap.path_trans.resize(np);
+  snap.link_sampled_log_trans.resize(nc);
+
+  // Per-unit chains shared across paths; a packet arrival advances the
+  // chain of every unit it reaches.
+  std::vector<GilbertChain> chains;
+  chains.reserve(unit_count_);
+  for (std::size_t u = 0; u < unit_count_; ++u) {
+    chains.emplace_back(
+        GilbertParams::for_loss_rate(rate_[u], config_.gilbert_stay_bad), rng);
+  }
+  std::vector<std::size_t> arrivals(unit_count_, 0);
+  std::vector<std::size_t> drops(unit_count_, 0);
+  std::vector<std::size_t> delivered(np, 0);
+
+  std::vector<std::size_t> order(np);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t t = 0; t < s; ++t) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (const auto i : order) {
+      bool alive = true;
+      for (const auto u : path_units_[i]) {
+        if (!alive) break;
+        ++arrivals[u];
+        bool bad;
+        if (config_.process == LossProcess::kGilbert) {
+          bad = chains[u].step(rng);
+        } else {
+          bad = rng.bernoulli(rate_[u]);
+        }
+        if (bad) {
+          ++drops[u];
+          alive = false;
+        }
+      }
+      if (alive) ++delivered[i];
+    }
+  }
+  for (std::size_t i = 0; i < np; ++i) {
+    const double phi = clamp_fraction(
+        static_cast<double>(delivered[i]) / static_cast<double>(s), s);
+    snap.path_trans[i] = phi;
+    snap.path_log_trans[i] = std::log(phi);
+  }
+  for (std::size_t k = 0; k < nc; ++k) {
+    double log_phi = 0.0;
+    for (const auto u : link_units_[k]) {
+      const double phi_u =
+          arrivals[u] == 0
+              ? 1.0
+              : clamp_fraction(static_cast<double>(arrivals[u] - drops[u]) /
+                                   static_cast<double>(arrivals[u]),
+                               s);
+      log_phi += std::log(phi_u);
+    }
+    snap.link_sampled_log_trans[k] = log_phi;
+  }
+  return snap;
+}
+
+Snapshot SnapshotSimulator::finalize_truth(Snapshot snap) const {
+  const std::size_t nc = rrm_.link_count();
+  snap.edge_loss.assign(graph_.edge_count(), 0.0);
+  snap.edge_congested.assign(graph_.edge_count(), false);
+  snap.link_true_loss.resize(nc);
+  snap.link_congested.resize(nc);
+  if (config_.granularity == LossGranularity::kPerPhysicalEdge) {
+    for (std::size_t i = 0; i < covered_edges_.size(); ++i) {
+      snap.edge_loss[covered_edges_[i]] = rate_[i];
+      snap.edge_congested[covered_edges_[i]] = congested_[i];
+    }
+    snap.link_true_loss = rrm_.aggregate_edge_losses(snap.edge_loss);
+  } else {
+    for (std::size_t k = 0; k < nc; ++k) {
+      snap.link_true_loss[k] = rate_[k];
+      // Diagnostics: split the link's rate evenly (in log space) over its
+      // member edges.
+      const auto members = rrm_.members(k);
+      const double per_edge =
+          1.0 - std::pow(1.0 - rate_[k],
+                         1.0 / static_cast<double>(members.size()));
+      for (const auto e : members) {
+        snap.edge_loss[e] = per_edge;
+        snap.edge_congested[e] = congested_[k];
+      }
+    }
+  }
+  for (std::size_t k = 0; k < nc; ++k) {
+    snap.link_congested[k] =
+        snap.link_true_loss[k] > config_.loss_model.threshold_tl;
+  }
+  return snap;
+}
+
+Snapshot SnapshotSimulator::next() {
+  refresh_congestion();
+  auto slot_rng = rng_.fork(0x5eed);
+  if (config_.mode == ProbeMode::kSlotSynchronized) {
+    fill_masks(slot_rng);
+    return finalize_truth(evaluate_slot_synchronized());
+  }
+  return finalize_truth(evaluate_per_packet(slot_rng));
+}
+
+stats::SnapshotMatrix SnapshotSeries::observation_matrix() const {
+  if (snapshots.empty()) throw std::logic_error("no snapshots collected");
+  stats::SnapshotMatrix y(snapshots.front().path_log_trans.size(),
+                          snapshots.size());
+  for (std::size_t l = 0; l < snapshots.size(); ++l) {
+    const auto& src = snapshots[l].path_log_trans;
+    std::copy(src.begin(), src.end(), y.sample(l).begin());
+  }
+  return y;
+}
+
+SnapshotSeries run_snapshots(SnapshotSimulator& simulator, std::size_t m) {
+  SnapshotSeries series;
+  series.snapshots.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) series.snapshots.push_back(simulator.next());
+  return series;
+}
+
+}  // namespace losstomo::sim

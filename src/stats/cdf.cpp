@@ -1,0 +1,68 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace losstomo::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) throw std::invalid_argument("empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of range");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  if (points < 2) throw std::invalid_argument("need >= 2 curve points");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = min();
+  const double hi = max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument("bad histogram");
+}
+
+void Histogram::add(double x, double weight) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<long>(std::floor(t * static_cast<double>(counts_.size())));
+  b = std::clamp(b, 0L, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(b)] += weight;
+}
+
+double Histogram::bin_center(std::size_t b) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * w;
+}
+
+double Histogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+}  // namespace losstomo::stats

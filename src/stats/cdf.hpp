@@ -1,0 +1,60 @@
+// Empirical distribution helpers used to report the paper's CDF figures
+// (Fig. 6: absolute-error and error-factor CDFs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace losstomo::stats {
+
+/// Empirical CDF over a sample of doubles.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// q-th quantile, q in [0, 1], by linear interpolation between order
+  /// statistics.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Evaluation points covering the support, useful for printing a curve:
+  /// `points` equally spaced x values from min to max (inclusive).
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Histogram with equal-width bins over [lo, hi]; values outside clamp to
+/// the boundary bins.  Used for the Fig. 3 mean-vs-variance binned series.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_center(std::size_t b) const;
+  [[nodiscard]] double count(std::size_t b) const { return counts_[b]; }
+  [[nodiscard]] double total() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+};
+
+}  // namespace losstomo::stats

@@ -1,0 +1,146 @@
+#include "stats/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace losstomo::stats {
+
+SnapshotMatrix::SnapshotMatrix(std::size_t dim, std::size_t count)
+    : dim_(dim), count_(count), data_(dim * count, 0.0) {}
+
+SnapshotMatrix SnapshotMatrix::from_rows(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("no snapshots");
+  SnapshotMatrix out(rows.front().size(), rows.size());
+  for (std::size_t l = 0; l < rows.size(); ++l) {
+    if (rows[l].size() != out.dim()) {
+      throw std::invalid_argument("snapshot dimension mismatch");
+    }
+    std::copy(rows[l].begin(), rows[l].end(), out.sample(l).begin());
+  }
+  return out;
+}
+
+std::span<double> SnapshotMatrix::sample(std::size_t l) {
+  return {data_.data() + l * dim_, dim_};
+}
+
+std::span<const double> SnapshotMatrix::sample(std::size_t l) const {
+  return {data_.data() + l * dim_, dim_};
+}
+
+double& SnapshotMatrix::at(std::size_t l, std::size_t i) {
+  return data_[l * dim_ + i];
+}
+
+double SnapshotMatrix::at(std::size_t l, std::size_t i) const {
+  return data_[l * dim_ + i];
+}
+
+std::vector<double> sample_means(const SnapshotMatrix& y) {
+  std::vector<double> means(y.dim(), 0.0);
+  for (std::size_t l = 0; l < y.count(); ++l) {
+    const auto row = y.sample(l);
+    for (std::size_t i = 0; i < y.dim(); ++i) means[i] += row[i];
+  }
+  const double inv = 1.0 / static_cast<double>(y.count());
+  for (auto& m : means) m *= inv;
+  return means;
+}
+
+CenteredSnapshots::CenteredSnapshots(const SnapshotMatrix& y)
+    : centered_(y.dim(), y.count()), means_(sample_means(y)) {
+  for (std::size_t l = 0; l < y.count(); ++l) {
+    const auto src = y.sample(l);
+    auto dst = centered_.sample(l);
+    for (std::size_t i = 0; i < y.dim(); ++i) dst[i] = src[i] - means_[i];
+  }
+}
+
+double CenteredSnapshots::covariance(std::size_t i, std::size_t j) const {
+  const std::size_t m = count();
+  if (m < 2) throw std::logic_error("covariance needs >= 2 snapshots");
+  double acc = 0.0;
+  for (std::size_t l = 0; l < m; ++l) {
+    const auto row = sample(l);
+    acc += row[i] * row[j];
+  }
+  return acc / static_cast<double>(m - 1);
+}
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const { return mean_; }
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return min_; }
+
+double RunningStat::max() const { return max_; }
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  const double n = static_cast<double>(a.size());
+  const double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  const double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+namespace {
+
+// Average ranks (1-based) with ties sharing the mean of their rank range.
+std::vector<double> ranks(std::span<const double> x) {
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return x[i] < x[j]; });
+  std::vector<double> rank(x.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  return pearson(ra, rb);
+}
+
+}  // namespace losstomo::stats

@@ -1,0 +1,105 @@
+// Sample moments: means, variances, and the unbiased covariance estimator of
+// the paper's eq. (7), computed over m snapshots of the path observation
+// vector Y.
+//
+// Two access patterns are provided:
+//  * SnapshotMatrix + covariance(i, j): exact pairwise covariances, used by
+//    the explicit (drop-negative-equation) Phase-1 estimator on small path
+//    sets;
+//  * CenteredSnapshots: centred samples exposed so the implicit Phase-1
+//    estimator can evaluate per-link sums (sum over paths through a link of
+//    centred Y, squared, summed over snapshots) without materialising the
+//    np x np covariance matrix.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace losstomo::stats {
+
+/// Column-major collection of m snapshots of an np-dimensional observation:
+/// sample(l) returns snapshot l as a span of length np.
+class SnapshotMatrix {
+ public:
+  SnapshotMatrix(std::size_t dim, std::size_t count);
+
+  /// Builds from a vector of snapshot vectors (each of size dim).
+  static SnapshotMatrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  [[nodiscard]] std::span<double> sample(std::size_t l);
+  [[nodiscard]] std::span<const double> sample(std::size_t l) const;
+
+  [[nodiscard]] double& at(std::size_t l, std::size_t i);
+  [[nodiscard]] double at(std::size_t l, std::size_t i) const;
+
+ private:
+  std::size_t dim_;
+  std::size_t count_;
+  std::vector<double> data_;  // count_ rows of dim_ entries
+};
+
+/// Per-coordinate sample means of the snapshots.
+std::vector<double> sample_means(const SnapshotMatrix& y);
+
+/// Centred snapshots plus cached means; the basis for all covariance math.
+class CenteredSnapshots {
+ public:
+  explicit CenteredSnapshots(const SnapshotMatrix& y);
+
+  [[nodiscard]] std::size_t dim() const { return centered_.dim(); }
+  [[nodiscard]] std::size_t count() const { return centered_.count(); }
+  [[nodiscard]] const std::vector<double>& means() const { return means_; }
+
+  /// Centred snapshot l.
+  [[nodiscard]] std::span<const double> sample(std::size_t l) const {
+    return centered_.sample(l);
+  }
+
+  /// Unbiased sample covariance between coordinates i and j (paper eq. (7)):
+  ///   cov(i,j) = 1/(m-1) * sum_l (Y_i^l - mean_i)(Y_j^l - mean_j).
+  /// Requires count() >= 2.
+  [[nodiscard]] double covariance(std::size_t i, std::size_t j) const;
+
+  /// Unbiased sample variance of coordinate i.
+  [[nodiscard]] double variance(std::size_t i) const { return covariance(i, i); }
+
+ private:
+  SnapshotMatrix centered_;
+  std::vector<double> means_;
+};
+
+/// Streaming univariate accumulator (count/mean/variance/min/max) used by
+/// experiment harnesses to aggregate repeated runs.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations (Welford)
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation between two equal-length series; returns 0 when
+/// either series is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Spearman rank correlation (used to quantify the Fig. 3 monotone
+/// mean-variance relationship).  Ties get average ranks.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+}  // namespace losstomo::stats

@@ -1,0 +1,17 @@
+#include "stats/rng.hpp"
+
+namespace losstomo::stats {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  const std::uint64_t base = engine_();
+  return Rng(splitmix64(base ^ splitmix64(salt)));
+}
+
+}  // namespace losstomo::stats

@@ -1,0 +1,70 @@
+// Deterministic random number generation for simulations and experiments.
+//
+// Every stochastic component in the library takes an explicit Rng&, so a
+// single seed at the experiment harness reproduces the entire run.  `fork`
+// derives independent streams (e.g. one per snapshot or per link) without
+// the accidental correlation of reusing one engine across subsystems.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace losstomo::stats {
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64 with the
+/// distributions the simulators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal draw.
+  double gaussian() { return normal_(engine_); }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential draw with the given rate (> 0).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Gamma draw with the given shape and scale.
+  double gamma(double shape, double scale) {
+    return std::gamma_distribution<double>(shape, scale)(engine_);
+  }
+
+  /// Derives an independent child stream.  SplitMix64 finalizer over
+  /// (current state draw, salt) so distinct salts give decorrelated seeds.
+  Rng fork(std::uint64_t salt);
+
+  /// Access to the raw engine for std::shuffle and custom distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+/// SplitMix64 finalizer; used for seed derivation and hashing small ids.
+std::uint64_t splitmix64(std::uint64_t x);
+
+}  // namespace losstomo::stats

@@ -1,0 +1,243 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace losstomo::topology {
+
+namespace {
+
+using net::Graph;
+using net::NodeId;
+
+// Samples `count` distinct indices from [0, n) with the given (unnormalized,
+// non-negative) weights.  Selected indices have their weight zeroed.
+std::vector<std::size_t> weighted_sample_without_replacement(
+    std::vector<double> weights, std::size_t count, stats::Rng& rng) {
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  for (std::size_t draw = 0; draw < count; ++draw) {
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0) break;
+    double target = rng.uniform() * total;
+    std::size_t chosen = weights.size() - 1;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    picked.push_back(chosen);
+    weights[chosen] = 0.0;
+  }
+  return picked;
+}
+
+double distance(const std::pair<double, double>& a,
+                const std::pair<double, double>& b) {
+  const double dx = a.first - b.first;
+  const double dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Tree make_random_tree(const TreeConfig& config, stats::Rng& rng) {
+  if (config.nodes < 2) throw std::invalid_argument("tree needs >= 2 nodes");
+  if (config.max_branching < 1) {
+    throw std::invalid_argument("branching must be >= 1");
+  }
+  Tree tree;
+  tree.root = tree.graph.add_node();
+  tree.parent_edge.assign(1, net::kNoAs);  // root sentinel
+
+  // Nodes eligible to receive another child.
+  std::vector<NodeId> open{tree.root};
+  for (std::size_t i = 1; i < config.nodes; ++i) {
+    const std::size_t slot = rng.index(open.size());
+    const NodeId parent = open[slot];
+    const NodeId child = tree.graph.add_node();
+    const net::EdgeId e = tree.graph.add_edge(parent, child);
+    tree.parent_edge.push_back(e);
+    open.push_back(child);
+    if (tree.graph.out_degree(parent) >= config.max_branching) {
+      open[slot] = open.back();
+      open.pop_back();
+    }
+  }
+  for (NodeId v = 0; v < tree.graph.node_count(); ++v) {
+    if (tree.graph.out_degree(v) == 0) tree.leaves.push_back(v);
+  }
+  return tree;
+}
+
+std::vector<net::Path> tree_paths(const Tree& tree) {
+  std::vector<net::Path> paths;
+  paths.reserve(tree.leaves.size());
+  for (const NodeId leaf : tree.leaves) {
+    net::Path p;
+    p.source = tree.root;
+    p.destination = leaf;
+    NodeId at = leaf;
+    while (at != tree.root) {
+      const net::EdgeId e = tree.parent_edge[at];
+      p.edges.push_back(e);
+      at = tree.graph.edge(e).from;
+    }
+    std::reverse(p.edges.begin(), p.edges.end());
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+Topology make_waxman(const WaxmanConfig& config, stats::Rng& rng) {
+  if (config.nodes < config.links_per_node + 1) {
+    throw std::invalid_argument("waxman: too few nodes");
+  }
+  Topology topo;
+  topo.name = "waxman";
+  topo.graph.add_nodes(config.nodes);
+  topo.coords.resize(config.nodes);
+  for (auto& c : topo.coords) c = {rng.uniform(), rng.uniform()};
+
+  const double scale = std::sqrt(2.0);  // max distance on the unit square
+  // Seed: chain the first links_per_node+1 nodes so the incremental phase
+  // always finds enough attachment candidates.
+  const std::size_t seed_nodes = config.links_per_node + 1;
+  for (std::size_t i = 1; i < seed_nodes; ++i) {
+    topo.graph.add_bidirectional(static_cast<NodeId>(i - 1),
+                                 static_cast<NodeId>(i));
+  }
+  for (std::size_t i = seed_nodes; i < config.nodes; ++i) {
+    std::vector<double> weights(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double d = distance(topo.coords[i], topo.coords[j]);
+      weights[j] = config.alpha * std::exp(-d / (config.beta * scale));
+    }
+    const auto targets =
+        weighted_sample_without_replacement(weights, config.links_per_node, rng);
+    for (const auto j : targets) {
+      topo.graph.add_bidirectional(static_cast<NodeId>(i),
+                                   static_cast<NodeId>(j));
+    }
+  }
+  return topo;
+}
+
+Topology make_barabasi_albert(const BarabasiAlbertConfig& config,
+                              stats::Rng& rng) {
+  if (config.nodes < config.links_per_node + 1) {
+    throw std::invalid_argument("BA: too few nodes");
+  }
+  Topology topo;
+  topo.name = "barabasi-albert";
+  topo.graph.add_nodes(config.nodes);
+
+  const std::size_t seed_nodes = config.links_per_node + 1;
+  for (std::size_t i = 1; i < seed_nodes; ++i) {
+    topo.graph.add_bidirectional(static_cast<NodeId>(i - 1),
+                                 static_cast<NodeId>(i));
+  }
+  for (std::size_t i = seed_nodes; i < config.nodes; ++i) {
+    std::vector<double> weights(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      // Total degree counts both directions; +1 smoothing keeps isolated
+      // seed nodes reachable.
+      weights[j] = static_cast<double>(topo.graph.out_degree(static_cast<NodeId>(j))) + 1.0;
+    }
+    const auto targets =
+        weighted_sample_without_replacement(weights, config.links_per_node, rng);
+    for (const auto j : targets) {
+      topo.graph.add_bidirectional(static_cast<NodeId>(i),
+                                   static_cast<NodeId>(j));
+    }
+  }
+  return topo;
+}
+
+Topology make_hierarchical_top_down(const HierarchicalConfig& config,
+                                    stats::Rng& rng) {
+  Topology topo;
+  topo.name = "hierarchical-top-down";
+
+  // AS-level graph: Barabási–Albert gives the transit/stub skew.
+  auto as_rng = rng.fork(1);
+  const auto as_level = make_barabasi_albert(
+      {.nodes = config.as_count, .links_per_node = config.as_links_per_node},
+      as_rng);
+
+  // Router level: one Waxman pocket per AS.
+  std::vector<std::vector<NodeId>> routers_of(config.as_count);
+  for (std::size_t a = 0; a < config.as_count; ++a) {
+    auto pocket_rng = rng.fork(100 + a);
+    const auto pocket = make_waxman(
+        {.nodes = config.routers_per_as,
+         .links_per_node = config.router_links_per_node},
+        pocket_rng);
+    const NodeId base = topo.graph.add_nodes(config.routers_per_as);
+    for (std::size_t v = 0; v < config.routers_per_as; ++v) {
+      const auto id = static_cast<NodeId>(base + v);
+      topo.graph.set_as(id, static_cast<std::uint32_t>(a));
+      routers_of[a].push_back(id);
+      topo.coords.push_back(pocket.coords[v]);
+    }
+    for (net::EdgeId e = 0; e < pocket.graph.edge_count(); e += 2) {
+      const auto& ed = pocket.graph.edge(e);
+      topo.graph.add_bidirectional(base + ed.from, base + ed.to);
+    }
+  }
+
+  // Peering links: one (plus extras) per AS-level adjacency.
+  for (net::EdgeId e = 0; e < as_level.graph.edge_count(); e += 2) {
+    const auto& ed = as_level.graph.edge(e);
+    const auto& from_pool = routers_of[ed.from];
+    const auto& to_pool = routers_of[ed.to];
+    for (std::size_t x = 0; x < 1 + config.extra_peerings; ++x) {
+      topo.graph.add_bidirectional(from_pool[rng.index(from_pool.size())],
+                                   to_pool[rng.index(to_pool.size())]);
+    }
+  }
+  return topo;
+}
+
+Topology make_hierarchical_bottom_up(const BottomUpConfig& config,
+                                     stats::Rng& rng) {
+  auto base = make_waxman({.nodes = config.nodes,
+                           .links_per_node = config.links_per_node,
+                           .alpha = config.alpha,
+                           .beta = config.beta},
+                          rng);
+  base.name = "hierarchical-bottom-up";
+  // Group routers into ASes by spatial grid cell; empty cells vanish, so
+  // AS sizes vary organically as in BRITE's bottom-up mode.
+  std::map<std::size_t, std::uint32_t> cell_to_as;
+  for (NodeId v = 0; v < base.graph.node_count(); ++v) {
+    const auto [x, y] = base.coords[v];
+    const auto gx = std::min(config.grid - 1,
+                             static_cast<std::size_t>(x * static_cast<double>(config.grid)));
+    const auto gy = std::min(config.grid - 1,
+                             static_cast<std::size_t>(y * static_cast<double>(config.grid)));
+    const std::size_t cell = gx * config.grid + gy;
+    const auto [it, inserted] = cell_to_as.emplace(
+        cell, static_cast<std::uint32_t>(cell_to_as.size()));
+    base.graph.set_as(v, it->second);
+  }
+  return base;
+}
+
+std::vector<net::NodeId> pick_low_degree_hosts(const net::Graph& g,
+                                               std::size_t count) {
+  std::vector<NodeId> nodes(g.node_count());
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return g.out_degree(a) + g.in_degree(a) < g.out_degree(b) + g.in_degree(b);
+  });
+  nodes.resize(std::min(count, nodes.size()));
+  return nodes;
+}
+
+}  // namespace losstomo::topology

@@ -1,0 +1,123 @@
+// Topology generators for the paper's simulation study (§6).
+//
+// The paper evaluates on: random trees (§6.1), BRITE-generated Waxman,
+// Barabási–Albert and hierarchical (top-down/bottom-up) meshes (§6.2), and
+// the measured PlanetLab/DIMES topologies (substituted by the synthetic
+// overlays in overlay.hpp; see DESIGN.md §4).  These generators are
+// BRITE-flavoured re-implementations of the cited models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+#include "stats/rng.hpp"
+
+namespace losstomo::topology {
+
+/// A generated network plus the roles needed by the experiments.
+struct Topology {
+  net::Graph graph;
+  std::vector<net::NodeId> hosts;  // candidate beacons/destinations
+  std::string name;
+  /// Planar coordinates when the generator is geometric (Waxman family);
+  /// empty otherwise.  Used by the bottom-up hierarchy's spatial AS
+  /// clustering.
+  std::vector<std::pair<double, double>> coords;
+};
+
+// ---------------------------------------------------------------------------
+// Random tree (paper §6.1: 1000 unique nodes, max branching ratio 10;
+// beacon at the root, probing destinations at the leaves).
+// ---------------------------------------------------------------------------
+
+struct TreeConfig {
+  std::size_t nodes = 1000;
+  std::size_t max_branching = 10;
+};
+
+/// Generated tree with explicit root and leaf bookkeeping; edges are
+/// directed root-to-leaf (the direction probes travel).
+struct Tree {
+  net::Graph graph;
+  net::NodeId root = 0;
+  std::vector<net::NodeId> leaves;
+  std::vector<net::NodeId> parent_edge;  // per node: edge from parent (root: none)
+};
+
+Tree make_random_tree(const TreeConfig& config, stats::Rng& rng);
+
+/// Root-to-leaf measurement paths (one per leaf).
+std::vector<net::Path> tree_paths(const Tree& tree);
+
+// ---------------------------------------------------------------------------
+// Waxman (BRITE incremental variant): nodes placed uniformly on the unit
+// square; each new node connects to `links_per_node` existing nodes chosen
+// with probability proportional to alpha * exp(-d / (beta * L)).
+// ---------------------------------------------------------------------------
+
+struct WaxmanConfig {
+  std::size_t nodes = 1000;
+  std::size_t links_per_node = 2;
+  double alpha = 0.15;
+  double beta = 0.2;
+};
+
+Topology make_waxman(const WaxmanConfig& config, stats::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Barabási–Albert preferential attachment: each new node connects to
+// `links_per_node` existing nodes with probability proportional to degree.
+// ---------------------------------------------------------------------------
+
+struct BarabasiAlbertConfig {
+  std::size_t nodes = 1000;
+  std::size_t links_per_node = 2;
+};
+
+Topology make_barabasi_albert(const BarabasiAlbertConfig& config,
+                              stats::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Hierarchical topologies (BRITE top-down / bottom-up), AS-annotated.
+// ---------------------------------------------------------------------------
+
+struct HierarchicalConfig {
+  std::size_t as_count = 20;
+  std::size_t routers_per_as = 50;
+  std::size_t as_links_per_node = 2;      // AS-level graph density
+  std::size_t router_links_per_node = 2;  // intra-AS router graph density
+  /// Extra parallel inter-AS router links per AS-level edge beyond the
+  /// first (0 = single peering point per AS pair).
+  std::size_t extra_peerings = 0;
+};
+
+/// Top-down: AS-level Barabási–Albert graph, Waxman router graph inside
+/// each AS, one (or more) router-level peering per AS-level edge.
+Topology make_hierarchical_top_down(const HierarchicalConfig& config,
+                                    stats::Rng& rng);
+
+/// Bottom-up: flat Waxman router graph; ASes formed by spatial clustering
+/// (grid cells), so AS sizes vary organically.
+struct BottomUpConfig {
+  std::size_t nodes = 1000;
+  std::size_t links_per_node = 2;
+  std::size_t grid = 5;  // grid x grid spatial cells -> candidate ASes
+  double alpha = 0.15;
+  double beta = 0.2;
+};
+
+Topology make_hierarchical_bottom_up(const BottomUpConfig& config,
+                                     stats::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Host selection helper (paper §6.2: "end-hosts are nodes with the least
+// out-degree").
+// ---------------------------------------------------------------------------
+
+/// The `count` nodes with the smallest total degree (ties by id).
+std::vector<net::NodeId> pick_low_degree_hosts(const net::Graph& g,
+                                               std::size_t count);
+
+}  // namespace losstomo::topology

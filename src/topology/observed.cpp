@@ -1,0 +1,91 @@
+#include "topology/observed.hpp"
+
+#include <map>
+#include <set>
+
+namespace losstomo::topology {
+
+namespace {
+
+using net::EdgeId;
+using net::NodeId;
+
+// Observed node label: physical node plus an interface salt (0 for
+// correctly-aliased routers; split routers get one label per incoming-edge
+// parity, modelling unresolved interfaces).
+using Label = std::pair<NodeId, std::uint32_t>;
+
+}  // namespace
+
+ObservedTopology observe_topology(const net::Graph& physical,
+                                  const std::vector<net::Path>& paths,
+                                  const ObservationOptions& options,
+                                  stats::Rng& rng) {
+  // End-hosts keep their identity; only interior routers degrade.
+  std::set<NodeId> endpoints;
+  for (const auto& p : paths) {
+    endpoints.insert(p.source);
+    endpoints.insert(p.destination);
+  }
+  std::vector<bool> hidden(physical.node_count(), false);
+  std::vector<bool> split(physical.node_count(), false);
+  ObservedTopology out;
+  for (NodeId v = 0; v < physical.node_count(); ++v) {
+    if (endpoints.contains(v)) continue;
+    if (rng.bernoulli(options.hide_fraction)) {
+      hidden[v] = true;
+      ++out.hidden_routers;
+    } else if (rng.bernoulli(options.split_fraction)) {
+      split[v] = true;
+      ++out.split_routers;
+    }
+  }
+
+  std::map<Label, NodeId> node_of;
+  const auto intern_node = [&](const Label& label) {
+    const auto [it, inserted] = node_of.emplace(
+        label, static_cast<NodeId>(node_of.size()));
+    if (inserted) {
+      out.graph.add_node();
+      out.graph.set_as(it->second, physical.as_of(label.first));
+    }
+    return it->second;
+  };
+  std::map<std::pair<NodeId, NodeId>, EdgeId> edge_of;
+
+  for (const auto& p : paths) {
+    net::Path obs;
+    const NodeId obs_src = intern_node({p.source, 0});
+    obs.source = obs_src;
+    NodeId seg_start = obs_src;
+    std::vector<EdgeId> chain;
+    for (std::size_t idx = 0; idx < p.edges.size(); ++idx) {
+      const EdgeId e = p.edges[idx];
+      const NodeId w = physical.edge(e).to;
+      chain.push_back(e);
+      const bool last = idx + 1 == p.edges.size();
+      if (hidden[w] && !last) continue;  // hop invisible: extend the chain
+      const std::uint32_t salt = split[w] ? (e & 1u) : 0u;
+      const NodeId obs_w = intern_node({w, salt});
+      const auto key = std::make_pair(seg_start, obs_w);
+      const auto it = edge_of.find(key);
+      EdgeId obs_e;
+      if (it == edge_of.end()) {
+        obs_e = out.graph.add_edge(seg_start, obs_w);
+        edge_of.emplace(key, obs_e);
+        out.underlying.push_back(chain);
+      } else {
+        obs_e = it->second;
+        if (out.underlying[obs_e] != chain) ++out.ambiguous_links;
+      }
+      obs.edges.push_back(obs_e);
+      seg_start = obs_w;
+      chain.clear();
+    }
+    obs.destination = seg_start;
+    out.paths.push_back(std::move(obs));
+  }
+  return out;
+}
+
+}  // namespace losstomo::topology

@@ -1,0 +1,56 @@
+// Traceroute measurement-error model (paper §7.1).
+//
+// The paper's PlanetLab topologies come from traceroute and carry two error
+// classes: (i) routers that do not answer ICMP — the hops around them fuse
+// into one observed link; (ii) routers with multiple interfaces that alias
+// resolution (sr-ally) fails to merge — one physical router appears as
+// several observed nodes, duplicating its links.  This module applies both
+// error classes to a clean physical topology, producing the *observed*
+// graph/paths a measurement system would infer on, plus the mapping back to
+// physical edges for ground-truth evaluation
+// (bench/ablation_topology_noise).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+#include "stats/rng.hpp"
+
+namespace losstomo::topology {
+
+struct ObservationOptions {
+  /// Fraction of interior routers that do not respond to ICMP (their
+  /// adjacent hops merge).  Paper: 5-10% of PlanetLab routers.
+  double hide_fraction = 0.0;
+  /// Fraction of interior routers whose interfaces are not aliased (the
+  /// router splits into per-incoming-interface observed nodes).  Paper:
+  /// ~16% of routers had multiple interfaces, imperfectly resolved.
+  double split_fraction = 0.0;
+};
+
+/// The observed (traceroute-inferred) topology.
+struct ObservedTopology {
+  net::Graph graph;                 // observed nodes/links (AS labels copied)
+  std::vector<net::Path> paths;     // same order as the physical input paths
+  /// Physical edge chain underlying each observed edge.  When two distinct
+  /// physical chains collapse onto one observed link (both endpoints
+  /// invisible-merged the same way), the first chain is recorded and the
+  /// collision counted in `ambiguous_links`.
+  std::vector<std::vector<net::EdgeId>> underlying;
+  std::size_t hidden_routers = 0;
+  std::size_t split_routers = 0;
+  std::size_t ambiguous_links = 0;
+};
+
+/// Applies the error model.  Path sources/destinations (end-hosts) are
+/// never hidden or split.  The returned paths traverse the observed graph
+/// and are index-aligned with the input paths, so probe measurements taken
+/// on the physical network apply verbatim to the observed rows.
+ObservedTopology observe_topology(const net::Graph& physical,
+                                  const std::vector<net::Path>& paths,
+                                  const ObservationOptions& options,
+                                  stats::Rng& rng);
+
+}  // namespace losstomo::topology

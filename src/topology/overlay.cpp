@@ -1,0 +1,106 @@
+#include "topology/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace losstomo::topology {
+
+namespace {
+
+using net::NodeId;
+
+// Degree of AS a in the AS-membership sense: total degree of its routers'
+// inter-AS links.  Used to rank transit vs stub ASes.
+std::vector<std::size_t> inter_as_degree(const net::Graph& g,
+                                         std::size_t as_count) {
+  std::vector<std::size_t> deg(as_count, 0);
+  for (net::EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.is_inter_as(e)) ++deg[g.as_of(g.edge(e).from)];
+  }
+  return deg;
+}
+
+Topology attach_hosts(Topology core, const OverlayConfig& config,
+                      stats::Rng& rng, const char* name) {
+  core.name = name;
+  // Rank ASes by inter-AS connectivity; the top `transit_fraction` are
+  // transit networks that carry no hosts.
+  const auto deg = inter_as_degree(core.graph, config.as_count);
+  std::vector<std::size_t> order(config.as_count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return deg[a] > deg[b];
+  });
+  const auto transit_count = static_cast<std::size_t>(
+      std::ceil(config.transit_fraction * static_cast<double>(config.as_count)));
+  std::vector<bool> is_transit(config.as_count, false);
+  for (std::size_t i = 0; i < transit_count && i < order.size(); ++i) {
+    is_transit[order[i]] = true;
+  }
+
+  // Stub routers eligible for host attachment.
+  std::vector<NodeId> stub_routers;
+  const auto core_nodes = static_cast<NodeId>(core.graph.node_count());
+  for (NodeId v = 0; v < core_nodes; ++v) {
+    const auto as = core.graph.as_of(v);
+    if (as != net::kNoAs && !is_transit[as]) stub_routers.push_back(v);
+  }
+
+  for (std::size_t h = 0; h < config.hosts; ++h) {
+    const NodeId gateway = stub_routers[rng.index(stub_routers.size())];
+    const NodeId host = core.graph.add_node();
+    core.graph.set_as(host, core.graph.as_of(gateway));
+    core.graph.add_bidirectional(host, gateway);  // access link
+    core.hosts.push_back(host);
+  }
+  return core;
+}
+
+}  // namespace
+
+Topology make_planetlab_like(const OverlayConfig& config, stats::Rng& rng) {
+  auto core_rng = rng.fork(11);
+  auto core = make_hierarchical_top_down(
+      {.as_count = config.as_count,
+       .routers_per_as = config.routers_per_as,
+       .as_links_per_node = config.as_links_per_node,
+       .router_links_per_node = config.router_links_per_node,
+       .extra_peerings = 1},
+      core_rng);
+  return attach_hosts(std::move(core), config, rng, "planetlab-like");
+}
+
+Topology make_planetlab_like_scaled(double scale, stats::Rng& rng) {
+  // Paper scale: 500 beacons, 14922 distinct links.  The synthetic overlay
+  // keeps the beacon:AS:router proportions while shrinking by `scale`.
+  OverlayConfig config;
+  config.hosts = std::max<std::size_t>(8, static_cast<std::size_t>(500 * scale));
+  config.as_count = std::max<std::size_t>(6, static_cast<std::size_t>(120 * scale));
+  config.routers_per_as = 12;  // pocket size stays constant under scaling
+  config.transit_fraction = 0.25;
+  return make_planetlab_like(config, rng);
+}
+
+Topology make_dimes_like_scaled(double scale, stats::Rng& rng) {
+  OverlayConfig config;
+  config.hosts = std::max<std::size_t>(10, static_cast<std::size_t>(800 * scale));
+  config.as_count = std::max<std::size_t>(10, static_cast<std::size_t>(300 * scale));
+  config.routers_per_as = 6;  // smaller commercial pockets
+  config.as_links_per_node = 3;  // denser, heavier-tailed AS mesh
+  config.router_links_per_node = 2;
+  config.transit_fraction = 0.15;
+  auto core_rng = rng.fork(13);
+  auto core = make_hierarchical_top_down(
+      {.as_count = config.as_count,
+       .routers_per_as = config.routers_per_as,
+       .as_links_per_node = config.as_links_per_node,
+       .router_links_per_node = config.router_links_per_node,
+       .extra_peerings = 0},
+      core_rng);
+  auto topo = attach_hosts(std::move(core), config, rng, "dimes-like");
+  return topo;
+}
+
+}  // namespace losstomo::topology

@@ -1,0 +1,40 @@
+// Synthetic overlay monitoring topologies standing in for the paper's
+// measured PlanetLab (§6.2, §7) and DIMES (§6.2) datasets.
+//
+// The real datasets are traceroute-derived router graphs with end-hosts at
+// the edge.  We synthesize the same structure: a hierarchical transit/stub
+// core (AS-annotated) with end-hosts attached to stub-AS routers via access
+// links.  Hosts act as both beacons and probing destinations, exactly as in
+// the paper ("In all simulations, the end-hosts are both beacons and
+// probing destinations").  See DESIGN.md §4 for the substitution rationale.
+#pragma once
+
+#include "stats/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace losstomo::topology {
+
+struct OverlayConfig {
+  std::size_t hosts = 60;
+  std::size_t as_count = 24;
+  std::size_t routers_per_as = 12;
+  std::size_t as_links_per_node = 2;
+  std::size_t router_links_per_node = 2;
+  /// Fraction of ASes (the best-connected ones) treated as transit-only:
+  /// hosts attach only to the remaining stub ASes.
+  double transit_fraction = 0.25;
+};
+
+/// PlanetLab-flavoured overlay: moderate size, hosts concentrated on a few
+/// hundred research-network stubs (several hosts may share a stub AS).
+Topology make_planetlab_like(const OverlayConfig& config, stats::Rng& rng);
+
+/// Convenience: paper-shaped PlanetLab-like defaults scaled by `scale`
+/// in (0, 1]; scale=1 approximates the paper's 500-beacon topology.
+Topology make_planetlab_like_scaled(double scale, stats::Rng& rng);
+
+/// DIMES-flavoured overlay: more ASes, smaller router pockets, hosts spread
+/// across many commercial edge ASes with higher degree variance.
+Topology make_dimes_like_scaled(double scale, stats::Rng& rng);
+
+}  // namespace losstomo::topology

@@ -1,0 +1,86 @@
+#include "topology/routing.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace losstomo::topology {
+
+namespace {
+
+using net::EdgeId;
+using net::Graph;
+using net::NodeId;
+
+constexpr EdgeId kNoEdge = net::kNoAs;
+
+}  // namespace
+
+std::vector<EdgeId> next_hop_toward(const Graph& g, NodeId destination) {
+  // BFS on reversed edges from the destination; unit weights mean BFS order
+  // is distance order.  For determinism, process nodes in (distance, id)
+  // order and, at equal distance, adopt the parent offering the smallest
+  // next-hop edge id.
+  const std::size_t n = g.node_count();
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(n, kInf);
+  std::vector<EdgeId> next(n, kNoEdge);
+  dist[destination] = 0;
+
+  // (distance, node) min-heap; lazy deletion.
+  using Item = std::pair<std::size_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0, destination);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;
+    for (const EdgeId e : g.in_edges(v)) {
+      const NodeId u = g.edge(e).from;
+      const std::size_t nd = d + 1;
+      if (nd < dist[u] || (nd == dist[u] && e < next[u])) {
+        const bool improved = nd < dist[u];
+        dist[u] = nd;
+        next[u] = e;
+        if (improved) heap.emplace(nd, u);
+      }
+    }
+  }
+  return next;
+}
+
+RoutingResult route_paths(const Graph& g,
+                          const std::vector<NodeId>& beacons,
+                          const std::vector<NodeId>& destinations,
+                          const RoutingOptions& options) {
+  RoutingResult result;
+  for (const NodeId d : destinations) {
+    const auto next = next_hop_toward(g, d);
+    for (const NodeId b : beacons) {
+      if (options.skip_self && b == d) continue;
+      if (b == d) continue;  // a zero-length path carries no link info
+      if (next[b] == kNoEdge) {
+        ++result.unreachable_pairs;
+        continue;
+      }
+      net::Path p;
+      p.source = b;
+      p.destination = d;
+      NodeId at = b;
+      while (at != d) {
+        const EdgeId e = next[at];
+        p.edges.push_back(e);
+        at = g.edge(e).to;
+      }
+      result.paths.push_back(std::move(p));
+    }
+  }
+  if (options.sanitize_fluttering) {
+    auto sanitized = net::remove_fluttering_paths(std::move(result.paths));
+    result.fluttering_removed = sanitized.removed.size();
+    result.paths = std::move(sanitized.paths);
+  }
+  return result;
+}
+
+}  // namespace losstomo::topology

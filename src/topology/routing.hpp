@@ -1,0 +1,46 @@
+// Deterministic shortest-path routing between beacons and destinations.
+//
+// Forwarding is destination-based, as in IP: for every destination we build
+// a reverse shortest-path tree (unit weights, ties broken by smallest node
+// id) giving each node a unique next hop.  Paths to a common destination
+// therefore merge and never diverge; paths to *different* destinations can
+// still exhibit the meet-diverge-meet pattern that violates Assumption T.2,
+// which is why route_paths can optionally run the fluttering sanitizer
+// (mirroring the paper's PlanetLab methodology, §7.1).
+#pragma once
+
+#include <vector>
+
+#include "net/fluttering.hpp"
+#include "net/graph.hpp"
+#include "net/path.hpp"
+
+namespace losstomo::topology {
+
+struct RoutingOptions {
+  /// Drop paths violating T.2 after route computation.
+  bool sanitize_fluttering = true;
+  /// Skip beacon==destination pairs (always true in the paper's setups).
+  bool skip_self = true;
+};
+
+struct RoutingResult {
+  std::vector<net::Path> paths;
+  std::size_t unreachable_pairs = 0;
+  std::size_t fluttering_removed = 0;
+};
+
+/// Routes every (beacon, destination) pair.  Unreachable pairs are skipped
+/// and counted.
+RoutingResult route_paths(const net::Graph& g,
+                          const std::vector<net::NodeId>& beacons,
+                          const std::vector<net::NodeId>& destinations,
+                          const RoutingOptions& options = {});
+
+/// Next-hop table toward `destination`: for each node, the edge to take
+/// (or net::kNoAs when unreachable / at the destination).  Exposed for
+/// tests and diagnostics.
+std::vector<net::EdgeId> next_hop_toward(const net::Graph& g,
+                                         net::NodeId destination);
+
+}  // namespace losstomo::topology

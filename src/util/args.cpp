@@ -1,0 +1,90 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace losstomo::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value argument, got: " + arg);
+    }
+    values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Args::get_int(const std::string& key, int def) const {
+  const auto v = get(key);
+  return v ? std::stoi(*v) : def;
+}
+
+std::size_t Args::get_size(const std::string& key, std::size_t def) const {
+  const auto v = get(key);
+  return v ? static_cast<std::size_t>(std::stoull(*v)) : def;
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  return v ? std::stod(*v) : def;
+}
+
+bool Args::get_bool(const std::string& key, bool def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  if (*v == "1" || *v == "true" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "no") return false;
+  throw std::invalid_argument("bad boolean for " + key + ": " + *v);
+}
+
+std::string Args::get_string(const std::string& key, std::string def) const {
+  const auto v = get(key);
+  return v ? *v : std::move(def);
+}
+
+std::vector<double> Args::get_doubles(const std::string& key,
+                                      std::vector<double> def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  std::vector<double> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+std::vector<int> Args::get_ints(const std::string& key,
+                                std::vector<int> def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  std::vector<int> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+void Args::finish() const {
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.contains(key)) {
+      throw std::invalid_argument("unknown argument: " + key + "=" + value);
+    }
+  }
+}
+
+bool Args::full_scale() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace losstomo::util

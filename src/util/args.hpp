@@ -1,0 +1,55 @@
+// Tiny key=value command-line argument parser used by the bench harnesses
+// and examples.  Not a general-purpose CLI library: every argument must be
+// of the form `key=value`; unknown keys are rejected so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace losstomo::util {
+
+/// Parses `key=value` command-line arguments with typed, defaulted lookups.
+///
+/// Usage:
+///   Args args(argc, argv);
+///   const int m = args.get_int("m", 50);
+///   args.finish();   // throws on unknown/unconsumed keys
+class Args {
+ public:
+  Args() = default;
+  Args(int argc, const char* const* argv);
+
+  /// Returns the raw value for `key`, if present.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed accessors; each records `key` as known so finish() can
+  /// flag leftover (misspelled) arguments.
+  [[nodiscard]] int get_int(const std::string& key, int def) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key, std::size_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+  [[nodiscard]] std::string get_string(const std::string& key, std::string def) const;
+
+  /// Parses a comma-separated list of doubles, e.g. `p=0.05,0.1,0.25`.
+  [[nodiscard]] std::vector<double> get_doubles(const std::string& key,
+                                                std::vector<double> def) const;
+  /// Parses a comma-separated list of ints, e.g. `m=10,20,50`.
+  [[nodiscard]] std::vector<int> get_ints(const std::string& key,
+                                          std::vector<int> def) const;
+
+  /// Throws std::invalid_argument if any provided key was never consumed.
+  void finish() const;
+
+  /// True when the environment variable REPRO_FULL=1 requests paper-scale
+  /// runs (benches use this to pick their default problem sizes).
+  [[nodiscard]] static bool full_scale();
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace losstomo::util

@@ -1,0 +1,36 @@
+// Aligned plain-text table printer for the experiment harnesses.  The bench
+// binaries reproduce the paper's tables/figures as text; this keeps their
+// output format consistent and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace losstomo::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with single-space-padded, left-aligned columns and a rule
+  /// under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` digits after the decimal point.
+  static std::string num(double value, int digits = 4);
+  /// Formats a ratio as a percentage with `digits` decimals, e.g. "91.27%".
+  static std::string pct(double ratio, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace losstomo::util

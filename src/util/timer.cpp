@@ -1,0 +1,16 @@
+#include "util/timer.hpp"
+
+namespace losstomo::util {
+
+Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
+
+void Timer::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Timer::millis() const { return seconds() * 1e3; }
+
+}  // namespace losstomo::util

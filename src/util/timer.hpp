@@ -1,0 +1,25 @@
+// Wall-clock timer for the running-time experiments (§6.4 of the paper).
+#pragma once
+
+#include <chrono>
+
+namespace losstomo::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer();
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Elapsed time since construction/reset, in seconds.
+  [[nodiscard]] double seconds() const;
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace losstomo::util

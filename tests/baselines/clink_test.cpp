@@ -1,0 +1,140 @@
+#include "baselines/clink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace losstomo::baselines {
+namespace {
+
+// Binary snapshots generated from per-link congestion probabilities under
+// the boolean model: a path is bad iff any of its links is congested.
+std::vector<std::vector<bool>> boolean_snapshots(
+    const linalg::SparseBinaryMatrix& r, std::span<const double> p_link,
+    std::size_t m, stats::Rng& rng) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(m);
+  std::vector<bool> congested(r.cols());
+  for (std::size_t l = 0; l < m; ++l) {
+    for (std::size_t k = 0; k < r.cols(); ++k) {
+      congested[k] = rng.bernoulli(p_link[k]);
+    }
+    std::vector<bool> bad(r.rows(), false);
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      for (const auto k : r.row(i)) bad[i] = bad[i] || congested[k];
+    }
+    out.push_back(std::move(bad));
+  }
+  return out;
+}
+
+TEST(ClinkLearn, RecoversCongestionProbabilities) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::size_t nc = rrm.link_count();
+  linalg::Vector p_true(nc, 0.01);
+  p_true[0] = 0.3;
+  p_true[3] = 0.15;
+  stats::Rng rng(201);
+  const auto snaps = boolean_snapshots(rrm.matrix(), p_true, 4000, rng);
+  const auto model = clink_learn(rrm.matrix(), snaps);
+  EXPECT_TRUE(model.converged);
+  for (std::size_t k = 0; k < nc; ++k) {
+    EXPECT_NEAR(model.congestion_probability[k], p_true[k],
+                0.25 * std::max(p_true[k], 0.05))
+        << "link " << k;
+  }
+}
+
+TEST(ClinkLearn, ProbabilitiesClamped) {
+  const linalg::SparseBinaryMatrix r(2, {{0}, {1}});
+  // Path 0 never bad, path 1 always bad.
+  std::vector<std::vector<bool>> snaps(50, std::vector<bool>{false, true});
+  const auto model = clink_learn(r, snaps);
+  EXPECT_GE(model.congestion_probability[0], 1e-4);
+  EXPECT_LE(model.congestion_probability[1], 0.5);
+}
+
+TEST(ClinkLearn, RejectsEmptyOrRagged) {
+  const linalg::SparseBinaryMatrix r(2, {{0}, {1}});
+  EXPECT_THROW(clink_learn(r, {}), std::invalid_argument);
+  EXPECT_THROW(clink_learn(r, {{true}}), std::invalid_argument);
+}
+
+TEST(ClinkLocate, PrefersHighPriorLink) {
+  // Two candidate explanations for one bad path: the prior breaks the tie
+  // toward the chronically congested link.
+  const linalg::SparseBinaryMatrix r(2, {{0, 1}});
+  ClinkModel model;
+  model.congestion_probability = {0.3, 0.01};
+  const auto diagnosed = clink_locate(r, model, {true});
+  EXPECT_TRUE(diagnosed[0]);
+  EXPECT_FALSE(diagnosed[1]);
+}
+
+TEST(ClinkLocate, ExoneratesLinksOnGoodPaths) {
+  const auto net = losstomo::testing::make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  ClinkModel model;
+  model.congestion_probability.assign(rrm.link_count(), 0.1);
+  // P1 bad, P2/P3 good: the shared link (on good paths) must not be blamed.
+  const auto diagnosed = clink_locate(rrm.matrix(), model, {true, false, false});
+  EXPECT_FALSE(diagnosed[0]);
+  EXPECT_TRUE(diagnosed[1]);
+}
+
+TEST(ClinkLocate, CoversAllBadPaths) {
+  stats::Rng rng(202);
+  const auto tree = topology::make_random_tree({.nodes = 100, .max_branching = 5}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  ClinkModel model;
+  model.congestion_probability.assign(rrm.link_count(), 0.05);
+  std::vector<bool> bad(rrm.path_count());
+  for (std::size_t i = 0; i < bad.size(); ++i) bad[i] = rng.bernoulli(0.25);
+  const auto diagnosed = clink_locate(rrm.matrix(), model, bad);
+  for (std::size_t i = 0; i < rrm.path_count(); ++i) {
+    if (!bad[i]) continue;
+    bool covered = false;
+    for (const auto k : rrm.matrix().row(i)) covered |= diagnosed[k];
+    EXPECT_TRUE(covered) << "bad path " << i;
+  }
+}
+
+TEST(ClinkLocate, InformativePriorBeatsUniformPrior) {
+  // End-to-end: one chronically congested link; with the learned prior,
+  // CLINK localizes it more reliably than with a flat prior whenever
+  // several explanations are consistent.
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::size_t nc = rrm.link_count();
+  linalg::Vector p_true(nc, 0.01);
+  p_true[3] = 0.35;  // the chronic link (u -> v)
+  stats::Rng rng(203);
+  const auto history = boolean_snapshots(rrm.matrix(), p_true, 2000, rng);
+  const auto model = clink_learn(rrm.matrix(), history);
+
+  ClinkModel flat;
+  flat.congestion_probability.assign(nc, 0.1);
+
+  std::size_t learned_hits = 0, flat_hits = 0, trials = 0;
+  auto eval_rng = rng.fork(1);
+  const auto eval = boolean_snapshots(rrm.matrix(), p_true, 300, eval_rng);
+  // Re-simulate the congested sets to know the truth: regenerate with the
+  // same seed so truth aligns — simpler: count how often link 3 is blamed
+  // when it should dominate explanations.
+  for (const auto& snap : eval) {
+    bool any_bad = false;
+    for (const auto b : snap) any_bad |= b;
+    if (!any_bad) continue;
+    ++trials;
+    learned_hits += clink_locate(rrm.matrix(), model, snap)[3] ? 1 : 0;
+    flat_hits += clink_locate(rrm.matrix(), flat, snap)[3] ? 1 : 0;
+  }
+  ASSERT_GT(trials, 50u);
+  EXPECT_GE(learned_hits, flat_hits);
+}
+
+}  // namespace
+}  // namespace losstomo::baselines

@@ -1,0 +1,78 @@
+#include "baselines/first_moment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace losstomo::baselines {
+namespace {
+
+TEST(FirstMoment, ReportsUnidentifiability) {
+  // Figure 1's point: the first-moment system is rank deficient.
+  const auto net = losstomo::testing::make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const linalg::Vector y(rrm.path_count(), -0.1);
+  const auto result = solve_first_moment(rrm.matrix(), y);
+  EXPECT_FALSE(result.identifiable());
+  EXPECT_EQ(result.rank, 3u);
+  EXPECT_EQ(result.columns, 5u);
+}
+
+TEST(FirstMoment, FitsObservationsDespiteAmbiguity) {
+  // The basic solution fits Y exactly even though it is not unique.
+  const auto net = losstomo::testing::make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const linalg::Vector phi_true{0.9, 0.95, 0.85, 0.92, 0.88};
+  linalg::Vector x(5);
+  for (std::size_t k = 0; k < 5; ++k) x[k] = std::log(phi_true[k]);
+  const auto y = rrm.matrix().multiply(x);
+  const auto result = solve_first_moment(rrm.matrix(), y);
+  // Check fit on the raw solution: R x == y (the clamped phi can deviate
+  // when the ambiguous basic solution picks x > 0 for some link).
+  const auto fitted = rrm.matrix().multiply(result.x);
+  EXPECT_LT(linalg::max_abs_diff(fitted, y), 1e-8);
+}
+
+TEST(FirstMoment, SolutionDisagreesWithTruth) {
+  // ...and indeed the returned assignment differs from the ground truth —
+  // the ambiguity Figure 1 illustrates with two valid assignments.
+  const auto net = losstomo::testing::make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const linalg::Vector phi_true{0.9, 0.95, 0.85, 0.92, 0.88};
+  linalg::Vector x(5);
+  for (std::size_t k = 0; k < 5; ++k) x[k] = std::log(phi_true[k]);
+  const auto y = rrm.matrix().multiply(x);
+  const auto result = solve_first_moment(rrm.matrix(), y);
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < 5; ++k) {
+    max_err = std::max(max_err, std::fabs(result.phi[k] - phi_true[k]));
+  }
+  EXPECT_GT(max_err, 0.01);
+}
+
+TEST(FirstMoment, IdentifiableWhenMatrixIsSquareFullRank) {
+  const linalg::SparseBinaryMatrix r(2, {{0}, {1}});
+  const linalg::Vector y{std::log(0.9), std::log(0.8)};
+  const auto result = solve_first_moment(r, y);
+  EXPECT_TRUE(result.identifiable());
+  EXPECT_NEAR(result.phi[0], 0.9, 1e-10);
+  EXPECT_NEAR(result.phi[1], 0.8, 1e-10);
+}
+
+TEST(FirstMoment, HandlesWideSystems) {
+  // 1 path over 3 links: maximally ambiguous.
+  const linalg::SparseBinaryMatrix r(3, {{0, 1, 2}});
+  const linalg::Vector y{std::log(0.5)};
+  const auto result = solve_first_moment(r, y);
+  EXPECT_EQ(result.rank, 1u);
+  EXPECT_FALSE(result.identifiable());
+  // Fit still holds: the raw log rates sum to log(0.5).
+  double log_sum = 0.0;
+  for (const auto x : result.x) log_sum += x;
+  EXPECT_NEAR(log_sum, std::log(0.5), 1e-8);
+}
+
+}  // namespace
+}  // namespace losstomo::baselines

@@ -1,0 +1,142 @@
+#include "baselines/scfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace losstomo::baselines {
+namespace {
+
+using losstomo::testing::make_fig1_network;
+
+TEST(BinarizePaths, ThresholdDependsOnLength) {
+  // tl = 0.002; a 10-hop path is bad below 0.998^10 ~ 0.9802.
+  const std::vector<double> phi{0.985, 0.975};
+  const std::vector<std::size_t> lengths{10, 10};
+  const auto bad = binarize_paths(phi, lengths, 0.002);
+  EXPECT_FALSE(bad[0]);
+  EXPECT_TRUE(bad[1]);
+}
+
+TEST(BinarizePaths, SizeMismatchThrows) {
+  const std::vector<double> phi{1.0};
+  const std::vector<std::size_t> lengths{1, 2};
+  EXPECT_THROW(binarize_paths(phi, lengths, 0.002), std::invalid_argument);
+}
+
+TEST(PathLengths, CountsLinks) {
+  const linalg::SparseBinaryMatrix r(4, {{0, 1}, {2}, {0, 1, 2, 3}});
+  const auto lengths = path_lengths(r);
+  EXPECT_EQ(lengths, (std::vector<std::size_t>{2, 1, 4}));
+}
+
+TEST(ScfsTree, BlamesSharedLinkWhenAllPathsBad) {
+  // Fig 1: all three paths bad -> the shared head link explains everything.
+  const auto net = make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::vector<bool> bad{true, true, true};
+  const auto diagnosed = scfs_tree(rrm, bad);
+  EXPECT_TRUE(diagnosed[0]);  // shared link e1
+  EXPECT_FALSE(diagnosed[1]);
+  EXPECT_FALSE(diagnosed[2]);
+  EXPECT_FALSE(diagnosed[3]);
+  EXPECT_FALSE(diagnosed[4]);
+}
+
+TEST(ScfsTree, BlamesLeafLinkForSingleBadPath) {
+  const auto net = make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::vector<bool> bad{true, false, false};
+  const auto diagnosed = scfs_tree(rrm, bad);
+  // Only P1 bad: blame its private link (e2 = link index 1).
+  EXPECT_FALSE(diagnosed[0]);
+  EXPECT_TRUE(diagnosed[1]);
+}
+
+TEST(ScfsTree, BlamesSubtreeRoot) {
+  const auto net = make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  // P2 and P3 bad (both through e3): blame e3, not e4/e5.
+  const std::vector<bool> bad{false, true, true};
+  const auto diagnosed = scfs_tree(rrm, bad);
+  EXPECT_FALSE(diagnosed[0]);
+  EXPECT_FALSE(diagnosed[1]);
+  EXPECT_TRUE(diagnosed[2]);
+  EXPECT_FALSE(diagnosed[3]);
+  EXPECT_FALSE(diagnosed[4]);
+}
+
+TEST(ScfsTree, NoBadPathsNoBlame) {
+  const auto net = make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::vector<bool> bad{false, false, false};
+  const auto diagnosed = scfs_tree(rrm, bad);
+  for (const auto d : diagnosed) EXPECT_FALSE(d);
+}
+
+TEST(ScfsTree, ExplainsAllBadPaths) {
+  // Consistency property on a random tree: every bad path must contain a
+  // diagnosed link, and no good path may.
+  stats::Rng rng(111);
+  const auto tree = topology::make_random_tree({.nodes = 120, .max_branching = 5}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  std::vector<bool> bad(rrm.path_count());
+  for (std::size_t i = 0; i < bad.size(); ++i) bad[i] = rng.bernoulli(0.3);
+  const auto diagnosed = scfs_tree(rrm, bad);
+  for (std::size_t i = 0; i < rrm.path_count(); ++i) {
+    bool covered = false;
+    for (const auto k : rrm.matrix().row(i)) covered |= diagnosed[k];
+    EXPECT_EQ(covered, static_cast<bool>(bad[i])) << "path " << i;
+  }
+}
+
+TEST(ScfsTree, RejectsNonTreeInput) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::vector<bool> bad(rrm.path_count(), true);
+  EXPECT_THROW(scfs_tree(rrm, bad), std::invalid_argument);
+}
+
+TEST(ScfsGeneral, CoversAllBadPaths) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::vector<bool> bad{true, false, true, true, false, true};
+  const auto diagnosed = scfs_general(rrm.matrix(), bad);
+  for (std::size_t i = 0; i < rrm.path_count(); ++i) {
+    if (!bad[i]) continue;
+    bool covered = false;
+    for (const auto k : rrm.matrix().row(i)) covered |= diagnosed[k];
+    EXPECT_TRUE(covered) << "bad path " << i << " unexplained";
+  }
+}
+
+TEST(ScfsGeneral, NeverBlamesExoneratedLinks) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::vector<bool> bad{true, false, false, false, false, false};
+  const auto diagnosed = scfs_general(rrm.matrix(), bad);
+  for (std::size_t i = 0; i < rrm.path_count(); ++i) {
+    if (bad[i]) continue;
+    for (const auto k : rrm.matrix().row(i)) {
+      EXPECT_FALSE(diagnosed[k]) << "good path's link " << k << " blamed";
+    }
+  }
+}
+
+TEST(ScfsGeneral, ParsimonyOnSharedBottleneck) {
+  // All paths through one shared link bad -> exactly one link blamed.
+  const auto net = make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const std::vector<bool> bad{true, true, true};
+  const auto diagnosed = scfs_general(rrm.matrix(), bad);
+  std::size_t count = 0;
+  for (const auto d : diagnosed) count += d ? 1 : 0;
+  EXPECT_EQ(count, 1u);
+  EXPECT_TRUE(diagnosed[0]);
+}
+
+}  // namespace
+}  // namespace losstomo::baselines

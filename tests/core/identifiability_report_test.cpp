@@ -1,0 +1,77 @@
+#include "core/identifiability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/augmented_matrix.hpp"
+#include "linalg/qr.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace losstomo::core {
+namespace {
+
+TEST(IdentifiabilityReport, Fig1Network) {
+  const auto net = losstomo::testing::make_fig1_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const auto report = analyze_identifiability(rrm.matrix());
+  EXPECT_EQ(report.link_count, 5u);
+  EXPECT_EQ(report.routing_rank, 3u);
+  EXPECT_EQ(report.augmented_rank, 5u);
+  EXPECT_FALSE(report.means_identifiable());
+  EXPECT_TRUE(report.variances_identifiable());
+  EXPECT_TRUE(report.unidentifiable_links.empty());
+}
+
+TEST(IdentifiabilityReport, AgreesWithExplicitRanks) {
+  stats::Rng rng(211);
+  const auto mesh = losstomo::testing::make_random_mesh(35, 7, rng);
+  ASSERT_FALSE(mesh.paths.empty());
+  const net::ReducedRoutingMatrix rrm(mesh.topo.graph, mesh.paths);
+  const auto report = analyze_identifiability(rrm.matrix());
+  EXPECT_EQ(report.routing_rank,
+            linalg::matrix_rank(rrm.matrix().to_dense()));
+  EXPECT_EQ(report.augmented_rank,
+            linalg::matrix_rank(build_augmented_matrix(rrm.matrix())));
+}
+
+TEST(IdentifiabilityReport, SinglePathIsDeficient) {
+  // One path over two links: neither R nor A can separate them... but the
+  // column reduction merges them first, so the reduced system is trivially
+  // identifiable with one virtual link.  Use a two-path crafted matrix
+  // with duplicated A-columns instead: impossible after reduction, so
+  // construct the sparse matrix directly.
+  const linalg::SparseBinaryMatrix r(3, {{0, 1}, {1, 2}});
+  // Columns 0 and 2 appear only with column 1; A columns: shared sets are
+  // {0,1},{1},{1,2} — check the report agrees with the dense rank.
+  const auto report = analyze_identifiability(r);
+  EXPECT_EQ(report.augmented_rank,
+            linalg::matrix_rank(build_augmented_matrix(r)));
+  EXPECT_EQ(report.unidentifiable_links.size(),
+            report.link_count - report.augmented_rank);
+}
+
+TEST(IdentifiabilityReport, UnidentifiableLinksListedForDeficientSystem) {
+  // Two identical columns cannot arise from ReducedRoutingMatrix, but a
+  // hand-built sparse matrix can carry them; the report must flag exactly
+  // one of the pair.
+  const linalg::SparseBinaryMatrix r(3, {{0, 1, 2}, {0, 1}});
+  // Columns 0 and 1 have identical incidence -> A has equal columns.
+  const auto report = analyze_identifiability(r);
+  EXPECT_LT(report.augmented_rank, report.link_count);
+  ASSERT_EQ(report.unidentifiable_links.size(), 1u);
+  EXPECT_LE(report.unidentifiable_links[0], 1u);  // one of the twins
+}
+
+TEST(IdentifiabilityReport, TreeAlwaysIdentifiable) {
+  for (const std::uint64_t seed : {212u, 213u, 214u}) {
+    stats::Rng rng(seed);
+    const auto tree =
+        topology::make_random_tree({.nodes = 60, .max_branching = 4}, rng);
+    const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+    const auto report = analyze_identifiability(rrm.matrix());
+    EXPECT_TRUE(report.variances_identifiable()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace losstomo::core

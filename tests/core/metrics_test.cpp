@@ -1,0 +1,99 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace losstomo::core {
+namespace {
+
+TEST(LocateCongested, PerfectDiagnosis) {
+  const std::vector<double> inferred{0.1, 0.0, 0.05, 0.001};
+  const std::vector<bool> truth{true, false, true, false};
+  const auto acc = locate_congested(inferred, truth, 0.002);
+  EXPECT_DOUBLE_EQ(acc.dr, 1.0);
+  EXPECT_DOUBLE_EQ(acc.fpr, 0.0);
+  EXPECT_EQ(acc.hits, 2u);
+}
+
+TEST(LocateCongested, MissedDetection) {
+  const std::vector<double> inferred{0.0, 0.0};
+  const std::vector<bool> truth{true, false};
+  const auto acc = locate_congested(inferred, truth, 0.002);
+  EXPECT_DOUBLE_EQ(acc.dr, 0.0);
+  EXPECT_DOUBLE_EQ(acc.fpr, 0.0);  // nothing diagnosed -> FPR 0 by definition
+}
+
+TEST(LocateCongested, FalseAlarm) {
+  const std::vector<double> inferred{0.1, 0.1};
+  const std::vector<bool> truth{true, false};
+  const auto acc = locate_congested(inferred, truth, 0.002);
+  EXPECT_DOUBLE_EQ(acc.dr, 1.0);
+  EXPECT_DOUBLE_EQ(acc.fpr, 0.5);  // |X\F| / |X| = 1/2 (paper's denominator)
+}
+
+TEST(LocateCongested, EmptyTruthGivesDrOne) {
+  const std::vector<double> inferred{0.0};
+  const std::vector<bool> truth{false};
+  const auto acc = locate_congested(inferred, truth, 0.002);
+  EXPECT_DOUBLE_EQ(acc.dr, 1.0);
+}
+
+TEST(LocateCongested, ThresholdIsStrict) {
+  const std::vector<double> inferred{0.002};
+  const std::vector<bool> truth{true};
+  const auto acc = locate_congested(inferred, truth, 0.002);
+  EXPECT_EQ(acc.diagnosed_congested, 0u);  // exactly tl is "good"
+}
+
+TEST(LocateCongested, BinaryOverload) {
+  const std::vector<bool> diagnosed{true, false, true};
+  const std::vector<bool> truth{true, true, false};
+  const auto acc = locate_congested(diagnosed, truth);
+  EXPECT_DOUBLE_EQ(acc.dr, 0.5);
+  EXPECT_DOUBLE_EQ(acc.fpr, 0.5);
+}
+
+TEST(LocateCongested, SizeMismatchThrows) {
+  const std::vector<double> inferred{0.1};
+  const std::vector<bool> truth{true, false};
+  EXPECT_THROW(locate_congested(inferred, truth, 0.002), std::invalid_argument);
+}
+
+TEST(ErrorFactor, EqualValuesGiveOne) {
+  EXPECT_DOUBLE_EQ(error_factor(0.1, 0.1), 1.0);
+}
+
+TEST(ErrorFactor, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(error_factor(0.1, 0.05), error_factor(0.05, 0.1));
+  EXPECT_DOUBLE_EQ(error_factor(0.1, 0.05), 2.0);
+}
+
+TEST(ErrorFactor, DeltaFloorsSmallValues) {
+  // Both below delta: treated as delta/delta = 1 (paper eq. (10)).
+  EXPECT_DOUBLE_EQ(error_factor(0.0, 1e-6), 1.0);
+  // One above: ratio against delta.
+  EXPECT_DOUBLE_EQ(error_factor(0.0, 0.01), 10.0);
+}
+
+TEST(ErrorFactor, CustomDelta) {
+  EXPECT_DOUBLE_EQ(error_factor(0.0, 0.01, 0.01), 1.0);
+}
+
+TEST(PerLinkErrors, VectorsAligned) {
+  const std::vector<double> truth{0.1, 0.0};
+  const std::vector<double> inferred{0.12, 0.0};
+  const auto errors = per_link_errors(truth, inferred);
+  ASSERT_EQ(errors.absolute.size(), 2u);
+  EXPECT_NEAR(errors.absolute[0], 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(errors.absolute[1], 0.0);
+  EXPECT_NEAR(errors.factor[0], 0.12 / 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(errors.factor[1], 1.0);
+}
+
+TEST(PerLinkErrors, SizeMismatchThrows) {
+  const std::vector<double> a{0.1};
+  const std::vector<double> b{0.1, 0.2};
+  EXPECT_THROW(per_link_errors(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace losstomo::core

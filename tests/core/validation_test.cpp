@@ -1,0 +1,110 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/probe_sim.hpp"
+#include "topology/generators.hpp"
+#include "topology/overlay.hpp"
+#include "topology/routing.hpp"
+
+namespace losstomo::core {
+namespace {
+
+TEST(SplitPaths, HalvesArePartition) {
+  stats::Rng rng(121);
+  const auto split = split_paths(11, rng);
+  EXPECT_EQ(split.inference.size(), 5u);
+  EXPECT_EQ(split.validation.size(), 6u);
+  std::set<std::size_t> all;
+  for (const auto i : split.inference) all.insert(i);
+  for (const auto i : split.validation) all.insert(i);
+  EXPECT_EQ(all.size(), 11u);
+}
+
+TEST(SplitPaths, DeterministicUnderSeed) {
+  stats::Rng rng1(122), rng2(122);
+  const auto s1 = split_paths(20, rng1);
+  const auto s2 = split_paths(20, rng2);
+  EXPECT_EQ(s1.inference, s2.inference);
+}
+
+TEST(CrossValidation, HighConsistencyOnSimulatedOverlay) {
+  // The §7.2 experiment in miniature: simulate an overlay, split, infer,
+  // validate with eq. (11).  The Internet-like profile has near-zero loss
+  // on good links (LLRD1's 0-0.2% per hop would alone exceed the paper's
+  // epsilon = 0.005 over a 10-hop path once elimination rounds those links
+  // to zero; the real network §7 measures has no such floor).
+  stats::Rng rng(123);
+  auto topo_rng = rng.fork(1);
+  const auto topo = topology::make_planetlab_like(
+      {.hosts = 14, .as_count = 6, .routers_per_as = 6}, topo_rng);
+  const auto routed = topology::route_paths(topo.graph, topo.hosts, topo.hosts);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+
+  sim::ScenarioConfig config;
+  config.p = 0.03;
+  config.loss_model.good_hi = 0.0002;
+  config.probes_per_snapshot = 2000;
+  sim::SnapshotSimulator simulator(topo.graph, rrm, config, 1234);
+  const auto series = sim::run_snapshots(simulator, 31);
+
+  stats::SnapshotMatrix history(rrm.path_count(), 30);
+  for (std::size_t l = 0; l < 30; ++l) {
+    const auto& y = series.snapshots[l].path_log_trans;
+    std::copy(y.begin(), y.end(), history.sample(l).begin());
+  }
+  const auto& current = series.snapshots[30];
+
+  auto split_rng = rng.fork(2);
+  const auto split = split_paths(rrm.path_count(), split_rng);
+  const auto result = cross_validate(
+      topo.graph, routed.paths, history, current.path_log_trans,
+      current.path_trans, split, 0.005);
+  EXPECT_GT(result.checked, 0u);
+  EXPECT_GT(result.consistency(), 0.7);
+}
+
+TEST(CrossValidation, PerfectWhenNothingCongested) {
+  stats::Rng rng(124);
+  auto topo_rng = rng.fork(1);
+  const auto topo = topology::make_planetlab_like(
+      {.hosts = 10, .as_count = 5, .routers_per_as = 5}, topo_rng);
+  const auto routed = topology::route_paths(topo.graph, topo.hosts, topo.hosts);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+
+  sim::ScenarioConfig config;
+  config.p = 0.0;  // everything good: predictions are ~1, measurements ~1
+  sim::SnapshotSimulator simulator(topo.graph, rrm, config, 99);
+  const auto series = sim::run_snapshots(simulator, 13);
+  stats::SnapshotMatrix history(rrm.path_count(), 12);
+  for (std::size_t l = 0; l < 12; ++l) {
+    const auto& y = series.snapshots[l].path_log_trans;
+    std::copy(y.begin(), y.end(), history.sample(l).begin());
+  }
+  const auto& current = series.snapshots[12];
+  auto split_rng = rng.fork(2);
+  const auto split = split_paths(rrm.path_count(), split_rng);
+  const auto result = cross_validate(
+      topo.graph, routed.paths, history, current.path_log_trans,
+      current.path_trans, split, 0.01);
+  EXPECT_GT(result.consistency(), 0.95);
+}
+
+TEST(CrossValidation, RejectsMismatchedSizes) {
+  net::Graph g(2);
+  const auto e = g.add_edge(0, 1);
+  const std::vector<net::Path> paths{{.source = 0, .destination = 1, .edges = {e}}};
+  stats::SnapshotMatrix history(2, 3);  // wrong dim
+  const linalg::Vector y{0.0};
+  const linalg::Vector phi{1.0};
+  SplitIndices split;
+  split.inference = {0};
+  EXPECT_THROW(cross_validate(g, paths, history, y, phi, split),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace losstomo::core

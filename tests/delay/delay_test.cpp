@@ -1,0 +1,128 @@
+#include "delay/delay_tomography.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "test_util.hpp"
+
+namespace losstomo::delay {
+namespace {
+
+struct Fixture {
+  net::Graph graph;
+  std::unique_ptr<net::ReducedRoutingMatrix> rrm;
+
+  Fixture() {
+    auto net = losstomo::testing::make_two_beacon_network();
+    graph = std::move(net.graph);
+    rrm = std::make_unique<net::ReducedRoutingMatrix>(graph, net.paths);
+  }
+};
+
+TEST(DelaySimulator, PathDelayIsSumOfLinkDelays) {
+  Fixture f;
+  DelayScenarioConfig config;
+  config.probe_noise_ms = 0.0;  // exact additivity
+  DelaySimulator sim(*f.rrm, config, 1);
+  const auto snap = sim.next();
+  const auto& r = f.rrm->matrix();
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    double expected = 0.0;
+    for (const auto k : r.row(i)) expected += snap.link_delay[k];
+    EXPECT_NEAR(snap.path_delay[i], expected, 1e-9);
+  }
+}
+
+TEST(DelaySimulator, CongestedLinksHaveLargeQueues) {
+  Fixture f;
+  DelayScenarioConfig config;
+  config.p = 0.5;
+  DelaySimulator sim(*f.rrm, config, 2);
+  for (int s = 0; s < 20; ++s) {
+    const auto snap = sim.next();
+    for (std::size_t k = 0; k < f.rrm->link_count(); ++k) {
+      if (snap.link_congested[k]) {
+        EXPECT_GT(snap.link_delay[k], config.congested_queue_lo_ms);
+      }
+    }
+  }
+}
+
+TEST(DelayTomography, RecoversCongestedLinkDelays) {
+  Fixture f;
+  DelayScenarioConfig config;
+  config.p = 0.25;
+  config.probe_noise_ms = 0.1;
+  DelaySimulator sim(*f.rrm, config, 3);
+
+  const std::size_t m = 60;
+  std::vector<std::vector<double>> history_rows;
+  for (std::size_t l = 0; l < m; ++l) {
+    history_rows.push_back(sim.next().path_delay);
+  }
+  const auto history = stats::SnapshotMatrix::from_rows(history_rows);
+  const auto current = sim.next();
+
+  const auto inference =
+      run_delay_tomography(f.rrm->matrix(), history, current.path_delay);
+  // Links kept by the elimination must have accurate inferred delays on
+  // congested links (propagation + queue >> approximation error).
+  for (std::size_t k = 0; k < f.rrm->link_count(); ++k) {
+    if (!inference.removed[k] && current.link_congested[k]) {
+      EXPECT_NEAR(inference.delay[k], current.link_delay[k],
+                  0.25 * current.link_delay[k])
+          << "link " << k;
+    }
+  }
+}
+
+TEST(DelayTomography, CongestionLocationFromDelays) {
+  // Classification via inferred queueing delay against the threshold.
+  Fixture f;
+  DelayScenarioConfig config;
+  config.p = 0.3;
+  DelaySimulator sim(*f.rrm, config, 4);
+  const std::size_t m = 80;
+  std::vector<std::vector<double>> history_rows;
+  for (std::size_t l = 0; l < m; ++l) history_rows.push_back(sim.next().path_delay);
+  const auto history = stats::SnapshotMatrix::from_rows(history_rows);
+
+  stats::RunningStat dr;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto current = sim.next();
+    const auto inference =
+        run_delay_tomography(f.rrm->matrix(), history, current.path_delay);
+    // Diagnose congested when the inferred delay is far above propagation
+    // (which is <= prop_delay_hi_ms).
+    std::vector<bool> diagnosed(f.rrm->link_count());
+    for (std::size_t k = 0; k < diagnosed.size(); ++k) {
+      diagnosed[k] = !inference.removed[k] &&
+                     inference.delay[k] >
+                         config.prop_delay_hi_ms + config.congestion_threshold_ms;
+    }
+    const auto acc = core::locate_congested(diagnosed, current.link_congested);
+    dr.add(acc.dr);
+  }
+  EXPECT_GT(dr.mean(), 0.7);
+}
+
+TEST(DelayInference, RemovedLinksReportZero) {
+  Fixture f;
+  // All variance on link 0; everything else eliminated as dependent or
+  // quiet.
+  linalg::Vector v(f.rrm->link_count(), 1e-12);
+  v[0] = 1.0;
+  const auto elim = core::eliminate_low_variance_links(f.rrm->matrix(), v);
+  linalg::Vector y(f.rrm->path_count(), 1.0);
+  const auto inference = infer_snapshot_delays(f.rrm->matrix(), elim, y);
+  for (std::size_t k = 0; k < f.rrm->link_count(); ++k) {
+    if (inference.removed[k]) {
+      EXPECT_DOUBLE_EQ(inference.delay[k], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace losstomo::delay

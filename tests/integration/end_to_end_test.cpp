@@ -1,0 +1,190 @@
+// Integration tests: the full measurement -> inference pipeline on
+// simulated networks, checking the paper's qualitative claims end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/scfs.hpp"
+#include "core/lia.hpp"
+#include "core/metrics.hpp"
+#include "sim/probe_sim.hpp"
+#include "stats/cdf.hpp"
+#include "stats/moments.hpp"
+#include "topology/generators.hpp"
+#include "topology/overlay.hpp"
+#include "topology/routing.hpp"
+
+namespace losstomo {
+namespace {
+
+struct PipelineResult {
+  core::LocationAccuracy lia_accuracy;
+  core::LocationAccuracy scfs_accuracy;
+  core::ErrorVectors errors;
+  bool congested_link_removed = false;
+};
+
+// Runs m learning snapshots + 1 inference snapshot of LIA (and tree-SCFS
+// when the topology is a tree) and reports accuracy against ground truth.
+PipelineResult run_pipeline(const net::Graph& graph,
+                            const net::ReducedRoutingMatrix& rrm,
+                            const sim::ScenarioConfig& config, std::size_t m,
+                            std::uint64_t seed, bool run_scfs) {
+  sim::SnapshotSimulator simulator(graph, rrm, config, seed);
+  auto series = sim::run_snapshots(simulator, m + 1);
+  stats::SnapshotMatrix history(rrm.path_count(), m);
+  for (std::size_t l = 0; l < m; ++l) {
+    const auto& y = series.snapshots[l].path_log_trans;
+    std::copy(y.begin(), y.end(), history.sample(l).begin());
+  }
+  const auto& current = series.snapshots[m];
+
+  core::Lia lia(rrm.matrix());
+  lia.learn(history);
+  const auto inference = lia.infer(current.path_log_trans);
+
+  PipelineResult result;
+  const double tl = config.loss_model.threshold_tl;
+  result.lia_accuracy =
+      core::locate_congested(inference.loss, current.link_congested, tl);
+  result.errors =
+      core::per_link_errors(current.link_true_loss, inference.loss);
+  for (std::size_t k = 0; k < rrm.link_count(); ++k) {
+    if (inference.removed[k] && current.link_congested[k]) {
+      result.congested_link_removed = true;
+    }
+  }
+  if (run_scfs) {
+    const auto bad = baselines::binarize_paths(
+        current.path_trans, baselines::path_lengths(rrm.matrix()), tl);
+    result.scfs_accuracy = core::locate_congested(
+        baselines::scfs_tree(rrm, bad), current.link_congested);
+  }
+  return result;
+}
+
+TEST(EndToEnd, TreePipelineAccurate) {
+  // Paper §6.1 in miniature: tree, p = 10%, S = 1000, m = 50.
+  stats::Rng rng(131);
+  const auto tree =
+      topology::make_random_tree({.nodes = 250, .max_branching = 10}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  sim::ScenarioConfig config;
+  config.p = 0.1;
+  const auto result = run_pipeline(tree.graph, rrm, config, 50, 777, true);
+
+  EXPECT_GT(result.lia_accuracy.dr, 0.8);
+  EXPECT_LT(result.lia_accuracy.fpr, 0.15);
+  // Fig. 7's claim: no congested link is eliminated in Phase 2.
+  EXPECT_FALSE(result.congested_link_removed);
+}
+
+TEST(EndToEnd, LiaBeatsScfsOnTree) {
+  // Fig. 5's claim, averaged over a few runs to damp single-snapshot noise.
+  stats::Rng rng(132);
+  const auto tree =
+      topology::make_random_tree({.nodes = 200, .max_branching = 10}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  sim::ScenarioConfig config;
+  config.p = 0.1;
+  stats::RunningStat lia_dr, scfs_dr, lia_fpr, scfs_fpr;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto result = run_pipeline(tree.graph, rrm, config, 40, 900 + seed, true);
+    lia_dr.add(result.lia_accuracy.dr);
+    scfs_dr.add(result.scfs_accuracy.dr);
+    lia_fpr.add(result.lia_accuracy.fpr);
+    scfs_fpr.add(result.scfs_accuracy.fpr);
+  }
+  // The robust Fig. 5 claim is the detection-rate gap: SCFS can only blame
+  // the topmost all-bad link of a subtree, missing congested links that
+  // hide below other congested links; LIA recovers them from variances.
+  EXPECT_GT(lia_dr.mean(), scfs_dr.mean() + 0.1);
+  // Both false-positive rates stay small.  (Their relative order depends
+  // on the good-link loss floor: the paper's noisier good links inflate
+  // SCFS's FPR above LIA's; the calibrated floor here deflates it.  See
+  // EXPERIMENTS.md.)
+  EXPECT_LT(lia_fpr.mean(), 0.15);
+  EXPECT_LT(scfs_fpr.mean(), 0.15);
+}
+
+TEST(EndToEnd, ErrorsConcentratedNearZero) {
+  // Fig. 6's claim: absolute-error CDF concentrated near 0, error factors
+  // near 1.
+  stats::Rng rng(133);
+  const auto tree =
+      topology::make_random_tree({.nodes = 250, .max_branching = 10}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  sim::ScenarioConfig config;
+  config.p = 0.1;
+  const auto result = run_pipeline(tree.graph, rrm, config, 50, 555, false);
+  const stats::EmpiricalCdf abs_cdf(result.errors.absolute);
+  const stats::EmpiricalCdf factor_cdf(result.errors.factor);
+  EXPECT_LT(abs_cdf.median(), 0.003);
+  EXPECT_LT(factor_cdf.quantile(0.9), 2.0);
+}
+
+TEST(EndToEnd, MeshPipelineAccurate) {
+  // Table 2's claim on a mesh with multiple beacons.
+  stats::Rng rng(134);
+  const auto topo = topology::make_planetlab_like(
+      {.hosts = 16, .as_count = 7, .routers_per_as = 6}, rng);
+  const auto routed = topology::route_paths(topo.graph, topo.hosts, topo.hosts);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+  sim::ScenarioConfig config;
+  config.p = 0.1;
+  const auto result = run_pipeline(topo.graph, rrm, config, 50, 313, false);
+  EXPECT_GT(result.lia_accuracy.dr, 0.75);
+  // FPR is count-dominated at this tiny scale (|F| ~ 7): a handful of
+  // links misattributed by ~0.003 dominates the ratio.  The Table-2 bench
+  // runs the larger topologies where the paper's 3-6% band applies.
+  EXPECT_LT(result.lia_accuracy.fpr, 0.45);
+}
+
+TEST(EndToEnd, Llrd2ModelAlsoWorks) {
+  // Paper: "We found very little difference between the two models".
+  stats::Rng rng(135);
+  const auto tree =
+      topology::make_random_tree({.nodes = 200, .max_branching = 10}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  sim::ScenarioConfig config;
+  config.p = 0.1;
+  config.loss_model = sim::LossModelConfig::llrd2();
+  const auto result = run_pipeline(tree.graph, rrm, config, 50, 414, false);
+  EXPECT_GT(result.lia_accuracy.dr, 0.75);
+}
+
+TEST(EndToEnd, BernoulliLossesAlsoWork) {
+  // Paper: "We also run simulations with Bernoulli losses, but the
+  // differences are insignificant."
+  stats::Rng rng(136);
+  const auto tree =
+      topology::make_random_tree({.nodes = 200, .max_branching = 10}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  sim::ScenarioConfig config;
+  config.p = 0.1;
+  config.process = sim::LossProcess::kBernoulli;
+  const auto result = run_pipeline(tree.graph, rrm, config, 50, 515, false);
+  EXPECT_GT(result.lia_accuracy.dr, 0.75);
+  EXPECT_LT(result.lia_accuracy.fpr, 0.2);
+}
+
+TEST(EndToEnd, MoreSnapshotsImproveAccuracy) {
+  // Fig. 5's trend in m.
+  stats::Rng rng(137);
+  const auto tree =
+      topology::make_random_tree({.nodes = 200, .max_branching = 10}, rng);
+  const net::ReducedRoutingMatrix rrm(tree.graph, topology::tree_paths(tree));
+  sim::ScenarioConfig config;
+  config.p = 0.1;
+  stats::RunningStat dr_small, dr_large;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    dr_small.add(
+        run_pipeline(tree.graph, rrm, config, 8, 20 + seed, false).lia_accuracy.dr);
+    dr_large.add(
+        run_pipeline(tree.graph, rrm, config, 80, 20 + seed, false).lia_accuracy.dr);
+  }
+  EXPECT_GE(dr_large.mean() + 0.05, dr_small.mean());
+}
+
+}  // namespace
+}  // namespace losstomo

@@ -1,0 +1,129 @@
+#include "io/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "net/routing_matrix.hpp"
+#include "test_util.hpp"
+
+namespace losstomo::io {
+namespace {
+
+TEST(TraceIo, TopologyRoundTrip) {
+  const auto net = losstomo::testing::make_fig1_network();
+  std::stringstream buffer;
+  write_topology(buffer, net.graph);
+  const auto loaded = read_topology(buffer);
+  ASSERT_EQ(loaded.node_count(), net.graph.node_count());
+  ASSERT_EQ(loaded.edge_count(), net.graph.edge_count());
+  for (net::EdgeId e = 0; e < loaded.edge_count(); ++e) {
+    EXPECT_EQ(loaded.edge(e).from, net.graph.edge(e).from);
+    EXPECT_EQ(loaded.edge(e).to, net.graph.edge(e).to);
+  }
+}
+
+TEST(TraceIo, AsAnnotationsRoundTrip) {
+  net::Graph g(3);
+  g.set_as(0, 7);
+  g.set_as(2, 9);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::stringstream buffer;
+  write_topology(buffer, g);
+  const auto loaded = read_topology(buffer);
+  EXPECT_EQ(loaded.as_of(0), 7u);
+  EXPECT_EQ(loaded.as_of(1), net::kNoAs);
+  EXPECT_EQ(loaded.as_of(2), 9u);
+}
+
+TEST(TraceIo, PathsRoundTrip) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  std::stringstream buffer;
+  write_paths(buffer, net.paths);
+  const auto loaded = read_paths(buffer);
+  ASSERT_EQ(loaded.size(), net.paths.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].source, net.paths[i].source);
+    EXPECT_EQ(loaded[i].destination, net.paths[i].destination);
+    EXPECT_EQ(loaded[i].edges, net.paths[i].edges);
+  }
+}
+
+TEST(TraceIo, SnapshotsRoundTripWithLogTransform) {
+  const std::vector<std::vector<double>> phi{{1.0, 0.9, 0.5},
+                                             {0.8, 1.0, 0.25}};
+  std::stringstream buffer;
+  write_snapshots(buffer, phi);
+  const auto y = read_snapshots(buffer);
+  EXPECT_EQ(y.count(), 2u);
+  EXPECT_EQ(y.dim(), 3u);
+  EXPECT_NEAR(y.at(0, 1), std::log(0.9), 1e-12);
+  EXPECT_NEAR(y.at(1, 2), std::log(0.25), 1e-12);
+}
+
+TEST(TraceIo, SnapshotsRawMode) {
+  const std::vector<std::vector<double>> phi{{0.5, 1.0}};
+  std::stringstream buffer;
+  write_snapshots(buffer, phi);
+  const auto raw = read_snapshots(buffer, /*log_transform=*/false);
+  EXPECT_DOUBLE_EQ(raw.at(0, 0), 0.5);
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored) {
+  std::stringstream buffer(
+      "# campaign\n\nnodes 2\n# annotation\nedge 0 1  # uplink\n");
+  const auto g = read_topology(buffer);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(TraceIo, RejectsBadHeaders) {
+  std::stringstream not_nodes("edges 5\n");
+  EXPECT_THROW(read_topology(not_nodes), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(read_topology(empty), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsRaggedSnapshots) {
+  std::stringstream buffer("0.5 0.5\n0.5\n");
+  EXPECT_THROW(read_snapshots(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfRangePhi) {
+  std::stringstream buffer("1.5\n");
+  EXPECT_THROW(read_snapshots(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsPathWithoutEdges) {
+  std::stringstream buffer("0 1\n");
+  EXPECT_THROW(read_paths(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTripAndPipeline) {
+  // Save a complete campaign to disk, reload it, and verify the routing
+  // matrix rebuilds identically.
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const std::string base = ::testing::TempDir() + "losstomo_io_test";
+  save_topology(base + ".topology", net.graph);
+  save_paths(base + ".paths", net.paths);
+  save_snapshots(base + ".snapshots", {{1.0, 0.9, 0.8, 1.0, 0.9, 0.8}});
+
+  const auto g = load_topology(base + ".topology");
+  const auto paths = load_paths(base + ".paths");
+  const auto y = load_snapshots(base + ".snapshots");
+  const net::ReducedRoutingMatrix original(net.graph, net.paths);
+  const net::ReducedRoutingMatrix reloaded(g, paths);
+  EXPECT_EQ(reloaded.link_count(), original.link_count());
+  EXPECT_EQ(reloaded.path_count(), original.path_count());
+  EXPECT_EQ(y.dim(), reloaded.path_count());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_topology("/nonexistent/path/file.topology"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace losstomo::io

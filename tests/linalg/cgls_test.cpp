@@ -1,0 +1,78 @@
+#include "linalg/cgls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "linalg/sparse.hpp"
+#include "stats/rng.hpp"
+
+namespace losstomo::linalg {
+namespace {
+
+TEST(Cgls, SolvesDiagonalSystem) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const Vector b{2.0, 8.0};
+  const auto result = cgls(
+      [&](std::span<const double> x) { return a.multiply(x); },
+      [&](std::span<const double> y) { return a.multiply_transpose(y); }, b, 2);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-8);
+}
+
+TEST(Cgls, MatchesQrOnOverdeterminedSystem) {
+  stats::Rng rng(31);
+  Matrix a(20, 5);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.gaussian();
+  }
+  Vector b(20);
+  for (auto& v : b) v = rng.gaussian();
+  const auto direct = HouseholderQr(a).solve(b);
+  const auto result = cgls(
+      [&](std::span<const double> x) { return a.multiply(x); },
+      [&](std::span<const double> y) { return a.multiply_transpose(y); }, b, 5);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(max_abs_diff(result.x, direct), 1e-6);
+}
+
+TEST(Cgls, WorksWithSparseOperators) {
+  const SparseBinaryMatrix r(3, {{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}});
+  const Vector x_true{0.5, 1.0, 2.0};
+  const auto b = r.multiply(x_true);
+  const auto result = cgls(
+      [&](std::span<const double> x) { return r.multiply(x); },
+      [&](std::span<const double> y) { return r.multiply_transpose(y); }, b, 3);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(max_abs_diff(result.x, x_true), 1e-7);
+}
+
+TEST(Cgls, ZeroRhsGivesZero) {
+  const Matrix a = Matrix::identity(4);
+  const Vector b(4, 0.0);
+  const auto result = cgls(
+      [&](std::span<const double> x) { return a.multiply(x); },
+      [&](std::span<const double> y) { return a.multiply_transpose(y); }, b, 4);
+  EXPECT_TRUE(result.converged);
+  for (const auto v : result.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Cgls, RespectsIterationCap) {
+  stats::Rng rng(32);
+  Matrix a(30, 10);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) a(i, j) = rng.gaussian();
+  }
+  Vector b(30);
+  for (auto& v : b) v = rng.gaussian();
+  CglsOptions opts;
+  opts.max_iterations = 1;
+  const auto result = cgls(
+      [&](std::span<const double> x) { return a.multiply(x); },
+      [&](std::span<const double> y) { return a.multiply_transpose(y); }, b, 10,
+      opts);
+  EXPECT_LE(result.iterations, 1u);
+}
+
+}  // namespace
+}  // namespace losstomo::linalg

@@ -1,0 +1,144 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace losstomo::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+  m(1, 2) = -3.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -3.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerListThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const auto eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{1.0, -1.0};
+  const auto y = m.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, MatrixVectorSizeMismatchThrows) {
+  const Matrix m{{1.0, 2.0}};
+  const Vector x{1.0};
+  EXPECT_THROW(m.multiply(x), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeVectorProduct) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector y{1.0, 0.0, -1.0};
+  const auto x = m.multiply_transpose(y);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], -4.0);
+  EXPECT_DOUBLE_EQ(x[1], -4.0);
+}
+
+TEST(Matrix, MatrixMatrixProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const auto c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  const Matrix a{{1.0, 2.0, 0.0}, {0.0, 1.0, 1.0}, {2.0, 0.0, 1.0}};
+  const auto g = a.gram();
+  const auto expected = a.transposed().multiply(a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  const Matrix a{{1.5, -2.0}, {0.25, 3.0}, {1.0, 1.0}};
+  const auto g = a.gram();
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+}
+
+TEST(Matrix, Frobenius) {
+  const Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius(), 5.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix m{{-7.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 7.0);
+}
+
+TEST(VectorOps, Norm2) {
+  const Vector x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VectorOps, Dot) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+  const Vector a{1.0};
+  const Vector b{1.0, 2.0};
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+TEST(VectorOps, Axpy) {
+  const Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, SubtractAndMaxAbsDiff) {
+  const Vector a{1.0, 5.0};
+  const Vector b{2.0, 2.0};
+  const auto d = subtract(a, b);
+  EXPECT_DOUBLE_EQ(d[0], -1.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+}
+
+}  // namespace
+}  // namespace losstomo::linalg

@@ -1,0 +1,133 @@
+#include "linalg/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "stats/rng.hpp"
+
+namespace losstomo::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, stats::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.gaussian();
+  }
+  return m;
+}
+
+NnlsResult solve(const Matrix& a, const Vector& b) {
+  const auto g = a.gram();
+  const auto h = a.multiply_transpose(b);
+  return nnls_gram(g, h);
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenOptimumIsPositive) {
+  stats::Rng rng(21);
+  const auto a = random_matrix(20, 4, rng);
+  Vector x_true{1.0, 2.0, 0.5, 3.0};  // strictly positive
+  const auto b = a.multiply(x_true);
+  const auto result = solve(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(max_abs_diff(result.x, x_true), 1e-8);
+}
+
+TEST(Nnls, EnforcesNonNegativity) {
+  stats::Rng rng(22);
+  const auto a = random_matrix(25, 5, rng);
+  Vector x_mixed{1.0, -2.0, 0.5, -0.25, 3.0};
+  const auto b = a.multiply(x_mixed);
+  const auto result = solve(a, b);
+  EXPECT_TRUE(result.converged);
+  for (const auto v : result.x) EXPECT_GE(v, 0.0);
+}
+
+TEST(Nnls, KktConditionsHoldAtSolution) {
+  stats::Rng rng(23);
+  const auto a = random_matrix(30, 6, rng);
+  Vector b(30);
+  for (auto& v : b) v = rng.gaussian();
+  const auto g = a.gram();
+  const auto h = a.multiply_transpose(b);
+  const auto result = nnls_gram(g, h);
+  ASSERT_TRUE(result.converged);
+  // Gradient w = h - G x must be <= tol everywhere, with w ~ 0 on the
+  // support of x.
+  Vector w = h;
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t i = 0; i < 6; ++i) w[i] -= g(i, j) * result.x[j];
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_LT(w[i], 1e-6);
+    if (result.x[i] > 1e-10) {
+      EXPECT_NEAR(w[i], 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Nnls, ZeroRhsGivesZeroSolution) {
+  stats::Rng rng(24);
+  const auto a = random_matrix(10, 3, rng);
+  const Vector b(10, 0.0);
+  const auto result = solve(a, b);
+  EXPECT_TRUE(result.converged);
+  for (const auto v : result.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Nnls, NegativeGradientEverywhereGivesZero) {
+  // b in the negative orthant of A's column space: x = 0 is optimal.
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  const Vector b{-1.0, -2.0};
+  const auto result = solve(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.x[1], 0.0);
+}
+
+TEST(Nnls, RejectsMismatchedSizes) {
+  const Matrix g = Matrix::identity(3);
+  const Vector h{1.0, 2.0};
+  EXPECT_THROW(nnls_gram(g, h), std::invalid_argument);
+}
+
+TEST(Nnls, ObjectiveNeverWorseThanClampedLeastSquares) {
+  // NNLS must beat (or match) the naive "solve LS then clamp negatives".
+  stats::Rng rng(25);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = random_matrix(15, 4, rng);
+    Vector b(15);
+    for (auto& v : b) v = rng.gaussian();
+    const auto nnls = solve(a, b);
+    ASSERT_TRUE(nnls.converged);
+    auto clamped = HouseholderQr(a).solve(b);
+    for (auto& v : clamped) v = std::max(v, 0.0);
+    const auto obj = [&](const Vector& x) {
+      const auto r = subtract(a.multiply(x), b);
+      return dot(r, r);
+    };
+    EXPECT_LE(obj(nnls.x), obj(clamped) + 1e-9);
+  }
+}
+
+// Variance-flavoured property: sparse non-negative ground truth is
+// recovered from consistent equations.
+class NnlsRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnlsRecovery, RecoversSparseNonNegativeTruth) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 8;
+  const auto a = random_matrix(40, n, rng);
+  Vector x_true(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) x_true[i] = rng.uniform(0.5, 2.0);
+  }
+  const auto b = a.multiply(x_true);
+  const auto result = solve(a, b);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(max_abs_diff(result.x, x_true), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsRecovery, ::testing::Range(100, 110));
+
+}  // namespace
+}  // namespace losstomo::linalg

@@ -1,0 +1,190 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "stats/rng.hpp"
+
+namespace losstomo::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, stats::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.gaussian();
+  }
+  return m;
+}
+
+TEST(HouseholderQr, SolvesSquareSystemExactly) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{5.0, 10.0};
+  const auto x = HouseholderQr(a).solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(HouseholderQr, LeastSquaresMatchesNormalEquations) {
+  stats::Rng rng(42);
+  const auto a = random_matrix(20, 5, rng);
+  Vector b(20);
+  for (auto& v : b) v = rng.gaussian();
+  const auto x = HouseholderQr(a).solve(b);
+  // Normal equations residual: A^T (A x - b) = 0.
+  const auto ax = a.multiply(x);
+  const auto resid = subtract(ax, b);
+  const auto grad = a.multiply_transpose(resid);
+  EXPECT_LT(norm2(grad), 1e-9);
+}
+
+TEST(HouseholderQr, ThrowsOnWideMatrix) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(HouseholderQr{a}, std::invalid_argument);
+}
+
+TEST(HouseholderQr, DetectsRankDeficiency) {
+  // Third column = first + second.
+  Matrix a(4, 3);
+  stats::Rng rng(7);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = rng.gaussian();
+    a(i, 1) = rng.gaussian();
+    a(i, 2) = a(i, 0) + a(i, 1);
+  }
+  const HouseholderQr qr(a);
+  EXPECT_FALSE(qr.full_column_rank());
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(qr.solve(b), std::runtime_error);
+}
+
+TEST(HouseholderQr, FullColumnRankOnWellConditioned) {
+  stats::Rng rng(3);
+  const auto a = random_matrix(10, 4, rng);
+  EXPECT_TRUE(HouseholderQr(a).full_column_rank());
+}
+
+TEST(HouseholderQr, ReusableForMultipleRhs) {
+  const Matrix a{{1.0, 0.0}, {0.0, 2.0}, {1.0, 1.0}};
+  const HouseholderQr qr(a);
+  const auto x1 = qr.solve(Vector{1.0, 0.0, 1.0});
+  const auto x2 = qr.solve(Vector{0.0, 2.0, 1.0});
+  EXPECT_NEAR(x1[0], 1.0, 1e-12);
+  EXPECT_NEAR(x2[1], 1.0, 1e-12);
+}
+
+TEST(PivotedQr, RankOfIdentity) {
+  EXPECT_EQ(PivotedQr(Matrix::identity(5)).rank(), 5u);
+}
+
+TEST(PivotedQr, RankOfZeroMatrix) {
+  EXPECT_EQ(PivotedQr(Matrix(4, 3)).rank(), 0u);
+}
+
+TEST(PivotedQr, RankOfOuterProduct) {
+  // u v^T has rank 1.
+  Matrix a(5, 4);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      a(i, j) = static_cast<double>(i + 1) * static_cast<double>(j + 2);
+    }
+  }
+  EXPECT_EQ(PivotedQr(a).rank(), 1u);
+}
+
+TEST(PivotedQr, BasicSolutionSolvesFullRankSystem) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}, {0.0, 0.0}};
+  const Vector b{2.0, 8.0, 0.0};
+  const auto x = PivotedQr(a).solve_basic(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(PivotedQr, BasicSolutionFitsRankDeficientSystem) {
+  // Columns 0 and 1 identical: any split between them fits; the basic
+  // solution must still reproduce b.
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+    a(i, 2) = (i == 0) ? 1.0 : 0.0;
+  }
+  const Vector b{3.0, 4.0, 6.0};
+  const PivotedQr qr(a);
+  EXPECT_EQ(qr.rank(), 2u);
+  const auto x = qr.solve_basic(b);
+  const auto fitted = a.multiply(x);
+  // b = 2*(col0) + 1*(col2) is representable exactly.
+  EXPECT_NEAR(fitted[1], 4.0, 1e-10);
+  EXPECT_NEAR(fitted[2], 6.0, 1e-10);
+}
+
+TEST(PivotedQr, PermutationIsValid) {
+  stats::Rng rng(9);
+  const auto a = random_matrix(6, 6, rng);
+  const PivotedQr qr(a);
+  const auto& perm = qr.permutation();
+  std::vector<bool> seen(6, false);
+  for (const auto p : perm) {
+    ASSERT_LT(p, 6u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(MatrixRank, HandlesWideMatrices) {
+  // 2 x 4 with independent rows.
+  const Matrix a{{1.0, 0.0, 1.0, 2.0}, {0.0, 1.0, 1.0, 3.0}};
+  EXPECT_EQ(matrix_rank(a), 2u);
+}
+
+TEST(MatrixRank, EmptyMatrixIsRankZero) {
+  EXPECT_EQ(matrix_rank(Matrix()), 0u);
+}
+
+TEST(LeastSquares, RecoversExactSolution) {
+  stats::Rng rng(11);
+  const auto a = random_matrix(30, 6, rng);
+  Vector x_true(6);
+  for (auto& v : x_true) v = rng.gaussian();
+  const auto b = a.multiply(x_true);
+  const auto x = least_squares(a, b);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-9);
+}
+
+// Property sweep: QR least squares satisfies the normal equations across
+// shapes and seeds.
+class QrProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, int>> {};
+
+TEST_P(QrProperty, NormalEquationsResidualVanishes) {
+  const auto [rows, cols, seed] = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto a = random_matrix(rows, cols, rng);
+  Vector b(rows);
+  for (auto& v : b) v = rng.gaussian();
+  const auto x = HouseholderQr(a).solve(b);
+  const auto grad = a.multiply_transpose(subtract(a.multiply(x), b));
+  EXPECT_LT(norm2(grad), 1e-8 * static_cast<double>(rows));
+}
+
+TEST_P(QrProperty, PivotedRankMatchesConstruction) {
+  const auto [rows, cols, seed] = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(seed) + 1000);
+  // Build a matrix with known rank r = cols - 1 by duplicating a column.
+  auto a = random_matrix(rows, cols, rng);
+  if (cols >= 2) {
+    for (std::size_t i = 0; i < rows; ++i) a(i, cols - 1) = a(i, 0);
+    EXPECT_EQ(PivotedQr(a).rank(), cols - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 16, 40),
+                       ::testing::Values<std::size_t>(2, 5, 8),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace losstomo::linalg

@@ -1,0 +1,135 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace losstomo::linalg {
+namespace {
+
+SparseBinaryMatrix example() {
+  // Rows: {0,2}, {1,2,3}, {0,1,2}
+  return SparseBinaryMatrix(4, {{0, 2}, {1, 2, 3}, {0, 1, 2}});
+}
+
+TEST(SparseBinaryMatrix, BasicShape) {
+  const auto m = example();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 8u);
+}
+
+TEST(SparseBinaryMatrix, SortsRowIndices) {
+  const SparseBinaryMatrix m(5, {{4, 0, 2}});
+  const auto row = m.row(0);
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_EQ(row[1], 2u);
+  EXPECT_EQ(row[2], 4u);
+}
+
+TEST(SparseBinaryMatrix, RejectsDuplicates) {
+  EXPECT_THROW(SparseBinaryMatrix(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(SparseBinaryMatrix, RejectsOutOfRange) {
+  EXPECT_THROW(SparseBinaryMatrix(2, {{2}}), std::invalid_argument);
+}
+
+TEST(SparseBinaryMatrix, Contains) {
+  const auto m = example();
+  EXPECT_TRUE(m.contains(0, 2));
+  EXPECT_FALSE(m.contains(0, 1));
+}
+
+TEST(SparseBinaryMatrix, MultiplyMatchesDense) {
+  const auto m = example();
+  const Vector x{1.0, 2.0, 3.0, 4.0};
+  const auto y_sparse = m.multiply(x);
+  const auto y_dense = m.to_dense().multiply(x);
+  EXPECT_LT(max_abs_diff(y_sparse, y_dense), 1e-15);
+}
+
+TEST(SparseBinaryMatrix, MultiplyTransposeMatchesDense) {
+  const auto m = example();
+  const Vector y{1.0, -1.0, 2.0};
+  const auto x_sparse = m.multiply_transpose(y);
+  const auto x_dense = m.to_dense().multiply_transpose(y);
+  EXPECT_LT(max_abs_diff(x_sparse, x_dense), 1e-15);
+}
+
+TEST(SparseBinaryMatrix, ColumnLists) {
+  const auto m = example();
+  const auto cols = m.column_lists();
+  ASSERT_EQ(cols.size(), 4u);
+  EXPECT_EQ(cols[0], (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(cols[2], (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(cols[3], (std::vector<std::uint32_t>{1}));
+}
+
+TEST(CoTraversalGram, MatchesDenseGram) {
+  const auto m = example();
+  const CoTraversalGram gram(m);
+  const auto dense = m.to_dense().gram();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(gram.at(i, j), dense(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CoTraversalGram, ToDenseMatchesAt) {
+  const auto m = example();
+  const CoTraversalGram gram(m);
+  const auto d = gram.to_dense();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), gram.at(i, j));
+    }
+  }
+}
+
+TEST(CoTraversalGram, RowsAreSorted) {
+  const auto m = example();
+  const CoTraversalGram gram(m);
+  for (std::size_t k = 0; k < gram.dim(); ++k) {
+    const auto cols = gram.row_cols(k);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      EXPECT_LT(cols[i - 1], cols[i]);
+    }
+  }
+}
+
+TEST(CoTraversalGram, MapToDense) {
+  const auto m = example();
+  const CoTraversalGram gram(m);
+  const auto mapped = gram.map_to_dense([](double n) { return n * 10.0; });
+  EXPECT_DOUBLE_EQ(mapped(2, 2), gram.at(2, 2) * 10.0);
+  EXPECT_DOUBLE_EQ(mapped(0, 3), 0.0);  // no shared path -> stays zero
+}
+
+// Property: on random sparse matrices, the sparse Gram equals the dense one.
+class GramProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GramProperty, SparseGramEqualsDense) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t rows = 12, cols = 9;
+  std::vector<std::vector<std::uint32_t>> data(rows);
+  for (auto& row : data) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(0.35)) row.push_back(c);
+    }
+  }
+  const SparseBinaryMatrix m(cols, std::move(data));
+  const CoTraversalGram gram(m);
+  const auto dense = m.to_dense().gram();
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      EXPECT_DOUBLE_EQ(gram.at(i, j), dense(i, j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GramProperty, ::testing::Range(200, 208));
+
+}  // namespace
+}  // namespace losstomo::linalg

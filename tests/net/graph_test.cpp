@@ -1,0 +1,87 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace losstomo::net {
+namespace {
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  const auto e = g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).from, 0u);
+  EXPECT_EQ(g.edge(e).to, 1u);
+}
+
+TEST(Graph, AdjacencyLists) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.out_edges(1).size(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Graph, BidirectionalAddsPair) {
+  Graph g(2);
+  const auto forward = g.add_bidirectional(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.edge(forward).from, 0u);
+  EXPECT_EQ(g.edge(forward + 1).from, 1u);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Graph, AsAnnotationAndInterAs) {
+  Graph g(3);
+  g.set_as(0, 1);
+  g.set_as(1, 1);
+  g.set_as(2, 2);
+  const auto intra = g.add_edge(0, 1);
+  const auto inter = g.add_edge(1, 2);
+  EXPECT_FALSE(g.is_inter_as(intra));
+  EXPECT_TRUE(g.is_inter_as(inter));
+}
+
+TEST(Graph, UnannotatedNodesNeverInterAs) {
+  Graph g(2);
+  const auto e = g.add_edge(0, 1);
+  EXPECT_FALSE(g.is_inter_as(e));
+}
+
+TEST(Graph, HasEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Graph, Reachability) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.reachable_from(0).size(), 3u);  // node 3 unreachable
+  EXPECT_FALSE(g.all_reachable_from(0));
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.all_reachable_from(0));
+}
+
+}  // namespace
+}  // namespace losstomo::net

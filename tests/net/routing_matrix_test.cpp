@@ -1,0 +1,193 @@
+#include "net/routing_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "test_util.hpp"
+
+namespace losstomo::net {
+namespace {
+
+using losstomo::testing::make_fig1_network;
+using losstomo::testing::make_two_beacon_network;
+
+TEST(ReducedRoutingMatrix, Fig1MatrixMatchesPaper) {
+  // Paper §4 prints R for the Figure 1 network:
+  //   R = [1 1 0 0 0; 1 0 1 1 0; 1 0 1 0 1]
+  const auto net = make_fig1_network();
+  const ReducedRoutingMatrix rrm(net.graph, net.paths);
+  ASSERT_EQ(rrm.path_count(), 3u);
+  ASSERT_EQ(rrm.link_count(), 5u);
+  const auto dense = rrm.matrix().to_dense();
+  const linalg::Matrix expected{{1, 1, 0, 0, 0}, {1, 0, 1, 1, 0}, {1, 0, 1, 0, 1}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(dense(i, j), expected(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(ReducedRoutingMatrix, Fig1RankDeficient) {
+  // rank(R) = 3 < 5: mean link rates unidentifiable (paper Fig. 1).
+  const auto net = make_fig1_network();
+  const ReducedRoutingMatrix rrm(net.graph, net.paths);
+  EXPECT_EQ(linalg::matrix_rank(rrm.matrix().to_dense()), 3u);
+}
+
+TEST(ReducedRoutingMatrix, TwoBeaconRankDeficient) {
+  const auto net = make_two_beacon_network();
+  const ReducedRoutingMatrix rrm(net.graph, net.paths);
+  EXPECT_EQ(rrm.path_count(), 6u);
+  EXPECT_EQ(rrm.link_count(), 6u);
+  EXPECT_LT(linalg::matrix_rank(rrm.matrix().to_dense()), rrm.link_count());
+}
+
+TEST(ReducedRoutingMatrix, DropsUncoveredLinks) {
+  Graph g(4);
+  const auto e1 = g.add_edge(0, 1);
+  g.add_edge(1, 2);              // never traversed
+  const auto e3 = g.add_edge(1, 3);
+  const std::vector<Path> paths{{.source = 0, .destination = 3, .edges = {e1, e3}}};
+  const ReducedRoutingMatrix rrm(g, paths);
+  // e1 and e3 are alias links (identical columns): one virtual link.
+  EXPECT_EQ(rrm.link_count(), 1u);
+  EXPECT_EQ(rrm.covered_edge_count(), 2u);
+}
+
+TEST(ReducedRoutingMatrix, MergesAliasChains) {
+  // B -> a -> b -> D1 and B -> a -> b -> D2?  No: build a chain with a
+  // branch so only the pre-branch links merge.
+  Graph g(5);
+  const auto e1 = g.add_edge(0, 1);  // B->a
+  const auto e2 = g.add_edge(1, 2);  // a->b   (alias of e1)
+  const auto e3 = g.add_edge(2, 3);  // b->D1
+  const auto e4 = g.add_edge(2, 4);  // b->D2
+  const std::vector<Path> paths{
+      {.source = 0, .destination = 3, .edges = {e1, e2, e3}},
+      {.source = 0, .destination = 4, .edges = {e1, e2, e4}},
+  };
+  const ReducedRoutingMatrix rrm(g, paths);
+  EXPECT_EQ(rrm.link_count(), 3u);  // {e1,e2}, {e3}, {e4}
+  const auto shared = rrm.link_of(e1);
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_EQ(rrm.link_of(e2), shared);
+  EXPECT_NE(rrm.link_of(e3), shared);
+  EXPECT_EQ(rrm.members(*shared).size(), 2u);
+}
+
+TEST(ReducedRoutingMatrix, ColumnsAreDistinct) {
+  // After reduction all columns must be distinct (paper §3.1).
+  const auto net = make_two_beacon_network();
+  const ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const auto cols = rrm.matrix().column_lists();
+  for (std::size_t a = 0; a < cols.size(); ++a) {
+    for (std::size_t b = a + 1; b < cols.size(); ++b) {
+      EXPECT_NE(cols[a], cols[b]) << "identical columns " << a << "," << b;
+    }
+  }
+}
+
+TEST(ReducedRoutingMatrix, LinkOfUncoveredEdgeIsEmpty) {
+  Graph g(3);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(0, 2);
+  const std::vector<Path> paths{{.source = 0, .destination = 1, .edges = {e1}}};
+  const ReducedRoutingMatrix rrm(g, paths);
+  EXPECT_FALSE(rrm.link_of(e2).has_value());
+}
+
+TEST(ReducedRoutingMatrix, AggregateEdgeValuesSumsMembers) {
+  Graph g(3);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(1, 2);
+  const std::vector<Path> paths{{.source = 0, .destination = 2, .edges = {e1, e2}}};
+  const ReducedRoutingMatrix rrm(g, paths);
+  ASSERT_EQ(rrm.link_count(), 1u);
+  const std::vector<double> per_edge{-0.1, -0.2};
+  const auto agg = rrm.aggregate_edge_values(per_edge);
+  EXPECT_DOUBLE_EQ(agg[0], -0.3);
+}
+
+TEST(ReducedRoutingMatrix, AggregateEdgeLossesComposes) {
+  Graph g(3);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(1, 2);
+  const std::vector<Path> paths{{.source = 0, .destination = 2, .edges = {e1, e2}}};
+  const ReducedRoutingMatrix rrm(g, paths);
+  const std::vector<double> loss{0.1, 0.2};
+  const auto agg = rrm.aggregate_edge_losses(loss);
+  EXPECT_NEAR(agg[0], 1.0 - 0.9 * 0.8, 1e-12);
+}
+
+TEST(ReducedRoutingMatrix, LinksOfPathPreservesOrder) {
+  const auto net = make_fig1_network();
+  const ReducedRoutingMatrix rrm(net.graph, net.paths);
+  const auto links = rrm.links_of_path(1);  // P2 = e1, e3, e4
+  ASSERT_EQ(links.size(), 3u);
+  // First link must be the shared head link (same as P1's first).
+  EXPECT_EQ(links[0], rrm.links_of_path(0)[0]);
+}
+
+TEST(ReducedRoutingMatrix, InterAsLinkDetection) {
+  Graph g(3);
+  g.set_as(0, 10);
+  g.set_as(1, 10);
+  g.set_as(2, 20);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(1, 2);
+  const std::vector<Path> paths{{.source = 0, .destination = 2, .edges = {e1, e2}}};
+  const ReducedRoutingMatrix rrm(g, paths);
+  ASSERT_EQ(rrm.link_count(), 1u);
+  // The merged virtual link contains an inter-AS member.
+  EXPECT_TRUE(rrm.link_is_inter_as(g, 0));
+}
+
+TEST(ReducedRoutingMatrix, RejectsEmptyPathSet) {
+  Graph g(2);
+  EXPECT_THROW(ReducedRoutingMatrix(g, {}), std::invalid_argument);
+}
+
+TEST(ValidatePath, CatchesDiscontinuity) {
+  Graph g(3);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(0, 2);  // does not start at 1
+  const Path bad{.source = 0, .destination = 2, .edges = {e1, e2}};
+  EXPECT_THROW(validate_path(g, bad), std::invalid_argument);
+}
+
+TEST(ValidatePath, CatchesWrongDestination) {
+  Graph g(3);
+  const auto e1 = g.add_edge(0, 1);
+  const Path bad{.source = 0, .destination = 2, .edges = {e1}};
+  EXPECT_THROW(validate_path(g, bad), std::invalid_argument);
+}
+
+TEST(ValidatePath, CatchesNodeRevisit) {
+  Graph g(3);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(1, 0);
+  const auto e3 = g.add_edge(0, 2);
+  const Path bad{.source = 0, .destination = 2, .edges = {e1, e2, e3}};
+  EXPECT_THROW(validate_path(g, bad), std::invalid_argument);
+}
+
+TEST(PathsFormTree, TreePathsPass) {
+  const auto net = make_fig1_network();
+  EXPECT_TRUE(paths_form_tree(net.graph, net.paths));
+}
+
+TEST(PathsFormTree, NonTreeFails) {
+  Graph g(4);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(0, 2);
+  const auto e3 = g.add_edge(1, 3);
+  const auto e4 = g.add_edge(2, 3);
+  const std::vector<Path> paths{
+      {.source = 0, .destination = 3, .edges = {e1, e3}},
+      {.source = 0, .destination = 3, .edges = {e2, e4}},
+  };
+  EXPECT_FALSE(paths_form_tree(g, paths));
+}
+
+}  // namespace
+}  // namespace losstomo::net

@@ -1,0 +1,114 @@
+#include "sim/gilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/loss_model.hpp"
+
+namespace losstomo::sim {
+namespace {
+
+TEST(GilbertParams, StationaryLossMatchesTarget) {
+  for (const double r : {0.0, 0.001, 0.05, 0.2, 0.5}) {
+    const auto p = GilbertParams::for_loss_rate(r);
+    EXPECT_NEAR(p.stationary_loss(), r, 1e-12) << "rate " << r;
+  }
+}
+
+TEST(GilbertParams, DefaultStayBadPreserved) {
+  const auto p = GilbertParams::for_loss_rate(0.1);
+  EXPECT_DOUBLE_EQ(p.stay_bad, 0.35);  // the paper's setting
+}
+
+TEST(GilbertParams, HighRatesRaiseStayBad) {
+  // r = 0.8 is infeasible with b = 0.35 (g would exceed 1).
+  const auto p = GilbertParams::for_loss_rate(0.8);
+  EXPECT_LE(p.good_to_bad, 1.0);
+  EXPECT_GT(p.stay_bad, 0.35);
+  EXPECT_NEAR(p.stationary_loss(), 0.8, 1e-12);
+}
+
+TEST(GilbertParams, TotalLoss) {
+  const auto p = GilbertParams::for_loss_rate(1.0);
+  EXPECT_NEAR(p.stationary_loss(), 1.0, 1e-12);
+}
+
+TEST(GilbertParams, RejectsOutOfRange) {
+  EXPECT_THROW(GilbertParams::for_loss_rate(-0.1), std::invalid_argument);
+  EXPECT_THROW(GilbertParams::for_loss_rate(1.1), std::invalid_argument);
+}
+
+TEST(GilbertChain, ZeroRateNeverDrops) {
+  stats::Rng rng(41);
+  GilbertChain chain(GilbertParams::for_loss_rate(0.0), rng);
+  for (int t = 0; t < 1000; ++t) EXPECT_FALSE(chain.step(rng));
+}
+
+TEST(GilbertChain, EmpiricalLossMatchesStationary) {
+  stats::Rng rng(42);
+  for (const double r : {0.05, 0.1, 0.2}) {
+    GilbertChain chain(GilbertParams::for_loss_rate(r), rng);
+    std::size_t bad = 0;
+    const std::size_t n = 200000;
+    for (std::size_t t = 0; t < n; ++t) bad += chain.step(rng) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(bad) / static_cast<double>(n), r, 0.01)
+        << "rate " << r;
+  }
+}
+
+TEST(GilbertChain, LossesAreBursty) {
+  // With P(stay bad) = 0.35 the expected bad-burst length is
+  // 1 / (1 - 0.35) ~ 1.54 > 1; a Bernoulli process at the same rate gives
+  // mean burst length 1 / (1 - r) ~ 1.11.  Check the Gilbert burst mean.
+  stats::Rng rng(43);
+  GilbertChain chain(GilbertParams::for_loss_rate(0.1), rng);
+  std::size_t bursts = 0, bad_total = 0;
+  bool prev_bad = false;
+  for (int t = 0; t < 500000; ++t) {
+    const bool bad = chain.step(rng);
+    if (bad) {
+      ++bad_total;
+      if (!prev_bad) ++bursts;
+    }
+    prev_bad = bad;
+  }
+  ASSERT_GT(bursts, 0u);
+  const double mean_burst =
+      static_cast<double>(bad_total) / static_cast<double>(bursts);
+  EXPECT_NEAR(mean_burst, 1.0 / 0.65, 0.05);
+}
+
+TEST(LossModel, Llrd1Ranges) {
+  const auto config = LossModelConfig::llrd1();
+  stats::Rng rng(44);
+  for (int i = 0; i < 200; ++i) {
+    const double good = draw_loss_rate(config, false, rng);
+    EXPECT_GE(good, 0.0);
+    EXPECT_LE(good, 0.002);
+    const double congested = draw_loss_rate(config, true, rng);
+    EXPECT_GE(congested, 0.05);
+    EXPECT_LE(congested, 0.2);
+  }
+}
+
+TEST(LossModel, Llrd2WiderRange) {
+  const auto config = LossModelConfig::llrd2();
+  stats::Rng rng(45);
+  double max_seen = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double congested = draw_loss_rate(config, true, rng);
+    EXPECT_GE(congested, 0.002);
+    EXPECT_LE(congested, 1.0);
+    max_seen = std::max(max_seen, congested);
+  }
+  EXPECT_GT(max_seen, 0.5);  // the wide range is actually exercised
+}
+
+TEST(LossModel, ThresholdSeparatesClasses) {
+  const auto config = LossModelConfig::llrd1();
+  EXPECT_DOUBLE_EQ(config.threshold_tl, 0.002);
+  EXPECT_LE(config.good_hi, config.threshold_tl);
+  EXPECT_GT(config.congested_lo, config.threshold_tl);
+}
+
+}  // namespace
+}  // namespace losstomo::sim

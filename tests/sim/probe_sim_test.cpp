@@ -1,0 +1,260 @@
+#include "sim/probe_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace losstomo::sim {
+namespace {
+
+using losstomo::testing::make_fig1_network;
+
+struct Fixture {
+  net::Graph graph;
+  std::vector<net::Path> paths;
+  std::unique_ptr<net::ReducedRoutingMatrix> rrm;
+
+  Fixture() {
+    auto net = make_fig1_network();
+    graph = std::move(net.graph);
+    paths = std::move(net.paths);
+    rrm = std::make_unique<net::ReducedRoutingMatrix>(graph, paths);
+  }
+};
+
+TEST(SnapshotSimulator, ShapesAreConsistent) {
+  Fixture f;
+  SnapshotSimulator sim(f.graph, *f.rrm, {}, 1);
+  const auto snap = sim.next();
+  EXPECT_EQ(snap.path_log_trans.size(), f.rrm->path_count());
+  EXPECT_EQ(snap.link_true_loss.size(), f.rrm->link_count());
+  EXPECT_EQ(snap.link_sampled_log_trans.size(), f.rrm->link_count());
+  EXPECT_EQ(snap.link_congested.size(), f.rrm->link_count());
+  EXPECT_EQ(snap.edge_loss.size(), f.graph.edge_count());
+}
+
+TEST(SnapshotSimulator, LogTransmissionNonPositive) {
+  Fixture f;
+  SnapshotSimulator sim(f.graph, *f.rrm, {.p = 0.3}, 2);
+  for (int s = 0; s < 5; ++s) {
+    const auto snap = sim.next();
+    for (const auto y : snap.path_log_trans) EXPECT_LE(y, 0.0);
+    for (const auto phi : snap.path_trans) {
+      EXPECT_GT(phi, 0.0);
+      EXPECT_LE(phi, 1.0);
+    }
+  }
+}
+
+TEST(SnapshotSimulator, NoCongestionMeansTinyLoss) {
+  Fixture f;
+  ScenarioConfig config;
+  config.p = 0.0;  // all links good: loss <= 0.002 each
+  SnapshotSimulator sim(f.graph, *f.rrm, config, 3);
+  const auto snap = sim.next();
+  for (std::size_t k = 0; k < f.rrm->link_count(); ++k) {
+    EXPECT_FALSE(snap.link_congested[k]);
+    EXPECT_LE(snap.link_true_loss[k], 0.005);  // at most two aliased edges
+  }
+  for (const auto phi : snap.path_trans) EXPECT_GT(phi, 0.97);
+}
+
+TEST(SnapshotSimulator, FullCongestionFlagsEverything) {
+  Fixture f;
+  ScenarioConfig config;
+  config.p = 1.0;
+  SnapshotSimulator sim(f.graph, *f.rrm, config, 4);
+  const auto snap = sim.next();
+  for (std::size_t k = 0; k < f.rrm->link_count(); ++k) {
+    EXPECT_TRUE(snap.link_congested[k]);
+    EXPECT_GT(snap.link_true_loss[k], 0.002);
+  }
+}
+
+TEST(SnapshotSimulator, PathLossWithinFrechetBounds) {
+  // The path's good slots are the intersection of its links' good slots, so
+  // deterministically: 1 - sum_k (1 - phi_k) <= phi_path <= min_k phi_k
+  // (Boole / Frechet bounds), up to the 0.5/S clamping floor.
+  Fixture f;
+  SnapshotSimulator sim(f.graph, *f.rrm, {.p = 0.5}, 5);
+  const double floor_value = 0.5 / 1000.0;
+  for (int s = 0; s < 10; ++s) {
+    const auto snap = sim.next();
+    const auto& r = f.rrm->matrix();
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      double min_phi = 1.0;
+      double sum_loss = 0.0;
+      for (const auto k : r.row(i)) {
+        const double phi_k = std::exp(snap.link_sampled_log_trans[k]);
+        min_phi = std::min(min_phi, phi_k);
+        sum_loss += 1.0 - phi_k;
+      }
+      const double phi_path = snap.path_trans[i];
+      EXPECT_LE(phi_path, min_phi + floor_value + 1e-9);
+      EXPECT_GE(phi_path, 1.0 - sum_loss - 1e-9);
+    }
+  }
+}
+
+TEST(SnapshotSimulator, SampledLinkRateTracksAssignedRate) {
+  Fixture f;
+  ScenarioConfig config;
+  config.p = 1.0;
+  config.probes_per_snapshot = 4000;
+  SnapshotSimulator sim(f.graph, *f.rrm, config, 6);
+  stats::RunningStat err;
+  for (int s = 0; s < 20; ++s) {
+    const auto snap = sim.next();
+    for (std::size_t k = 0; k < f.rrm->link_count(); ++k) {
+      const double sampled_loss = 1.0 - std::exp(snap.link_sampled_log_trans[k]);
+      err.add(sampled_loss - snap.link_true_loss[k]);
+    }
+  }
+  // Unbiased within sampling error.
+  EXPECT_NEAR(err.mean(), 0.0, 0.01);
+}
+
+TEST(SnapshotSimulator, BernoulliProcessSupported) {
+  Fixture f;
+  ScenarioConfig config;
+  config.process = LossProcess::kBernoulli;
+  SnapshotSimulator sim(f.graph, *f.rrm, config, 7);
+  const auto snap = sim.next();
+  EXPECT_EQ(snap.path_log_trans.size(), f.rrm->path_count());
+}
+
+TEST(SnapshotSimulator, PerPacketModeSupported) {
+  Fixture f;
+  ScenarioConfig config;
+  config.mode = ProbeMode::kPerPacket;
+  config.probes_per_snapshot = 200;
+  SnapshotSimulator sim(f.graph, *f.rrm, config, 8);
+  const auto snap = sim.next();
+  for (const auto phi : snap.path_trans) {
+    EXPECT_GT(phi, 0.0);
+    EXPECT_LE(phi, 1.0);
+  }
+}
+
+TEST(SnapshotSimulator, DeterministicUnderSeed) {
+  Fixture f;
+  SnapshotSimulator sim1(f.graph, *f.rrm, {}, 99);
+  SnapshotSimulator sim2(f.graph, *f.rrm, {}, 99);
+  const auto s1 = sim1.next();
+  const auto s2 = sim2.next();
+  EXPECT_EQ(s1.path_log_trans, s2.path_log_trans);
+  EXPECT_EQ(s1.link_true_loss, s2.link_true_loss);
+}
+
+TEST(SnapshotSimulator, CongestedFractionNearP) {
+  // Over many snapshots the average fraction of congested edges ~ p.
+  stats::Rng topo_rng(9);
+  const auto tree = topology::make_random_tree({.nodes = 300}, topo_rng);
+  const auto paths = topology::tree_paths(tree);
+  const net::ReducedRoutingMatrix rrm(tree.graph, paths);
+  ScenarioConfig config;
+  config.p = 0.1;
+  config.dynamics = CongestionDynamics::kIid;
+  config.probes_per_snapshot = 10;  // cheap; we only need the flags
+  SnapshotSimulator sim(tree.graph, rrm, config, 10);
+  stats::RunningStat frac;
+  for (int s = 0; s < 60; ++s) {
+    const auto snap = sim.next();
+    std::size_t congested = 0, covered = 0;
+    for (const auto e : sim.covered_edges()) {
+      covered += 1;
+      congested += snap.edge_congested[e] ? 1 : 0;
+    }
+    frac.add(static_cast<double>(congested) / static_cast<double>(covered));
+  }
+  EXPECT_NEAR(frac.mean(), 0.1, 0.02);
+}
+
+TEST(SnapshotSimulator, PersistenceKeepsCongestionAlive) {
+  stats::Rng topo_rng(11);
+  const auto tree = topology::make_random_tree({.nodes = 200}, topo_rng);
+  const auto paths = topology::tree_paths(tree);
+  const net::ReducedRoutingMatrix rrm(tree.graph, paths);
+  ScenarioConfig config;
+  config.p = 0.1;
+  config.dynamics = CongestionDynamics::kMarkov;
+  config.persistence = 0.9;
+  config.probes_per_snapshot = 10;
+  SnapshotSimulator sim(tree.graph, rrm, config, 12);
+  // Average run length of congestion should far exceed the iid value ~1.1.
+  std::vector<std::vector<bool>> states;
+  for (int s = 0; s < 80; ++s) {
+    const auto snap = sim.next();
+    std::vector<bool> flags;
+    for (const auto e : sim.covered_edges()) flags.push_back(snap.edge_congested[e]);
+    states.push_back(std::move(flags));
+  }
+  std::size_t runs = 0, congested_total = 0;
+  for (std::size_t e = 0; e < states[0].size(); ++e) {
+    bool prev = false;
+    for (const auto& snap_flags : states) {
+      if (snap_flags[e]) {
+        ++congested_total;
+        if (!prev) ++runs;
+      }
+      prev = snap_flags[e];
+    }
+  }
+  ASSERT_GT(runs, 0u);
+  const double mean_run =
+      static_cast<double>(congested_total) / static_cast<double>(runs);
+  EXPECT_GT(mean_run, 3.0);
+}
+
+TEST(SnapshotSeries, ObservationMatrixLayout) {
+  Fixture f;
+  SnapshotSimulator sim(f.graph, *f.rrm, {}, 13);
+  const auto series = run_snapshots(sim, 4);
+  const auto y = series.observation_matrix();
+  EXPECT_EQ(y.count(), 4u);
+  EXPECT_EQ(y.dim(), f.rrm->path_count());
+  EXPECT_DOUBLE_EQ(y.at(2, 1), series.snapshots[2].path_log_trans[1]);
+}
+
+TEST(SnapshotSimulator, InterAsBiasSkewsCongestion) {
+  stats::Rng topo_rng(14);
+  const auto topo = topology::make_hierarchical_top_down(
+      {.as_count = 6, .routers_per_as = 8}, topo_rng);
+  const auto hosts = topology::pick_low_degree_hosts(topo.graph, 10);
+  const auto routed = topology::route_paths(topo.graph, hosts, hosts);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+  ScenarioConfig config;
+  config.p = 0.08;
+  config.dynamics = CongestionDynamics::kIid;
+  config.inter_as_congestion_bias = 3.0;
+  config.probes_per_snapshot = 10;
+  SnapshotSimulator sim(topo.graph, rrm, config, 15);
+  std::size_t inter_congested = 0, inter_total = 0;
+  std::size_t intra_congested = 0, intra_total = 0;
+  for (int s = 0; s < 60; ++s) {
+    const auto snap = sim.next();
+    for (const auto e : sim.covered_edges()) {
+      if (topo.graph.is_inter_as(e)) {
+        ++inter_total;
+        inter_congested += snap.edge_congested[e] ? 1 : 0;
+      } else {
+        ++intra_total;
+        intra_congested += snap.edge_congested[e] ? 1 : 0;
+      }
+    }
+  }
+  ASSERT_GT(inter_total, 0u);
+  ASSERT_GT(intra_total, 0u);
+  const double inter_rate =
+      static_cast<double>(inter_congested) / static_cast<double>(inter_total);
+  const double intra_rate =
+      static_cast<double>(intra_congested) / static_cast<double>(intra_total);
+  EXPECT_GT(inter_rate, 1.8 * intra_rate);
+}
+
+}  // namespace
+}  // namespace losstomo::sim

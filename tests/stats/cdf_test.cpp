@@ -1,0 +1,78 @@
+#include "stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace losstomo::stats {
+namespace {
+
+TEST(EmpiricalCdf, BasicFractions) {
+  const EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+}
+
+TEST(EmpiricalCdf, RejectsEmpty) {
+  EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  const EmpiricalCdf cdf({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdf, QuantileOutOfRangeThrows) {
+  const EmpiricalCdf cdf({1.0});
+  EXPECT_THROW((void)cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, MedianMinMax) {
+  const EmpiricalCdf cdf({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  const EmpiricalCdf cdf({1.0, 1.5, 2.0, 8.0, 9.0});
+  const auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace losstomo::stats

@@ -1,0 +1,120 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace losstomo::stats {
+namespace {
+
+TEST(SnapshotMatrix, FromRows) {
+  const auto y = SnapshotMatrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(y.dim(), 2u);
+  EXPECT_EQ(y.count(), 3u);
+  EXPECT_DOUBLE_EQ(y.at(2, 1), 6.0);
+}
+
+TEST(SnapshotMatrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(SnapshotMatrix::from_rows({{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(SampleMeans, Computes) {
+  const auto y = SnapshotMatrix::from_rows({{1.0, 10.0}, {3.0, 20.0}});
+  const auto means = sample_means(y);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 15.0);
+}
+
+TEST(CenteredSnapshots, CenteringRemovesMean) {
+  const auto y = SnapshotMatrix::from_rows({{1.0, 5.0}, {3.0, 7.0}, {5.0, 9.0}});
+  const CenteredSnapshots c(y);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (std::size_t l = 0; l < 3; ++l) sum += c.sample(l)[i];
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(CenteredSnapshots, CovarianceOfKnownData) {
+  // Two perfectly correlated coordinates.
+  const auto y = SnapshotMatrix::from_rows({{0.0, 0.0}, {2.0, 4.0}});
+  const CenteredSnapshots c(y);
+  EXPECT_DOUBLE_EQ(c.variance(0), 2.0);   // ((-1)^2 + 1^2) / 1
+  EXPECT_DOUBLE_EQ(c.variance(1), 8.0);
+  EXPECT_DOUBLE_EQ(c.covariance(0, 1), 4.0);
+}
+
+TEST(CenteredSnapshots, CovarianceSymmetric) {
+  const auto y =
+      SnapshotMatrix::from_rows({{1.0, 2.0, 0.5}, {0.0, 1.0, 2.0}, {2.0, 0.0, 1.0}});
+  const CenteredSnapshots c(y);
+  EXPECT_DOUBLE_EQ(c.covariance(0, 2), c.covariance(2, 0));
+}
+
+TEST(CenteredSnapshots, UnbiasedOnGaussianDraws) {
+  // Large-sample check: var estimate near the true value.
+  stats::Rng rng(77);
+  const std::size_t m = 20000;
+  SnapshotMatrix y(1, m);
+  for (std::size_t l = 0; l < m; ++l) y.at(l, 0) = rng.gaussian(3.0, 2.0);
+  const CenteredSnapshots c(y);
+  EXPECT_NEAR(c.variance(0), 4.0, 0.15);
+}
+
+TEST(CenteredSnapshots, ThrowsOnSingleSnapshot) {
+  const auto y = SnapshotMatrix::from_rows({{1.0, 2.0}});
+  const CenteredSnapshots c(y);
+  EXPECT_THROW((void)c.covariance(0, 1), std::logic_error);
+}
+
+TEST(RunningStat, BasicStatistics) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{1.0, 8.0, 27.0, 64.0};  // cubic but monotone
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> a{1.0, 1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace losstomo::stats

@@ -1,0 +1,103 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace losstomo::stats {
+namespace {
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform() != b.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng(6);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto idx = rng.index(7);
+    EXPECT_LT(idx, 7u);
+    seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(1.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(10);
+  auto child1 = base.fork(1);
+  auto child2 = base.fork(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child1.uniform() != child2.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(11), b(11);
+  auto ca = a.fork(5);
+  auto cb = b.fork(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+  }
+}
+
+TEST(Splitmix, NonTrivial) {
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+}  // namespace
+}  // namespace losstomo::stats

@@ -1,0 +1,182 @@
+#include "topology/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace losstomo::topology {
+namespace {
+
+TEST(RandomTree, HasRequestedNodeCount) {
+  stats::Rng rng(1);
+  const auto tree = make_random_tree({.nodes = 200, .max_branching = 10}, rng);
+  EXPECT_EQ(tree.graph.node_count(), 200u);
+  EXPECT_EQ(tree.graph.edge_count(), 199u);  // tree property
+}
+
+TEST(RandomTree, RespectsBranchingLimit) {
+  stats::Rng rng(2);
+  const auto tree = make_random_tree({.nodes = 500, .max_branching = 3}, rng);
+  for (net::NodeId v = 0; v < tree.graph.node_count(); ++v) {
+    EXPECT_LE(tree.graph.out_degree(v), 3u);
+  }
+}
+
+TEST(RandomTree, AllNodesReachableFromRoot) {
+  stats::Rng rng(3);
+  const auto tree = make_random_tree({.nodes = 300, .max_branching = 10}, rng);
+  EXPECT_TRUE(tree.graph.all_reachable_from(tree.root));
+}
+
+TEST(RandomTree, LeavesHaveNoChildren) {
+  stats::Rng rng(4);
+  const auto tree = make_random_tree({.nodes = 100, .max_branching = 5}, rng);
+  EXPECT_FALSE(tree.leaves.empty());
+  for (const auto leaf : tree.leaves) {
+    EXPECT_EQ(tree.graph.out_degree(leaf), 0u);
+  }
+}
+
+TEST(RandomTree, PathsReachEveryLeaf) {
+  stats::Rng rng(5);
+  const auto tree = make_random_tree({.nodes = 150, .max_branching = 10}, rng);
+  const auto paths = tree_paths(tree);
+  ASSERT_EQ(paths.size(), tree.leaves.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(paths[i].source, tree.root);
+    EXPECT_EQ(paths[i].destination, tree.leaves[i]);
+    net::validate_path(tree.graph, paths[i]);
+  }
+}
+
+TEST(RandomTree, PathsFormTree) {
+  stats::Rng rng(6);
+  const auto tree = make_random_tree({.nodes = 200, .max_branching = 8}, rng);
+  EXPECT_TRUE(net::paths_form_tree(tree.graph, tree_paths(tree)));
+}
+
+TEST(RandomTree, DeterministicUnderSeed) {
+  stats::Rng rng1(7), rng2(7);
+  const auto t1 = make_random_tree({.nodes = 50, .max_branching = 4}, rng1);
+  const auto t2 = make_random_tree({.nodes = 50, .max_branching = 4}, rng2);
+  ASSERT_EQ(t1.graph.edge_count(), t2.graph.edge_count());
+  for (net::EdgeId e = 0; e < t1.graph.edge_count(); ++e) {
+    EXPECT_EQ(t1.graph.edge(e).from, t2.graph.edge(e).from);
+    EXPECT_EQ(t1.graph.edge(e).to, t2.graph.edge(e).to);
+  }
+}
+
+TEST(Waxman, ConnectedAndBidirectional) {
+  stats::Rng rng(8);
+  const auto topo = make_waxman({.nodes = 120, .links_per_node = 2}, rng);
+  EXPECT_EQ(topo.graph.node_count(), 120u);
+  EXPECT_TRUE(topo.graph.all_reachable_from(0));
+  // Every edge has its reverse.
+  for (net::EdgeId e = 0; e < topo.graph.edge_count(); e += 2) {
+    EXPECT_EQ(topo.graph.edge(e).from, topo.graph.edge(e + 1).to);
+    EXPECT_EQ(topo.graph.edge(e).to, topo.graph.edge(e + 1).from);
+  }
+}
+
+TEST(Waxman, CoordinatesInUnitSquare) {
+  stats::Rng rng(9);
+  const auto topo = make_waxman({.nodes = 60, .links_per_node = 2}, rng);
+  ASSERT_EQ(topo.coords.size(), 60u);
+  for (const auto& [x, y] : topo.coords) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(Waxman, RejectsTooFewNodes) {
+  stats::Rng rng(10);
+  EXPECT_THROW(make_waxman({.nodes = 2, .links_per_node = 3}, rng),
+               std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, ConnectedWithExpectedEdgeCount) {
+  stats::Rng rng(11);
+  const auto topo =
+      make_barabasi_albert({.nodes = 150, .links_per_node = 2}, rng);
+  EXPECT_TRUE(topo.graph.all_reachable_from(0));
+  // seed chain (2 links_per_node = m+1 = 3 nodes, 2 undirected) then
+  // (n - 3) * 2 undirected attachments, each stored as 2 directed edges.
+  const std::size_t undirected = 2 + (150 - 3) * 2;
+  EXPECT_EQ(topo.graph.edge_count(), undirected * 2);
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  stats::Rng rng(12);
+  const auto topo =
+      make_barabasi_albert({.nodes = 400, .links_per_node = 2}, rng);
+  std::size_t max_deg = 0;
+  for (net::NodeId v = 0; v < topo.graph.node_count(); ++v) {
+    max_deg = std::max(max_deg, topo.graph.out_degree(v));
+  }
+  // Preferential attachment grows hubs well beyond the attachment count.
+  EXPECT_GE(max_deg, 10u);
+}
+
+TEST(HierarchicalTopDown, AsAnnotationComplete) {
+  stats::Rng rng(13);
+  const auto topo = make_hierarchical_top_down(
+      {.as_count = 6, .routers_per_as = 10}, rng);
+  EXPECT_EQ(topo.graph.node_count(), 60u);
+  std::set<std::uint32_t> as_ids;
+  for (net::NodeId v = 0; v < topo.graph.node_count(); ++v) {
+    ASSERT_NE(topo.graph.as_of(v), net::kNoAs);
+    as_ids.insert(topo.graph.as_of(v));
+  }
+  EXPECT_EQ(as_ids.size(), 6u);
+}
+
+TEST(HierarchicalTopDown, HasInterAndIntraAsLinks) {
+  stats::Rng rng(14);
+  const auto topo = make_hierarchical_top_down(
+      {.as_count = 5, .routers_per_as = 8}, rng);
+  std::size_t inter = 0, intra = 0;
+  for (net::EdgeId e = 0; e < topo.graph.edge_count(); ++e) {
+    (topo.graph.is_inter_as(e) ? inter : intra) += 1;
+  }
+  EXPECT_GT(inter, 0u);
+  EXPECT_GT(intra, 0u);
+}
+
+TEST(HierarchicalTopDown, Connected) {
+  stats::Rng rng(15);
+  const auto topo = make_hierarchical_top_down(
+      {.as_count = 8, .routers_per_as = 6}, rng);
+  EXPECT_TRUE(topo.graph.all_reachable_from(0));
+}
+
+TEST(HierarchicalBottomUp, AssignsSpatialAses) {
+  stats::Rng rng(16);
+  const auto topo = make_hierarchical_bottom_up(
+      {.nodes = 200, .links_per_node = 2, .grid = 4}, rng);
+  std::set<std::uint32_t> as_ids;
+  for (net::NodeId v = 0; v < topo.graph.node_count(); ++v) {
+    ASSERT_NE(topo.graph.as_of(v), net::kNoAs);
+    as_ids.insert(topo.graph.as_of(v));
+  }
+  EXPECT_GT(as_ids.size(), 1u);
+  EXPECT_LE(as_ids.size(), 16u);
+}
+
+TEST(PickLowDegreeHosts, ReturnsLowestDegreeNodes) {
+  net::Graph g(4);
+  g.add_bidirectional(0, 1);
+  g.add_bidirectional(0, 2);
+  g.add_bidirectional(0, 3);
+  g.add_bidirectional(1, 2);
+  // Degrees: 0 -> 6, 1 -> 4, 2 -> 4, 3 -> 2.
+  const auto hosts = pick_low_degree_hosts(g, 2);
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_EQ(hosts[0], 3u);
+  EXPECT_EQ(hosts[1], 1u);  // stable tie-break by id
+}
+
+}  // namespace
+}  // namespace losstomo::topology

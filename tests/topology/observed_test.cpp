@@ -1,0 +1,130 @@
+#include "topology/observed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/routing_matrix.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+#include "topology/routing.hpp"
+
+namespace losstomo::topology {
+namespace {
+
+TEST(ObservedTopology, NoNoiseIsIsomorphic) {
+  const auto net = losstomo::testing::make_fig1_network();
+  stats::Rng rng(31);
+  const auto obs = observe_topology(net.graph, net.paths, {}, rng);
+  EXPECT_EQ(obs.hidden_routers, 0u);
+  EXPECT_EQ(obs.split_routers, 0u);
+  EXPECT_EQ(obs.paths.size(), net.paths.size());
+  EXPECT_EQ(obs.graph.edge_count(), net.graph.edge_count());
+  for (std::size_t i = 0; i < obs.paths.size(); ++i) {
+    EXPECT_EQ(obs.paths[i].edges.size(), net.paths[i].edges.size());
+    net::validate_path(obs.graph, obs.paths[i]);
+  }
+  // Every observed edge maps to exactly one physical edge.
+  for (const auto& chain : obs.underlying) {
+    EXPECT_EQ(chain.size(), 1u);
+  }
+}
+
+TEST(ObservedTopology, HiddenRouterMergesHops) {
+  // Chain B=0 -> r=1 -> D=2 with r hidden: one observed link of two
+  // physical edges.
+  net::Graph g(3);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(1, 2);
+  const std::vector<net::Path> paths{
+      {.source = 0, .destination = 2, .edges = {e1, e2}}};
+  stats::Rng rng(32);
+  const auto obs =
+      observe_topology(g, paths, {.hide_fraction = 1.0}, rng);
+  EXPECT_EQ(obs.hidden_routers, 1u);
+  ASSERT_EQ(obs.paths[0].edges.size(), 1u);
+  const auto chain = obs.underlying[obs.paths[0].edges[0]];
+  EXPECT_EQ(chain, (std::vector<net::EdgeId>{e1, e2}));
+}
+
+TEST(ObservedTopology, EndpointsNeverHidden) {
+  const auto net = losstomo::testing::make_fig1_network();
+  stats::Rng rng(33);
+  const auto obs = observe_topology(net.graph, net.paths,
+                                    {.hide_fraction = 1.0}, rng);
+  // All interior routers hidden, but every path still starts/ends at its
+  // host; with Figure 1's two interior routers hidden, each path becomes a
+  // single observed link.
+  EXPECT_EQ(obs.hidden_routers, 2u);
+  for (const auto& p : obs.paths) {
+    EXPECT_EQ(p.edges.size(), 1u);
+  }
+}
+
+TEST(ObservedTopology, SplitRouterDuplicatesLinks) {
+  // Two beacons converge on router r (different in-edges), then share the
+  // link r -> D.  Splitting r makes the shared link appear twice.
+  net::Graph g(4);
+  const auto e1 = g.add_edge(0, 2);
+  const auto e2 = g.add_edge(1, 2);
+  const auto e3 = g.add_edge(2, 3);
+  const std::vector<net::Path> paths{
+      {.source = 0, .destination = 3, .edges = {e1, e3}},
+      {.source = 1, .destination = 3, .edges = {e2, e3}},
+  };
+  stats::Rng rng(34);
+  const auto obs =
+      observe_topology(g, paths, {.split_fraction = 1.0}, rng);
+  EXPECT_EQ(obs.split_routers, 1u);
+  // The e3 hop is now observed under two different ids (one per incoming
+  // interface parity: e1 = 0 even, e2 = 1 odd).
+  EXPECT_NE(obs.paths[0].edges[1], obs.paths[1].edges[1]);
+  // Both observed copies map back to the same physical edge.
+  EXPECT_EQ(obs.underlying[obs.paths[0].edges[1]],
+            (std::vector<net::EdgeId>{e3}));
+  EXPECT_EQ(obs.underlying[obs.paths[1].edges[1]],
+            (std::vector<net::EdgeId>{e3}));
+}
+
+TEST(ObservedTopology, AsLabelsCopied) {
+  net::Graph g(3);
+  g.set_as(0, 7);
+  g.set_as(1, 7);
+  g.set_as(2, 8);
+  const auto e1 = g.add_edge(0, 1);
+  const auto e2 = g.add_edge(1, 2);
+  const std::vector<net::Path> paths{
+      {.source = 0, .destination = 2, .edges = {e1, e2}}};
+  stats::Rng rng(35);
+  const auto obs = observe_topology(g, paths, {}, rng);
+  EXPECT_EQ(obs.graph.as_of(obs.paths[0].source), 7u);
+  EXPECT_EQ(obs.graph.as_of(obs.paths[0].destination), 8u);
+}
+
+TEST(ObservedTopology, ObservedPathsBuildRoutingMatrix) {
+  stats::Rng rng(36);
+  auto topo_rng = rng.fork(1);
+  const auto topo = make_waxman({.nodes = 60, .links_per_node = 2}, topo_rng);
+  const auto hosts = pick_low_degree_hosts(topo.graph, 8);
+  const auto routed = route_paths(topo.graph, hosts, hosts);
+  auto obs_rng = rng.fork(2);
+  const auto obs = observe_topology(
+      topo.graph, routed.paths,
+      {.hide_fraction = 0.08, .split_fraction = 0.16}, obs_rng);
+  const net::ReducedRoutingMatrix rrm(obs.graph, obs.paths);
+  EXPECT_EQ(rrm.path_count(), routed.paths.size());
+  EXPECT_GT(rrm.link_count(), 0u);
+}
+
+TEST(ObservedTopology, PathCountPreserved) {
+  stats::Rng rng(37);
+  auto topo_rng = rng.fork(1);
+  const auto topo = make_waxman({.nodes = 40, .links_per_node = 2}, topo_rng);
+  const auto hosts = pick_low_degree_hosts(topo.graph, 6);
+  const auto routed = route_paths(topo.graph, hosts, hosts);
+  auto obs_rng = rng.fork(2);
+  const auto obs = observe_topology(topo.graph, routed.paths,
+                                    {.hide_fraction = 0.3}, obs_rng);
+  EXPECT_EQ(obs.paths.size(), routed.paths.size());
+}
+
+}  // namespace
+}  // namespace losstomo::topology

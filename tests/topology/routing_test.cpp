@@ -1,0 +1,150 @@
+#include "topology/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/routing_matrix.hpp"
+#include "topology/generators.hpp"
+#include "topology/overlay.hpp"
+
+namespace losstomo::topology {
+namespace {
+
+net::Graph diamond() {
+  // 0 -> {1,2} -> 3, all bidirectional.
+  net::Graph g(4);
+  g.add_bidirectional(0, 1);
+  g.add_bidirectional(0, 2);
+  g.add_bidirectional(1, 3);
+  g.add_bidirectional(2, 3);
+  return g;
+}
+
+TEST(NextHop, ReachesDestination) {
+  const auto g = diamond();
+  const auto next = next_hop_toward(g, 3);
+  // Every node except 3 has a next hop.
+  for (net::NodeId v = 0; v < 4; ++v) {
+    if (v == 3) continue;
+    ASSERT_NE(next[v], net::kNoAs) << "node " << v;
+    // Next hop edges reduce distance (hop from v leads toward 3).
+  }
+}
+
+TEST(NextHop, DeterministicTieBreak) {
+  const auto g = diamond();
+  const auto n1 = next_hop_toward(g, 3);
+  const auto n2 = next_hop_toward(g, 3);
+  EXPECT_EQ(n1, n2);
+}
+
+TEST(NextHop, UnreachableMarked) {
+  net::Graph g(3);
+  g.add_edge(0, 1);  // directed only; 2 isolated
+  const auto next = next_hop_toward(g, 2);
+  EXPECT_EQ(next[0], net::kNoAs);
+  EXPECT_EQ(next[1], net::kNoAs);
+}
+
+TEST(RoutePaths, AllPairsRouted) {
+  const auto g = diamond();
+  const auto result = route_paths(g, {0, 3}, {0, 3});
+  EXPECT_EQ(result.paths.size(), 2u);  // 0->3 and 3->0
+  EXPECT_EQ(result.unreachable_pairs, 0u);
+  for (const auto& p : result.paths) net::validate_path(g, p);
+}
+
+TEST(RoutePaths, PathsAreShortest) {
+  const auto g = diamond();
+  const auto result = route_paths(g, {0}, {3});
+  ASSERT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.paths[0].length(), 2u);
+}
+
+TEST(RoutePaths, SkipsSelfPairs) {
+  const auto g = diamond();
+  const auto result = route_paths(g, {0, 1}, {0, 1});
+  EXPECT_EQ(result.paths.size(), 2u);
+}
+
+TEST(RoutePaths, CountsUnreachable) {
+  net::Graph g(3);
+  g.add_bidirectional(0, 1);  // 2 isolated
+  const auto result = route_paths(g, {0}, {1, 2});
+  EXPECT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.unreachable_pairs, 1u);
+}
+
+TEST(RoutePaths, DestinationBasedMerging) {
+  // Paths from different beacons to one destination must merge: once they
+  // share a node they share the remaining suffix.
+  stats::Rng rng(21);
+  const auto topo = make_waxman({.nodes = 80, .links_per_node = 2}, rng);
+  const auto hosts = pick_low_degree_hosts(topo.graph, 10);
+  const auto result = route_paths(topo.graph, hosts, {hosts[0]},
+                                  {.sanitize_fluttering = false});
+  const auto next = next_hop_toward(topo.graph, hosts[0]);
+  for (const auto& p : result.paths) {
+    net::NodeId at = p.source;
+    for (const auto e : p.edges) {
+      EXPECT_EQ(e, next[at]);  // every hop follows the destination tree
+      at = topo.graph.edge(e).to;
+    }
+  }
+}
+
+TEST(RoutePaths, SanitizedSetHasNoFluttering) {
+  stats::Rng rng(22);
+  const auto topo = make_planetlab_like(
+      {.hosts = 12, .as_count = 6, .routers_per_as = 6}, rng);
+  const auto result = route_paths(topo.graph, topo.hosts, topo.hosts);
+  EXPECT_TRUE(net::detect_fluttering(result.paths).empty());
+}
+
+TEST(Overlay, PlanetlabLikeShape) {
+  stats::Rng rng(23);
+  const auto topo = make_planetlab_like(
+      {.hosts = 20, .as_count = 8, .routers_per_as = 6}, rng);
+  EXPECT_EQ(topo.hosts.size(), 20u);
+  EXPECT_EQ(topo.graph.node_count(), 8u * 6u + 20u);
+  // Hosts have exactly one access link (degree 2: out + in).
+  for (const auto h : topo.hosts) {
+    EXPECT_EQ(topo.graph.out_degree(h), 1u);
+    EXPECT_EQ(topo.graph.in_degree(h), 1u);
+    EXPECT_NE(topo.graph.as_of(h), net::kNoAs);
+  }
+}
+
+TEST(Overlay, HostsAvoidTransitAses) {
+  stats::Rng rng(24);
+  const OverlayConfig config{.hosts = 30, .as_count = 10, .routers_per_as = 6,
+                             .transit_fraction = 0.3};
+  const auto topo = make_planetlab_like(config, rng);
+  // Count distinct host ASes; must be at most the stub count (10 - 3).
+  std::set<std::uint32_t> host_ases;
+  for (const auto h : topo.hosts) host_ases.insert(topo.graph.as_of(h));
+  EXPECT_LE(host_ases.size(), 7u);
+}
+
+TEST(Overlay, DimesLikeIsLargerThanPlanetlabLike) {
+  stats::Rng rng1(25), rng2(25);
+  const auto pl = make_planetlab_like_scaled(0.05, rng1);
+  const auto dimes = make_dimes_like_scaled(0.05, rng2);
+  EXPECT_GT(dimes.hosts.size(), pl.hosts.size());
+  EXPECT_GT(dimes.graph.node_count(), 0u);
+}
+
+TEST(Overlay, RoutedOverlayYieldsUsableMatrix) {
+  stats::Rng rng(26);
+  const auto topo = make_planetlab_like(
+      {.hosts = 10, .as_count = 5, .routers_per_as = 5}, rng);
+  const auto routed = route_paths(topo.graph, topo.hosts, topo.hosts);
+  ASSERT_GT(routed.paths.size(), 0u);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+  EXPECT_GT(rrm.link_count(), 0u);
+  EXPECT_EQ(rrm.path_count(), routed.paths.size());
+}
+
+}  // namespace
+}  // namespace losstomo::topology

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace losstomo::util {
+namespace {
+
+Args make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesTypedValues) {
+  const auto args = make_args({"m=50", "p=0.25", "name=tree", "flag=true"});
+  EXPECT_EQ(args.get_int("m", 0), 50);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.25);
+  EXPECT_EQ(args.get_string("name", ""), "tree");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  args.finish();
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const auto args = make_args({});
+  EXPECT_EQ(args.get_int("m", 7), 7);
+  EXPECT_EQ(args.get_size("n", 9u), 9u);
+  EXPECT_FALSE(args.get_bool("flag", false));
+  args.finish();
+}
+
+TEST(Args, ListParsing) {
+  const auto args = make_args({"p=0.1,0.2", "m=1,2,3"});
+  EXPECT_EQ(args.get_doubles("p", {}), (std::vector<double>{0.1, 0.2}));
+  EXPECT_EQ(args.get_ints("m", {}), (std::vector<int>{1, 2, 3}));
+  args.finish();
+}
+
+TEST(Args, RejectsMalformedArgument) {
+  EXPECT_THROW(make_args({"novalue"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"=5"}), std::invalid_argument);
+}
+
+TEST(Args, RejectsBadBoolean) {
+  const auto args = make_args({"flag=maybe"});
+  EXPECT_THROW(args.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Args, FinishFlagsUnknownKeys) {
+  const auto args = make_args({"mm=50"});  // typo for m
+  (void)args.get_int("m", 0);
+  EXPECT_THROW(args.finish(), std::invalid_argument);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("long-header"), std::string::npos);
+  EXPECT_NE(text.find("yyyy"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::pct(0.912745, 2), "91.27%");
+  EXPECT_EQ(Table::pct(0.5, 0), "50%");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  // Burn a little CPU deterministically.
+  volatile double acc = 0.0;
+  for (int i = 0; i < 100000; ++i) acc += static_cast<double>(i) * 1e-9;
+  EXPECT_GT(timer.seconds(), 0.0);
+  EXPECT_GE(timer.millis(), timer.seconds() * 1000.0 * 0.99);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace losstomo::util
