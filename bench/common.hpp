@@ -4,10 +4,16 @@
 // prints the same rows/series the paper reports.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "baselines/scfs.hpp"
@@ -17,14 +23,91 @@
 #include "sim/probe_sim.hpp"
 #include "stats/cdf.hpp"
 #include "stats/moments.hpp"
+#include "stats/rng.hpp"
 #include "topology/generators.hpp"
 #include "topology/overlay.hpp"
 #include "topology/routing.hpp"
 #include "util/args.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace losstomo::bench {
+
+/// Standardised machine-readable bench output.  Every harness that wants a
+/// perf trajectory accepts `--json <path>` (equivalently `json=<path>`) and
+/// dumps its headline numbers as one flat JSON object, so successive PRs
+/// can diff the recorded BENCH_*.json files.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // JSON has no NaN/inf literal; null keeps the file parseable.
+      entries_.emplace_back(key, "null");
+      return;
+    }
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    entries_.emplace_back(key, os.str());
+  }
+  void set(const std::string& key, std::size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, const std::string& value) {
+    std::string escaped = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+        escaped += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        escaped += buf;
+      } else {
+        escaped += c;
+      }
+    }
+    entries_.emplace_back(key, escaped + "\"");
+  }
+
+  /// Writes the object to `path` when non-empty; returns true if written.
+  bool write(const std::string& path) const {
+    if (path.empty()) return false;
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write json report: " + path);
+    out << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << "  \"" << entries_[i].first << "\": " << entries_[i].second
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;  // insertion order
+};
+
+/// Runs `trials` independent evaluations concurrently on the thread pool.
+/// fn(trial, seed) receives a SplitMix64-decorrelated per-trial seed, so
+/// the result set depends only on `seed` — not on the thread count or on
+/// which worker ran which trial.  Results come back in trial order.
+template <typename Fn>
+auto run_trials(std::size_t trials, std::uint64_t seed, Fn&& fn) {
+  using Result = std::invoke_result_t<Fn&, std::size_t, std::uint64_t>;
+  // vector<bool> packs bits: adjacent elements share a byte, so concurrent
+  // per-trial writes would tear.  Return a struct/int instead.
+  static_assert(!std::is_same_v<Result, bool>,
+                "run_trials cannot return bool (vector<bool> data race)");
+  std::vector<Result> out(trials);
+  util::parallel_for(trials, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      out[t] = fn(t, stats::splitmix64(seed ^ stats::splitmix64(t + 1)));
+    }
+  });
+  return out;
+}
 
 /// A topology plus its routed measurement paths and reduced matrix.
 struct Instance {

@@ -40,22 +40,35 @@ constexpr std::size_t pair_index(std::size_t i, std::size_t j, std::size_t np) {
 
 /// Explicit dense A (pair_count(np) x nc).  Intended for small systems and
 /// cross-checking the implicit path; throws std::length_error when the
-/// result would exceed `max_entries` doubles.
+/// result would exceed `max_entries` doubles.  Row assembly is split over
+/// the thread pool (rows are disjoint, so the result is bit-identical at
+/// any `threads`; 0 = library default).
 linalg::Matrix build_augmented_matrix(const linalg::SparseBinaryMatrix& r,
-                                      std::size_t max_entries = 50'000'000);
+                                      std::size_t max_entries = 50'000'000,
+                                      std::size_t threads = 0);
 
 /// Packed vector of sample covariances Sigma*_(i,j) = cov(Y_i, Y_j) for all
-/// i <= j, aligned with build_augmented_matrix's rows.
+/// i <= j, aligned with build_augmented_matrix's rows.  This is the
+/// retained scalar reference: O(np^2 m) pairwise passes over the snapshots.
 linalg::Vector packed_covariances(const stats::CenteredSnapshots& y);
 
-/// Implicit normal equations: G = A^T A from the co-traversal Gram matrix.
-linalg::Matrix augmented_normal_matrix(const linalg::CoTraversalGram& gram);
+/// Fast path: packs an already-computed covariance matrix S (from
+/// stats::covariance_matrix) into the same row order.
+linalg::Vector packed_covariances(const linalg::Matrix& s);
+
+/// Implicit normal equations: G = A^T A from the co-traversal Gram matrix,
+/// rows filled in parallel (bit-identical at any thread count).
+linalg::Matrix augmented_normal_matrix(const linalg::CoTraversalGram& gram,
+                                       std::size_t threads = 0);
 
 /// Implicit right-hand side h = A^T Sigma* using the closed form above.
 /// `column_paths[k]` lists the paths traversing link k (from
-/// SparseBinaryMatrix::column_lists()).
+/// SparseBinaryMatrix::column_lists()).  Links are processed in parallel;
+/// every per-link sum keeps the sequential snapshot order, so the result is
+/// bit-identical to the scalar implementation at any thread count.
 linalg::Vector augmented_normal_rhs(
     const stats::CenteredSnapshots& y,
-    const std::vector<std::vector<std::uint32_t>>& column_paths);
+    const std::vector<std::vector<std::uint32_t>>& column_paths,
+    std::size_t threads = 0);
 
 }  // namespace losstomo::core

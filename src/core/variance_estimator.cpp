@@ -8,47 +8,29 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/qr.hpp"
+#include "util/parallel.hpp"
 
 namespace losstomo::core {
 
 namespace {
 
-struct NormalSystem {
-  linalg::Matrix g;   // A^T A (possibly restricted to kept equations)
-  linalg::Vector h;   // A^T sigma
-  std::size_t used = 0;
-  std::size_t dropped = 0;
-};
-
-// Pairwise accumulation with the drop-negative policy: iterate every path
-// pair, compute its sample covariance, and (unless dropped) add the outer
-// product of the shared-link indicator into G and the covariance into h.
-NormalSystem accumulate_pairwise(const linalg::SparseBinaryMatrix& r,
-                                 const stats::CenteredSnapshots& y,
-                                 bool drop_negative) {
+// Retained scalar reference of the pairwise accumulation (drop-negative
+// policy): every path pair recomputes its sample covariance with an O(m)
+// inner loop.  The blocked path below must match it to last-ulps rounding;
+// the parity tests enforce that.
+NormalEquations accumulate_pairwise_reference(
+    const linalg::SparseBinaryMatrix& r, const stats::CenteredSnapshots& y,
+    bool drop_negative) {
   const std::size_t np = r.rows();
   const std::size_t nc = r.cols();
   const std::size_t m = y.count();
-  NormalSystem sys{linalg::Matrix(nc, nc), linalg::Vector(nc, 0.0)};
+  NormalEquations sys{linalg::Matrix(nc, nc), linalg::Vector(nc, 0.0)};
 
   std::vector<std::uint32_t> shared;
   for (std::size_t i = 0; i < np; ++i) {
     const auto ri = r.row(i);
     for (std::size_t j = i; j < np; ++j) {
-      const auto rj = r.row(j);
-      shared.clear();
-      std::size_t x = 0, yy = 0;
-      while (x < ri.size() && yy < rj.size()) {
-        if (ri[x] < rj[yy]) {
-          ++x;
-        } else if (ri[x] > rj[yy]) {
-          ++yy;
-        } else {
-          shared.push_back(ri[x]);
-          ++x;
-          ++yy;
-        }
-      }
+      linalg::intersect_sorted(ri, r.row(j), shared);
       if (shared.empty()) continue;  // all-zero equation carries nothing
       double cov = 0.0;
       for (std::size_t l = 0; l < m; ++l) {
@@ -70,14 +52,236 @@ NormalSystem accumulate_pairwise(const linalg::SparseBinaryMatrix& r,
   return sys;
 }
 
-// Closed-form accumulation keeping all equations (policy kKeep).
-NormalSystem accumulate_closed_form(const linalg::SparseBinaryMatrix& r,
-                                    const stats::CenteredSnapshots& y) {
-  NormalSystem sys;
+// Deterministic estimate of the pair-sharing structure: how many path
+// pairs share at least one link (fraction f) and how many links a sharing
+// pair shares on average.  Samples up to `kSamples` pairs on a fixed stride
+// over the packed upper-triangle pair index — no RNG, no dependence on the
+// thread count.
+struct SharingEstimate {
+  double fraction = 0.0;      // sharing pairs / all pairs
+  double mean_shared = 0.0;   // avg |shared| over sharing samples
+};
+
+SharingEstimate estimate_sharing(const linalg::SparseBinaryMatrix& r) {
+  const std::size_t np = r.rows();
+  const std::size_t total = pair_count(np);
+  constexpr std::size_t kSamples = 2048;
+  const std::size_t stride = std::max<std::size_t>(1, total / kSamples);
+  std::vector<std::uint32_t> shared;
+  std::size_t samples = 0, sharing = 0, shared_links = 0;
+  std::size_t i = 0;
+  std::size_t row_base = 0;  // packed index of pair (i, i)
+  for (std::size_t p = 0; p < total; p += stride) {
+    while (p >= row_base + (np - i)) {
+      row_base += np - i;
+      ++i;
+    }
+    const std::size_t j = i + (p - row_base);
+    linalg::intersect_sorted(r.row(i), r.row(j), shared);
+    ++samples;
+    if (!shared.empty()) {
+      ++sharing;
+      shared_links += shared.size();
+    }
+  }
+  SharingEstimate est;
+  if (samples > 0) {
+    est.fraction = static_cast<double>(sharing) / static_cast<double>(samples);
+  }
+  if (sharing > 0) {
+    est.mean_shared =
+        static_cast<double>(shared_links) / static_cast<double>(sharing);
+  }
+  return est;
+}
+
+// Blocked/parallel pairwise accumulation.  Two covariance strategies,
+// chosen from the sampled sharing structure (a pure function of the
+// problem, so the choice is reproducible):
+//  * dense sharing: precompute the full covariance matrix S = Yc^T Yc/(m-1)
+//    with one blocked SYRK pass (stats::covariance_matrix) and read S(i,j)
+//    per pair — this removes the seed's O(m) inner loop from every pair;
+//  * sparse sharing: most pairs carry no equation and the seed's skip
+//    already avoids their covariances, so computing all of S would be
+//    wasted work — keep the on-demand per-pair covariance for the few
+//    sharing pairs.
+// Either way G/h are folded over path-row chunks with per-chunk partials;
+// chunk boundaries depend only on the problem size, so the reduction order
+// — and therefore the result — is bit-identical at any thread count.
+//
+// Caveat vs the scalar reference: under the SYRK strategy a pair whose true
+// covariance sits within an ulp of zero can round to the opposite sign than
+// the scalar sum and flip its drop decision (one whole equation).  The
+// parity guarantee therefore assumes no covariance is exactly at the zero
+// boundary — sampling noise makes that measure-zero in practice.
+NormalEquations accumulate_pairwise_blocked(const linalg::SparseBinaryMatrix& r,
+                                            const stats::CenteredSnapshots& y,
+                                            bool drop_negative,
+                                            std::size_t threads) {
+  const std::size_t np = r.rows();
+  const std::size_t nc = r.cols();
+  const std::size_t m = y.count();
+  if (np == 0) {
+    return NormalEquations{linalg::Matrix(nc, nc), linalg::Vector(nc, 0.0)};
+  }
+  const SharingEstimate sharing = estimate_sharing(r);
+  // The SYRK pays off once a meaningful fraction of pairs would otherwise
+  // run the O(m) scalar loop; below that the skip wins.
+  const bool use_syrk = sharing.fraction >= 0.125;
+  linalg::Matrix s;
+  if (use_syrk) s = stats::covariance_matrix(y, threads);
+
+  // Balance chunk count against the per-chunk partial cost: each extra
+  // chunk buys 1/chunks of the pair-loop work but costs an nc^2 partial
+  // (copy-init + reduce).  All inputs are problem sizes or the
+  // deterministic sharing sample, never the thread count.
+  double row_len = 0.0;
+  for (std::size_t i = 0; i < np; ++i) row_len += static_cast<double>(r.row(i).size());
+  row_len /= static_cast<double>(std::max<std::size_t>(np, 1));
+  const double pair_ops =
+      static_cast<double>(pair_count(np)) *
+      (2.0 * row_len +
+       sharing.fraction * (sharing.mean_shared * sharing.mean_shared +
+                           (use_syrk ? 1.0 : static_cast<double>(m))));
+  const double chunk_overhead = 4.0 * static_cast<double>(nc) * static_cast<double>(nc);
+  const std::size_t partial_bytes = nc * nc * sizeof(double) + nc * sizeof(double);
+  const std::size_t budget_chunks = std::max<std::size_t>(
+      1, (std::size_t{1} << 28) / std::max<std::size_t>(partial_bytes, 1));
+  const std::size_t want_chunks = static_cast<std::size_t>(std::clamp(
+      pair_ops / (8.0 * chunk_overhead), 1.0, 32.0));
+  const std::size_t chunks = std::min({want_chunks, budget_chunks, np});
+
+  const std::span<const double> flat = y.flat();
+  const auto body = [&](NormalEquations& part, std::size_t i_begin,
+                        std::size_t i_end) {
+        std::vector<std::uint32_t> shared;
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          const auto ri = r.row(i);
+          const double* si = use_syrk ? s.row(i).data() : nullptr;
+          for (std::size_t j = i; j < np; ++j) {
+            linalg::intersect_sorted(ri, r.row(j), shared);
+            if (shared.empty()) continue;
+            double cov;
+            if (use_syrk) {
+              cov = si[j];
+            } else {
+              // On-demand covariance, identical to the scalar reference.
+              cov = 0.0;
+              const double* pi = flat.data() + i;
+              const double* pj = flat.data() + j;
+              for (std::size_t l = 0; l < m; ++l, pi += np, pj += np) {
+                cov += *pi * *pj;
+              }
+              cov /= static_cast<double>(m - 1);
+            }
+            if (drop_negative && cov < 0.0) {
+              ++part.dropped;
+              continue;
+            }
+            ++part.used;
+            for (const auto a : shared) {
+              part.h[a] += cov;
+              for (const auto b : shared) part.g(a, b) += 1.0;
+            }
+          }
+        }
+  };
+
+  NormalEquations acc{linalg::Matrix(nc, nc), linalg::Vector(nc, 0.0)};
+  if (chunks <= 1) {
+    body(acc, 0, np);
+    return acc;
+  }
+
+  // Chunk boundaries balanced by *pair* count: row i carries np - i pairs,
+  // so equal-width row ranges would load the first chunk with ~2x the
+  // average work and cap parallel scaling.  Boundaries depend only on
+  // (np, chunks) — the fixed reduction order below is untouched.
+  std::vector<std::size_t> bounds(chunks + 1, np);
+  bounds[0] = 0;
+  {
+    const double per_chunk =
+        static_cast<double>(pair_count(np)) / static_cast<double>(chunks);
+    std::size_t i = 0;
+    double covered = 0.0;
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const double target = per_chunk * static_cast<double>(c);
+      while (i < np && covered < target) {
+        covered += static_cast<double>(np - i);
+        ++i;
+      }
+      bounds[c] = i;
+    }
+  }
+
+  std::vector<NormalEquations> partials(chunks, acc);
+  util::ThreadPool::global().run(
+      chunks,
+      [&](std::size_t c) { body(partials[c], bounds[c], bounds[c + 1]); },
+      threads);
+  acc = std::move(partials.front());
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const NormalEquations& part = partials[c];
+    auto& gd = acc.g.data();
+    const auto& pd = part.g.data();
+    for (std::size_t idx = 0; idx < gd.size(); ++idx) gd[idx] += pd[idx];
+    for (std::size_t k = 0; k < acc.h.size(); ++k) acc.h[k] += part.h[k];
+    acc.used += part.used;
+    acc.dropped += part.dropped;
+  }
+  return acc;
+}
+
+// Closed-form accumulation keeping all equations (policy kKeep).  Both the
+// normal matrix and the right-hand side are assembled in parallel inside
+// core/augmented_matrix.cpp.
+NormalEquations accumulate_closed_form(const linalg::SparseBinaryMatrix& r,
+                                       const stats::CenteredSnapshots& y,
+                                       std::size_t threads) {
+  NormalEquations sys;
   const linalg::CoTraversalGram gram(r);
-  sys.g = augmented_normal_matrix(gram);
-  sys.h = augmented_normal_rhs(y, r.column_lists());
+  sys.g = augmented_normal_matrix(gram, threads);
+  sys.h = augmented_normal_rhs(y, r.column_lists(), threads);
   sys.used = pair_count(r.rows());
+  return sys;
+}
+
+// Retained scalar reference of the closed form: the seed's sequential
+// sweeps (snapshot-outer path-variance accumulation, serial per-link
+// sums).  The parallel version above preserves every per-element summation
+// order, so the parity tests assert the two are equal — this function is
+// what makes that assertion meaningful.
+NormalEquations accumulate_closed_form_reference(
+    const linalg::SparseBinaryMatrix& r, const stats::CenteredSnapshots& y) {
+  NormalEquations sys;
+  const linalg::CoTraversalGram gram(r);
+  sys.g = gram.map_to_dense([](double n) { return n * (n + 1.0) / 2.0; }, 1);
+  sys.used = pair_count(r.rows());
+
+  const auto column_paths = r.column_lists();
+  const std::size_t nc = column_paths.size();
+  const std::size_t m = y.count();
+  sys.h.assign(nc, 0.0);
+  linalg::Vector path_var(y.dim(), 0.0);
+  for (std::size_t l = 0; l < m; ++l) {
+    const auto row = y.sample(l);
+    for (std::size_t i = 0; i < y.dim(); ++i) path_var[i] += row[i] * row[i];
+  }
+  for (auto& v : path_var) v /= static_cast<double>(m - 1);
+  for (std::size_t k = 0; k < nc; ++k) {
+    const auto& paths = column_paths[k];
+    double full_sum = 0.0;
+    for (std::size_t l = 0; l < m; ++l) {
+      const auto row = y.sample(l);
+      double s = 0.0;
+      for (const auto i : paths) s += row[i];
+      full_sum += s * s;
+    }
+    full_sum /= static_cast<double>(m - 1);
+    double diag = 0.0;
+    for (const auto i : paths) diag += path_var[i];
+    sys.h[k] = 0.5 * (full_sum + diag);
+  }
   return sys;
 }
 
@@ -92,7 +296,44 @@ VarianceEstimate finish(linalg::Vector v, VarianceEstimate partial) {
   return partial;
 }
 
+bool resolve_drop_negative(const VarianceOptions& options, std::size_t np) {
+  switch (options.negatives) {
+    case NegativeCovariancePolicy::kDrop:
+      return true;
+    case NegativeCovariancePolicy::kKeep:
+      return false;
+    case NegativeCovariancePolicy::kAuto:
+    default:
+      return np <= options.pairwise_path_cap;
+  }
+}
+
+NormalEquations build_normal_equations_centered(
+    const linalg::SparseBinaryMatrix& r, const stats::CenteredSnapshots& centered,
+    const VarianceOptions& options) {
+  if (!resolve_drop_negative(options, r.rows())) {
+    return options.use_reference_impl
+               ? accumulate_closed_form_reference(r, centered)
+               : accumulate_closed_form(r, centered, options.threads);
+  }
+  if (options.use_reference_impl) {
+    return accumulate_pairwise_reference(r, centered, true);
+  }
+  return accumulate_pairwise_blocked(r, centered, true, options.threads);
+}
+
 }  // namespace
+
+NormalEquations build_normal_equations(const linalg::SparseBinaryMatrix& r,
+                                       const stats::SnapshotMatrix& y,
+                                       const VarianceOptions& options) {
+  if (y.dim() != r.rows()) {
+    throw std::invalid_argument("snapshot dimension != path count");
+  }
+  if (y.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
+  const stats::CenteredSnapshots centered(y);
+  return build_normal_equations_centered(r, centered, options);
+}
 
 VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
                                          const stats::SnapshotMatrix& y,
@@ -110,26 +351,19 @@ VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
   if (method == VarianceMethod::kAuto) {
     method = VarianceMethod::kNormal;
   }
-  bool drop_negative;
-  switch (options.negatives) {
-    case NegativeCovariancePolicy::kDrop:
-      drop_negative = true;
-      break;
-    case NegativeCovariancePolicy::kKeep:
-      drop_negative = false;
-      break;
-    case NegativeCovariancePolicy::kAuto:
-    default:
-      drop_negative = np <= options.pairwise_path_cap;
-      break;
-  }
+  const bool drop_negative = resolve_drop_negative(options, np);
 
   if (method == VarianceMethod::kDenseQr) {
     // Paper-exact path: materialise A and Sigma*, drop negative rows, QR.
     // All-zero rows (path pairs with no shared link) carry no equation and
     // are excluded up front, mirroring the pairwise accumulation.
-    const auto a_full = build_augmented_matrix(r, options.dense_entry_cap);
-    const auto sigma_full = packed_covariances(centered);
+    const auto a_full =
+        build_augmented_matrix(r, options.dense_entry_cap, options.threads);
+    const auto sigma_full =
+        options.use_reference_impl
+            ? packed_covariances(centered)
+            : packed_covariances(
+                  stats::covariance_matrix(centered, options.threads));
     std::vector<std::size_t> keep;
     std::size_t dropped = 0;
     keep.reserve(sigma_full.size());
@@ -146,11 +380,16 @@ VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
     }
     linalg::Matrix a(keep.size(), nc);
     linalg::Vector sigma(keep.size());
-    for (std::size_t out = 0; out < keep.size(); ++out) {
-      const auto src = a_full.row(keep[out]);
-      std::copy(src.begin(), src.end(), a.row(out).begin());
-      sigma[out] = sigma_full[keep[out]];
-    }
+    util::parallel_for(
+        keep.size(), 64,
+        [&](std::size_t out_begin, std::size_t out_end) {
+          for (std::size_t out = out_begin; out < out_end; ++out) {
+            const auto src = a_full.row(keep[out]);
+            std::copy(src.begin(), src.end(), a.row(out).begin());
+            sigma[out] = sigma_full[keep[out]];
+          }
+        },
+        options.threads);
     VarianceEstimate est;
     est.method = "dense-qr";
     est.equations_used = keep.size();
@@ -165,8 +404,7 @@ VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
     return finish(linalg::PivotedQr(a).solve_basic(sigma), std::move(est));
   }
 
-  NormalSystem sys = drop_negative ? accumulate_pairwise(r, centered, true)
-                                   : accumulate_closed_form(r, centered);
+  NormalEquations sys = build_normal_equations_centered(r, centered, options);
   VarianceEstimate est;
   est.equations_used = sys.used;
   est.equations_dropped = sys.dropped;

@@ -49,6 +49,18 @@ struct VarianceOptions {
   /// runs; beyond it kAuto switches to the closed form (keep-all), whose
   /// cost is independent of the number of path pairs.
   std::size_t pairwise_path_cap = 2000;
+  /// Worker threads for the blocked covariance kernels and the parallel
+  /// normal-equation accumulation.  0 = library default (LOSSTOMO_THREADS
+  /// environment variable, else hardware concurrency).  Results are
+  /// bit-identical at any thread count.
+  std::size_t threads = 0;
+  /// Runs the retained scalar implementation (per-pair O(m) covariance
+  /// loops, sequential accumulation) instead of the blocked/parallel
+  /// kernels.  Kept for the parity tests and as a debugging fallback; the
+  /// two paths agree to last-ulps rounding (<= 1e-12 in practice, provided
+  /// no pair covariance sits within an ulp of the drop-negative zero
+  /// boundary — see accumulate_pairwise_blocked).
+  bool use_reference_impl = false;
 };
 
 struct VarianceEstimate {
@@ -59,6 +71,23 @@ struct VarianceEstimate {
   std::size_t negative_clamped = 0;  // LS outputs clamped up to 0
   double jitter_used = 0.0;          // Cholesky regularization, if any
 };
+
+/// The Phase-1 normal equations G v = h (G = A^T A restricted to the kept
+/// pair equations, h = A^T Sigma*) before solving.
+struct NormalEquations {
+  linalg::Matrix g;
+  linalg::Vector h;
+  std::size_t used = 0;     // pair equations entering the system
+  std::size_t dropped = 0;  // negative-covariance rows removed
+};
+
+/// Assembles the covariance system without solving it — the O(np^2) hot
+/// path the blocked kernels accelerate.  Honours options.negatives /
+/// threads / use_reference_impl exactly like estimate_link_variances
+/// (options.method is ignored).  Exposed for benchmarking and diagnostics.
+NormalEquations build_normal_equations(const linalg::SparseBinaryMatrix& r,
+                                       const stats::SnapshotMatrix& y,
+                                       const VarianceOptions& options = {});
 
 /// Estimates link variances from m snapshots of the path observations.
 /// `y` must have dim() == r.rows() and count() >= 2.

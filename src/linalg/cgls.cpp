@@ -26,7 +26,16 @@ CglsResult cgls(const std::function<Vector(std::span<const double>)>& apply,
     }
     const Vector q = apply(p);
     const double qq = dot(q, q);
-    if (qq == 0.0) break;
+    if (qq == 0.0) {
+      // Breakdown: the operator annihilates the search direction, so no
+      // step can reduce the residual.  Report the current ||A^T r|| and the
+      // convergence verdict it implies (false here — a gamma at or below
+      // the target already returned at the top of the loop) instead of
+      // falling through to the post-loop bookkeeping.
+      result.residual_norm = std::sqrt(gamma);
+      result.converged = result.residual_norm <= target;
+      return result;
+    }
     const double alpha = gamma / qq;
     axpy(alpha, p, result.x);
     axpy(-alpha, q, r);

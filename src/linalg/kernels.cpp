@@ -1,0 +1,120 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace losstomo::linalg {
+
+namespace {
+
+// Output tile edge: a kTile x kTile accumulator is 32 KiB, sized to stay in
+// L1 together with the two row segments feeding it.
+constexpr std::size_t kTile = 64;
+// Depth panel: rows of A are consumed in runs of kDepth per tile so the
+// accumulator writes stay register/L1 resident between reloads.
+constexpr std::size_t kDepth = 256;
+
+inline std::size_t tile_count(std::size_t n) {
+  return (n + kTile - 1) / kTile;
+}
+
+}  // namespace
+
+Matrix blocked_gram(const double* a, std::size_t rows, std::size_t cols,
+                    double scale, std::size_t threads) {
+  Matrix s(cols, cols);
+  if (rows == 0 || cols == 0) return s;
+  const std::size_t nb = tile_count(cols);
+  const std::size_t tasks = nb * (nb + 1) / 2;  // upper-triangle tile pairs
+
+  util::ThreadPool::global().run(
+      tasks,
+      [&](std::size_t task) {
+        // Unrank the task index into an upper-triangle tile pair (bi <= bj).
+        std::size_t bi = 0;
+        std::size_t offset = task;
+        while (offset >= nb - bi) {
+          offset -= nb - bi;
+          ++bi;
+        }
+        const std::size_t bj = bi + offset;
+
+        const std::size_t i0 = bi * kTile, i1 = std::min(i0 + kTile, cols);
+        const std::size_t j0 = bj * kTile, j1 = std::min(j0 + kTile, cols);
+        const std::size_t bw = j1 - j0;
+        double acc[kTile * kTile] = {};
+
+        for (std::size_t k0 = 0; k0 < rows; k0 += kDepth) {
+          const std::size_t k1 = std::min(k0 + kDepth, rows);
+          for (std::size_t k = k0; k < k1; ++k) {
+            const double* row = a + k * cols;
+            const double* rj = row + j0;
+            for (std::size_t i = i0; i < i1; ++i) {
+              const double ai = row[i];
+              double* out = acc + (i - i0) * kTile;
+              for (std::size_t j = 0; j < bw; ++j) out[j] += ai * rj[j];
+            }
+          }
+        }
+
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* src = acc + (i - i0) * kTile;
+          double* dst = &s(i, j0);
+          for (std::size_t j = 0; j < bw; ++j) dst[j] = scale * src[j];
+        }
+        if (bi != bj) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            for (std::size_t j = j0; j < j1; ++j) s(j, i) = s(i, j);
+          }
+        } else {
+          // Diagonal tile: the full square was accumulated; symmetrise the
+          // strictly-lower part from the upper for exact symmetry.
+          for (std::size_t i = i0; i < i1; ++i) {
+            for (std::size_t j = i0; j < i; ++j) s(i, j) = s(j, i);
+          }
+        }
+      },
+      threads);
+  return s;
+}
+
+Matrix blocked_gram(const Matrix& m, double scale, std::size_t threads) {
+  return blocked_gram(m.data().data(), m.rows(), m.cols(), scale, threads);
+}
+
+Matrix blocked_multiply(const Matrix& a, const Matrix& b,
+                        std::size_t threads) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("mm size mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  Matrix c(m, n);
+  if (m == 0 || kk == 0 || n == 0) return c;
+
+  // Rows of C are independent; panel the reduction dimension so the touched
+  // rows of B stay in cache while a block of C rows consumes them.
+  const std::size_t grain = std::max<std::size_t>(1, kTile / 4);
+  util::parallel_for(
+      m, grain,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t k0 = 0; k0 < kk; k0 += kDepth) {
+          const std::size_t k1 = std::min(k0 + kDepth, kk);
+          for (std::size_t i = r0; i < r1; ++i) {
+            auto ci = c.row(i);
+            const auto ai = a.row(i);
+            for (std::size_t k = k0; k < k1; ++k) {
+              const double av = ai[k];
+              if (av == 0.0) continue;
+              const auto bk = b.row(k);
+              for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+            }
+          }
+        }
+      },
+      threads);
+  return c;
+}
+
+}  // namespace losstomo::linalg

@@ -1,0 +1,39 @@
+// Cache-blocked compute kernels for the dense hot paths.
+//
+// The Phase-1 estimator is dominated by forming second-order statistics:
+// the full path-pair covariance matrix S = Yc^T Yc / (m-1) and the Gram /
+// product matrices feeding HouseholderQr and RegularizedCholesky.  The
+// naive triple loops walk the operands column-wise with stride np, missing
+// cache on nearly every access; these kernels tile the output into
+// register/L1-sized blocks so every loaded row segment is reused across a
+// whole block, and split independent output blocks across the thread pool
+// (util/parallel.hpp).
+//
+// Determinism: each output block is computed by exactly one task with a
+// fixed reduction order over the depth dimension, so results are
+// bit-identical at any thread count (they differ from the naive loops only
+// by the blocked summation order, i.e. in the last ulps).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace losstomo::linalg {
+
+/// S = scale * A^T A for a row-major `rows` x `cols` array `a`.
+/// Blocked SYRK-style: only upper-triangle blocks are computed, then
+/// mirrored.  `threads` = 0 uses the library default.
+Matrix blocked_gram(const double* a, std::size_t rows, std::size_t cols,
+                    double scale = 1.0, std::size_t threads = 0);
+
+/// Convenience overload over a dense Matrix (S = scale * m^T m).
+Matrix blocked_gram(const Matrix& m, double scale = 1.0,
+                    std::size_t threads = 0);
+
+/// C = A * B with the reduction dimension processed in panels and rows of C
+/// split across the thread pool.
+Matrix blocked_multiply(const Matrix& a, const Matrix& b,
+                        std::size_t threads = 0);
+
+}  // namespace losstomo::linalg

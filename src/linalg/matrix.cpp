@@ -4,7 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels.hpp"
+
 namespace losstomo::linalg {
+
+namespace {
+
+// Below this many multiply-adds the naive loops win: no pool dispatch, and
+// the zero-skipping pays off on the small sparse-ish systems the solvers
+// assemble.  Above it the cache-blocked kernels take over.
+constexpr std::size_t kKernelFlopThreshold = 1u << 18;
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -57,8 +68,11 @@ Vector Matrix::multiply_transpose(std::span<const double> y) const {
   return x;
 }
 
-Matrix Matrix::multiply(const Matrix& other) const {
+Matrix Matrix::multiply(const Matrix& other, std::size_t threads) const {
   if (cols_ != other.rows()) throw std::invalid_argument("mm size mismatch");
+  if (rows_ * cols_ * other.cols() >= kKernelFlopThreshold) {
+    return blocked_multiply(*this, other, threads);
+  }
   Matrix out(rows_, other.cols());
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
@@ -72,7 +86,10 @@ Matrix Matrix::multiply(const Matrix& other) const {
   return out;
 }
 
-Matrix Matrix::gram() const {
+Matrix Matrix::gram(std::size_t threads) const {
+  if (rows_ * cols_ * cols_ >= kKernelFlopThreshold) {
+    return blocked_gram(*this, 1.0, threads);
+  }
   Matrix g(cols_, cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
     const auto rr = row(r);

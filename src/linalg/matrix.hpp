@@ -50,11 +50,15 @@ class Matrix {
   [[nodiscard]] Vector multiply(std::span<const double> x) const;
   /// Transpose-vector product; y.size() must equal rows().
   [[nodiscard]] Vector multiply_transpose(std::span<const double> y) const;
-  /// Dense matrix product this * other.
-  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  /// Dense matrix product this * other.  Large products delegate to the
+  /// blocked kernels (linalg/kernels.hpp); `threads` caps their worker
+  /// count (0 = library default; results identical at any thread count).
+  [[nodiscard]] Matrix multiply(const Matrix& other,
+                                std::size_t threads = 0) const;
 
-  /// Gram matrix (this^T * this), exploiting symmetry.
-  [[nodiscard]] Matrix gram() const;
+  /// Gram matrix (this^T * this), exploiting symmetry.  Large grams
+  /// delegate to the blocked kernels; `threads` as for multiply().
+  [[nodiscard]] Matrix gram(std::size_t threads = 0) const;
 
   /// Frobenius norm.
   [[nodiscard]] double frobenius() const;

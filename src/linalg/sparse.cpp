@@ -6,6 +6,24 @@
 
 namespace losstomo::linalg {
 
+void intersect_sorted(std::span<const std::uint32_t> a,
+                      std::span<const std::uint32_t> b,
+                      std::vector<std::uint32_t>& out) {
+  out.clear();
+  std::size_t x = 0, y = 0;
+  while (x < a.size() && y < b.size()) {
+    if (a[x] < b[y]) {
+      ++x;
+    } else if (a[x] > b[y]) {
+      ++y;
+    } else {
+      out.push_back(a[x]);
+      ++x;
+      ++y;
+    }
+  }
+}
+
 SparseBinaryMatrix::SparseBinaryMatrix(
     std::size_t cols, std::vector<std::vector<std::uint32_t>> rows)
     : cols_(cols), rows_(std::move(rows)) {

@@ -16,8 +16,16 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "util/parallel.hpp"
 
 namespace losstomo::linalg {
+
+/// Sorted-list intersection of two ascending index lists into `out`
+/// (cleared first).  The shared-link set of a path pair — used by the
+/// augmented-matrix row assembly and both pairwise accumulators.
+void intersect_sorted(std::span<const std::uint32_t> a,
+                      std::span<const std::uint32_t> b,
+                      std::vector<std::uint32_t>& out);
 
 /// Immutable 0/1 sparse matrix stored as sorted column indices per row.
 class SparseBinaryMatrix {
@@ -80,16 +88,24 @@ class CoTraversalGram {
   /// Dense matrix with entries f(N_kl) for nonzero N_kl; used to build the
   /// Phase-1 normal equations (A^T A)_kl = N_kl (N_kl + 1) / 2 without
   /// materializing A.  Entries with N_kl = 0 stay 0 (f(0) must be 0).
+  /// Rows are filled in parallel (disjoint writes — bit-identical at any
+  /// `threads`; 0 = library default).
   template <typename F>
-  [[nodiscard]] Matrix map_to_dense(F&& f) const {
+  [[nodiscard]] Matrix map_to_dense(F&& f, std::size_t threads = 0) const {
     Matrix out(dim(), dim());
-    for (std::size_t k = 0; k < dim(); ++k) {
-      const auto cols = row_cols(k);
-      const auto vals = row_values(k);
-      for (std::size_t idx = 0; idx < cols.size(); ++idx) {
-        out(k, cols[idx]) = f(vals[idx]);
-      }
-    }
+    util::parallel_for(
+        dim(), 8,
+        [&](std::size_t k_begin, std::size_t k_end) {
+          for (std::size_t k = k_begin; k < k_end; ++k) {
+            const auto cols = row_cols(k);
+            const auto vals = row_values(k);
+            auto row = out.row(k);
+            for (std::size_t idx = 0; idx < cols.size(); ++idx) {
+              row[cols[idx]] = f(vals[idx]);
+            }
+          }
+        },
+        threads);
     return out;
   }
 

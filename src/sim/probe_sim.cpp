@@ -7,6 +7,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace losstomo::sim {
 
 namespace {
@@ -150,23 +152,31 @@ void SnapshotSimulator::refresh_congestion() {
 
 void SnapshotSimulator::fill_masks(stats::Rng& rng) {
   const std::size_t s = config_.probes_per_snapshot;
+  // One master draw per snapshot, then an independent SplitMix64-derived
+  // stream per loss unit: units can be realised on any worker in any order
+  // and the snapshot is still a pure function of the master seed, so the
+  // output is unchanged at any thread count.
+  const std::uint64_t base = stats::splitmix64(rng.engine()());
   std::fill(bad_masks_.begin(), bad_masks_.end(), 0);
-  for (std::size_t u = 0; u < unit_count_; ++u) {
-    std::uint64_t* mask = bad_masks_.data() + u * words_;
-    if (rate_[u] <= 0.0) continue;
-    if (config_.process == LossProcess::kGilbert) {
-      GilbertChain chain(
-          GilbertParams::for_loss_rate(rate_[u], config_.gilbert_stay_bad),
-          rng);
-      for (std::size_t t = 0; t < s; ++t) {
-        if (chain.step(rng)) mask[t >> 6] |= (1ULL << (t & 63));
-      }
-    } else {
-      for (std::size_t t = 0; t < s; ++t) {
-        if (rng.bernoulli(rate_[u])) mask[t >> 6] |= (1ULL << (t & 63));
+  util::parallel_for(unit_count_, 8, [&](std::size_t u_begin, std::size_t u_end) {
+    for (std::size_t u = u_begin; u < u_end; ++u) {
+      if (rate_[u] <= 0.0) continue;
+      std::uint64_t* mask = bad_masks_.data() + u * words_;
+      stats::Rng unit_rng(stats::splitmix64(base ^ (u + 1) * 0xff51afd7ed558ccdULL));
+      if (config_.process == LossProcess::kGilbert) {
+        GilbertChain chain(
+            GilbertParams::for_loss_rate(rate_[u], config_.gilbert_stay_bad),
+            unit_rng);
+        for (std::size_t t = 0; t < s; ++t) {
+          if (chain.step(unit_rng)) mask[t >> 6] |= (1ULL << (t & 63));
+        }
+      } else {
+        for (std::size_t t = 0; t < s; ++t) {
+          if (unit_rng.bernoulli(rate_[u])) mask[t >> 6] |= (1ULL << (t & 63));
+        }
       }
     }
-  }
+  });
 }
 
 Snapshot SnapshotSimulator::evaluate_slot_synchronized() {
@@ -178,8 +188,8 @@ Snapshot SnapshotSimulator::evaluate_slot_synchronized() {
   snap.path_trans.resize(np);
   snap.link_sampled_log_trans.resize(nc);
 
-  std::vector<std::uint64_t> acc(words_);
-  const auto popcount_or = [&](const std::vector<std::uint32_t>& units) {
+  const auto popcount_or = [&](const std::vector<std::uint32_t>& units,
+                               std::vector<std::uint64_t>& acc) {
     std::fill(acc.begin(), acc.end(), 0);
     for (const auto u : units) {
       const std::uint64_t* mask = bad_masks_.data() + u * words_;
@@ -190,22 +200,30 @@ Snapshot SnapshotSimulator::evaluate_slot_synchronized() {
     return bad;
   };
 
-  // Paths: a probe survives iff no traversed unit is bad in its slot.
-  for (std::size_t i = 0; i < np; ++i) {
-    const std::size_t bad = popcount_or(path_units_[i]);
-    const double phi = clamp_fraction(
-        static_cast<double>(s - bad) / static_cast<double>(s), s);
-    snap.path_trans[i] = phi;
-    snap.path_log_trans[i] = std::log(phi);
-  }
+  // Paths: a probe survives iff no traversed unit is bad in its slot.  Each
+  // path/link writes only its own entries, so both sweeps parallelise
+  // without changing the output.
+  util::parallel_for(np, 32, [&](std::size_t begin, std::size_t end) {
+    std::vector<std::uint64_t> acc(words_);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t bad = popcount_or(path_units_[i], acc);
+      const double phi = clamp_fraction(
+          static_cast<double>(s - bad) / static_cast<double>(s), s);
+      snap.path_trans[i] = phi;
+      snap.path_log_trans[i] = std::log(phi);
+    }
+  });
   // Virtual links: a probe traverses the link successfully iff every unit
   // backing it is good in its slot.
-  for (std::size_t k = 0; k < nc; ++k) {
-    const std::size_t bad = popcount_or(link_units_[k]);
-    const double phi = clamp_fraction(
-        static_cast<double>(s - bad) / static_cast<double>(s), s);
-    snap.link_sampled_log_trans[k] = std::log(phi);
-  }
+  util::parallel_for(nc, 32, [&](std::size_t begin, std::size_t end) {
+    std::vector<std::uint64_t> acc(words_);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t bad = popcount_or(link_units_[k], acc);
+      const double phi = clamp_fraction(
+          static_cast<double>(s - bad) / static_cast<double>(s), s);
+      snap.link_sampled_log_trans[k] = std::log(phi);
+    }
+  });
   return snap;
 }
 

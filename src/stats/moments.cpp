@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "linalg/kernels.hpp"
+
 namespace losstomo::stats {
 
 SnapshotMatrix::SnapshotMatrix(std::size_t dim, std::size_t count)
@@ -68,6 +70,14 @@ double CenteredSnapshots::covariance(std::size_t i, std::size_t j) const {
     acc += row[i] * row[j];
   }
   return acc / static_cast<double>(m - 1);
+}
+
+linalg::Matrix covariance_matrix(const CenteredSnapshots& y,
+                                 std::size_t threads) {
+  const std::size_t m = y.count();
+  if (m < 2) throw std::logic_error("covariance needs >= 2 snapshots");
+  const double scale = 1.0 / static_cast<double>(m - 1);
+  return linalg::blocked_gram(y.flat().data(), m, y.dim(), scale, threads);
 }
 
 void RunningStat::add(double x) {

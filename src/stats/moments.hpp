@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "linalg/matrix.hpp"
+
 namespace losstomo::stats {
 
 /// Column-major collection of m snapshots of an np-dimensional observation:
@@ -35,6 +37,10 @@ class SnapshotMatrix {
 
   [[nodiscard]] double& at(std::size_t l, std::size_t i);
   [[nodiscard]] double at(std::size_t l, std::size_t i) const;
+
+  /// Contiguous row-major storage (count() rows of dim() entries); the
+  /// layout the blocked covariance kernels consume directly.
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
 
  private:
   std::size_t dim_;
@@ -67,10 +73,21 @@ class CenteredSnapshots {
   /// Unbiased sample variance of coordinate i.
   [[nodiscard]] double variance(std::size_t i) const { return covariance(i, i); }
 
+  /// Contiguous centred samples (count() rows of dim() entries).
+  [[nodiscard]] std::span<const double> flat() const { return centered_.flat(); }
+
  private:
   SnapshotMatrix centered_;
   std::vector<double> means_;
 };
+
+/// Full sample covariance matrix S of the snapshots (paper eq. (7)):
+/// S_ij = 1/(m-1) sum_l ytilde_i^l ytilde_j^l, computed in one blocked
+/// SYRK pass over the centred data (linalg/kernels.hpp).  This is the
+/// precomputation that lets the Phase-1 pairwise accumulation drop its
+/// O(m) inner loop per path pair.  Requires count() >= 2.
+linalg::Matrix covariance_matrix(const CenteredSnapshots& y,
+                                 std::size_t threads = 0);
 
 /// Streaming univariate accumulator (count/mean/variance/min/max) used by
 /// experiment harnesses to aggregate repeated runs.

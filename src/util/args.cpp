@@ -3,12 +3,28 @@
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace losstomo::util {
 
 Args::Args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    if (arg.starts_with("--")) {
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        // `--key value`: the value is the next argv token.  A following
+        // token that is itself a flag means the value was forgotten —
+        // swallowing it would silently misparse both arguments.
+        if (arg.empty() || i + 1 >= argc ||
+            std::string_view(argv[i + 1]).starts_with("--")) {
+          throw std::invalid_argument("flag --" + arg + " expects a value");
+        }
+        values_[arg] = argv[++i];
+        continue;
+      }
+    }
     const auto eq = arg.find('=');
     if (eq == std::string::npos || eq == 0) {
       throw std::invalid_argument("expected key=value argument, got: " + arg);

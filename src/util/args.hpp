@@ -12,6 +12,8 @@
 namespace losstomo::util {
 
 /// Parses `key=value` command-line arguments with typed, defaulted lookups.
+/// GNU-style spellings `--key=value` and `--key value` are accepted as
+/// synonyms (the standardized `--json <path>` bench flag uses this form).
 ///
 /// Usage:
 ///   Args args(argc, argv);

@@ -1,0 +1,183 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace losstomo::util {
+
+namespace {
+
+std::size_t env_or_hardware_threads() {
+  if (const char* env = std::getenv("LOSSTOMO_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t g_default_threads = 0;  // 0 = env/hardware
+
+// Set while this thread is draining a job — as a pool worker or as the
+// caller inside run().  Nested parallel sections then run inline: a worker
+// must not block on the pool (deadlock), and a caller's nested section must
+// not queue behind helpers that are busy with other outer tasks (stall).
+thread_local bool t_in_parallel = false;
+
+}  // namespace
+
+std::size_t default_threads() {
+  if (g_default_threads > 0) return g_default_threads;
+  static const std::size_t resolved = env_or_hardware_threads();
+  return resolved;
+}
+
+void set_default_threads(std::size_t threads) { g_default_threads = threads; }
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t tasks = 0;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t participants = 0;  // guarded by mu
+
+  void drain() {
+    try {
+      std::size_t i;
+      while ((i = next.fetch_add(1, std::memory_order_relaxed)) < tasks) {
+        (*fn)(i);
+      }
+    } catch (...) {
+      // Stop other participants from claiming further tasks, then settle
+      // our participation before propagating, so the job can still quiesce.
+      next.store(tasks, std::memory_order_relaxed);
+      finish_participation();
+      throw;
+    }
+    finish_participation();
+  }
+
+  void finish_participation() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--participants == 0) done_cv.notify_all();
+  }
+};
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  t_in_parallel = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to help
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job->drain();
+  }
+}
+
+void ThreadPool::ensure_workers(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < count) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& fn,
+                     std::size_t workers) {
+  if (tasks == 0) return;
+  if (workers == 0) workers = default_threads();
+  workers = std::min(workers, tasks);
+  if (workers <= 1 || t_in_parallel) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  ensure_workers(workers - 1);
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->tasks = tasks;
+  job->participants = workers;  // helpers + this thread
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t h = 0; h + 1 < workers; ++h) queue_.push_back(job);
+  }
+  cv_.notify_all();
+  const auto quiesce = [&job] {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] { return job->participants == 0; });
+  };
+  t_in_parallel = true;  // nested sections from this drain run inline
+  try {
+    job->drain();
+  } catch (...) {
+    // fn threw on the calling thread: wait until every helper has let go of
+    // the job (fn is a reference into this frame) before unwinding.  A
+    // throw on a helper thread still terminates — bodies are expected not
+    // to throw.
+    t_in_parallel = false;
+    quiesce();
+    throw;
+  }
+  t_in_parallel = false;
+  quiesce();
+}
+
+std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  // Cap bounds scheduling overhead; it is a constant, so chunk boundaries
+  // stay independent of the executing thread count.
+  constexpr std::size_t kMaxChunks = 1024;
+  return std::min((n + grain - 1) / grain, kMaxChunks);
+}
+
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                std::size_t chunks,
+                                                std::size_t chunk) {
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  const std::size_t begin = chunk * base + std::min(chunk, rem);
+  const std::size_t len = base + (chunk < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t threads) {
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    body(0, n);
+    return;
+  }
+  ThreadPool::global().run(
+      chunks,
+      [&](std::size_t chunk) {
+        const auto [begin, end] = chunk_range(n, chunks, chunk);
+        body(begin, end);
+      },
+      threads);
+}
+
+}  // namespace losstomo::util

@@ -1,0 +1,113 @@
+// Small reusable thread pool and deterministic parallel-for helpers.
+//
+// Every data-parallel hot path in the library (blocked covariance kernels,
+// normal-equation accumulation, snapshot simulation) funnels through
+// parallel_for / parallel_reduce.  Two properties are guaranteed:
+//
+//  * Determinism at any thread count.  Work is split into chunks whose
+//    boundaries depend only on the problem size and the caller's grain —
+//    never on how many threads execute them — and reductions combine
+//    per-chunk partials in ascending chunk order.  Running with 1, 2, or 64
+//    threads therefore produces bit-identical results.
+//  * One knob.  The worker count defaults to std::thread::hardware_concurrency,
+//    can be overridden globally by the LOSSTOMO_THREADS environment variable
+//    or set_default_threads(), and per call by the `threads` argument
+//    (options structs such as core::VarianceOptions::threads forward here).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace losstomo::util {
+
+/// Default worker count: LOSSTOMO_THREADS if set (clamped to >= 1), else
+/// std::thread::hardware_concurrency(), else 1.
+std::size_t default_threads();
+
+/// Overrides default_threads() process-wide; 0 restores the env/hardware
+/// default.  Not thread-safe against concurrent parallel sections.
+void set_default_threads(std::size_t threads);
+
+/// Shared pool of worker threads.  Threads are created lazily up to the
+/// largest concurrency any call has requested and reused across calls; a
+/// parallel section issued from inside a worker runs inline (no nested
+/// parallelism, no deadlock).
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool used by parallel_for/parallel_reduce.
+  static ThreadPool& global();
+
+  /// Runs fn(task) for every task in [0, tasks), using at most `workers`
+  /// concurrent threads (0 = default_threads(); the calling thread counts as
+  /// one worker and always participates).  Blocks until every task is done.
+  /// Task indices are claimed dynamically, so fn must not depend on which
+  /// thread executes it.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn,
+           std::size_t workers = 0);
+
+ private:
+  struct Job;
+  void worker_loop();
+  void ensure_workers(std::size_t count);  // callers hold no lock
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Job>> queue_;  // one entry per helper slot
+  bool stop_ = false;
+};
+
+/// Number of chunks parallel_for/parallel_reduce split [0, n) into for the
+/// given grain (minimum items per chunk).  Depends only on (n, grain).
+std::size_t chunk_count(std::size_t n, std::size_t grain);
+
+/// Half-open sub-range of [0, n) covered by `chunk` (balanced partition).
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                std::size_t chunks,
+                                                std::size_t chunk);
+
+/// Runs body(begin, end) over a deterministic partition of [0, n); chunks
+/// are executed concurrently on at most `threads` workers.  Each index is
+/// visited exactly once; bodies writing disjoint outputs need no locking.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t threads = 0);
+
+/// Deterministic map-reduce: body(partial, begin, end) accumulates into a
+/// per-chunk partial (initialised by copying `identity`), then `reduce(acc,
+/// partial)` folds the partials into `identity`'s copy in ascending chunk
+/// order.  The result is bit-identical at any thread count.
+template <typename T, typename Body, typename Reduce>
+T parallel_reduce(std::size_t n, std::size_t grain, const T& identity,
+                  Body&& body, Reduce&& reduce, std::size_t threads = 0) {
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks <= 1) {
+    T acc = identity;
+    if (n > 0) body(acc, std::size_t{0}, n);
+    return acc;
+  }
+  std::vector<T> partials(chunks, identity);
+  ThreadPool::global().run(
+      chunks,
+      [&](std::size_t chunk) {
+        const auto [begin, end] = chunk_range(n, chunks, chunk);
+        body(partials[chunk], begin, end);
+      },
+      threads);
+  T acc = std::move(partials.front());
+  for (std::size_t c = 1; c < chunks; ++c) reduce(acc, partials[c]);
+  return acc;
+}
+
+}  // namespace losstomo::util

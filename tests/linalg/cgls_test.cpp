@@ -57,6 +57,23 @@ TEST(Cgls, ZeroRhsGivesZero) {
   for (const auto v : result.x) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(Cgls, BreakdownReportsConsistentState) {
+  // Degenerate operator pair (possible in operator form): apply annihilates
+  // every vector while apply_t does not, so the first iteration hits the
+  // qq == 0 breakdown.  The result must be internally consistent: not
+  // converged, residual_norm equal to the current ||A^T r||, and no
+  // iterations burned spinning on the dead direction.
+  const Vector b{3.0, 4.0};
+  const auto result = cgls(
+      [](std::span<const double> x) { return Vector(x.size(), 0.0); },
+      [](std::span<const double> y) { return Vector(y.begin(), y.end()); }, b,
+      2);
+  EXPECT_FALSE(result.converged);
+  EXPECT_NEAR(result.residual_norm, 5.0, 1e-12);  // ||A^T r|| = ||b||
+  EXPECT_EQ(result.iterations, 0u);
+  for (const auto v : result.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
 TEST(Cgls, RespectsIterationCap) {
   stats::Rng rng(32);
   Matrix a(30, 10);

@@ -1,0 +1,137 @@
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace losstomo::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, stats::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.gaussian();
+  }
+  return m;
+}
+
+Matrix naive_gram(const Matrix& a, double scale) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) acc += a(r, i) * a(r, j);
+      g(i, j) = scale * acc;
+    }
+  }
+  return g;
+}
+
+Matrix naive_multiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+double max_abs_entry_diff(const Matrix& a, const Matrix& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+TEST(BlockedGram, MatchesNaiveAcrossShapes) {
+  stats::Rng rng(7);
+  // Shapes straddle the tile boundaries (tile = 64) in both dimensions.
+  const std::size_t shapes[][2] = {{1, 1},  {3, 5},    {64, 64},  {65, 63},
+                                   {7, 130}, {200, 97}, {129, 129}};
+  for (const auto& shape : shapes) {
+    const auto a = random_matrix(shape[0], shape[1], rng);
+    const auto blocked = blocked_gram(a, 0.25);
+    const auto naive = naive_gram(a, 0.25);
+    EXPECT_LT(max_abs_entry_diff(blocked, naive), 1e-10)
+        << shape[0] << "x" << shape[1];
+  }
+}
+
+TEST(BlockedGram, ExactlySymmetric) {
+  stats::Rng rng(8);
+  const auto a = random_matrix(150, 140, rng);
+  const auto g = blocked_gram(a);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(BlockedGram, BitIdenticalAcrossThreadCounts) {
+  stats::Rng rng(9);
+  const auto a = random_matrix(300, 180, rng);
+  const auto one = blocked_gram(a, 1.0, 1);
+  const auto two = blocked_gram(a, 1.0, 2);
+  const auto eight = blocked_gram(a, 1.0, 8);
+  EXPECT_EQ(one.data(), two.data());
+  EXPECT_EQ(one.data(), eight.data());
+}
+
+TEST(BlockedMultiply, MatchesNaiveAcrossShapes) {
+  stats::Rng rng(10);
+  const std::size_t shapes[][3] = {
+      {1, 1, 1}, {5, 3, 7}, {64, 64, 64}, {65, 130, 63}, {100, 257, 90}};
+  for (const auto& shape : shapes) {
+    const auto a = random_matrix(shape[0], shape[1], rng);
+    const auto b = random_matrix(shape[1], shape[2], rng);
+    const auto blocked = blocked_multiply(a, b);
+    const auto naive = naive_multiply(a, b);
+    EXPECT_LT(max_abs_entry_diff(blocked, naive), 1e-10);
+  }
+}
+
+TEST(BlockedMultiply, BitIdenticalAcrossThreadCounts) {
+  stats::Rng rng(11);
+  const auto a = random_matrix(120, 200, rng);
+  const auto b = random_matrix(200, 110, rng);
+  const auto one = blocked_multiply(a, b, 1);
+  const auto eight = blocked_multiply(a, b, 8);
+  EXPECT_EQ(one.data(), eight.data());
+}
+
+TEST(CovarianceMatrix, MatchesPairwiseCovariance) {
+  stats::Rng rng(12);
+  const std::size_t np = 70, m = 40;
+  stats::SnapshotMatrix y(np, m);
+  for (std::size_t l = 0; l < m; ++l) {
+    for (std::size_t i = 0; i < np; ++i) y.at(l, i) = rng.gaussian();
+  }
+  const stats::CenteredSnapshots centered(y);
+  const auto s = stats::covariance_matrix(centered);
+  ASSERT_EQ(s.rows(), np);
+  ASSERT_EQ(s.cols(), np);
+  for (std::size_t i = 0; i < np; i += 7) {
+    for (std::size_t j = i; j < np; j += 5) {
+      EXPECT_NEAR(s(i, j), centered.covariance(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixOps, LargeGramAndMultiplyRouteThroughKernels) {
+  // Above the flop threshold Matrix::gram/multiply delegate to the blocked
+  // kernels; the results must still agree with the naive reference.
+  stats::Rng rng(13);
+  const auto a = random_matrix(90, 80, rng);
+  EXPECT_LT(max_abs_entry_diff(a.gram(), naive_gram(a, 1.0)), 1e-10);
+  const auto b = random_matrix(80, 90, rng);
+  EXPECT_LT(max_abs_entry_diff(a.multiply(b), naive_multiply(a, b)), 1e-10);
+}
+
+}  // namespace
+}  // namespace losstomo::linalg

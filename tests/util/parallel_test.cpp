@@ -1,0 +1,104 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace losstomo::util {
+namespace {
+
+TEST(Parallel, ChunkRangesPartitionExactly) {
+  for (const std::size_t n : {0u, 1u, 7u, 64u, 1000u, 1001u}) {
+    for (const std::size_t grain : {1u, 3u, 64u, 4096u}) {
+      const std::size_t chunks = chunk_count(n, grain);
+      if (n == 0) {
+        EXPECT_EQ(chunks, 0u);
+        continue;
+      }
+      ASSERT_GE(chunks, 1u);
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = chunk_range(n, chunks, c);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_GE(end, begin);
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(
+      n, 16,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+      },
+      4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(Parallel, ReduceIsBitIdenticalAcrossThreadCounts) {
+  // Sum of values whose magnitudes differ wildly: any change in summation
+  // order changes the low bits, so equality proves order-determinism.
+  const std::size_t n = 50'000;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = (i % 7 == 0 ? 1e12 : 1e-9) * static_cast<double>(i + 1);
+  }
+  const auto sum_with = [&](std::size_t threads) {
+    return parallel_reduce<double>(
+        n, 64, 0.0,
+        [&](double& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        },
+        [](double& acc, const double& partial) { acc += partial; }, threads);
+  };
+  const double one = sum_with(1);
+  const double two = sum_with(2);
+  const double eight = sum_with(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Parallel, NestedSectionsRunInline) {
+  std::atomic<int> total{0};
+  parallel_for(
+      8, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          parallel_for(
+              4, 1,
+              [&](std::size_t b2, std::size_t e2) {
+                total.fetch_add(static_cast<int>(e2 - b2));
+              },
+              4);
+        }
+      },
+      4);
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Parallel, OversubscriptionBeyondHardwareWorks) {
+  std::atomic<int> total{0};
+  ThreadPool::global().run(
+      64, [&](std::size_t) { total.fetch_add(1); }, 8);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, DefaultThreadsIsPositiveAndOverridable) {
+  EXPECT_GE(default_threads(), 1u);
+  set_default_threads(3);
+  EXPECT_EQ(default_threads(), 3u);
+  set_default_threads(0);
+  EXPECT_GE(default_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace losstomo::util

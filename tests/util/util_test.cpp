@@ -67,6 +67,24 @@ TEST(Table, AlignedOutput) {
   EXPECT_EQ(t.rows(), 2u);
 }
 
+TEST(Args, AcceptsGnuStyleFlagSpellings) {
+  const char* argv[] = {"prog", "--json", "out.json", "--m=7", "p=0.5"};
+  const Args args(5, argv);
+  EXPECT_EQ(args.get_string("json", ""), "out.json");
+  EXPECT_EQ(args.get_int("m", 0), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.5);
+  args.finish();
+}
+
+TEST(Args, FlagMissingValueIsRejected) {
+  const char* trailing[] = {"prog", "--json"};
+  EXPECT_THROW(Args(2, trailing), std::invalid_argument);
+  // A following flag means the value was forgotten, not that the flag
+  // should swallow it.
+  const char* swallowed[] = {"prog", "--json", "--full=1"};
+  EXPECT_THROW(Args(3, swallowed), std::invalid_argument);
+}
+
 TEST(Table, RejectsArityMismatch) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
