@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const auto windows = args.get_size("windows", full ? 100 : 40);
   const double tl = args.get_double("tl", 0.01);
   const auto seed = args.get_size("seed", 41);
+  const auto json_path = args.get_string("json", "");
   args.finish();
 
   std::cout << "Sec 7.2.2: congestion episode durations (PlanetLab-like, "
@@ -89,5 +90,26 @@ int main(int argc, char** argv) {
             << "\nExpected shape (paper): the overwhelming majority of "
                "congestion episodes last one snapshot; a small tail spans "
                "two.\n";
+
+  bench::JsonReport report;
+  report.set("bench", std::string("sec722_duration"));
+  report.set("np", rrm.path_count());
+  report.set("nc", rrm.link_count());
+  report.set("m", m);
+  report.set("windows", windows);
+  report.set("p", p);
+  report.set("persistence", persistence);
+  report.set("episodes", episodes);
+  const std::size_t one_snapshot =
+      duration_count.count(1) ? duration_count.at(1) : 0;
+  report.set("one_snapshot_episodes", one_snapshot);
+  report.set("one_snapshot_fraction",
+             episodes == 0 ? 0.0
+                           : static_cast<double>(one_snapshot) /
+                                 static_cast<double>(episodes));
+  report.set("max_duration",
+             duration_count.empty() ? std::size_t{0}
+                                    : duration_count.rbegin()->first);
+  report.write(json_path);
   return 0;
 }

@@ -10,13 +10,20 @@
 //             diagnoses the last one, prints per-link loss rates and the
 //             identifiability report:
 //       lia_cli mode=infer topology=... paths=... snapshots=... [tl=0.002]
+//   monitor:  streams the snapshot file line by line through LiaMonitor
+//             (io::SnapshotStream + the incremental covariance engine), so
+//             arbitrarily long traces run at O(np) reader memory:
+//       lia_cli mode=monitor topology=... paths=... snapshots=... [m=50]
+//               [relearn_every=1] [engine=streaming|batch] [tl=0.002]
 //
 // File formats are documented in src/io/trace_io.hpp.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "core/identifiability.hpp"
 #include "core/lia.hpp"
+#include "core/monitor.hpp"
 #include "io/trace_io.hpp"
 #include "net/routing_matrix.hpp"
 #include "sim/probe_sim.hpp"
@@ -139,6 +146,73 @@ int infer(const util::Args& args) {
   return 0;
 }
 
+int monitor(const util::Args& args) {
+  const auto topology_file = args.get_string("topology", "");
+  const auto paths_file = args.get_string("paths", "");
+  const auto snapshots_file = args.get_string("snapshots", "");
+  const double tl = args.get_double("tl", 0.002);
+  const auto m = args.get_size("m", 50);
+  const auto relearn_every = args.get_size("relearn_every", 1);
+  const auto engine = args.get_string("engine", "streaming");
+  args.finish();
+  if (topology_file.empty() || paths_file.empty() || snapshots_file.empty()) {
+    std::cerr << "mode=monitor needs topology=, paths=, snapshots= files\n";
+    return 2;
+  }
+  if (engine != "streaming" && engine != "batch") {
+    std::cerr << "engine must be streaming|batch\n";
+    return 2;
+  }
+
+  const auto graph = io::load_topology(topology_file);
+  const auto paths = io::load_paths(paths_file);
+  const net::ReducedRoutingMatrix rrm(graph, paths);
+  std::ifstream snapshots(snapshots_file);
+  if (!snapshots) {
+    std::cerr << "cannot open " << snapshots_file << '\n';
+    return 2;
+  }
+
+  core::LiaMonitor monitor(
+      rrm.matrix(), {.window = m,
+                     .relearn_every = relearn_every,
+                     .engine = engine == "batch" ? core::MonitorEngine::kBatch
+                                                 : core::MonitorEngine::kStreaming});
+  io::SnapshotStream stream(snapshots);
+  std::vector<double> y;
+  util::Table log({"tick", "congested links", "worst link loss"});
+  std::size_t diagnosed = 0;
+  while (stream.next(y)) {
+    if (y.size() != rrm.path_count()) {
+      std::cerr << "snapshot arity " << y.size() << " != path count "
+                << rrm.path_count() << '\n';
+      return 2;
+    }
+    const auto inference = monitor.observe(y);
+    if (!inference) continue;
+    ++diagnosed;
+    std::size_t flagged = 0;
+    double worst = 0.0;
+    for (std::size_t k = 0; k < rrm.link_count(); ++k) {
+      if (inference->loss[k] > tl) {
+        ++flagged;
+        worst = std::max(worst, inference->loss[k]);
+      }
+    }
+    log.add_row({std::to_string(monitor.ticks()), std::to_string(flagged),
+                 util::Table::num(worst, 4)});
+  }
+  log.print(std::cout);
+  std::cout << '\n'
+            << stream.snapshots_read() << " snapshots streamed, " << diagnosed
+            << " diagnosed (window m=" << m << ", " << engine << " engine)\n";
+  if (stream.snapshots_read() <= m) {
+    std::cout << "note: the first m snapshots are learning-only; feed more "
+                 "than m to see diagnoses\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,7 +221,8 @@ int main(int argc, char** argv) {
     const auto mode = args.get_string("mode", "infer");
     if (mode == "generate") return generate(args);
     if (mode == "infer") return infer(args);
-    std::cerr << "unknown mode: " << mode << " (use generate|infer)\n";
+    if (mode == "monitor") return monitor(args);
+    std::cerr << "unknown mode: " << mode << " (use generate|infer|monitor)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -113,4 +113,33 @@ linalg::Vector augmented_normal_rhs(
   return h;
 }
 
+linalg::Vector augmented_normal_rhs(
+    const linalg::Matrix& s,
+    const std::vector<std::vector<std::uint32_t>>& column_paths,
+    std::size_t threads) {
+  const std::size_t nc = column_paths.size();
+  linalg::Vector h(nc, 0.0);
+  // Links are independent (disjoint writes) and every per-link sum runs in
+  // ascending path order: bit-identical at any thread count.
+  util::parallel_for(
+      nc, 4,
+      [&](std::size_t k_begin, std::size_t k_end) {
+        for (std::size_t k = k_begin; k < k_end; ++k) {
+          const auto& paths = column_paths[k];
+          double full_sum = 0.0;
+          double diag = 0.0;
+          for (const auto i : paths) {
+            const auto row = s.row(i);
+            diag += row[i];
+            double acc = 0.0;
+            for (const auto j : paths) acc += row[j];
+            full_sum += acc;
+          }
+          h[k] = 0.5 * (full_sum + diag);
+        }
+      },
+      threads);
+  return h;
+}
+
 }  // namespace losstomo::core

@@ -71,4 +71,14 @@ linalg::Vector augmented_normal_rhs(
     const std::vector<std::vector<std::uint32_t>>& column_paths,
     std::size_t threads = 0);
 
+/// Same right-hand side evaluated from an already-formed covariance matrix
+/// S (stats::CovarianceSource::matrix()) instead of raw snapshots:
+///   h_k = 1/2 [ sum_{i,j in S_k} S_ij + sum_{i in S_k} S_ii ].
+/// This is the per-tick form the streaming engine uses: its cost depends
+/// only on the sharing structure, never on the window length.
+linalg::Vector augmented_normal_rhs(
+    const linalg::Matrix& s,
+    const std::vector<std::vector<std::uint32_t>>& column_paths,
+    std::size_t threads = 0);
+
 }  // namespace losstomo::core

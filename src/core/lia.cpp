@@ -1,24 +1,30 @@
 #include "core/lia.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace losstomo::core {
 
-Lia::Lia(const linalg::SparseBinaryMatrix& r, LiaOptions options)
-    : r_(r), options_(options) {}
+Lia::Lia(linalg::SparseBinaryMatrix r, LiaOptions options)
+    : r_(std::move(r)), options_(options) {}
 
 const VarianceEstimate& Lia::learn(const stats::SnapshotMatrix& history) {
-  variance_ = estimate_link_variances(r_, history, options_.variance);
-  elimination_ =
-      eliminate_low_variance_links(r_, variance_->v, options_.elimination);
-  return *variance_;
+  return adopt(estimate_link_variances(r_, history, options_.variance));
+}
+
+const VarianceEstimate& Lia::learn(const stats::CovarianceSource& source) {
+  return adopt(estimate_link_variances(r_, source, options_.variance));
 }
 
 const VarianceEstimate& Lia::learn_from_variances(linalg::Vector variances) {
   VarianceEstimate est;
   est.v = std::move(variances);
   est.method = "external";
-  variance_ = std::move(est);
+  return adopt(std::move(est));
+}
+
+const VarianceEstimate& Lia::adopt(VarianceEstimate estimate) {
+  variance_ = std::move(estimate);
   elimination_ =
       eliminate_low_variance_links(r_, variance_->v, options_.elimination);
   return *variance_;

@@ -20,6 +20,7 @@
 #include "core/loss_solver.hpp"
 #include "core/variance_estimator.hpp"
 #include "linalg/sparse.hpp"
+#include "stats/covariance_source.hpp"
 #include "stats/moments.hpp"
 
 namespace losstomo::core {
@@ -31,16 +32,27 @@ struct LiaOptions {
 
 class Lia {
  public:
-  explicit Lia(const linalg::SparseBinaryMatrix& r, LiaOptions options = {});
+  /// Takes the routing matrix by value: a Lia owns its copy, so it stays
+  /// valid however the caller produced the matrix (including temporaries —
+  /// the old const-reference member dangled there).
+  explicit Lia(linalg::SparseBinaryMatrix r, LiaOptions options = {});
 
   /// Phase 1: estimates link variances from the history of snapshots and
   /// prepares the Phase-2 elimination.  May be called again as new history
   /// accumulates (sliding window).
   const VarianceEstimate& learn(const stats::SnapshotMatrix& history);
 
+  /// Phase 1 from an abstract covariance source (batch wrapper or the
+  /// streaming sliding-window accumulator).
+  const VarianceEstimate& learn(const stats::CovarianceSource& source);
+
   /// Phase 1 bypass for callers that already know the variances (tests,
   /// delay extension).
   const VarianceEstimate& learn_from_variances(linalg::Vector variances);
+
+  /// Adopts an externally produced Phase-1 estimate (e.g. from
+  /// StreamingNormalEquations::solve) and prepares the Phase-2 elimination.
+  const VarianceEstimate& adopt(VarianceEstimate estimate);
 
   /// Phase 2: infers per-link loss rates for one snapshot.  Requires a
   /// prior learn().
@@ -52,7 +64,7 @@ class Lia {
   [[nodiscard]] const linalg::SparseBinaryMatrix& routing() const { return r_; }
 
  private:
-  const linalg::SparseBinaryMatrix& r_;
+  linalg::SparseBinaryMatrix r_;  // owned (see constructor note)
   LiaOptions options_;
   std::optional<VarianceEstimate> variance_;
   std::optional<Elimination> elimination_;

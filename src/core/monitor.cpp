@@ -1,43 +1,77 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace losstomo::core {
 
-LiaMonitor::LiaMonitor(const linalg::SparseBinaryMatrix& r,
-                       MonitorOptions options)
-    : r_(r), options_(options), lia_(r_, options_.lia) {
+LiaMonitor::LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options)
+    : options_(options),
+      engine_(options.engine),
+      lia_(std::move(r), options_.lia) {
   if (options_.window < 2) throw std::invalid_argument("window must be >= 2");
   if (options_.relearn_every == 0) {
     throw std::invalid_argument("relearn_every must be >= 1");
   }
+  // The streaming solve covers the normal-equation methods; the paper-exact
+  // dense QR needs the materialised batch system.
+  if (options_.lia.variance.method == VarianceMethod::kDenseQr) {
+    engine_ = MonitorEngine::kBatch;
+  }
+  if (engine_ == MonitorEngine::kStreaming) {
+    const auto& routing = lia_.routing();
+    accumulator_.emplace(
+        routing.rows(),
+        stats::StreamingMomentsOptions{.window = options_.window,
+                                       .refresh_every = options_.refresh_every,
+                                       .threads = options_.lia.variance.threads});
+    equations_.emplace(routing, options_.lia.variance);
+  }
 }
 
-void LiaMonitor::relearn() {
-  stats::SnapshotMatrix history(r_.rows(), options_.window);
+void LiaMonitor::relearn_batch() {
+  stats::SnapshotMatrix history(lia_.routing().rows(), options_.window);
   for (std::size_t l = 0; l < options_.window; ++l) {
     const auto& y = window_[l];
     std::copy(y.begin(), y.end(), history.sample(l).begin());
   }
   lia_.learn(history);
-  since_learn_ = 0;
 }
 
 std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
-  if (y.size() != r_.rows()) throw std::invalid_argument("snapshot size");
+  if (y.size() != lia_.routing().rows()) {
+    throw std::invalid_argument("snapshot size");
+  }
   ++ticks_;
 
+  const bool streaming = engine_ == MonitorEngine::kStreaming;
+  const std::size_t window_fill =
+      streaming ? accumulator_->count() : window_.size();
+
   std::optional<LossInference> result;
-  if (window_.size() == options_.window) {
+  if (window_fill == options_.window) {
     // Window full: (re)learn if due, then diagnose this snapshot using the
     // PRECEDING window only (the paper's m-then-(m+1) split).
     if (!lia_.trained() || ++since_learn_ >= options_.relearn_every) {
-      relearn();
+      if (streaming) {
+        equations_->refresh(*accumulator_);
+        lia_.adopt(equations_->solve());
+      } else {
+        relearn_batch();
+      }
+      since_learn_ = 0;
     }
     result = lia_.infer(y);
   }
-  window_.emplace_back(y.begin(), y.end());
-  if (window_.size() > options_.window) window_.pop_front();
+  // Every snapshot enters the window — also between relearns — so a
+  // delayed relearn sees the full intermediate history.
+  if (streaming) {
+    accumulator_->push(y);
+  } else {
+    window_.emplace_back(y.begin(), y.end());
+    if (window_.size() > options_.window) window_.pop_front();
+  }
   return result;
 }
 

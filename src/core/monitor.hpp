@@ -5,6 +5,25 @@
 // re-learns the link variances, and diagnoses the newest snapshot.  This
 // is the pattern used by examples/overlay_monitoring and the §7.2.2
 // duration study, packaged so library users get it directly.
+//
+// Two engines drive the per-tick relearn:
+//  * kStreaming (default) — a stats::StreamingMoments accumulator keeps
+//    the window covariance matrix current under O(np^2) rank-1 add/retire
+//    updates, and a StreamingNormalEquations instance refreshes h (and the
+//    sign-flipped parts of G) from it, re-using the cached Cholesky factor
+//    while G is unchanged.  Steady-state tick cost is independent of the
+//    window length; under the keep-all policy G never changes and the
+//    normal equations are factorized exactly once.
+//  * kBatch — the reference path: rebuild the m x np snapshot matrix and
+//    run the full Phase-1 estimate from scratch every relearn.  Retained
+//    for parity tests, and required for VarianceMethod::kDenseQr (the
+//    monitor falls back to it automatically in that configuration).
+// Both engines fold every observed snapshot into the window regardless of
+// relearn_every, and produce identical inferences to <= 1e-10 (see
+// bench/monitor_streaming and tests/core/monitor_test) — except that under
+// drop-negative a pair covariance within the accumulator's drift of zero
+// can resolve its drop decision differently than the batch engine (the
+// policy is discontinuous at cov = 0; keep-all has no such boundary).
 #pragma once
 
 #include <deque>
@@ -15,16 +34,28 @@
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
 #include "stats/moments.hpp"
+#include "stats/streaming.hpp"
 
 namespace losstomo::core {
+
+enum class MonitorEngine {
+  kStreaming,  // incremental sliding-window covariance (default)
+  kBatch,      // full relearn from the materialised window (reference)
+};
 
 struct MonitorOptions {
   /// Learning-window length (the paper's m).
   std::size_t window = 50;
   /// Re-learn variances every `relearn_every` ticks (1 = every tick, the
   /// paper's procedure; larger values amortise Phase 1, which is the
-  /// dominant cost — see bench/sec64_runtime).
+  /// dominant cost — see bench/sec64_runtime).  Every snapshot still enters
+  /// the window, so a delayed relearn sees the full intermediate history.
   std::size_t relearn_every = 1;
+  MonitorEngine engine = MonitorEngine::kStreaming;
+  /// Streaming engine only: full recompute cadence of the incremental
+  /// accumulator in ticks, bounding floating-point drift
+  /// (stats::StreamingMomentsOptions::refresh_every); 0 = 2 * window.
+  std::size_t refresh_every = 0;
   LiaOptions lia;
 };
 
@@ -33,7 +64,9 @@ struct MonitorOptions {
 /// window.
 class LiaMonitor {
  public:
-  LiaMonitor(const linalg::SparseBinaryMatrix& r, MonitorOptions options = {});
+  /// Takes the routing matrix by value (owned by the internal Lia), so
+  /// constructing from a temporary is safe.
+  explicit LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options = {});
 
   /// Observes one snapshot (Y = log path transmission rates).  Returns the
   /// inference for this snapshot, or std::nullopt while the window is
@@ -48,14 +81,24 @@ class LiaMonitor {
   [[nodiscard]] const VarianceEstimate& variances() const {
     return lia_.variances();
   }
+  /// The engine actually driving relearns (kDenseQr configurations fall
+  /// back to kBatch).
+  [[nodiscard]] MonitorEngine engine() const { return engine_; }
+  [[nodiscard]] const linalg::SparseBinaryMatrix& routing() const {
+    return lia_.routing();
+  }
 
  private:
-  void relearn();
+  void relearn_batch();
 
-  linalg::SparseBinaryMatrix r_;
   MonitorOptions options_;
+  MonitorEngine engine_;
   Lia lia_;
+  // Batch engine state.
   std::deque<linalg::Vector> window_;
+  // Streaming engine state.
+  std::optional<stats::StreamingMoments> accumulator_;
+  std::optional<StreamingNormalEquations> equations_;
   std::size_t ticks_ = 0;
   std::size_t since_learn_ = 0;
 };

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "core/augmented_matrix.hpp"
-#include "linalg/cholesky.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/qr.hpp"
 #include "util/parallel.hpp"
@@ -95,27 +94,27 @@ SharingEstimate estimate_sharing(const linalg::SparseBinaryMatrix& r) {
   return est;
 }
 
-// Blocked/parallel pairwise accumulation.  Two covariance strategies,
-// chosen from the sampled sharing structure (a pure function of the
-// problem, so the choice is reproducible):
-//  * dense sharing: precompute the full covariance matrix S = Yc^T Yc/(m-1)
-//    with one blocked SYRK pass (stats::covariance_matrix) and read S(i,j)
-//    per pair — this removes the seed's O(m) inner loop from every pair;
-//  * sparse sharing: most pairs carry no equation and the seed's skip
-//    already avoids their covariances, so computing all of S would be
-//    wasted work — keep the on-demand per-pair covariance for the few
-//    sharing pairs.
+// Blocked/parallel pairwise accumulation over a CovarianceSource.  Two
+// covariance strategies, chosen from the sampled sharing structure (a pure
+// function of the problem, so the choice is reproducible):
+//  * dense sharing — or any source that already holds S (streaming
+//    accumulators): read S(i, j) per pair, removing the seed's O(m) inner
+//    loop from every pair;
+//  * sparse sharing on a batch source: most pairs carry no equation and the
+//    skip already avoids their covariances, so computing all of S would be
+//    wasted work — keep the on-demand per-pair covariance over the centred
+//    samples for the few sharing pairs.
 // Either way G/h are folded over path-row chunks with per-chunk partials;
 // chunk boundaries depend only on the problem size, so the reduction order
 // — and therefore the result — is bit-identical at any thread count.
 //
-// Caveat vs the scalar reference: under the SYRK strategy a pair whose true
-// covariance sits within an ulp of zero can round to the opposite sign than
-// the scalar sum and flip its drop decision (one whole equation).  The
+// Caveat vs the scalar reference: under the matrix strategy a pair whose
+// true covariance sits within an ulp of zero can round to the opposite sign
+// than the scalar sum and flip its drop decision (one whole equation).  The
 // parity guarantee therefore assumes no covariance is exactly at the zero
 // boundary — sampling noise makes that measure-zero in practice.
 NormalEquations accumulate_pairwise_blocked(const linalg::SparseBinaryMatrix& r,
-                                            const stats::CenteredSnapshots& y,
+                                            const stats::CovarianceSource& y,
                                             bool drop_negative,
                                             std::size_t threads) {
   const std::size_t np = r.rows();
@@ -125,11 +124,12 @@ NormalEquations accumulate_pairwise_blocked(const linalg::SparseBinaryMatrix& r,
     return NormalEquations{linalg::Matrix(nc, nc), linalg::Vector(nc, 0.0)};
   }
   const SharingEstimate sharing = estimate_sharing(r);
-  // The SYRK pays off once a meaningful fraction of pairs would otherwise
-  // run the O(m) scalar loop; below that the skip wins.
-  const bool use_syrk = sharing.fraction >= 0.125;
-  linalg::Matrix s;
-  if (use_syrk) s = stats::covariance_matrix(y, threads);
+  // The full matrix pays off once a meaningful fraction of pairs would
+  // otherwise run the O(m) scalar loop — or comes for free from the source.
+  const bool use_matrix = sharing.fraction >= 0.125 || y.matrix_is_cheap();
+  const linalg::Matrix* s = use_matrix ? &y.matrix() : nullptr;
+  const std::span<const double> flat = use_matrix ? std::span<const double>{}
+                                                  : y.centered_flat();
 
   // Balance chunk count against the per-chunk partial cost: each extra
   // chunk buys 1/chunks of the pair-loop work but costs an nc^2 partial
@@ -142,7 +142,7 @@ NormalEquations accumulate_pairwise_blocked(const linalg::SparseBinaryMatrix& r,
       static_cast<double>(pair_count(np)) *
       (2.0 * row_len +
        sharing.fraction * (sharing.mean_shared * sharing.mean_shared +
-                           (use_syrk ? 1.0 : static_cast<double>(m))));
+                           (use_matrix ? 1.0 : static_cast<double>(m))));
   const double chunk_overhead = 4.0 * static_cast<double>(nc) * static_cast<double>(nc);
   const std::size_t partial_bytes = nc * nc * sizeof(double) + nc * sizeof(double);
   const std::size_t budget_chunks = std::max<std::size_t>(
@@ -151,20 +151,19 @@ NormalEquations accumulate_pairwise_blocked(const linalg::SparseBinaryMatrix& r,
       pair_ops / (8.0 * chunk_overhead), 1.0, 32.0));
   const std::size_t chunks = std::min({want_chunks, budget_chunks, np});
 
-  const std::span<const double> flat = y.flat();
   const auto body = [&](NormalEquations& part, std::size_t i_begin,
                         std::size_t i_end) {
         std::vector<std::uint32_t> shared;
         for (std::size_t i = i_begin; i < i_end; ++i) {
           const auto ri = r.row(i);
-          const double* si = use_syrk ? s.row(i).data() : nullptr;
+          const double* si = use_matrix ? s->row(i).data() : nullptr;
           for (std::size_t j = i; j < np; ++j) {
             linalg::intersect_sorted(ri, r.row(j), shared);
             if (shared.empty()) continue;
             double cov;
-            if (use_syrk) {
+            if (use_matrix) {
               cov = si[j];
-            } else {
+            } else if (!flat.empty()) {
               // On-demand covariance, identical to the scalar reference.
               cov = 0.0;
               const double* pi = flat.data() + i;
@@ -173,6 +172,8 @@ NormalEquations accumulate_pairwise_blocked(const linalg::SparseBinaryMatrix& r,
                 cov += *pi * *pj;
               }
               cov /= static_cast<double>(m - 1);
+            } else {
+              cov = y.covariance(i, j);
             }
             if (drop_negative && cov < 0.0) {
               ++part.dropped;
@@ -296,22 +297,10 @@ VarianceEstimate finish(linalg::Vector v, VarianceEstimate partial) {
   return partial;
 }
 
-bool resolve_drop_negative(const VarianceOptions& options, std::size_t np) {
-  switch (options.negatives) {
-    case NegativeCovariancePolicy::kDrop:
-      return true;
-    case NegativeCovariancePolicy::kKeep:
-      return false;
-    case NegativeCovariancePolicy::kAuto:
-    default:
-      return np <= options.pairwise_path_cap;
-  }
-}
-
 NormalEquations build_normal_equations_centered(
     const linalg::SparseBinaryMatrix& r, const stats::CenteredSnapshots& centered,
     const VarianceOptions& options) {
-  if (!resolve_drop_negative(options, r.rows())) {
+  if (!resolve_negative_policy(options, r.rows())) {
     return options.use_reference_impl
                ? accumulate_closed_form_reference(r, centered)
                : accumulate_closed_form(r, centered, options.threads);
@@ -319,92 +308,65 @@ NormalEquations build_normal_equations_centered(
   if (options.use_reference_impl) {
     return accumulate_pairwise_reference(r, centered, true);
   }
-  return accumulate_pairwise_blocked(r, centered, true, options.threads);
+  const stats::BatchCovarianceSource source(centered, options.threads);
+  return accumulate_pairwise_blocked(r, source, true, options.threads);
 }
 
-}  // namespace
-
-NormalEquations build_normal_equations(const linalg::SparseBinaryMatrix& r,
-                                       const stats::SnapshotMatrix& y,
-                                       const VarianceOptions& options) {
-  if (y.dim() != r.rows()) {
-    throw std::invalid_argument("snapshot dimension != path count");
-  }
-  if (y.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
-  const stats::CenteredSnapshots centered(y);
-  return build_normal_equations_centered(r, centered, options);
-}
-
-VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
-                                         const stats::SnapshotMatrix& y,
-                                         const VarianceOptions& options) {
-  if (y.dim() != r.rows()) {
-    throw std::invalid_argument("snapshot dimension != path count");
-  }
-  if (y.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
-  const stats::CenteredSnapshots centered(y);
-  const std::size_t np = r.rows();
+// Paper-exact dense path: materialise A, drop rows whose packed covariance
+// is negative (when the policy says so), Householder QR.  `sigma_full` is
+// the packed pair-covariance vector aligned with build_augmented_matrix.
+VarianceEstimate dense_qr_estimate(const linalg::SparseBinaryMatrix& r,
+                                   const linalg::Vector& sigma_full,
+                                   bool drop_negative,
+                                   const VarianceOptions& options) {
   const std::size_t nc = r.cols();
-
-  // Resolve the auto knobs.
-  VarianceMethod method = options.method;
-  if (method == VarianceMethod::kAuto) {
-    method = VarianceMethod::kNormal;
-  }
-  const bool drop_negative = resolve_drop_negative(options, np);
-
-  if (method == VarianceMethod::kDenseQr) {
-    // Paper-exact path: materialise A and Sigma*, drop negative rows, QR.
-    // All-zero rows (path pairs with no shared link) carry no equation and
-    // are excluded up front, mirroring the pairwise accumulation.
-    const auto a_full =
-        build_augmented_matrix(r, options.dense_entry_cap, options.threads);
-    const auto sigma_full =
-        options.use_reference_impl
-            ? packed_covariances(centered)
-            : packed_covariances(
-                  stats::covariance_matrix(centered, options.threads));
-    std::vector<std::size_t> keep;
-    std::size_t dropped = 0;
-    keep.reserve(sigma_full.size());
-    for (std::size_t row = 0; row < sigma_full.size(); ++row) {
-      const auto arow = a_full.row(row);
-      const bool informative =
-          std::any_of(arow.begin(), arow.end(), [](double x) { return x != 0.0; });
-      if (!informative) continue;
-      if (drop_negative && sigma_full[row] < 0.0) {
-        ++dropped;
-        continue;
-      }
-      keep.push_back(row);
+  // All-zero rows (path pairs with no shared link) carry no equation and
+  // are excluded up front, mirroring the pairwise accumulation.
+  const auto a_full =
+      build_augmented_matrix(r, options.dense_entry_cap, options.threads);
+  std::vector<std::size_t> keep;
+  std::size_t dropped = 0;
+  keep.reserve(sigma_full.size());
+  for (std::size_t row = 0; row < sigma_full.size(); ++row) {
+    const auto arow = a_full.row(row);
+    const bool informative =
+        std::any_of(arow.begin(), arow.end(), [](double x) { return x != 0.0; });
+    if (!informative) continue;
+    if (drop_negative && sigma_full[row] < 0.0) {
+      ++dropped;
+      continue;
     }
-    linalg::Matrix a(keep.size(), nc);
-    linalg::Vector sigma(keep.size());
-    util::parallel_for(
-        keep.size(), 64,
-        [&](std::size_t out_begin, std::size_t out_end) {
-          for (std::size_t out = out_begin; out < out_end; ++out) {
-            const auto src = a_full.row(keep[out]);
-            std::copy(src.begin(), src.end(), a.row(out).begin());
-            sigma[out] = sigma_full[keep[out]];
-          }
-        },
-        options.threads);
-    VarianceEstimate est;
-    est.method = "dense-qr";
-    est.equations_used = keep.size();
-    est.equations_dropped = dropped;
-    const linalg::HouseholderQr qr(a);
-    if (qr.full_column_rank()) {
-      return finish(qr.solve(sigma), std::move(est));
-    }
-    // Dropping rows can (rarely) lose rank; fall back to the basic
-    // rank-revealing solution.
-    est.method = "dense-qr(pivoted-fallback)";
-    return finish(linalg::PivotedQr(a).solve_basic(sigma), std::move(est));
+    keep.push_back(row);
   }
+  linalg::Matrix a(keep.size(), nc);
+  linalg::Vector sigma(keep.size());
+  util::parallel_for(
+      keep.size(), 64,
+      [&](std::size_t out_begin, std::size_t out_end) {
+        for (std::size_t out = out_begin; out < out_end; ++out) {
+          const auto src = a_full.row(keep[out]);
+          std::copy(src.begin(), src.end(), a.row(out).begin());
+          sigma[out] = sigma_full[keep[out]];
+        }
+      },
+      options.threads);
+  VarianceEstimate est;
+  est.method = "dense-qr";
+  est.equations_used = keep.size();
+  est.equations_dropped = dropped;
+  const linalg::HouseholderQr qr(a);
+  if (qr.full_column_rank()) {
+    return finish(qr.solve(sigma), std::move(est));
+  }
+  // Dropping rows can (rarely) lose rank; fall back to the basic
+  // rank-revealing solution.
+  est.method = "dense-qr(pivoted-fallback)";
+  return finish(linalg::PivotedQr(a).solve_basic(sigma), std::move(est));
+}
 
-  NormalEquations sys = build_normal_equations_centered(r, centered, options);
+// Shared normal-equation tail of both estimate_link_variances overloads.
+VarianceEstimate solve_normal_system(NormalEquations sys, VarianceMethod method,
+                                     bool drop_negative) {
   VarianceEstimate est;
   est.equations_used = sys.used;
   est.equations_dropped = sys.dropped;
@@ -419,6 +381,243 @@ VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
   const linalg::RegularizedCholesky chol(sys.g);
   est.jitter_used = chol.jitter_used();
   return finish(chol.solve(sys.h), std::move(est));
+}
+
+}  // namespace
+
+bool resolve_negative_policy(const VarianceOptions& options, std::size_t np) {
+  switch (options.negatives) {
+    case NegativeCovariancePolicy::kDrop:
+      return true;
+    case NegativeCovariancePolicy::kKeep:
+      return false;
+    case NegativeCovariancePolicy::kAuto:
+    default:
+      return np <= options.pairwise_path_cap;
+  }
+}
+
+NormalEquations build_normal_equations(const linalg::SparseBinaryMatrix& r,
+                                       const stats::SnapshotMatrix& y,
+                                       const VarianceOptions& options) {
+  if (y.dim() != r.rows()) {
+    throw std::invalid_argument("snapshot dimension != path count");
+  }
+  if (y.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
+  const stats::CenteredSnapshots centered(y);
+  return build_normal_equations_centered(r, centered, options);
+}
+
+NormalEquations build_normal_equations(const linalg::SparseBinaryMatrix& r,
+                                       const stats::CovarianceSource& source,
+                                       const VarianceOptions& options) {
+  if (source.dim() != r.rows()) {
+    throw std::invalid_argument("source dimension != path count");
+  }
+  if (source.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
+  if (resolve_negative_policy(options, r.rows())) {
+    return accumulate_pairwise_blocked(r, source, true, options.threads);
+  }
+  NormalEquations sys;
+  const linalg::CoTraversalGram gram(r);
+  sys.g = augmented_normal_matrix(gram, options.threads);
+  sys.h = augmented_normal_rhs(source.matrix(), r.column_lists(),
+                               options.threads);
+  sys.used = pair_count(r.rows());
+  return sys;
+}
+
+VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
+                                         const stats::SnapshotMatrix& y,
+                                         const VarianceOptions& options) {
+  if (y.dim() != r.rows()) {
+    throw std::invalid_argument("snapshot dimension != path count");
+  }
+  if (y.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
+  const stats::CenteredSnapshots centered(y);
+
+  // Resolve the auto knobs.
+  VarianceMethod method = options.method;
+  if (method == VarianceMethod::kAuto) {
+    method = VarianceMethod::kNormal;
+  }
+  const bool drop_negative = resolve_negative_policy(options, r.rows());
+
+  if (method == VarianceMethod::kDenseQr) {
+    const auto sigma_full =
+        options.use_reference_impl
+            ? packed_covariances(centered)
+            : packed_covariances(
+                  stats::covariance_matrix(centered, options.threads));
+    return dense_qr_estimate(r, sigma_full, drop_negative, options);
+  }
+
+  return solve_normal_system(build_normal_equations_centered(r, centered, options),
+                             method, drop_negative);
+}
+
+VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
+                                         const stats::CovarianceSource& source,
+                                         const VarianceOptions& options) {
+  if (source.dim() != r.rows()) {
+    throw std::invalid_argument("source dimension != path count");
+  }
+  if (source.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
+
+  VarianceMethod method = options.method;
+  if (method == VarianceMethod::kAuto) {
+    method = VarianceMethod::kNormal;
+  }
+  const bool drop_negative = resolve_negative_policy(options, r.rows());
+
+  if (method == VarianceMethod::kDenseQr) {
+    return dense_qr_estimate(r, packed_covariances(source.matrix()),
+                             drop_negative, options);
+  }
+  return solve_normal_system(build_normal_equations(r, source, options), method,
+                             drop_negative);
+}
+
+StreamingNormalEquations::StreamingNormalEquations(
+    const linalg::SparseBinaryMatrix& r, const VarianceOptions& options)
+    : options_(options),
+      np_(r.rows()),
+      nc_(r.cols()),
+      drop_negative_(resolve_negative_policy(options, r.rows())) {
+  sys_.g = linalg::Matrix(nc_, nc_);
+  sys_.h.assign(nc_, 0.0);
+  if (!drop_negative_) {
+    // Keep-all: G depends only on the routing matrix.
+    const linalg::CoTraversalGram gram(r);
+    sys_.g = augmented_normal_matrix(gram, options_.threads);
+    sys_.used = pair_count(np_);
+    column_paths_ = r.column_lists();
+    return;
+  }
+  // Drop-negative: enumerate the sharing pairs once; refresh() only reads
+  // their covariances.  G starts empty (every pair initially "dropped") and
+  // the first refresh folds the kept pairs in through the flip path.
+  pair_offsets_.push_back(0);
+  std::vector<std::uint32_t> shared;
+  for (std::size_t i = 0; i < np_; ++i) {
+    const auto ri = r.row(i);
+    for (std::size_t j = i; j < np_; ++j) {
+      linalg::intersect_sorted(ri, r.row(j), shared);
+      if (shared.empty()) continue;
+      pair_i_.push_back(static_cast<std::uint32_t>(i));
+      pair_j_.push_back(static_cast<std::uint32_t>(j));
+      pair_links_.insert(pair_links_.end(), shared.begin(), shared.end());
+      pair_offsets_.push_back(pair_links_.size());
+    }
+  }
+  pair_kept_.assign(pair_i_.size(), 0);
+}
+
+const NormalEquations& StreamingNormalEquations::refresh(
+    const stats::CovarianceSource& source) {
+  if (source.dim() != np_) {
+    throw std::invalid_argument("source dimension != path count");
+  }
+  if (source.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
+  const linalg::Matrix& s = source.matrix();
+  refreshed_ = true;
+
+  if (!drop_negative_) {
+    sys_.h = augmented_normal_rhs(s, column_paths_, options_.threads);
+    return sys_;
+  }
+
+  struct Partial {
+    linalg::Vector h;
+    std::size_t used = 0;
+    std::size_t dropped = 0;
+    std::vector<std::size_t> flips;
+  };
+  Partial identity;
+  identity.h.assign(nc_, 0.0);
+  // Pairs are scanned in chunks whose boundaries depend only on the pair
+  // count; partials reduce in ascending chunk order, so h is bit-identical
+  // at any thread count and `flips` comes back in ascending pair order.
+  Partial acc = util::parallel_reduce(
+      pair_i_.size(), 8192, identity,
+      [&](Partial& part, std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          const double cov = s(pair_i_[p], pair_j_[p]);
+          const bool kept = !(cov < 0.0);
+          if (kept != (pair_kept_[p] != 0)) part.flips.push_back(p);
+          if (!kept) {
+            ++part.dropped;
+            continue;
+          }
+          ++part.used;
+          for (std::size_t idx = pair_offsets_[p]; idx < pair_offsets_[p + 1];
+               ++idx) {
+            part.h[pair_links_[idx]] += cov;
+          }
+        }
+      },
+      [](Partial& into, const Partial& part) {
+        for (std::size_t k = 0; k < into.h.size(); ++k) into.h[k] += part.h[k];
+        into.used += part.used;
+        into.dropped += part.dropped;
+        into.flips.insert(into.flips.end(), part.flips.begin(),
+                          part.flips.end());
+      },
+      options_.threads);
+
+  // Fold the flipped pairs into G (integer counts, so the order does not
+  // matter and the result exactly matches a from-scratch accumulation over
+  // the current kept set).
+  for (const std::size_t p : acc.flips) {
+    pair_kept_[p] ^= 1;
+    const double sign = pair_kept_[p] ? 1.0 : -1.0;
+    const auto begin = pair_offsets_[p];
+    const auto end = pair_offsets_[p + 1];
+    for (std::size_t ia = begin; ia < end; ++ia) {
+      const auto a = pair_links_[ia];
+      for (std::size_t ib = begin; ib < end; ++ib) {
+        sys_.g(a, pair_links_[ib]) += sign;
+      }
+    }
+  }
+  if (!acc.flips.empty()) factor_dirty_ = true;
+  sys_.h = std::move(acc.h);
+  sys_.used = acc.used;
+  sys_.dropped = acc.dropped;
+  return sys_;
+}
+
+VarianceEstimate StreamingNormalEquations::solve() {
+  if (!refreshed_) {
+    throw std::logic_error("StreamingNormalEquations::solve before refresh");
+  }
+  VarianceMethod method = options_.method;
+  if (method == VarianceMethod::kAuto) method = VarianceMethod::kNormal;
+  if (method == VarianceMethod::kDenseQr) {
+    throw std::invalid_argument(
+        "StreamingNormalEquations does not support kDenseQr; use the batch "
+        "path");
+  }
+  VarianceEstimate est;
+  est.equations_used = sys_.used;
+  est.equations_dropped = sys_.dropped;
+
+  if (method == VarianceMethod::kNnls) {
+    est.method = drop_negative_ ? "streaming-nnls(drop-negative)"
+                                : "streaming-nnls(keep-all)";
+    auto result = linalg::nnls_gram(sys_.g, sys_.h);
+    return finish(std::move(result.x), std::move(est));
+  }
+
+  est.method = drop_negative_ ? "streaming-normal(drop-negative)"
+                              : "streaming-normal(keep-all)";
+  if (!factor_ || factor_dirty_) {
+    factor_.emplace(sys_.g);
+    factor_dirty_ = false;
+    ++refactorizations_;
+  }
+  est.jitter_used = factor_->jitter_used();
+  return finish(factor_->solve(sys_.h), std::move(est));
 }
 
 }  // namespace losstomo::core

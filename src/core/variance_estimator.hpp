@@ -19,10 +19,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
+#include "stats/covariance_source.hpp"
 #include "stats/moments.hpp"
 
 namespace losstomo::core {
@@ -81,6 +86,11 @@ struct NormalEquations {
   std::size_t dropped = 0;  // negative-covariance rows removed
 };
 
+/// The negative-covariance policy options.negatives resolves to for a
+/// problem with np paths (kAuto drops below pairwise_path_cap).  Exposed so
+/// streaming consumers mirror the batch resolution exactly.
+bool resolve_negative_policy(const VarianceOptions& options, std::size_t np);
+
 /// Assembles the covariance system without solving it — the O(np^2) hot
 /// path the blocked kernels accelerate.  Honours options.negatives /
 /// threads / use_reference_impl exactly like estimate_link_variances
@@ -89,10 +99,80 @@ NormalEquations build_normal_equations(const linalg::SparseBinaryMatrix& r,
                                        const stats::SnapshotMatrix& y,
                                        const VarianceOptions& options = {});
 
+/// Same system assembled from an abstract CovarianceSource (batch wrapper
+/// or streaming accumulator).  `use_reference_impl` is ignored — the scalar
+/// references are snapshot-based and live on the SnapshotMatrix overload.
+NormalEquations build_normal_equations(const linalg::SparseBinaryMatrix& r,
+                                       const stats::CovarianceSource& source,
+                                       const VarianceOptions& options = {});
+
 /// Estimates link variances from m snapshots of the path observations.
 /// `y` must have dim() == r.rows() and count() >= 2.
 VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
                                          const stats::SnapshotMatrix& y,
                                          const VarianceOptions& options = {});
+
+/// Estimates link variances from a CovarianceSource; the entry point
+/// Lia::learn(source) uses.  `source.dim()` must equal r.rows().
+VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
+                                         const stats::CovarianceSource& source,
+                                         const VarianceOptions& options = {});
+
+/// Incrementally maintained Phase-1 normal equations for monitoring loops.
+///
+/// Construction precomputes everything that depends only on the routing
+/// matrix (no reference to `r` is retained):
+///  * keep-all policy: G = A^T A from the co-traversal Gram matrix — fixed
+///    for the lifetime of the object, so the Cholesky factorization is
+///    computed once and every subsequent solve() is O(nc^2);
+///  * drop-negative policy: the list of sharing path pairs with their
+///    shared-link sets; refresh() re-reads each pair's covariance from the
+///    source and only the pairs whose drop decision flipped touch G (the
+///    factor is re-used across ticks whenever no pair flipped).
+///
+/// refresh() rebuilds h from the source's current covariance matrix — cost
+/// proportional to the sharing structure, independent of the window length
+/// — and solve() yields the same clamped estimate as
+/// estimate_link_variances on an equal-valued source (methods kNormal and
+/// kNnls; kDenseQr callers must use the batch path).
+class StreamingNormalEquations {
+ public:
+  StreamingNormalEquations(const linalg::SparseBinaryMatrix& r,
+                           const VarianceOptions& options = {});
+
+  /// Recomputes h (and the sign-flipped parts of G under drop-negative)
+  /// from the source's current covariance matrix.
+  const NormalEquations& refresh(const stats::CovarianceSource& source);
+
+  /// Solves the current system for v, reusing the cached factorization
+  /// while G is unchanged.  Requires a prior refresh().
+  [[nodiscard]] VarianceEstimate solve();
+
+  [[nodiscard]] const NormalEquations& system() const { return sys_; }
+  [[nodiscard]] bool drop_negative() const { return drop_negative_; }
+  /// Cholesky factorizations performed so far (1 after the first solve
+  /// under keep-all; grows only on drop-set changes under drop-negative).
+  [[nodiscard]] std::size_t refactorizations() const {
+    return refactorizations_;
+  }
+
+ private:
+  VarianceOptions options_;
+  std::size_t np_ = 0;
+  std::size_t nc_ = 0;
+  bool drop_negative_ = false;
+  bool refreshed_ = false;
+  // keep-all: per-link path lists for the closed-form rhs.
+  std::vector<std::vector<std::uint32_t>> column_paths_;
+  // drop-negative: CSR of sharing pairs and their shared-link sets.
+  std::vector<std::uint32_t> pair_i_, pair_j_;
+  std::vector<std::size_t> pair_offsets_;
+  std::vector<std::uint32_t> pair_links_;
+  std::vector<std::uint8_t> pair_kept_;
+  NormalEquations sys_;
+  bool factor_dirty_ = true;
+  std::optional<linalg::RegularizedCholesky> factor_;
+  std::size_t refactorizations_ = 0;
+};
 
 }  // namespace losstomo::core

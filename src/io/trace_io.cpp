@@ -115,24 +115,39 @@ void write_snapshots(std::ostream& os,
   }
 }
 
-stats::SnapshotMatrix read_snapshots(std::istream& is, bool log_transform) {
-  std::vector<std::vector<double>> rows;
-  std::string line;
-  while (next_content_line(is, line)) {
-    std::istringstream ss(line);
-    std::vector<double> row;
-    double phi;
-    while (ss >> phi) {
-      if (phi < 0.0 || phi > 1.0) {
-        throw std::runtime_error("phi out of [0,1]");
-      }
-      row.push_back(log_transform ? std::log(std::max(phi, 1e-9)) : phi);
+SnapshotStream::SnapshotStream(std::istream& is, bool log_transform)
+    : is_(&is), log_transform_(log_transform) {}
+
+bool SnapshotStream::next(std::vector<double>& y) {
+  if (!next_content_line(*is_, line_)) return false;
+  std::istringstream ss(line_);
+  y.clear();
+  double phi;
+  while (ss >> phi) {
+    if (phi < 0.0 || phi > 1.0) {
+      throw std::runtime_error("phi out of [0,1]");
     }
-    if (!rows.empty() && row.size() != rows.front().size()) {
-      throw std::runtime_error("ragged snapshot file");
-    }
-    rows.push_back(std::move(row));
+    y.push_back(log_transform_ ? std::log(std::max(phi, 1e-9)) : phi);
   }
+  // next_content_line guarantees at least one token, so an empty parse (or
+  // one that stopped before the end of the line) means non-numeric input.
+  if (!ss.eof() || y.empty()) {
+    throw std::runtime_error("bad snapshot line: " + line_);
+  }
+  if (dim_ == 0) {
+    dim_ = y.size();
+  } else if (y.size() != dim_) {
+    throw std::runtime_error("ragged snapshot file");
+  }
+  ++read_;
+  return true;
+}
+
+stats::SnapshotMatrix read_snapshots(std::istream& is, bool log_transform) {
+  SnapshotStream stream(is, log_transform);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> row;
+  while (stream.next(row)) rows.push_back(row);
   if (rows.empty()) throw std::runtime_error("empty snapshot file");
   return stats::SnapshotMatrix::from_rows(rows);
 }

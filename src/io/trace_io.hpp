@@ -39,6 +39,33 @@ void write_snapshots(std::ostream& os,
                      const std::vector<std::vector<double>>& phi_rows);
 stats::SnapshotMatrix read_snapshots(std::istream& is, bool log_transform = true);
 
+/// Line-at-a-time snapshot feed for monitoring pipelines: each next() call
+/// parses one snapshot line (same format and validation as read_snapshots)
+/// without ever materialising the full campaign, so a LiaMonitor can
+/// consume arbitrarily long traces at O(np) memory.  The stream must
+/// outlive the reader.
+class SnapshotStream {
+ public:
+  explicit SnapshotStream(std::istream& is, bool log_transform = true);
+
+  /// Reads the next snapshot into `y` (resized to the arity of the file).
+  /// Returns false at end of input.  Throws std::runtime_error on malformed
+  /// lines, out-of-range phi, or a row arity that differs from the first.
+  bool next(std::vector<double>& y);
+
+  /// Snapshot arity; 0 until the first row has been read.
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  /// Snapshots returned so far.
+  [[nodiscard]] std::size_t snapshots_read() const { return read_; }
+
+ private:
+  std::istream* is_;
+  bool log_transform_;
+  std::size_t dim_ = 0;
+  std::size_t read_ = 0;
+  std::string line_;
+};
+
 /// File-path conveniences; throw std::runtime_error on I/O failure.
 void save_topology(const std::string& file, const net::Graph& g);
 net::Graph load_topology(const std::string& file);

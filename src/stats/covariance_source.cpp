@@ -1,0 +1,18 @@
+#include "stats/covariance_source.hpp"
+
+namespace losstomo::stats {
+
+BatchCovarianceSource::BatchCovarianceSource(const SnapshotMatrix& y,
+                                             std::size_t threads)
+    : owned_(CenteredSnapshots(y)), centered_(&*owned_), threads_(threads) {}
+
+BatchCovarianceSource::BatchCovarianceSource(const CenteredSnapshots& centered,
+                                             std::size_t threads)
+    : centered_(&centered), threads_(threads) {}
+
+const linalg::Matrix& BatchCovarianceSource::matrix() const {
+  if (!cached_) cached_ = covariance_matrix(*centered_, threads_);
+  return *cached_;
+}
+
+}  // namespace losstomo::stats

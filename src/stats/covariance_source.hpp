@@ -1,0 +1,104 @@
+// CovarianceSource — where the Phase-1 estimator gets its second-order
+// statistics from.
+//
+// The covariance system Sigma* = A v only ever consumes pairwise sample
+// covariances of the path observations; it does not care how they were
+// produced.  This interface decouples the estimator stack
+// (core::build_normal_equations / core::estimate_link_variances /
+// core::Lia::learn) from the measurement representation, with two
+// implementations:
+//
+//  * BatchCovarianceSource — the reference batch path: wraps the centred
+//    m x np snapshot matrix, serves on-demand O(m) pair covariances, and
+//    materialises the full covariance matrix S lazily via the blocked SYRK
+//    kernel when a consumer asks for it;
+//  * stats::StreamingMoments (streaming.hpp) — a sliding-window accumulator
+//    that maintains S under O(np^2) rank-1 add/retire updates, so a
+//    monitoring loop never pays the O(m np^2) batch recomputation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "stats/moments.hpp"
+
+namespace losstomo::stats {
+
+/// Abstract supplier of the unbiased sample covariance of an np-dimensional
+/// observation vector (paper eq. (7)).
+class CovarianceSource {
+ public:
+  virtual ~CovarianceSource() = default;
+
+  /// Observation dimension (number of paths np).
+  [[nodiscard]] virtual std::size_t dim() const = 0;
+  /// Number of samples backing the current statistics (the window m).
+  [[nodiscard]] virtual std::size_t count() const = 0;
+
+  /// Unbiased sample covariance between coordinates i and j.  Requires
+  /// count() >= 2.
+  [[nodiscard]] virtual double covariance(std::size_t i, std::size_t j) const = 0;
+
+  /// Full dim() x dim() covariance matrix S.  Implementations cache the
+  /// result, but the first call may be expensive (see matrix_is_cheap).
+  [[nodiscard]] virtual const linalg::Matrix& matrix() const = 0;
+
+  /// True when matrix() is available without significant computation
+  /// (streaming accumulators maintain S; batch sources compute it lazily).
+  /// Consumers use this to pick between matrix reads and covariance().
+  [[nodiscard]] virtual bool matrix_is_cheap() const = 0;
+
+  /// Optional fast path: row-major centred samples (count() rows of dim()
+  /// entries) when the implementation stores them; empty otherwise.
+  /// Consumers that stream over raw samples (the sparse-sharing pairwise
+  /// accumulation) use this instead of per-pair covariance() calls.
+  [[nodiscard]] virtual std::span<const double> centered_flat() const {
+    return {};
+  }
+};
+
+/// Batch implementation over a snapshot window: the PR-1 path, unchanged in
+/// behaviour, behind the CovarianceSource interface.
+class BatchCovarianceSource final : public CovarianceSource {
+ public:
+  /// Centres `y` and owns the result.  `threads` caps the blocked SYRK
+  /// worker count when matrix() is materialised (0 = library default).
+  explicit BatchCovarianceSource(const SnapshotMatrix& y,
+                                 std::size_t threads = 0);
+  /// Non-owning view over already-centred snapshots; `centered` must
+  /// outlive this source.
+  explicit BatchCovarianceSource(const CenteredSnapshots& centered,
+                                 std::size_t threads = 0);
+
+  // centered_ points into owned_ for the owning constructor, so default
+  // copy/move would dangle.
+  BatchCovarianceSource(const BatchCovarianceSource&) = delete;
+  BatchCovarianceSource& operator=(const BatchCovarianceSource&) = delete;
+
+  [[nodiscard]] std::size_t dim() const override { return centered_->dim(); }
+  [[nodiscard]] std::size_t count() const override {
+    return centered_->count();
+  }
+  [[nodiscard]] double covariance(std::size_t i, std::size_t j) const override {
+    return centered_->covariance(i, j);
+  }
+  [[nodiscard]] const linalg::Matrix& matrix() const override;
+  [[nodiscard]] bool matrix_is_cheap() const override {
+    return cached_.has_value();
+  }
+  [[nodiscard]] std::span<const double> centered_flat() const override {
+    return centered_->flat();
+  }
+
+  [[nodiscard]] const CenteredSnapshots& centered() const { return *centered_; }
+
+ private:
+  std::optional<CenteredSnapshots> owned_;
+  const CenteredSnapshots* centered_;
+  std::size_t threads_;
+  mutable std::optional<linalg::Matrix> cached_;  // lazily built S
+};
+
+}  // namespace losstomo::stats

@@ -1,0 +1,128 @@
+#include "stats/streaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/parallel.hpp"
+
+namespace losstomo::stats {
+
+StreamingMoments::StreamingMoments(std::size_t dim,
+                                   StreamingMomentsOptions options)
+    : dim_(dim),
+      options_(options),
+      ring_(dim, options.window),
+      mean_(dim, 0.0),
+      delta_(dim, 0.0),
+      cross_(dim, dim),
+      cov_(dim, dim) {
+  if (options_.window < 2) throw std::invalid_argument("window must be >= 2");
+  if (options_.refresh_every == 0) {
+    options_.refresh_every = 2 * options_.window;
+  }
+}
+
+void StreamingMoments::rank1(double w) {
+  util::parallel_for(
+      dim_, 64,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const double wi = w * delta_[i];
+          if (wi == 0.0) continue;
+          auto row = cross_.row(i);
+          for (std::size_t j = 0; j < dim_; ++j) row[j] += wi * delta_[j];
+        }
+      },
+      options_.threads);
+}
+
+void StreamingMoments::add(std::span<const double> y) {
+  const double n1 = static_cast<double>(count_ + 1);
+  for (std::size_t i = 0; i < dim_; ++i) delta_[i] = y[i] - mean_[i];
+  for (std::size_t i = 0; i < dim_; ++i) mean_[i] += delta_[i] / n1;
+  if (count_ > 0) rank1(static_cast<double>(count_) / n1);
+  ++count_;
+}
+
+void StreamingMoments::retire(std::span<const double> y) {
+  const double n = static_cast<double>(count_);
+  for (std::size_t i = 0; i < dim_; ++i) delta_[i] = y[i] - mean_[i];
+  if (count_ == 1) {
+    std::fill(mean_.begin(), mean_.end(), 0.0);
+    std::fill(cross_.data().begin(), cross_.data().end(), 0.0);
+    count_ = 0;
+    return;
+  }
+  const double n1 = n - 1.0;
+  for (std::size_t i = 0; i < dim_; ++i) mean_[i] -= delta_[i] / n1;
+  rank1(-n / n1);
+  --count_;
+}
+
+void StreamingMoments::push(std::span<const double> y) {
+  if (y.size() != dim_) throw std::invalid_argument("snapshot size != dim");
+  std::size_t slot;
+  if (count_ == options_.window) {
+    slot = head_;
+    retire(ring_.sample(head_));
+    head_ = (head_ + 1) % options_.window;
+  } else {
+    slot = (head_ + count_) % options_.window;
+  }
+  std::copy(y.begin(), y.end(), ring_.sample(slot).begin());
+  add(y);
+  ++pushes_;
+  cov_valid_ = false;
+  if (++since_refresh_ >= options_.refresh_every) refresh();
+}
+
+void StreamingMoments::refresh() {
+  since_refresh_ = 0;
+  ++refreshes_;
+  cov_valid_ = false;
+  if (count_ == 0) return;
+  // Logical (oldest-to-newest) order, so the result is independent of the
+  // ring head position.
+  SnapshotMatrix centered(dim_, count_);
+  std::fill(mean_.begin(), mean_.end(), 0.0);
+  for (std::size_t l = 0; l < count_; ++l) {
+    const auto src = ring_.sample((head_ + l) % options_.window);
+    for (std::size_t i = 0; i < dim_; ++i) mean_[i] += src[i];
+  }
+  const double inv = 1.0 / static_cast<double>(count_);
+  for (auto& m : mean_) m *= inv;
+  for (std::size_t l = 0; l < count_; ++l) {
+    const auto src = ring_.sample((head_ + l) % options_.window);
+    auto dst = centered.sample(l);
+    for (std::size_t i = 0; i < dim_; ++i) dst[i] = src[i] - mean_[i];
+  }
+  cross_ = linalg::blocked_gram(centered.flat().data(), count_, dim_, 1.0,
+                                options_.threads);
+}
+
+double StreamingMoments::covariance(std::size_t i, std::size_t j) const {
+  if (count_ < 2) throw std::logic_error("covariance needs >= 2 snapshots");
+  return cross_(i, j) / static_cast<double>(count_ - 1);
+}
+
+const linalg::Matrix& StreamingMoments::matrix() const {
+  if (count_ < 2) throw std::logic_error("covariance needs >= 2 snapshots");
+  if (!cov_valid_) {
+    const double inv = 1.0 / static_cast<double>(count_ - 1);
+    const auto& src = cross_.data();
+    auto& dst = cov_.data();
+    util::parallel_for(
+        dim_, 64,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t idx = begin * dim_; idx < end * dim_; ++idx) {
+            dst[idx] = src[idx] * inv;
+          }
+        },
+        options_.threads);
+    cov_valid_ = true;
+  }
+  return cov_;
+}
+
+}  // namespace losstomo::stats

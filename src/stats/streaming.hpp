@@ -1,0 +1,97 @@
+// StreamingMoments — sliding-window second moments under rank-1 updates.
+//
+// A monitoring loop (core::LiaMonitor, paper §7) observes one np-dimensional
+// snapshot per measurement period and needs the covariance matrix S of the
+// most recent `window` snapshots every tick.  Recomputing S from the window
+// costs O(window * np^2); this accumulator maintains the running means and
+// the centred cross-product matrix C = sum_l (y_l - mean)(y_l - mean)^T
+// incrementally, Youngs–Cramer style:
+//
+//   add y:     delta = y - mean;  mean += delta / n;
+//              C += ((n-1)/n) * delta delta^T
+//   retire y:  delta = y - mean;  mean -= delta / (n-1);
+//              C -= (n/(n-1))  * delta delta^T
+//
+// so a steady-state tick (retire oldest + add newest) is two symmetric
+// rank-1 updates, O(np^2) independent of the window length, and
+// S = C / (n-1) is always available.
+//
+// Floating-point drift from the incremental updates is bounded by a
+// deterministic periodic full refresh: every `refresh_every` pushes the
+// means and C are recomputed from the retained window via the blocked SYRK
+// kernel (linalg/kernels.hpp).  All update loops are row-parallel with
+// per-row independent arithmetic, so results are bit-identical at any
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "stats/covariance_source.hpp"
+#include "stats/moments.hpp"
+
+namespace losstomo::stats {
+
+struct StreamingMomentsOptions {
+  /// Sliding-window length (the paper's m); once full, every push retires
+  /// the oldest snapshot.
+  std::size_t window = 50;
+  /// Full recompute cadence in pushes (drift bound); 0 = 2 * window.
+  std::size_t refresh_every = 0;
+  /// Worker threads for the rank-1 updates and the refresh SYRK
+  /// (0 = library default).  Results are bit-identical at any count.
+  std::size_t threads = 0;
+};
+
+class StreamingMoments final : public CovarianceSource {
+ public:
+  StreamingMoments(std::size_t dim, StreamingMomentsOptions options);
+
+  /// Folds one snapshot (length dim()) into the window; retires the oldest
+  /// snapshot first when the window is full.
+  void push(std::span<const double> y);
+
+  // CovarianceSource:
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] std::size_t count() const override { return count_; }
+  [[nodiscard]] double covariance(std::size_t i, std::size_t j) const override;
+  [[nodiscard]] const linalg::Matrix& matrix() const override;
+  [[nodiscard]] bool matrix_is_cheap() const override { return true; }
+
+  [[nodiscard]] std::size_t window() const { return options_.window; }
+  [[nodiscard]] bool full() const { return count_ == options_.window; }
+  [[nodiscard]] const linalg::Vector& means() const { return mean_; }
+  /// Total snapshots ever pushed.
+  [[nodiscard]] std::size_t pushes() const { return pushes_; }
+  /// Full recomputes performed so far (diagnostic for the drift tests).
+  [[nodiscard]] std::size_t refreshes() const { return refreshes_; }
+
+  /// Recomputes means and C from the retained window (oldest to newest),
+  /// discarding accumulated rounding drift.  Runs automatically on the
+  /// refresh_every cadence; public so callers can pin a drift bound of
+  /// their own.
+  void refresh();
+
+ private:
+  void add(std::span<const double> y);
+  void retire(std::span<const double> y);
+  /// cross_ += w * delta_ delta_^T (row-parallel).
+  void rank1(double w);
+
+  std::size_t dim_;
+  StreamingMomentsOptions options_;
+  SnapshotMatrix ring_;        // window_ rows; head_ = oldest
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t pushes_ = 0;
+  std::size_t since_refresh_ = 0;
+  std::size_t refreshes_ = 0;
+  linalg::Vector mean_;
+  linalg::Vector delta_;       // scratch for the rank-1 updates
+  linalg::Matrix cross_;       // C, centred cross-products
+  mutable linalg::Matrix cov_; // cached S = C / (count-1)
+  mutable bool cov_valid_ = false;
+};
+
+}  // namespace losstomo::stats

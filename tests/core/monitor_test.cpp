@@ -123,6 +123,142 @@ TEST(LiaMonitor, RelearnEveryAmortizes) {
   EXPECT_EQ(diagnoses, 10u);
 }
 
+// The streaming engine (incremental covariance + cached-factor normal
+// equations) must reproduce the batch relearn path on every diagnosed
+// tick, under both negative-covariance policies, through several window
+// wrap-arounds.
+TEST(LiaMonitor, StreamingEngineMatchesBatchEngine) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  stats::Rng rng(310);
+  const auto v = losstomo::testing::random_variances(rrm.link_count(), rng, 0.4);
+  const linalg::Vector mu(rrm.link_count(), -0.05);
+  const std::size_t m = 10;
+  const std::size_t ticks = 4 * m;  // >= 3 wrap-arounds
+  const auto y =
+      losstomo::testing::synthetic_observations(rrm.matrix(), mu, v, ticks, rng);
+
+  for (const auto policy : {NegativeCovariancePolicy::kDrop,
+                            NegativeCovariancePolicy::kKeep}) {
+    MonitorOptions batch_options{.window = m, .engine = MonitorEngine::kBatch};
+    batch_options.lia.variance.negatives = policy;
+    MonitorOptions streaming_options = batch_options;
+    streaming_options.engine = MonitorEngine::kStreaming;
+    // Cross a drift-refresh boundary mid-run.
+    streaming_options.refresh_every = m + 3;
+
+    LiaMonitor batch(rrm.matrix(), batch_options);
+    LiaMonitor streaming(rrm.matrix(), streaming_options);
+    ASSERT_EQ(streaming.engine(), MonitorEngine::kStreaming);
+    std::size_t compared = 0;
+    for (std::size_t l = 0; l < ticks; ++l) {
+      const auto from_batch = batch.observe(y.sample(l));
+      const auto from_streaming = streaming.observe(y.sample(l));
+      ASSERT_EQ(from_batch.has_value(), from_streaming.has_value());
+      if (!from_batch) continue;
+      ++compared;
+      EXPECT_LE(linalg::max_abs_diff(from_batch->loss, from_streaming->loss),
+                1e-10)
+          << "tick " << l;
+      EXPECT_LE(linalg::max_abs_diff(batch.variances().v,
+                                     streaming.variances().v),
+                1e-10)
+          << "tick " << l;
+    }
+    EXPECT_EQ(compared, ticks - m);
+  }
+}
+
+// Regression (satellite): with relearn_every > 1 every snapshot must still
+// enter the window, so a delayed relearn sees the full intermediate
+// history.  Pinned by comparing each relearn tick against a fresh Lia
+// trained on exactly the preceding m snapshots.
+TEST(LiaMonitor, DelayedRelearnSeesAllIntermediateSnapshots) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  stats::Rng rng(311);
+  const auto v = losstomo::testing::random_variances(rrm.link_count(), rng, 0.4);
+  const linalg::Vector mu(rrm.link_count(), -0.05);
+  const std::size_t m = 8;
+  const std::size_t relearn_every = 4;
+  const std::size_t ticks = m + 3 * relearn_every + 1;
+  const auto y =
+      losstomo::testing::synthetic_observations(rrm.matrix(), mu, v, ticks, rng);
+
+  for (const auto engine : {MonitorEngine::kStreaming, MonitorEngine::kBatch}) {
+    LiaMonitor monitor(rrm.matrix(),
+                       {.window = m, .relearn_every = relearn_every,
+                        .engine = engine});
+    std::size_t since_learn = 0;
+    bool trained = false;
+    for (std::size_t l = 0; l < ticks; ++l) {
+      const auto inference = monitor.observe(y.sample(l));
+      if (l < m) continue;
+      ASSERT_TRUE(inference.has_value());
+      const bool relearn_tick =
+          !trained || ++since_learn >= relearn_every;
+      if (!relearn_tick) continue;
+      trained = true;
+      since_learn = 0;
+      // Expected: variances learned on the m snapshots preceding tick l —
+      // including the ones observed since the previous relearn.
+      stats::SnapshotMatrix history(rrm.path_count(), m);
+      for (std::size_t w = 0; w < m; ++w) {
+        const auto src = y.sample(l - m + w);
+        std::copy(src.begin(), src.end(), history.sample(w).begin());
+      }
+      Lia expected(rrm.matrix());
+      expected.learn(history);
+      EXPECT_LE(linalg::max_abs_diff(monitor.variances().v,
+                                     expected.variances().v),
+                1e-10)
+          << "engine=" << (engine == MonitorEngine::kStreaming ? "streaming"
+                                                               : "batch")
+          << " relearn tick " << l;
+      EXPECT_LE(linalg::max_abs_diff(inference->loss,
+                                     expected.infer(y.sample(l)).loss),
+                1e-10);
+    }
+  }
+}
+
+// Regression (satellite): the monitor (and its inner Lia) own the routing
+// matrix, so constructing from a temporary must be safe.  Under ASan the
+// old const-reference member turned this into a use-after-free.
+TEST(LiaMonitor, OwnsRoutingMatrixAcrossReconstruction) {
+  const auto make_matrix = [] {
+    const auto net = losstomo::testing::make_two_beacon_network();
+    return net::ReducedRoutingMatrix(net.graph, net.paths).matrix();
+  };
+  std::optional<LiaMonitor> monitor;
+  monitor.emplace(make_matrix(), MonitorOptions{.window = 4});
+  stats::Rng rng(312);
+  const std::size_t nc = monitor->routing().cols();
+  const auto v = losstomo::testing::random_variances(nc, rng, 0.5);
+  const linalg::Vector mu(nc, -0.05);
+  const auto y = losstomo::testing::synthetic_observations(
+      monitor->routing(), mu, v, 12, rng);
+  // Reconstruct from another temporary mid-run, then keep observing.
+  for (std::size_t l = 0; l < 6; ++l) monitor->observe(y.sample(l));
+  monitor.emplace(make_matrix(), MonitorOptions{.window = 4});
+  std::optional<LossInference> last;
+  for (std::size_t l = 0; l < 12; ++l) last = monitor->observe(y.sample(l));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->loss.size(), nc);
+}
+
+TEST(LiaMonitor, DenseQrConfigurationFallsBackToBatchEngine) {
+  const linalg::SparseBinaryMatrix r(2, {{0}, {1}});
+  MonitorOptions options{.window = 3, .engine = MonitorEngine::kStreaming};
+  options.lia.variance.method = VarianceMethod::kDenseQr;
+  LiaMonitor monitor(r, options);
+  EXPECT_EQ(monitor.engine(), MonitorEngine::kBatch);
+  const linalg::Vector y{-0.01, -0.02};
+  for (int t = 0; t < 3; ++t) EXPECT_FALSE(monitor.observe(y).has_value());
+  EXPECT_TRUE(monitor.observe(y).has_value());
+  EXPECT_EQ(monitor.variances().method.substr(0, 8), "dense-qr");
+}
+
 TEST(LiaMonitor, EndToEndOnSimulator) {
   stats::Rng topo_rng(304);
   const auto tree =

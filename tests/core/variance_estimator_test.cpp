@@ -204,5 +204,73 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(80, 81, 82, 83),
                        ::testing::Values(0.1, 0.3, 0.6)));
 
+TEST(CovarianceSource, BuildFromSourceMatchesSnapshotBuild) {
+  const auto p = make_problem(60, 90);
+  const auto& r = p.rrm->matrix();
+  const stats::BatchCovarianceSource source(p.y);
+  for (const auto policy : {NegativeCovariancePolicy::kDrop,
+                            NegativeCovariancePolicy::kKeep}) {
+    VarianceOptions options;
+    options.negatives = policy;
+    const auto from_snapshots = build_normal_equations(r, p.y, options);
+    const auto from_source = build_normal_equations(r, source, options);
+    EXPECT_EQ(from_snapshots.used, from_source.used);
+    EXPECT_EQ(from_snapshots.dropped, from_source.dropped);
+    EXPECT_LE(linalg::max_abs_diff(from_snapshots.g.data(),
+                                   from_source.g.data()),
+              1e-12);
+    EXPECT_LE(linalg::max_abs_diff(from_snapshots.h, from_source.h), 1e-10);
+  }
+}
+
+TEST(StreamingNormalEquationsTest, MatchesBatchEstimateBothPolicies) {
+  const auto p = make_problem(60, 91);
+  const auto& r = p.rrm->matrix();
+  const stats::BatchCovarianceSource source(p.y);
+  for (const auto policy : {NegativeCovariancePolicy::kDrop,
+                            NegativeCovariancePolicy::kKeep}) {
+    VarianceOptions options;
+    options.negatives = policy;
+    const auto batch = estimate_link_variances(r, p.y, options);
+    StreamingNormalEquations streaming(r, options);
+    streaming.refresh(source);
+    const auto est = streaming.solve();
+    EXPECT_EQ(est.equations_used, batch.equations_used);
+    EXPECT_EQ(est.equations_dropped, batch.equations_dropped);
+    EXPECT_LE(linalg::max_abs_diff(est.v, batch.v), 1e-10);
+  }
+}
+
+TEST(StreamingNormalEquationsTest, ReusesFactorWhileGramUnchanged) {
+  const auto p = make_problem(60, 92);
+  const auto& r = p.rrm->matrix();
+  VarianceOptions options;
+  options.negatives = NegativeCovariancePolicy::kKeep;
+  StreamingNormalEquations streaming(r, options);
+  // Three different windows of the same campaign: under keep-all G never
+  // changes, so only one factorization may happen.
+  for (const std::uint64_t seed : {921u, 922u, 923u}) {
+    const auto q = make_problem(40, seed);
+    const stats::BatchCovarianceSource source(q.y);
+    streaming.refresh(source);
+    const auto est = streaming.solve();
+    const auto batch = estimate_link_variances(r, q.y, options);
+    EXPECT_LE(linalg::max_abs_diff(est.v, batch.v), 1e-10);
+  }
+  EXPECT_EQ(streaming.refactorizations(), 1u);
+}
+
+TEST(StreamingNormalEquationsTest, RejectsDenseQrAndSolveBeforeRefresh) {
+  const auto p = make_problem(10, 93);
+  const auto& r = p.rrm->matrix();
+  StreamingNormalEquations unrefreshed(r);
+  EXPECT_THROW(unrefreshed.solve(), std::logic_error);
+  VarianceOptions dense;
+  dense.method = VarianceMethod::kDenseQr;
+  StreamingNormalEquations streaming(r, dense);
+  streaming.refresh(stats::BatchCovarianceSource(p.y));
+  EXPECT_THROW(streaming.solve(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace losstomo::core

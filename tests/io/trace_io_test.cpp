@@ -125,5 +125,72 @@ TEST(TraceIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(SnapshotStream, MatchesBatchReader) {
+  const std::string text =
+      "# comment\n"
+      "1.0 0.9 0.8\n"
+      "\n"
+      "0.5 0.6 0.7  # trailing comment\n"
+      "0.25 1.0 0.0\n";
+  std::istringstream batch_input(text);
+  const auto batch = read_snapshots(batch_input);
+
+  std::istringstream stream_input(text);
+  SnapshotStream stream(stream_input);
+  EXPECT_EQ(stream.dim(), 0u);  // unknown before the first row
+  std::vector<double> y;
+  std::size_t row = 0;
+  while (stream.next(y)) {
+    ASSERT_EQ(y.size(), batch.dim());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_DOUBLE_EQ(y[i], batch.at(row, i));
+    }
+    ++row;
+  }
+  EXPECT_EQ(row, batch.count());
+  EXPECT_EQ(stream.dim(), batch.dim());
+  EXPECT_EQ(stream.snapshots_read(), batch.count());
+  // Exhausted stream keeps returning false.
+  EXPECT_FALSE(stream.next(y));
+}
+
+TEST(SnapshotStream, RawModeSkipsLogTransform) {
+  std::istringstream input("0.5 0.25\n");
+  SnapshotStream stream(input, /*log_transform=*/false);
+  std::vector<double> y;
+  ASSERT_TRUE(stream.next(y));
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.25);
+}
+
+TEST(SnapshotStream, RejectsRaggedAndOutOfRangeRows) {
+  {
+    std::istringstream input("0.5 0.5\n0.5\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    ASSERT_TRUE(stream.next(y));
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+  {
+    std::istringstream input("0.5 1.5\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+  {
+    // Non-numeric content must throw, not yield a phantom empty snapshot.
+    std::istringstream input("abc\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+  {
+    std::istringstream input("0.5 0.6 oops\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+}
+
 }  // namespace
 }  // namespace losstomo::io

@@ -1,0 +1,160 @@
+#include "stats/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+
+#include "stats/covariance_source.hpp"
+#include "stats/rng.hpp"
+#include "test_util.hpp"
+
+namespace losstomo::stats {
+namespace {
+
+constexpr std::size_t kDim = 6;
+
+// A stream of correlated observations through the two-beacon routing
+// matrix, so off-diagonal covariances are exercised.
+std::vector<linalg::Vector> make_stream(std::size_t ticks, std::uint64_t seed) {
+  const auto net = losstomo::testing::make_two_beacon_network();
+  const net::ReducedRoutingMatrix rrm(net.graph, net.paths);
+  stats::Rng rng(seed);
+  const auto v = losstomo::testing::random_variances(rrm.link_count(), rng, 0.4);
+  const linalg::Vector mu(rrm.link_count(), -0.03);
+  const auto y = losstomo::testing::synthetic_observations(rrm.matrix(), mu, v,
+                                                           ticks, rng);
+  EXPECT_EQ(y.dim(), kDim);
+  std::vector<linalg::Vector> stream;
+  for (std::size_t l = 0; l < ticks; ++l) {
+    const auto row = y.sample(l);
+    stream.emplace_back(row.begin(), row.end());
+  }
+  return stream;
+}
+
+// Batch covariance of the trailing window, the reference the accumulator
+// must track.
+linalg::Matrix batch_covariance(const std::deque<linalg::Vector>& window) {
+  stats::SnapshotMatrix y(window.front().size(), window.size());
+  for (std::size_t l = 0; l < window.size(); ++l) {
+    std::copy(window[l].begin(), window[l].end(), y.sample(l).begin());
+  }
+  const stats::CenteredSnapshots centered(y);
+  return covariance_matrix(centered, 1);
+}
+
+double max_matrix_diff(const linalg::Matrix& a, const linalg::Matrix& b) {
+  return linalg::max_abs_diff(a.data(), b.data());
+}
+
+// Satellite: parity against the batch covariance to <= 1e-10 after >= 3
+// window wrap-arounds, at 1/2/8 threads, including the drift-refresh
+// boundary (refresh_every deliberately not aligned with the window).
+TEST(StreamingMoments, TracksBatchCovarianceThroughWrapArounds) {
+  const std::size_t window = 16;
+  const auto stream = make_stream(4 * window, 501);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    StreamingMoments acc(kDim, {.window = window,
+                                .refresh_every = window + 7,
+                                .threads = threads});
+    std::deque<linalg::Vector> reference;
+    for (const auto& y : stream) {
+      const std::size_t refreshes_before = acc.refreshes();
+      acc.push(y);
+      reference.emplace_back(y);
+      if (reference.size() > window) reference.pop_front();
+      if (acc.count() < 2) continue;
+      const double diff = max_matrix_diff(acc.matrix(), batch_covariance(reference));
+      EXPECT_LE(diff, 1e-10) << "threads=" << threads
+                             << " push=" << acc.pushes()
+                             << " refreshed=" << (acc.refreshes() > refreshes_before);
+    }
+    // >= 3 wrap-arounds and at least one drift refresh actually happened.
+    EXPECT_EQ(acc.pushes(), 4 * window);
+    EXPECT_GE(acc.refreshes(), 2u);
+  }
+}
+
+TEST(StreamingMoments, BitIdenticalAtAnyThreadCount) {
+  const std::size_t window = 12;
+  const auto stream = make_stream(3 * window + 5, 502);
+  std::vector<linalg::Matrix> results;
+  std::vector<linalg::Vector> means;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    StreamingMoments acc(kDim, {.window = window, .threads = threads});
+    for (const auto& y : stream) acc.push(y);
+    results.push_back(acc.matrix());
+    means.push_back(acc.means());
+  }
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    EXPECT_EQ(results[0].data(), results[t].data());
+    EXPECT_EQ(means[0], means[t]);
+  }
+}
+
+TEST(StreamingMoments, ManualRefreshDiscardsDriftOnly) {
+  const std::size_t window = 10;
+  const auto stream = make_stream(3 * window, 503);
+  StreamingMoments acc(kDim, {.window = window, .refresh_every = 1000});
+  for (const auto& y : stream) acc.push(y);
+  const linalg::Matrix drifted = acc.matrix();
+  acc.refresh();
+  EXPECT_LE(max_matrix_diff(drifted, acc.matrix()), 1e-12);
+}
+
+TEST(StreamingMoments, MeansMatchWindowAverages) {
+  const std::size_t window = 8;
+  const auto stream = make_stream(2 * window + 3, 504);
+  StreamingMoments acc(kDim, {.window = window});
+  std::deque<linalg::Vector> reference;
+  for (const auto& y : stream) {
+    acc.push(y);
+    reference.emplace_back(y);
+    if (reference.size() > window) reference.pop_front();
+  }
+  for (std::size_t i = 0; i < kDim; ++i) {
+    double mean = 0.0;
+    for (const auto& y : reference) mean += y[i];
+    mean /= static_cast<double>(reference.size());
+    EXPECT_NEAR(acc.means()[i], mean, 1e-12);
+  }
+}
+
+TEST(StreamingMoments, CovarianceEntriesMatchMatrix) {
+  const std::size_t window = 8;
+  const auto stream = make_stream(window + 2, 505);
+  StreamingMoments acc(kDim, {.window = window});
+  for (const auto& y : stream) acc.push(y);
+  const auto& s = acc.matrix();
+  for (std::size_t i = 0; i < kDim; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      EXPECT_DOUBLE_EQ(acc.covariance(i, j), s(i, j));
+    }
+  }
+  EXPECT_TRUE(acc.matrix_is_cheap());
+}
+
+TEST(StreamingMoments, WindowFillSemantics) {
+  StreamingMoments acc(3, {.window = 4});
+  const linalg::Vector y{1.0, 2.0, 3.0};
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_FALSE(acc.full());
+  for (std::size_t t = 0; t < 6; ++t) acc.push(y);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_TRUE(acc.full());
+  EXPECT_EQ(acc.pushes(), 6u);
+}
+
+TEST(StreamingMoments, RejectsBadConfigAndInput) {
+  EXPECT_THROW(StreamingMoments(3, {.window = 1}), std::invalid_argument);
+  StreamingMoments acc(3, {.window = 4});
+  const linalg::Vector wrong{1.0, 2.0};
+  EXPECT_THROW(acc.push(wrong), std::invalid_argument);
+  acc.push(linalg::Vector{1.0, 2.0, 3.0});
+  EXPECT_THROW(static_cast<void>(acc.covariance(0, 0)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(acc.matrix()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace losstomo::stats
