@@ -1,28 +1,41 @@
 // Steady-state monitoring tick latency: the streaming engine (incremental
 // sliding-window covariance + cached-factor normal-equation refresh)
 // against the batch relearn path, on the same tree instance the kernel
-// microbench records (np=646 at the defaults).
+// microbench records (np=646 at the defaults), plus a large-overlay
+// scenario sizing the sparse sharing-pair store.
 //
 //   build/bench_monitor_streaming [nodes=1300] [branching=8] [m=200]
 //                                 [ticks=60] [relearn_every=1] [p=0.05]
-//                                 [--json <path>]
+//                                 [overlay_hosts=72] [overlay_m=50]
+//                                 [overlay_ticks=8] [--json <path>]
 //
 // Both engines consume an identical snapshot sequence; every measured tick
 // cross-checks the two inferences (max |loss diff| is part of the report).
 // The headline figure is the keep-all-policy speedup (G fixed, factorized
-// once), where the engines agree exactly on the recorded instance.  The
-// drop-negative numbers ride along: there the factor is only re-used on
-// ticks where no pair covariance changed sign, and a pair whose sample
-// covariance sits within the accumulator's drift of zero can flip its drop
-// decision against the batch engine (the drop policy is discontinuous at
-// cov = 0 — same caveat as blocked-vs-reference in
-// core/variance_estimator.cpp), which shows up as a nonzero
+// once), where the engines agree exactly on the recorded instance.  Under
+// drop-negative the cached factor follows each pair sign flip by a rank-1
+// up/downdate (linalg::UpdatableCholesky) and a full refactorization runs
+// only on the fallback conditions — the report carries the
+// refactorization / rank-1 / fallback counters.  Residual caveat: a pair
+// whose sample covariance sits within the accumulator's drift of zero can
+// flip its drop decision against the batch engine (the drop policy is
+// discontinuous at cov = 0 — same caveat as blocked-vs-reference in
+// core/variance_estimator.cpp), which can show up as a nonzero
 // drop_max_loss_diff on some instances.
+//
+// The overlay section (overlay_hosts >= 2; 0 skips) builds a
+// PlanetLab-style overlay of overlay_hosts end-hosts — 72 hosts give
+// ~5100 paths — and records what streaming drop-negative costs at that
+// scale: sharing-pair store construction seconds and bytes (the
+// structure that replaced the O(np^2) pair scan) and the steady-state
+// streaming tick.  The batch engine is deliberately not run there — its
+// O(m np^2) relearn is exactly what the streaming engine exists to avoid.
 #include <algorithm>
 #include <cmath>
 
 #include "common.hpp"
 #include "core/monitor.hpp"
+#include "core/sharing_pairs.hpp"
 
 namespace {
 
@@ -34,6 +47,10 @@ struct EngineComparison {
   double max_loss_diff = 0.0;
   std::string batch_method;
   std::string streaming_method;
+  // Factor-cache diagnostics of the streaming engine (drop-negative).
+  std::size_t refactorizations = 0;
+  std::size_t rank1_updates = 0;
+  std::size_t downdate_fallbacks = 0;
 };
 
 EngineComparison compare_engines(const linalg::SparseBinaryMatrix& r,
@@ -74,6 +91,66 @@ EngineComparison compare_engines(const linalg::SparseBinaryMatrix& r,
   out.streaming_mean = streaming_tick.mean();
   out.batch_method = batch.variances().method;
   out.streaming_method = streaming.variances().method;
+  if (const auto* eqs = streaming.streaming_equations()) {
+    out.refactorizations = eqs->refactorizations();
+    out.rank1_updates = eqs->rank1_updates();
+    out.downdate_fallbacks = eqs->downdate_fallbacks();
+  }
+  return out;
+}
+
+// Streaming drop-negative at overlay scale: sharing-pair store size and
+// build time, then the steady-state monitor tick.  No batch reference —
+// the O(m np^2) relearn at 5k+ paths is the cost this path exists to
+// avoid.
+struct OverlayFigures {
+  std::size_t np = 0, nc = 0;
+  std::size_t pairs = 0, shared_entries = 0, store_bytes = 0;
+  double store_build_seconds = 0.0;
+  double streaming_tick_seconds = 0.0;
+  std::size_t refactorizations = 0;
+  std::size_t rank1_updates = 0;
+};
+
+OverlayFigures run_overlay(std::size_t hosts, std::size_t m, std::size_t ticks,
+                           std::uint64_t seed) {
+  stats::Rng rng(seed);
+  auto topo = topology::make_planetlab_like(
+      {.hosts = hosts, .as_count = 10, .routers_per_as = 8}, rng);
+  const auto routed = topology::route_paths(topo.graph, topo.hosts, topo.hosts);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+  const auto& r = rrm.matrix();
+
+  OverlayFigures out;
+  out.np = r.rows();
+  out.nc = r.cols();
+  util::Timer build_timer;
+  {
+    const auto store = core::SharingPairStore::build(r);
+    out.store_build_seconds = build_timer.seconds();
+    out.pairs = store.pair_count();
+    out.shared_entries = store.shared_link_entries();
+    out.store_bytes = store.bytes();
+  }
+
+  core::MonitorOptions options{.window = m,
+                               .engine = core::MonitorEngine::kStreaming};
+  options.lia.variance.negatives = core::NegativeCovariancePolicy::kDrop;
+  core::LiaMonitor monitor(r, options);
+  sim::ScenarioConfig config;
+  config.p = 0.04;
+  sim::SnapshotSimulator simulator(topo.graph, rrm, config, seed * 7);
+  stats::RunningStat tick_stat;
+  for (std::size_t t = 0; t < m + 2 + ticks; ++t) {
+    const auto y = simulator.next().path_log_trans;
+    util::Timer tick_timer;
+    monitor.observe(y);
+    if (t > m + 1) tick_stat.add(tick_timer.seconds());
+  }
+  out.streaming_tick_seconds = tick_stat.mean();
+  const auto* eqs = monitor.streaming_equations();
+  out.refactorizations = eqs->refactorizations();
+  out.rank1_updates = eqs->rank1_updates();
   return out;
 }
 
@@ -88,6 +165,9 @@ int main(int argc, char** argv) {
   const auto relearn_every = args.get_size("relearn_every", 1);
   const double p = args.get_double("p", 0.05);
   const auto seed = args.get_size("seed", 41);
+  const auto overlay_hosts = args.get_size("overlay_hosts", 72);
+  const auto overlay_m = args.get_size("overlay_m", 50);
+  const auto overlay_ticks = args.get_size("overlay_ticks", 8);
   const auto json_path = args.get_string("json", "");
   args.finish();
 
@@ -131,6 +211,25 @@ int main(int argc, char** argv) {
   std::cout << "\nkeep-all: G depends only on R, so the streaming engine "
                "factorizes the normal equations once and a steady tick is "
                "two rank-1 covariance updates + an O(nc^2) solve.\n";
+  std::cout << "drop-negative factor cache: " << drop.refactorizations
+            << " refactorizations, " << drop.rank1_updates
+            << " rank-1 up/downdates, " << drop.downdate_fallbacks
+            << " downdate fallbacks over " << ticks << " ticks.\n";
+
+  OverlayFigures overlay;
+  if (overlay_hosts >= 2) {
+    overlay = run_overlay(overlay_hosts, overlay_m, overlay_ticks, seed);
+    std::cout << "\nlarge overlay (" << overlay_hosts
+              << " hosts): np=" << overlay.np << " nc=" << overlay.nc
+              << "\n  sharing-pair store: " << overlay.pairs << " pairs, "
+              << overlay.shared_entries << " shared-link entries, "
+              << overlay.store_bytes << " bytes, built in "
+              << util::Table::num(overlay.store_build_seconds, 4) << " s"
+              << "\n  streaming drop-negative tick: "
+              << util::Table::num(overlay.streaming_tick_seconds, 5) << " s ("
+              << overlay.refactorizations << " refactorizations, "
+              << overlay.rank1_updates << " rank-1 updates)\n";
+  }
 
   bench::JsonReport report;
   report.set("bench", std::string("monitor_streaming"));
@@ -151,6 +250,22 @@ int main(int argc, char** argv) {
   report.set("drop_streaming_tick_seconds", drop.streaming_mean);
   report.set("drop_speedup", drop.batch_mean / drop.streaming_mean);
   report.set("drop_max_loss_diff", drop.max_loss_diff);
+  report.set("drop_refactorizations", drop.refactorizations);
+  report.set("drop_rank1_updates", drop.rank1_updates);
+  report.set("drop_downdate_fallbacks", drop.downdate_fallbacks);
+  if (overlay_hosts >= 2) {
+    report.set("overlay_hosts", overlay_hosts);
+    report.set("overlay_np", overlay.np);
+    report.set("overlay_nc", overlay.nc);
+    report.set("overlay_m", overlay_m);
+    report.set("overlay_pairs", overlay.pairs);
+    report.set("overlay_shared_link_entries", overlay.shared_entries);
+    report.set("overlay_store_bytes", overlay.store_bytes);
+    report.set("overlay_store_build_seconds", overlay.store_build_seconds);
+    report.set("overlay_streaming_tick_seconds",
+               overlay.streaming_tick_seconds);
+    report.set("overlay_refactorizations", overlay.refactorizations);
+  }
   report.write(json_path);
   return 0;
 }

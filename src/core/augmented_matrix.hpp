@@ -33,7 +33,7 @@ constexpr std::size_t pair_count(std::size_t np) {
   return np * (np + 1) / 2;
 }
 
-/// Packed row index of pair (i, j), 0-based, i <= j < np.
+/// Packed row index of pair (i, j), 0-based.  Precondition: i <= j < np.
 constexpr std::size_t pair_index(std::size_t i, std::size_t j, std::size_t np) {
   return i * np - i * (i - 1) / 2 + (j - i);
 }

@@ -38,7 +38,10 @@ struct IdentifiabilityReport {
 };
 
 /// Analyzes a reduced routing matrix.  Works on the implicit Gram forms so
-/// it scales to large path sets (A is never materialised).
+/// it scales to large path sets (A is never materialised).  Complexity:
+/// O(nc^3) for the rank-revealing factorizations of the nc x nc Gram
+/// matrices (independent of the path count beyond forming N = R^T R).
+/// Pure function; safe to call concurrently.
 IdentifiabilityReport analyze_identifiability(
     const linalg::SparseBinaryMatrix& r, double rank_tol = 1e-9);
 

@@ -30,6 +30,11 @@ struct LiaOptions {
   EliminationOptions elimination;
 };
 
+/// Thread-safety: a Lia is a single-writer object — learn/adopt mutate
+/// state; infer() is const and may run concurrently with other infer()
+/// calls (never with a concurrent learn).  Internal Phase-1 work
+/// parallelizes per LiaOptions::variance.threads with bit-identical
+/// results at any thread count.
 class Lia {
  public:
   /// Takes the routing matrix by value: a Lia owns its copy, so it stays
@@ -39,15 +44,19 @@ class Lia {
 
   /// Phase 1: estimates link variances from the history of snapshots and
   /// prepares the Phase-2 elimination.  May be called again as new history
-  /// accumulates (sliding window).
+  /// accumulates (sliding window).  Preconditions: history.dim() ==
+  /// routing().rows(), history.count() >= 2 (throws
+  /// std::invalid_argument).  Cost: the Phase-1 covariance-system build —
+  /// see estimate_link_variances — plus the O(kept^2 * nc) elimination.
   const VarianceEstimate& learn(const stats::SnapshotMatrix& history);
 
   /// Phase 1 from an abstract covariance source (batch wrapper or the
-  /// streaming sliding-window accumulator).
+  /// streaming sliding-window accumulator).  Preconditions: source.dim()
+  /// == routing().rows(), source.count() >= 2.
   const VarianceEstimate& learn(const stats::CovarianceSource& source);
 
   /// Phase 1 bypass for callers that already know the variances (tests,
-  /// delay extension).
+  /// delay extension).  `variances.size()` must equal routing().cols().
   const VarianceEstimate& learn_from_variances(linalg::Vector variances);
 
   /// Adopts an externally produced Phase-1 estimate (e.g. from
@@ -55,7 +64,8 @@ class Lia {
   const VarianceEstimate& adopt(VarianceEstimate estimate);
 
   /// Phase 2: infers per-link loss rates for one snapshot.  Requires a
-  /// prior learn().
+  /// prior learn(); `y.size()` must equal routing().rows().  Cost:
+  /// O(kept * nc) substitutions on the cached elimination factor.
   [[nodiscard]] LossInference infer(std::span<const double> y) const;
 
   [[nodiscard]] bool trained() const { return variance_.has_value(); }

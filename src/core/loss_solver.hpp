@@ -24,7 +24,12 @@ struct LossInference {
 };
 
 /// Solves eq. (9) for the snapshot `y` (log path transmission rates,
-/// length r.rows()).
+/// length r.rows()).  Preconditions: `y.size() == r.rows()` and
+/// `elimination` produced from the same `r` (throws
+/// std::invalid_argument on size mismatch).  Complexity: O(nnz(R) +
+/// kept^2) — the right-hand side assembly plus two triangular
+/// substitutions on the elimination's cached factor.  Pure function;
+/// safe to call concurrently.
 LossInference infer_snapshot_losses(const linalg::SparseBinaryMatrix& r,
                                     const Elimination& elimination,
                                     std::span<const double> y);

@@ -42,6 +42,9 @@ struct ErrorVectors {
   std::vector<double> factor;
 };
 
+/// Precondition for all comparison helpers in this header: the two input
+/// ranges have equal length (one entry per link).  All are pure O(nc)
+/// functions, safe to call concurrently.
 ErrorVectors per_link_errors(std::span<const double> true_loss,
                              std::span<const double> inferred_loss,
                              double delta = 1e-3);

@@ -62,15 +62,28 @@ struct MonitorOptions {
 /// Feeds snapshots one at a time; once the window is full, every further
 /// snapshot is diagnosed against variances learned from the preceding
 /// window.
+///
+/// Thread-safety: single-writer — call observe() from one thread.
+/// Internal work parallelizes per MonitorOptions::lia.variance.threads
+/// with bit-identical results at any thread count.
 class LiaMonitor {
  public:
   /// Takes the routing matrix by value (owned by the internal Lia), so
-  /// constructing from a temporary is safe.
+  /// constructing from a temporary is safe.  Throws std::invalid_argument
+  /// for window < 2 or relearn_every == 0.  Keep-all streaming
+  /// configurations assemble G here (O(nc^2)); drop-negative defers its
+  /// sharing-pair store to the first relearn tick.
   explicit LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options = {});
 
   /// Observes one snapshot (Y = log path transmission rates).  Returns the
   /// inference for this snapshot, or std::nullopt while the window is
   /// still filling (the first `window` snapshots are learning-only).
+  /// `y.size()` must equal routing().rows() (throws
+  /// std::invalid_argument).  Steady-state cost per tick (streaming
+  /// engine): O(np^2) covariance updates + the normal-equation refresh
+  /// (proportional to the sharing structure) + the cached-factor solve —
+  /// independent of the window length; the batch engine pays the full
+  /// O(m np^2) relearn instead.
   std::optional<LossInference> observe(std::span<const double> y);
 
   /// Number of snapshots consumed so far.
@@ -84,6 +97,12 @@ class LiaMonitor {
   /// The engine actually driving relearns (kDenseQr configurations fall
   /// back to kBatch).
   [[nodiscard]] MonitorEngine engine() const { return engine_; }
+  /// The streaming engine's incrementally maintained Phase-1 system, for
+  /// factor-cache diagnostics (refactorizations, rank-1 up/downdates, pair
+  /// store size); nullptr when the batch engine is driving.
+  [[nodiscard]] const StreamingNormalEquations* streaming_equations() const {
+    return equations_ ? &*equations_ : nullptr;
+  }
   [[nodiscard]] const linalg::SparseBinaryMatrix& routing() const {
     return lia_.routing();
   }

@@ -1,0 +1,118 @@
+#include "core/sharing_pairs.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace losstomo::core {
+
+PartnerFinder::PartnerFinder(
+    const linalg::SparseBinaryMatrix& r,
+    const std::vector<std::vector<std::uint32_t>>& columns)
+    : r_(&r), columns_(&columns), stamp_(r.rows(), 0) {}
+
+void PartnerFinder::partners_of(std::size_t i, std::vector<std::uint32_t>& out) {
+  out.clear();
+  // A fresh tag per query invalidates every previous stamp without a clear.
+  // Tag 0 is the vector's initial value, so skip it on wrap-around.
+  if (++tag_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    tag_ = 1;
+  }
+  for (const auto link : r_->row(i)) {
+    const auto& paths = (*columns_)[link];
+    // Column lists are sorted, so partners >= i occupy a suffix.
+    const auto from = std::lower_bound(paths.begin(), paths.end(),
+                                       static_cast<std::uint32_t>(i));
+    for (auto it = from; it != paths.end(); ++it) {
+      if (stamp_[*it] != tag_) {
+        stamp_[*it] = tag_;
+        out.push_back(*it);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+SharingPairStore SharingPairStore::build(const linalg::SparseBinaryMatrix& r,
+                                         std::size_t threads) {
+  const std::size_t np = r.rows();
+  SharingPairStore store;
+  store.row_offsets_.assign(np + 1, 0);
+  if (np == 0) return store;
+  const auto columns = r.column_lists();
+
+  // Per-chunk local buffers, stitched in ascending chunk order afterwards:
+  // chunk boundaries depend only on (np, grain), so the stored pair
+  // sequence is identical at any thread count.
+  struct ChunkOut {
+    std::vector<std::size_t> pairs_per_row;
+    std::vector<std::uint32_t> partner;
+    std::vector<std::size_t> link_counts;
+    std::vector<std::uint32_t> links;
+  };
+  const std::size_t grain = std::max<std::size_t>(1, np / 256);
+  const std::size_t chunks = util::chunk_count(np, grain);
+  std::vector<ChunkOut> outs(chunks);
+  util::ThreadPool::global().run(
+      chunks,
+      [&](std::size_t c) {
+        const auto [begin, end] = util::chunk_range(np, chunks, c);
+        ChunkOut& out = outs[c];
+        out.pairs_per_row.assign(end - begin, 0);
+        PartnerFinder finder(r, columns);
+        std::vector<std::uint32_t> partners;
+        std::vector<std::uint32_t> shared;
+        for (std::size_t i = begin; i < end; ++i) {
+          finder.partners_of(i, partners);
+          const auto ri = r.row(i);
+          for (const auto j : partners) {
+            linalg::intersect_sorted(ri, r.row(j), shared);
+            // Candidates share a link by construction, but keep the guard:
+            // the invariant is cheap to check and load-bearing downstream.
+            if (shared.empty()) continue;
+            ++out.pairs_per_row[i - begin];
+            out.partner.push_back(j);
+            out.link_counts.push_back(shared.size());
+            out.links.insert(out.links.end(), shared.begin(), shared.end());
+          }
+        }
+      },
+      threads);
+
+  std::size_t total_pairs = 0, total_links = 0;
+  for (const auto& out : outs) {
+    total_pairs += out.partner.size();
+    total_links += out.links.size();
+  }
+  store.partner_.reserve(total_pairs);
+  store.link_offsets_.reserve(total_pairs + 1);
+  store.link_offsets_.push_back(0);
+  store.links_.reserve(total_links);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const ChunkOut& out = outs[c];
+    for (const auto count : out.pairs_per_row) {
+      store.row_offsets_[row + 1] = store.row_offsets_[row] + count;
+      ++row;
+    }
+    store.partner_.insert(store.partner_.end(), out.partner.begin(),
+                          out.partner.end());
+    for (const auto count : out.link_counts) {
+      store.link_offsets_.push_back(store.link_offsets_.back() + count);
+    }
+    store.links_.insert(store.links_.end(), out.links.begin(),
+                        out.links.end());
+  }
+  return store;
+}
+
+std::size_t SharingPairStore::bytes() const {
+  return row_offsets_.capacity() * sizeof(std::size_t) +
+         partner_.capacity() * sizeof(std::uint32_t) +
+         link_offsets_.capacity() * sizeof(std::size_t) +
+         links_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace losstomo::core

@@ -48,7 +48,10 @@ struct CrossValidationResult {
 ///  * learns variances on the history (m snapshots) restricted to those
 ///    paths and infers link rates on the final snapshot,
 ///  * checks eq. (11) on `split.validation` paths of the final snapshot.
-/// `paths` and the snapshot path order must match `all_paths` row order.
+/// Preconditions: `history_y.dim() == all_paths.size()`, the two
+/// `current_*` spans have one entry per path in `all_paths` order, and
+/// `split` indices are in range.  Cost is dominated by the inner
+/// Lia::learn on the inference half.
 CrossValidationResult cross_validate(
     const net::Graph& g, const std::vector<net::Path>& all_paths,
     const stats::SnapshotMatrix& history_y,

@@ -1,6 +1,8 @@
 #include "core/variance_estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -100,10 +102,13 @@ SharingEstimate estimate_sharing(const linalg::SparseBinaryMatrix& r) {
 //  * dense sharing — or any source that already holds S (streaming
 //    accumulators): read S(i, j) per pair, removing the seed's O(m) inner
 //    loop from every pair;
-//  * sparse sharing on a batch source: most pairs carry no equation and the
-//    skip already avoids their covariances, so computing all of S would be
-//    wasted work — keep the on-demand per-pair covariance over the centred
-//    samples for the few sharing pairs.
+//  * sparse sharing on a batch source: most pairs carry no equation, so
+//    both the covariances AND the pair visits themselves are wasted work —
+//    candidate discovery through the column lists (core/sharing_pairs.hpp
+//    PartnerFinder) enumerates only the pairs that share a link, and the
+//    on-demand per-pair covariance runs for exactly those.  The visited
+//    sharing pairs come back in the same (i asc, j asc) order the full
+//    upper-triangle scan produced, so the accumulated sums are unchanged.
 // Either way G/h are folded over path-row chunks with per-chunk partials;
 // chunk boundaries depend only on the problem size, so the reduction order
 // — and therefore the result — is bit-identical at any thread count.
@@ -151,39 +156,55 @@ NormalEquations accumulate_pairwise_blocked(const linalg::SparseBinaryMatrix& r,
       pair_ops / (8.0 * chunk_overhead), 1.0, 32.0));
   const std::size_t chunks = std::min({want_chunks, budget_chunks, np});
 
+  // Sparse sharing: visit only the pairs that share a link, discovered
+  // through the transpose incidence.  The column lists are shared across
+  // chunks; each chunk owns its PartnerFinder (stamp array).
+  const std::vector<std::vector<std::uint32_t>> columns =
+      use_matrix ? std::vector<std::vector<std::uint32_t>>{}
+                 : r.column_lists();
+
   const auto body = [&](NormalEquations& part, std::size_t i_begin,
                         std::size_t i_end) {
         std::vector<std::uint32_t> shared;
+        std::optional<PartnerFinder> finder;
+        std::vector<std::uint32_t> partners;
+        if (!use_matrix) finder.emplace(r, columns);
+        const auto accumulate = [&](std::size_t i, std::size_t j,
+                                    const double* si) {
+          linalg::intersect_sorted(r.row(i), r.row(j), shared);
+          if (shared.empty()) return;
+          double cov;
+          if (use_matrix) {
+            cov = si[j];
+          } else if (!flat.empty()) {
+            // On-demand covariance, identical to the scalar reference.
+            cov = 0.0;
+            const double* pi = flat.data() + i;
+            const double* pj = flat.data() + j;
+            for (std::size_t l = 0; l < m; ++l, pi += np, pj += np) {
+              cov += *pi * *pj;
+            }
+            cov /= static_cast<double>(m - 1);
+          } else {
+            cov = y.covariance(i, j);
+          }
+          if (drop_negative && cov < 0.0) {
+            ++part.dropped;
+            return;
+          }
+          ++part.used;
+          for (const auto a : shared) {
+            part.h[a] += cov;
+            for (const auto b : shared) part.g(a, b) += 1.0;
+          }
+        };
         for (std::size_t i = i_begin; i < i_end; ++i) {
-          const auto ri = r.row(i);
-          const double* si = use_matrix ? s->row(i).data() : nullptr;
-          for (std::size_t j = i; j < np; ++j) {
-            linalg::intersect_sorted(ri, r.row(j), shared);
-            if (shared.empty()) continue;
-            double cov;
-            if (use_matrix) {
-              cov = si[j];
-            } else if (!flat.empty()) {
-              // On-demand covariance, identical to the scalar reference.
-              cov = 0.0;
-              const double* pi = flat.data() + i;
-              const double* pj = flat.data() + j;
-              for (std::size_t l = 0; l < m; ++l, pi += np, pj += np) {
-                cov += *pi * *pj;
-              }
-              cov /= static_cast<double>(m - 1);
-            } else {
-              cov = y.covariance(i, j);
-            }
-            if (drop_negative && cov < 0.0) {
-              ++part.dropped;
-              continue;
-            }
-            ++part.used;
-            for (const auto a : shared) {
-              part.h[a] += cov;
-              for (const auto b : shared) part.g(a, b) += 1.0;
-            }
+          if (use_matrix) {
+            const double* si = s->row(i).data();
+            for (std::size_t j = i; j < np; ++j) accumulate(i, j, si);
+          } else {
+            finder->partners_of(i, partners);
+            for (const auto j : partners) accumulate(i, j, nullptr);
           }
         }
   };
@@ -494,23 +515,92 @@ StreamingNormalEquations::StreamingNormalEquations(
     column_paths_ = r.column_lists();
     return;
   }
-  // Drop-negative: enumerate the sharing pairs once; refresh() only reads
-  // their covariances.  G starts empty (every pair initially "dropped") and
-  // the first refresh folds the kept pairs in through the flip path.
-  pair_offsets_.push_back(0);
-  std::vector<std::uint32_t> shared;
-  for (std::size_t i = 0; i < np_; ++i) {
-    const auto ri = r.row(i);
-    for (std::size_t j = i; j < np_; ++j) {
-      linalg::intersect_sorted(ri, r.row(j), shared);
-      if (shared.empty()) continue;
-      pair_i_.push_back(static_cast<std::uint32_t>(i));
-      pair_j_.push_back(static_cast<std::uint32_t>(j));
-      pair_links_.insert(pair_links_.end(), shared.begin(), shared.end());
-      pair_offsets_.push_back(pair_links_.size());
+  // Drop-negative: defer the sharing-pair enumeration to the first
+  // refresh() (lazy build keeps construction O(nnz) — just this copy).
+  // G starts empty (every pair initially "dropped") and the first refresh
+  // folds the kept pairs in through the flip path.
+  pending_r_ = r;
+  flip_scratch_.assign(nc_, 0.0);
+}
+
+// Folds the flipped pairs into G (integer counts, so the order does not
+// matter and the result exactly matches a from-scratch accumulation over
+// the current kept set) and records each flip in the pending set the next
+// solve() reconciles the cached factor against.  A pair that flips back
+// before the factor caught up cancels out of the pending set entirely —
+// the saturation that lets the factor survive sign-flip storms.
+void StreamingNormalEquations::apply_flips(
+    const std::vector<std::size_t>& flips) {
+  for (const std::size_t p : flips) {
+    pair_kept_[p] ^= 1;
+    const double sign = pair_kept_[p] ? 1.0 : -1.0;
+    const auto links = pairs_->links(p);
+    for (const auto a : links) {
+      for (const auto b : links) sys_.g(a, b) += sign;
+    }
+    if (pending_mark_[p]) {
+      // Net zero against the factor: drop from the pending set (the
+      // stale queue entry is skipped lazily when its mark is clear).
+      pending_mark_[p] = 0;
+      --pending_live_;
+    } else {
+      pending_mark_[p] = 1;
+      ++pending_live_;
+      pending_.push_back(p);
     }
   }
-  pair_kept_.assign(pair_i_.size(), 0);
+  // Compact cancelled entries: a sustained sign-flip storm re-queues each
+  // oscillating pair every other tick, and the stale-factor regime never
+  // drains the queue — without this the queue would grow with ticks, not
+  // with the live set.
+  if (pending_.size() > 2 * pending_live_ + 64) {
+    std::erase_if(pending_,
+                  [&](std::size_t p) { return pending_mark_[p] == 0; });
+  }
+}
+
+// Brings the cached factor up to date with G when the pending flip set is
+// small enough for rank-1 steps to beat a refactorization.  Returns false
+// when a downdate lost positive definiteness (factor invalid).
+bool StreamingNormalEquations::reconcile_factor() {
+  const std::size_t cap = options_.factor_update_cap != 0
+                              ? options_.factor_update_cap
+                              : 4 * std::max<std::size_t>(nc_, 1);
+  // Each up/downdate costs up to O(nc^2); a refactorization O(nc^3 / 3).
+  // Past ~nc/4 pending flips the incremental path stops paying for
+  // itself — the factor then stays stale and solve() leans on iterative
+  // refinement instead.  Past the cumulative cap the drift bound wins.
+  if (pending_live_ > nc_ / 4 + 1) return true;
+  if (factor_updates_ + pending_live_ > cap) {
+    factor_dirty_ = true;
+    return true;
+  }
+  bool ok = true;
+  for (const std::size_t p : pending_) {
+    if (!pending_mark_[p]) continue;  // cancelled while queued
+    pending_mark_[p] = 0;
+    --pending_live_;
+    if (!ok) continue;  // factor already invalid; just drain the queue
+    const auto links = pairs_->links(p);
+    // The flip perturbs G by +/- e_S e_S^T with e_S the shared-link
+    // indicator — exactly one rank-1 step on the factor.
+    for (const auto l : links) flip_scratch_[l] = 1.0;
+    if (pair_kept_[p]) {
+      factor_->update(flip_scratch_);
+    } else {
+      ok = factor_->downdate(flip_scratch_);
+    }
+    for (const auto l : links) flip_scratch_[l] = 0.0;
+    if (!ok) {
+      ++downdate_fallbacks_;
+      factor_dirty_ = true;
+      continue;
+    }
+    ++factor_updates_;
+    ++rank1_updates_;
+  }
+  pending_.clear();
+  return ok;
 }
 
 const NormalEquations& StreamingNormalEquations::refresh(
@@ -527,6 +617,13 @@ const NormalEquations& StreamingNormalEquations::refresh(
     return sys_;
   }
 
+  if (!pairs_) {
+    pairs_ = SharingPairStore::build(*pending_r_, options_.threads);
+    pair_kept_.assign(pairs_->pair_count(), 0);
+    pending_mark_.assign(pairs_->pair_count(), 0);
+    pending_r_.reset();
+  }
+
   struct Partial {
     linalg::Vector h;
     std::size_t used = 0;
@@ -539,22 +636,22 @@ const NormalEquations& StreamingNormalEquations::refresh(
   // count; partials reduce in ascending chunk order, so h is bit-identical
   // at any thread count and `flips` comes back in ascending pair order.
   Partial acc = util::parallel_reduce(
-      pair_i_.size(), 8192, identity,
+      pairs_->pair_count(), 8192, identity,
       [&](Partial& part, std::size_t begin, std::size_t end) {
-        for (std::size_t p = begin; p < end; ++p) {
-          const double cov = s(pair_i_[p], pair_j_[p]);
-          const bool kept = !(cov < 0.0);
-          if (kept != (pair_kept_[p] != 0)) part.flips.push_back(p);
-          if (!kept) {
-            ++part.dropped;
-            continue;
-          }
-          ++part.used;
-          for (std::size_t idx = pair_offsets_[p]; idx < pair_offsets_[p + 1];
-               ++idx) {
-            part.h[pair_links_[idx]] += cov;
-          }
-        }
+        pairs_->for_pairs(
+            begin, end,
+            [&](std::size_t p, std::uint32_t i, std::uint32_t j,
+                std::span<const std::uint32_t> links) {
+              const double cov = s(i, j);
+              const bool kept = !(cov < 0.0);
+              if (kept != (pair_kept_[p] != 0)) part.flips.push_back(p);
+              if (!kept) {
+                ++part.dropped;
+                return;
+              }
+              ++part.used;
+              for (const auto link : links) part.h[link] += cov;
+            });
       },
       [](Partial& into, const Partial& part) {
         for (std::size_t k = 0; k < into.h.size(); ++k) into.h[k] += part.h[k];
@@ -565,22 +662,7 @@ const NormalEquations& StreamingNormalEquations::refresh(
       },
       options_.threads);
 
-  // Fold the flipped pairs into G (integer counts, so the order does not
-  // matter and the result exactly matches a from-scratch accumulation over
-  // the current kept set).
-  for (const std::size_t p : acc.flips) {
-    pair_kept_[p] ^= 1;
-    const double sign = pair_kept_[p] ? 1.0 : -1.0;
-    const auto begin = pair_offsets_[p];
-    const auto end = pair_offsets_[p + 1];
-    for (std::size_t ia = begin; ia < end; ++ia) {
-      const auto a = pair_links_[ia];
-      for (std::size_t ib = begin; ib < end; ++ib) {
-        sys_.g(a, pair_links_[ib]) += sign;
-      }
-    }
-  }
-  if (!acc.flips.empty()) factor_dirty_ = true;
+  apply_flips(acc.flips);
   sys_.h = std::move(acc.h);
   sys_.used = acc.used;
   sys_.dropped = acc.dropped;
@@ -611,13 +693,124 @@ VarianceEstimate StreamingNormalEquations::solve() {
 
   est.method = drop_negative_ ? "streaming-normal(drop-negative)"
                               : "streaming-normal(keep-all)";
-  if (!factor_ || factor_dirty_) {
-    factor_.emplace(sys_.g);
-    factor_dirty_ = false;
-    ++refactorizations_;
+  if (factor_ && !factor_dirty_ && pending_live_ > 0) {
+    // A jitter-regularized factor solves G + j*I, not G; carrying it
+    // across G changes would make refinement target a different system
+    // than the batch baseline (and on a still-singular G, an unsolvable
+    // one).  Jittered factors are refactorized at the first flip instead.
+    if (factor_->jitter_used() > 0.0) {
+      factor_dirty_ = true;
+    } else if (!reconcile_factor()) {
+      factor_dirty_ = true;
+    }
   }
+  if (!factor_ || factor_dirty_) refactorize();
   est.jitter_used = factor_->jitter_used();
-  return finish(factor_->solve(sys_.h), std::move(est));
+  linalg::Vector v = factor_->solve(sys_.h);
+  if (factor_updates_ > 0 || pending_live_ > 0) {
+    // The factor is inexact — up/downdate drift, or deliberately stale
+    // after a flip burst too large for rank-1 steps.  G itself is exact
+    // (integer counts), so iterative refinement — residual against the
+    // true G, correction through the cached factor — recovers
+    // direct-solve accuracy at O(nc^2) per step as long as the factor
+    // still preconditions G.  When it stops converging, the factor has
+    // diverged too far: refactorize and solve directly (bit-identical
+    // to the batch solve, as on every freshly refactorized tick).
+    if (!refine(v)) {
+      refactorize();
+      est.jitter_used = factor_->jitter_used();
+      v = factor_->solve(sys_.h);
+    }
+  }
+  return finish(std::move(v), std::move(est));
+}
+
+void StreamingNormalEquations::refactorize() {
+  factor_.emplace(sys_.g);
+  factor_dirty_ = false;
+  factor_updates_ = 0;
+  // The fresh factor matches G exactly: the pending set is moot.
+  for (const std::size_t p : pending_) pending_mark_[p] = 0;
+  pending_.clear();
+  pending_live_ = 0;
+  ++refactorizations_;
+}
+
+// Polishes the direct solve F v ~ G^-1 h against the exact G with
+// conjugate gradients preconditioned by the cached factor.  A drifted or
+// stale factor gives M = F F^T close to G, so PCG converges in a handful
+// of steps where plain refinement (Richardson) would need dozens at the
+// same O(nc^2) per-step cost.  Returns false when the iteration budget
+// runs out or the search direction collapses (numerically indefinite /
+// singular system) — the caller then refactorizes.  All arithmetic is
+// sequential and depends only on the operand values, so results are
+// identical at any thread count.
+bool StreamingNormalEquations::refine(linalg::Vector& v) {
+  constexpr int kMaxIterations = 40;
+  constexpr double kRelTolerance = 1e-13;
+  const std::size_t n = sys_.h.size();
+  double hnorm = 0.0;
+  for (const double x : sys_.h) hnorm = std::max(hnorm, std::fabs(x));
+  const double tol = kRelTolerance * std::max(hnorm, 1e-300);
+
+  const linalg::Vector gv = sys_.g.multiply(v);
+  linalg::Vector r(n);
+  double rnorm = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    r[k] = sys_.h[k] - gv[k];
+    rnorm = std::max(rnorm, std::fabs(r[k]));
+  }
+  if (rnorm <= tol) return true;
+  const double r0 = rnorm;
+
+  linalg::Vector z = factor_->solve(r);
+  linalg::Vector p = z;
+  double rz = 0.0;
+  for (std::size_t k = 0; k < n; ++k) rz += r[k] * z[k];
+  // Stall guard: on ill-conditioned G the attainable residual floor sits
+  // above the tolerance; once progress stops, bail to the refactorization
+  // fallback instead of burning the whole iteration budget every tick.
+  double best = rnorm;
+  int since_best = 0;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    ++refine_iterations_;
+    const linalg::Vector gp = sys_.g.multiply(p);
+    double pgp = 0.0;
+    for (std::size_t k = 0; k < n; ++k) pgp += p[k] * gp[k];
+    if (!(pgp > 0.0)) return false;  // direction collapsed: G ~ singular
+    const double alpha = rz / pgp;
+    rnorm = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      v[k] += alpha * p[k];
+      r[k] -= alpha * gp[k];
+      rnorm = std::max(rnorm, std::fabs(r[k]));
+    }
+    if (rnorm <= tol) {
+      // The recursive residual drifts from the true one when the start
+      // point was poor (badly stale factor): accept only on a recomputed
+      // residual, else refactorize.
+      const linalg::Vector gv2 = sys_.g.multiply(v);
+      double true_rnorm = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        true_rnorm = std::max(true_rnorm, std::fabs(sys_.h[k] - gv2[k]));
+      }
+      return true_rnorm <= 10.0 * tol;
+    }
+    if (rnorm > 100.0 * r0) return false;  // diverging
+    if (rnorm < 0.5 * best) {
+      best = rnorm;
+      since_best = 0;
+    } else if (++since_best >= 5) {
+      return false;  // stalled above tolerance
+    }
+    z = factor_->solve(r);
+    double rz_next = 0.0;
+    for (std::size_t k = 0; k < n; ++k) rz_next += r[k] * z[k];
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t k = 0; k < n; ++k) p[k] = z[k] + beta * p[k];
+  }
+  return false;
 }
 
 }  // namespace losstomo::core

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sharing_pairs.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
@@ -59,6 +60,12 @@ struct VarianceOptions {
   /// environment variable, else hardware concurrency).  Results are
   /// bit-identical at any thread count.
   std::size_t threads = 0;
+  /// Streaming drop-negative only: cumulative rank-1 factor up/downdates
+  /// (linalg::UpdatableCholesky) applied to the cached Cholesky factor
+  /// before a full refactorization is forced, bounding floating-point
+  /// drift of the incrementally maintained factor.  0 = automatic
+  /// (4 * link count).
+  std::size_t factor_update_cap = 0;
   /// Runs the retained scalar implementation (per-pair O(m) covariance
   /// loops, sequential accumulation) instead of the blocked/parallel
   /// kernels.  Kept for the parity tests and as a debugging fallback; the
@@ -120,43 +127,93 @@ VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
 
 /// Incrementally maintained Phase-1 normal equations for monitoring loops.
 ///
-/// Construction precomputes everything that depends only on the routing
-/// matrix (no reference to `r` is retained):
-///  * keep-all policy: G = A^T A from the co-traversal Gram matrix — fixed
-///    for the lifetime of the object, so the Cholesky factorization is
-///    computed once and every subsequent solve() is O(nc^2);
-///  * drop-negative policy: the list of sharing path pairs with their
-///    shared-link sets; refresh() re-reads each pair's covariance from the
-///    source and only the pairs whose drop decision flipped touch G (the
-///    factor is re-used across ticks whenever no pair flipped).
+/// Two policies, two incremental strategies:
+///  * keep-all: G = A^T A depends only on the routing matrix, so it is
+///    assembled at construction, the Cholesky factorization is computed on
+///    the first solve(), and every subsequent solve() is O(nc^2);
+///  * drop-negative: the sharing pairs live in a SharingPairStore built
+///    *lazily* on the first refresh() (chunk-parallel, memory proportional
+///    to the sharing structure — see core/sharing_pairs.hpp), so
+///    constructing a monitor on a 10k+ path overlay costs nothing until
+///    streaming actually starts.  Each refresh() re-reads every pair's
+///    covariance; only pairs whose drop decision flipped touch G (exact
+///    integer +/-1 counts).  The cached Cholesky factor is reconciled at
+///    solve() time against the *pending* flip set (pairs whose state
+///    differs from the factor; a pair that flips back cancels out), in
+///    one of three modes:
+///      1. small pending set (<= nc/4): one rank-1 up/downdate per flip
+///         (linalg::UpdatableCholesky), O((nc - j0)^2) each;
+///      2. large pending set (sign-flip storms — thousands of
+///         near-zero-covariance pairs oscillate every tick): the factor
+///         stays deliberately stale and the solve runs iterative
+///         refinement against the exact G through it, O(nc^2) per step —
+///         the state difference vs the factor saturates rather than
+///         grows, so a recent factor keeps preconditioning G well;
+///      3. full refactorization, only when a downdate would lose positive
+///         definiteness, refinement stops contracting, or the cumulative
+///         rank-1 count reaches VarianceOptions::factor_update_cap
+///         (drift bound).
 ///
 /// refresh() rebuilds h from the source's current covariance matrix — cost
 /// proportional to the sharing structure, independent of the window length
 /// — and solve() yields the same clamped estimate as
-/// estimate_link_variances on an equal-valued source (methods kNormal and
-/// kNnls; kDenseQr callers must use the batch path).
+/// estimate_link_variances on an equal-valued source to refinement
+/// accuracy (residual <= 1e-13 * ||h||; <= 1e-10 parity observed on
+/// well-conditioned instances, and bit-identical on freshly refactorized
+/// ticks; methods kNormal and kNnls; kDenseQr callers must use the batch
+/// path).
+///
+/// Thread-safety: refresh() parallelizes internally (bit-identical at any
+/// VarianceOptions::threads); concurrent calls on one instance are not
+/// supported.
 class StreamingNormalEquations {
  public:
+  /// O(nc^2) for keep-all (Gram assembly); O(nnz(r)) copy for
+  /// drop-negative (the pair store is deferred to the first refresh).
   StreamingNormalEquations(const linalg::SparseBinaryMatrix& r,
                            const VarianceOptions& options = {});
 
-  /// Recomputes h (and the sign-flipped parts of G under drop-negative)
-  /// from the source's current covariance matrix.
+  /// Recomputes h (and the sign-flipped parts of G and the cached factor
+  /// under drop-negative) from the source's current covariance matrix.
   const NormalEquations& refresh(const stats::CovarianceSource& source);
 
-  /// Solves the current system for v, reusing the cached factorization
-  /// while G is unchanged.  Requires a prior refresh().
+  /// Solves the current system for v, reusing the cached (possibly
+  /// up/downdated) factorization while it is valid.  Requires a prior
+  /// refresh().
   [[nodiscard]] VarianceEstimate solve();
 
   [[nodiscard]] const NormalEquations& system() const { return sys_; }
   [[nodiscard]] bool drop_negative() const { return drop_negative_; }
-  /// Cholesky factorizations performed so far (1 after the first solve
-  /// under keep-all; grows only on drop-set changes under drop-negative).
+  /// Full Cholesky factorizations performed so far (1 after the first
+  /// solve under keep-all; under drop-negative grows only on the fallback
+  /// conditions listed above).
   [[nodiscard]] std::size_t refactorizations() const {
     return refactorizations_;
   }
+  /// Rank-1 factor up/downdates applied so far (drop-negative only).
+  [[nodiscard]] std::size_t rank1_updates() const { return rank1_updates_; }
+  /// Failed downdates that forced a refactorization.
+  [[nodiscard]] std::size_t downdate_fallbacks() const {
+    return downdate_fallbacks_;
+  }
+  /// Iterative-refinement steps run against stale or drifted factors.
+  [[nodiscard]] std::size_t refine_iterations() const {
+    return refine_iterations_;
+  }
+  /// Pairs whose kept/dropped state currently differs from the factor.
+  [[nodiscard]] std::size_t pending_flips() const { return pending_live_; }
+  /// The lazily built sharing-pair store; nullptr before the first
+  /// drop-negative refresh (and always under keep-all).
+  [[nodiscard]] const SharingPairStore* pair_store() const {
+    return pairs_ ? &*pairs_ : nullptr;
+  }
 
  private:
+  void apply_flips(const std::vector<std::size_t>& flips);
+  bool reconcile_factor();
+  void refactorize();
+  bool refine(linalg::Vector& v);
+
   VarianceOptions options_;
   std::size_t np_ = 0;
   std::size_t nc_ = 0;
@@ -164,15 +221,24 @@ class StreamingNormalEquations {
   bool refreshed_ = false;
   // keep-all: per-link path lists for the closed-form rhs.
   std::vector<std::vector<std::uint32_t>> column_paths_;
-  // drop-negative: CSR of sharing pairs and their shared-link sets.
-  std::vector<std::uint32_t> pair_i_, pair_j_;
-  std::vector<std::size_t> pair_offsets_;
-  std::vector<std::uint32_t> pair_links_;
+  // drop-negative: routing matrix retained until the pair store is built.
+  std::optional<linalg::SparseBinaryMatrix> pending_r_;
+  std::optional<SharingPairStore> pairs_;
   std::vector<std::uint8_t> pair_kept_;
+  linalg::Vector flip_scratch_;  // shared-link indicator for up/downdates
+  // Pairs whose kept state diverged from the factor: queue + membership
+  // marks (an unmarked queue entry was cancelled by a flip-back).
+  std::vector<std::size_t> pending_;
+  std::vector<std::uint8_t> pending_mark_;
+  std::size_t pending_live_ = 0;
   NormalEquations sys_;
   bool factor_dirty_ = true;
-  std::optional<linalg::RegularizedCholesky> factor_;
+  std::optional<linalg::UpdatableCholesky> factor_;
+  std::size_t factor_updates_ = 0;  // rank-1 steps since last refactorization
   std::size_t refactorizations_ = 0;
+  std::size_t rank1_updates_ = 0;
+  std::size_t downdate_fallbacks_ = 0;
+  std::size_t refine_iterations_ = 0;
 };
 
 }  // namespace losstomo::core

@@ -43,7 +43,8 @@ stats::SnapshotMatrix read_snapshots(std::istream& is, bool log_transform = true
 /// parses one snapshot line (same format and validation as read_snapshots)
 /// without ever materialising the full campaign, so a LiaMonitor can
 /// consume arbitrarily long traces at O(np) memory.  The stream must
-/// outlive the reader.
+/// outlive the reader.  Not thread-safe (wraps a mutable istream); one
+/// reader per stream.  next() is O(np) per call.
 class SnapshotStream {
  public:
   explicit SnapshotStream(std::istream& is, bool log_transform = true);

@@ -19,15 +19,17 @@
 namespace losstomo::linalg {
 
 /// Standard Cholesky (L L^T) of a symmetric positive definite matrix.
+/// Immutable after construction — concurrent solve() calls are safe.
 class Cholesky {
  public:
-  /// Factorizes `a` (copied; only the lower triangle is read).  Throws
-  /// std::runtime_error if a pivot is not strictly positive.
+  /// Factorizes `a` (copied; only the lower triangle is read).  O(n^3 / 3).
+  /// Preconditions: `a` square (std::invalid_argument) and SPD
+  /// (std::runtime_error on a non-positive pivot).
   explicit Cholesky(Matrix a);
 
   [[nodiscard]] std::size_t dim() const { return l_.rows(); }
 
-  /// Solves a x = b.
+  /// Solves a x = b.  O(n^2); `b.size()` must equal dim().
   [[nodiscard]] Vector solve(std::span<const double> b) const;
 
   /// Lower-triangular factor.
@@ -45,6 +47,7 @@ class Cholesky {
 /// escalating by 10x up to `max_attempts`.  Returns the jitter actually
 /// used; 0 for a clean factorization.  This is the pragmatic guard for
 /// nearly-singular normal equations produced by sampling noise.
+/// O(n^3 / 3) per attempt; immutable after construction.
 class RegularizedCholesky {
  public:
   explicit RegularizedCholesky(const Matrix& a, double jitter = 1e-12,
@@ -52,9 +55,68 @@ class RegularizedCholesky {
 
   [[nodiscard]] Vector solve(std::span<const double> b) const;
   [[nodiscard]] double jitter_used() const { return jitter_used_; }
+  /// The successful factorization (of a + jitter_used * I).
+  [[nodiscard]] const Cholesky& factor() const { return holder_.front(); }
 
  private:
   std::vector<Cholesky> holder_;  // size 1; indirection for late init
+  double jitter_used_ = 0.0;
+};
+
+/// Cholesky factor that tracks a matrix evolving by symmetric rank-1 steps:
+/// update() folds A + x x^T into the factor, downdate() folds A - x x^T.
+///
+/// This is the factor-caching core of the streaming drop-negative Phase-1
+/// path (core::StreamingNormalEquations): a sharing pair whose covariance
+/// changes sign perturbs G by +/- e_S e_S^T (e_S the indicator of the
+/// shared-link set), so the cached factor follows in O((n - j0)^2) per flip
+/// — j0 the first nonzero of x — instead of an O(n^3) refactorization.
+///
+/// Construction uses the same escalating-jitter fallback as
+/// RegularizedCholesky, so a singular input still yields a usable
+/// (regularized) factor; subsequent up/downdates then track A + jitter * I.
+///
+/// Numerical contract: update() uses Givens rotations and is
+/// unconditionally stable.  downdate() uses hyperbolic rotations and
+/// *fails* (returns false) when the downdated matrix loses positive
+/// definiteness within `downdate_tol` — after a failed downdate the factor
+/// is INVALID and the caller must refactorize from scratch.  Both apply
+/// O(eps * ||A||) perturbation per step; callers that accumulate thousands
+/// of steps should bound drift with a periodic refactorization (see
+/// core::VarianceOptions::factor_update_cap).
+///
+/// Not thread-safe: update/downdate mutate the factor in place.
+class UpdatableCholesky {
+ public:
+  /// Factorizes `a` (symmetric positive definite up to jitter).  Complexity
+  /// O(n^3 / 3) per attempt.  Throws std::runtime_error when even the
+  /// largest jitter fails.
+  explicit UpdatableCholesky(const Matrix& a, double jitter = 1e-12,
+                             int max_attempts = 6);
+
+  [[nodiscard]] std::size_t dim() const { return l_.rows(); }
+  [[nodiscard]] double jitter_used() const { return jitter_used_; }
+  /// Current lower-triangular factor (valid unless a downdate failed).
+  [[nodiscard]] const Matrix& l() const { return l_; }
+
+  /// Rank-1 update: the factored matrix becomes A + x x^T.  `x.size()` must
+  /// equal dim().  Leading zeros of x are skipped, so a vector whose first
+  /// nonzero sits at index j0 costs O((dim - j0)^2).
+  void update(std::span<const double> x);
+
+  /// Rank-1 downdate: the factored matrix becomes A - x x^T.  Returns false
+  /// when the result would lose positive definiteness (relative pivot
+  /// tolerance `downdate_tol`); the factor is then invalid and must be
+  /// rebuilt.  Same sparsity skip and complexity as update().
+  [[nodiscard]] bool downdate(std::span<const double> x,
+                              double downdate_tol = 1e-12);
+
+  /// Solves A x = b with the current factor.  O(n^2).
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+ private:
+  Matrix l_;
+  std::vector<double> w_;  // rotation scratch, kept to avoid reallocation
   double jitter_used_ = 0.0;
 };
 
@@ -97,7 +159,8 @@ class IncrementalCholesky {
   [[nodiscard]] std::size_t size() const { return n_; }
 
   /// Attempts to append a column; returns true when accepted.
-  /// `cross.size()` must equal size().
+  /// `cross.size()` must equal size() (throws std::invalid_argument).
+  /// O(size^2) — one forward substitution against the current factor.
   bool try_add(double diag, std::span<const double> cross);
 
   /// Squared residual of the most recent try_add (accepted or not);

@@ -9,7 +9,10 @@
 
 namespace losstomo::stats {
 
-/// Empirical CDF over a sample of doubles.
+/// Empirical CDF over a sample of doubles.  Precondition: at least one
+/// sample (min()/max()/quantile() read the order statistics).
+/// Construction sorts (O(n log n)); at() is an O(log n) binary search;
+/// immutable afterwards, so concurrent reads are safe.
 class EmpiricalCdf {
  public:
   explicit EmpiricalCdf(std::vector<double> samples);

@@ -28,6 +28,11 @@ namespace losstomo::stats {
 
 /// Abstract supplier of the unbiased sample covariance of an np-dimensional
 /// observation vector (paper eq. (7)).
+///
+/// Thread-safety contract for implementations: all methods here are
+/// logically const reads and must be safe to call concurrently *after*
+/// matrix() has been materialised once; mutating operations (e.g.
+/// StreamingMoments::push) are single-writer and must not overlap reads.
 class CovarianceSource {
  public:
   virtual ~CovarianceSource() = default;

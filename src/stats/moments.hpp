@@ -20,8 +20,11 @@
 
 namespace losstomo::stats {
 
-/// Column-major collection of m snapshots of an np-dimensional observation:
-/// sample(l) returns snapshot l as a span of length np.
+/// Row-major collection of m snapshots of an np-dimensional observation:
+/// sample(l) returns snapshot l as a span of length np.  Plain storage —
+/// concurrent reads are safe; writers need external synchronisation.
+/// Accessors do not bounds-check (l < count(), i < dim() are
+/// preconditions).
 class SnapshotMatrix {
  public:
   SnapshotMatrix(std::size_t dim, std::size_t count);
@@ -67,7 +70,8 @@ class CenteredSnapshots {
 
   /// Unbiased sample covariance between coordinates i and j (paper eq. (7)):
   ///   cov(i,j) = 1/(m-1) * sum_l (Y_i^l - mean_i)(Y_j^l - mean_j).
-  /// Requires count() >= 2.
+  /// Requires count() >= 2.  O(count()) per call — consumers needing many
+  /// pairs should use covariance_matrix() (one blocked pass) instead.
   [[nodiscard]] double covariance(std::size_t i, std::size_t j) const;
 
   /// Unbiased sample variance of coordinate i.

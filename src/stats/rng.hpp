@@ -13,6 +13,11 @@ namespace losstomo::stats {
 
 /// Seeded pseudo-random generator wrapping std::mt19937_64 with the
 /// distributions the simulators need.
+///
+/// Not thread-safe: every draw mutates the engine.  Parallel code derives
+/// one stream per unit of work via fork() (O(1)) instead of sharing an
+/// instance — that is what keeps simulated outputs independent of the
+/// thread count.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

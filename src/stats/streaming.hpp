@@ -48,8 +48,12 @@ class StreamingMoments final : public CovarianceSource {
  public:
   StreamingMoments(std::size_t dim, StreamingMomentsOptions options);
 
-  /// Folds one snapshot (length dim()) into the window; retires the oldest
-  /// snapshot first when the window is full.
+  /// Folds one snapshot into the window; retires the oldest snapshot
+  /// first when the window is full.  Precondition: y.size() == dim()
+  /// (throws std::invalid_argument).  Cost: O(dim^2) — two symmetric
+  /// rank-1 updates in the steady state — plus the amortized
+  /// O(window * dim^2 / refresh_every) drift refresh.  Single-writer:
+  /// do not overlap push() with reads of matrix()/covariance().
   void push(std::span<const double> y);
 
   // CovarianceSource:

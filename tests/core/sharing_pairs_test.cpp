@@ -1,0 +1,158 @@
+#include "core/sharing_pairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/routing_matrix.hpp"
+#include "stats/rng.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+#include "topology/overlay.hpp"
+#include "topology/routing.hpp"
+
+namespace losstomo::core {
+namespace {
+
+// Reference enumeration: the seed's all-pairs upper-triangle scan.
+struct BrutePair {
+  std::uint32_t i, j;
+  std::vector<std::uint32_t> links;
+};
+
+std::vector<BrutePair> brute_force(const linalg::SparseBinaryMatrix& r) {
+  std::vector<BrutePair> out;
+  std::vector<std::uint32_t> shared;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    for (std::size_t j = i; j < r.rows(); ++j) {
+      linalg::intersect_sorted(r.row(i), r.row(j), shared);
+      if (shared.empty()) continue;
+      out.push_back({static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(j), shared});
+    }
+  }
+  return out;
+}
+
+void expect_matches_brute_force(const linalg::SparseBinaryMatrix& r,
+                                const SharingPairStore& store) {
+  const auto expected = brute_force(r);
+  ASSERT_EQ(store.pair_count(), expected.size());
+  std::size_t p = 0;
+  store.for_pairs(0, store.pair_count(),
+                  [&](std::size_t idx, std::uint32_t i, std::uint32_t j,
+                      std::span<const std::uint32_t> links) {
+                    ASSERT_EQ(idx, p);
+                    EXPECT_EQ(i, expected[p].i) << "pair " << p;
+                    EXPECT_EQ(j, expected[p].j) << "pair " << p;
+                    EXPECT_TRUE(std::equal(links.begin(), links.end(),
+                                           expected[p].links.begin(),
+                                           expected[p].links.end()))
+                        << "pair " << p;
+                    ++p;
+                  });
+  EXPECT_EQ(p, expected.size());
+}
+
+linalg::SparseBinaryMatrix tree_matrix() {
+  stats::Rng rng(41);
+  auto tree =
+      topology::make_random_tree({.nodes = 80, .max_branching = 4}, rng);
+  const auto paths = topology::tree_paths(tree);
+  return net::ReducedRoutingMatrix(tree.graph, paths).matrix();
+}
+
+linalg::SparseBinaryMatrix mesh_matrix() {
+  stats::Rng rng(42);
+  auto topo = topology::make_waxman({.nodes = 120, .links_per_node = 2}, rng);
+  const auto hosts = topology::pick_low_degree_hosts(topo.graph, 14);
+  auto routed = topology::route_paths(topo.graph, hosts, hosts);
+  return net::ReducedRoutingMatrix(topo.graph, routed.paths).matrix();
+}
+
+TEST(SharingPairStore, MatchesBruteForceOnDenseSharingTree) {
+  const auto r = tree_matrix();
+  expect_matches_brute_force(r, SharingPairStore::build(r));
+}
+
+TEST(SharingPairStore, MatchesBruteForceOnSparseSharingMesh) {
+  const auto r = mesh_matrix();
+  const auto store = SharingPairStore::build(r);
+  expect_matches_brute_force(r, store);
+  // The point of the store: a mesh shares far fewer pairs than np^2/2.
+  EXPECT_LT(store.pair_count(), r.rows() * (r.rows() + 1) / 2);
+}
+
+TEST(SharingPairStore, BuildIsIdenticalAtAnyThreadCount) {
+  const auto r = mesh_matrix();
+  const auto reference = SharingPairStore::build(r, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto store = SharingPairStore::build(r, threads);
+    ASSERT_EQ(store.pair_count(), reference.pair_count());
+    ASSERT_EQ(store.shared_link_entries(), reference.shared_link_entries());
+    store.for_pairs(
+        0, store.pair_count(),
+        [&](std::size_t p, std::uint32_t i, std::uint32_t j,
+            std::span<const std::uint32_t> links) {
+          (void)i;
+          EXPECT_EQ(j, reference.partner(p));
+          const auto ref_links = reference.links(p);
+          EXPECT_TRUE(std::equal(links.begin(), links.end(),
+                                 ref_links.begin(), ref_links.end()));
+        });
+  }
+}
+
+TEST(SharingPairStore, ForPairsSubrangeSeesTheSamePairs) {
+  const auto r = tree_matrix();
+  const auto store = SharingPairStore::build(r);
+  ASSERT_GT(store.pair_count(), 10u);
+  const std::size_t begin = store.pair_count() / 3;
+  const std::size_t end = 2 * store.pair_count() / 3;
+  std::size_t seen = begin;
+  store.for_pairs(begin, end,
+                  [&](std::size_t p, std::uint32_t i, std::uint32_t j,
+                      std::span<const std::uint32_t>) {
+                    EXPECT_EQ(p, seen++);
+                    EXPECT_GE(p, store.row_begin(i));
+                    EXPECT_LT(p, store.row_end(i));
+                    EXPECT_GE(j, i);
+                  });
+  EXPECT_EQ(seen, end);
+}
+
+TEST(SharingPairStore, PartnerFinderMatchesRowScan) {
+  const auto r = mesh_matrix();
+  const auto columns = r.column_lists();
+  PartnerFinder finder(r, columns);
+  std::vector<std::uint32_t> partners, shared;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    finder.partners_of(i, partners);
+    std::vector<std::uint32_t> expected;
+    for (std::size_t j = i; j < r.rows(); ++j) {
+      linalg::intersect_sorted(r.row(i), r.row(j), shared);
+      if (!shared.empty()) expected.push_back(static_cast<std::uint32_t>(j));
+    }
+    ASSERT_EQ(partners, expected) << "path " << i;
+  }
+}
+
+TEST(SharingPairStore, EmptyMatrix) {
+  const linalg::SparseBinaryMatrix r(4, {});
+  const auto store = SharingPairStore::build(r);
+  EXPECT_EQ(store.pair_count(), 0u);
+  EXPECT_EQ(store.shared_link_entries(), 0u);
+}
+
+TEST(SharingPairStore, BytesScaleWithSharingStructure) {
+  const auto r = tree_matrix();
+  const auto store = SharingPairStore::build(r);
+  EXPECT_GT(store.bytes(), 0u);
+  // Lower bound: the flat arrays actually stored.
+  EXPECT_GE(store.bytes(),
+            store.pair_count() * sizeof(std::uint32_t) +
+                store.shared_link_entries() * sizeof(std::uint32_t));
+}
+
+}  // namespace
+}  // namespace losstomo::core

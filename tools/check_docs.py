@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Docs health check: intra-repo markdown links + compilable API snippets.
+
+Run from anywhere inside the repo:
+
+    python3 tools/check_docs.py
+
+Checks
+  1. Every relative link target in every tracked *.md file exists
+     (http(s)/mailto links and pure #anchors are skipped).
+  2. Every fenced ```cpp block in docs/API.md compiles standalone with
+     `$CXX -std=c++20 -fsyntax-only -I src` (CXX defaults to c++/g++).
+
+Exits non-zero with a per-finding report on failure; prints a one-line
+summary on success.  No third-party dependencies.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding images is unnecessary (image targets must
+# exist too); inline code spans are stripped first to avoid false hits.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^```([\w+-]*)\s*$")
+
+
+def markdown_files():
+    # NUL-separated so paths with spaces (or git-quoted non-ASCII) survive.
+    out = subprocess.run(
+        ["git", "ls-files", "-z", "*.md", "**/*.md"],
+        cwd=REPO, capture_output=True, text=True, check=True)
+    return sorted({f for f in out.stdout.split("\0") if f})
+
+
+def check_links(md_files):
+    errors = []
+    for md in md_files:
+        path = os.path.join(REPO, md)
+        with open(path, encoding="utf-8") as f:
+            in_fence = False
+            for lineno, line in enumerate(f, 1):
+                if FENCE_RE.match(line.strip()):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+                    if target.startswith(("http://", "https://", "mailto:", "#")):
+                        continue
+                    rel = target.split("#")[0]
+                    if not rel:
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), rel))
+                    if not os.path.exists(resolved):
+                        errors.append(f"{md}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def cpp_snippets(md_path):
+    snippets = []
+    lang, buf, start = None, [], 0
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            m = FENCE_RE.match(line.strip())
+            if m and lang is None:
+                lang, buf, start = m.group(1).lower(), [], lineno + 1
+            elif line.strip() == "```" and lang is not None:
+                if lang in ("cpp", "c++", "cc"):
+                    snippets.append((start, "".join(buf)))
+                lang = None
+            elif lang is not None:
+                buf.append(line)
+    return snippets
+
+
+def check_snippets():
+    api = os.path.join(REPO, "docs", "API.md")
+    if not os.path.exists(api):
+        return [f"docs/API.md missing ({api})"], 0
+    cxx = os.environ.get("CXX", "c++")
+    errors = []
+    snippets = cpp_snippets(api)
+    if not snippets:
+        return ["docs/API.md: no ```cpp snippets found (expected several)"], 0
+    for start, code in snippets:
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cpp", delete=False) as tmp:
+            tmp.write(code)
+            name = tmp.name
+        try:
+            proc = subprocess.run(
+                [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+                 "-I", os.path.join(REPO, "src"), name],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                errors.append(
+                    f"docs/API.md: snippet at line {start} does not compile:\n"
+                    f"{proc.stderr.strip()}")
+        finally:
+            os.unlink(name)
+    return errors, len(snippets)
+
+
+def main():
+    md_files = markdown_files()
+    snippet_errors, snippet_count = check_snippets()
+    errors = check_links(md_files) + snippet_errors
+    if errors:
+        print("\n".join(errors))
+        print(f"\ncheck_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(md_files)} markdown files, "
+          f"{snippet_count} compiled snippets — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
