@@ -7,7 +7,8 @@
 //   build/bench_monitor_streaming [nodes=1300] [branching=8] [m=200]
 //                                 [ticks=60] [relearn_every=1] [p=0.05]
 //                                 [overlay_hosts=72] [overlay_m=50]
-//                                 [overlay_ticks=8] [--json <path>]
+//                                 [overlay_ticks=8] [threads=0|1,2,8]
+//                                 [--json <path>]
 //
 // Both engines consume an identical snapshot sequence; every measured tick
 // cross-checks the two inferences (max |loss diff| is part of the report).
@@ -169,6 +170,9 @@ int main(int argc, char** argv) {
   const auto overlay_m = args.get_size("overlay_m", 50);
   const auto overlay_ticks = args.get_size("overlay_ticks", 8);
   const auto json_path = args.get_string("json", "");
+  // `threads=1,2,8` re-records the whole bench per worker count in one run
+  // (keys suffixed _t<N>); the default keeps the historical key names.
+  const bench::ThreadSweep sweep(args);
   args.finish();
 
   const auto inst = bench::make_tree_instance(nodes, branching, seed);
@@ -190,47 +194,6 @@ int main(int argc, char** argv) {
     snapshots.push_back(simulator.next().path_log_trans);
   }
 
-  const auto keep =
-      compare_engines(r, snapshots, m, relearn_every,
-                      core::NegativeCovariancePolicy::kKeep);
-  const auto drop =
-      compare_engines(r, snapshots, m, relearn_every,
-                      core::NegativeCovariancePolicy::kDrop);
-
-  util::Table table({"policy", "batch tick s", "streaming tick s", "speedup",
-                     "max |loss diff|"});
-  const auto add = [&](const std::string& name, const EngineComparison& c) {
-    table.add_row({name, util::Table::num(c.batch_mean, 5),
-                   util::Table::num(c.streaming_mean, 5),
-                   util::Table::num(c.batch_mean / c.streaming_mean, 2),
-                   util::Table::num(c.max_loss_diff, 14)});
-  };
-  add("keep-all", keep);
-  add("drop-negative", drop);
-  table.print(std::cout);
-  std::cout << "\nkeep-all: G depends only on R, so the streaming engine "
-               "factorizes the normal equations once and a steady tick is "
-               "two rank-1 covariance updates + an O(nc^2) solve.\n";
-  std::cout << "drop-negative factor cache: " << drop.refactorizations
-            << " refactorizations, " << drop.rank1_updates
-            << " rank-1 up/downdates, " << drop.downdate_fallbacks
-            << " downdate fallbacks over " << ticks << " ticks.\n";
-
-  OverlayFigures overlay;
-  if (overlay_hosts >= 2) {
-    overlay = run_overlay(overlay_hosts, overlay_m, overlay_ticks, seed);
-    std::cout << "\nlarge overlay (" << overlay_hosts
-              << " hosts): np=" << overlay.np << " nc=" << overlay.nc
-              << "\n  sharing-pair store: " << overlay.pairs << " pairs, "
-              << overlay.shared_entries << " shared-link entries, "
-              << overlay.store_bytes << " bytes, built in "
-              << util::Table::num(overlay.store_build_seconds, 4) << " s"
-              << "\n  streaming drop-negative tick: "
-              << util::Table::num(overlay.streaming_tick_seconds, 5) << " s ("
-              << overlay.refactorizations << " refactorizations, "
-              << overlay.rank1_updates << " rank-1 updates)\n";
-  }
-
   bench::JsonReport report;
   report.set("bench", std::string("monitor_streaming"));
   report.set("np", r.rows());
@@ -238,34 +201,84 @@ int main(int argc, char** argv) {
   report.set("m", m);
   report.set("ticks", ticks);
   report.set("relearn_every", relearn_every);
-  report.set("threads", util::default_threads());
-  // Headline = keep-all policy (the scalable monitoring configuration).
-  report.set("batch_tick_seconds", keep.batch_mean);
-  report.set("streaming_tick_seconds", keep.streaming_mean);
-  report.set("speedup", keep.batch_mean / keep.streaming_mean);
-  report.set("max_loss_diff", keep.max_loss_diff);
-  report.set("batch_method", keep.batch_method);
-  report.set("streaming_method", keep.streaming_method);
-  report.set("drop_batch_tick_seconds", drop.batch_mean);
-  report.set("drop_streaming_tick_seconds", drop.streaming_mean);
-  report.set("drop_speedup", drop.batch_mean / drop.streaming_mean);
-  report.set("drop_max_loss_diff", drop.max_loss_diff);
-  report.set("drop_refactorizations", drop.refactorizations);
-  report.set("drop_rank1_updates", drop.rank1_updates);
-  report.set("drop_downdate_fallbacks", drop.downdate_fallbacks);
-  if (overlay_hosts >= 2) {
-    report.set("overlay_hosts", overlay_hosts);
-    report.set("overlay_np", overlay.np);
-    report.set("overlay_nc", overlay.nc);
-    report.set("overlay_m", overlay_m);
-    report.set("overlay_pairs", overlay.pairs);
-    report.set("overlay_shared_link_entries", overlay.shared_entries);
-    report.set("overlay_store_bytes", overlay.store_bytes);
-    report.set("overlay_store_build_seconds", overlay.store_build_seconds);
-    report.set("overlay_streaming_tick_seconds",
-               overlay.streaming_tick_seconds);
-    report.set("overlay_refactorizations", overlay.refactorizations);
-  }
+
+  sweep.run([&](std::size_t threads, const std::string& suffix) {
+    const auto keep =
+        compare_engines(r, snapshots, m, relearn_every,
+                        core::NegativeCovariancePolicy::kKeep);
+    const auto drop =
+        compare_engines(r, snapshots, m, relearn_every,
+                        core::NegativeCovariancePolicy::kDrop);
+
+    util::Table table({"policy", "batch tick s", "streaming tick s", "speedup",
+                       "max |loss diff|"});
+    const auto add = [&](const std::string& name, const EngineComparison& c) {
+      table.add_row({name, util::Table::num(c.batch_mean, 5),
+                     util::Table::num(c.streaming_mean, 5),
+                     util::Table::num(c.batch_mean / c.streaming_mean, 2),
+                     util::Table::num(c.max_loss_diff, 14)});
+    };
+    add("keep-all", keep);
+    add("drop-negative", drop);
+    std::cout << "threads="
+              << (threads == 0 ? util::default_threads() : threads) << "\n";
+    table.print(std::cout);
+    std::cout << "\nkeep-all: G depends only on R, so the streaming engine "
+                 "factorizes the normal equations once and a steady tick is "
+                 "two rank-1 covariance updates + an O(nc^2) solve.\n";
+    std::cout << "drop-negative factor cache: " << drop.refactorizations
+              << " refactorizations, " << drop.rank1_updates
+              << " rank-1 up/downdates, " << drop.downdate_fallbacks
+              << " downdate fallbacks over " << ticks << " ticks.\n";
+
+    OverlayFigures overlay;
+    if (overlay_hosts >= 2) {
+      overlay = run_overlay(overlay_hosts, overlay_m, overlay_ticks, seed);
+      std::cout << "\nlarge overlay (" << overlay_hosts
+                << " hosts): np=" << overlay.np << " nc=" << overlay.nc
+                << "\n  sharing-pair store: " << overlay.pairs << " pairs, "
+                << overlay.shared_entries << " shared-link entries, "
+                << overlay.store_bytes << " bytes, built in "
+                << util::Table::num(overlay.store_build_seconds, 4) << " s"
+                << "\n  streaming drop-negative tick: "
+                << util::Table::num(overlay.streaming_tick_seconds, 5) << " s ("
+                << overlay.refactorizations << " refactorizations, "
+                << overlay.rank1_updates << " rank-1 updates)\n";
+    }
+
+    report.set("threads" + suffix,
+               threads == 0 ? util::default_threads() : threads);
+    // Headline = keep-all policy (the scalable monitoring configuration).
+    report.set("batch_tick_seconds" + suffix, keep.batch_mean);
+    report.set("streaming_tick_seconds" + suffix, keep.streaming_mean);
+    report.set("speedup" + suffix, keep.batch_mean / keep.streaming_mean);
+    report.set("max_loss_diff" + suffix, keep.max_loss_diff);
+    report.set("batch_method" + suffix, keep.batch_method);
+    report.set("streaming_method" + suffix, keep.streaming_method);
+    report.set("drop_batch_tick_seconds" + suffix, drop.batch_mean);
+    report.set("drop_streaming_tick_seconds" + suffix, drop.streaming_mean);
+    report.set("drop_speedup" + suffix, drop.batch_mean / drop.streaming_mean);
+    report.set("drop_max_loss_diff" + suffix, drop.max_loss_diff);
+    report.set("drop_refactorizations" + suffix, drop.refactorizations);
+    report.set("drop_rank1_updates" + suffix, drop.rank1_updates);
+    report.set("drop_downdate_fallbacks" + suffix, drop.downdate_fallbacks);
+    if (overlay_hosts >= 2) {
+      report.set("overlay_hosts" + suffix, overlay_hosts);
+      report.set("overlay_np" + suffix, overlay.np);
+      report.set("overlay_nc" + suffix, overlay.nc);
+      report.set("overlay_m" + suffix, overlay_m);
+      report.set("overlay_pairs" + suffix, overlay.pairs);
+      report.set("overlay_shared_link_entries" + suffix,
+                 overlay.shared_entries);
+      report.set("overlay_store_bytes" + suffix, overlay.store_bytes);
+      report.set("overlay_store_build_seconds" + suffix,
+                 overlay.store_build_seconds);
+      report.set("overlay_streaming_tick_seconds" + suffix,
+                 overlay.streaming_tick_seconds);
+      report.set("overlay_refactorizations" + suffix,
+                 overlay.refactorizations);
+    }
+  });
   report.write(json_path);
   return 0;
 }

@@ -15,8 +15,15 @@
 //             arbitrarily long traces run at O(np) reader memory:
 //       lia_cli mode=monitor topology=... paths=... snapshots=... [m=50]
 //               [relearn_every=1] [engine=streaming|batch] [tl=0.002]
+//   scenario: runs a scripted dynamic-overlay scenario (path churn, link
+//             failures, regime shifts — src/scenario/) through the
+//             streaming monitor and reports per-event diagnostics:
+//       lia_cli mode=scenario scenario=scenarios/flapping_mesh.scn
+//               [ticks=] [window=] [engine=streaming|batch]
+//               [accumulator=dense|pairs] [tl=0.002]
 //
-// File formats are documented in src/io/trace_io.hpp.
+// File formats are documented in src/io/trace_io.hpp (measurements) and
+// src/scenario/spec.hpp (scenario scripts; shipped examples in scenarios/).
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -24,8 +31,10 @@
 #include "core/identifiability.hpp"
 #include "core/lia.hpp"
 #include "core/monitor.hpp"
+#include "io/scenario_io.hpp"
 #include "io/trace_io.hpp"
 #include "net/routing_matrix.hpp"
+#include "scenario/runner.hpp"
 #include "sim/probe_sim.hpp"
 #include "topology/overlay.hpp"
 #include "topology/routing.hpp"
@@ -213,6 +222,101 @@ int monitor(const util::Args& args) {
   return 0;
 }
 
+int scenario_mode(const util::Args& args) {
+  const auto scenario_file = args.get_string("scenario", "");
+  const double tl = args.get_double("tl", 0.002);
+  const auto ticks_override = args.get_size("ticks", 0);
+  const auto window_override = args.get_size("window", 0);
+  const auto engine = args.get_string("engine", "streaming");
+  const auto accumulator = args.get_string("accumulator", "dense");
+  args.finish();
+  if (scenario_file.empty()) {
+    std::cerr << "mode=scenario needs scenario=<file> "
+                 "(see scenarios/*.scn)\n";
+    return 2;
+  }
+  if (engine != "streaming" && engine != "batch") {
+    std::cerr << "engine must be streaming|batch\n";
+    return 2;
+  }
+  if (accumulator != "dense" && accumulator != "pairs") {
+    std::cerr << "accumulator must be dense|pairs\n";
+    return 2;
+  }
+
+  auto spec = io::load_scenario(scenario_file);
+  if (window_override > 0) spec.window = window_override;
+  if (ticks_override > 0) {
+    spec.ticks = ticks_override;
+    // Keep only the events the shortened run reaches.
+    std::erase_if(spec.events, [&](const scenario::Event& e) {
+      return e.tick >= spec.ticks;
+    });
+  }
+  core::MonitorOptions options;
+  options.engine = engine == "batch" ? core::MonitorEngine::kBatch
+                                     : core::MonitorEngine::kStreaming;
+  options.accumulator = accumulator == "pairs"
+                            ? core::CovarianceAccumulator::kSharingPairs
+                            : core::CovarianceAccumulator::kDense;
+  scenario::ScenarioRunner runner(std::move(spec), options);
+  std::cout << "scenario '" << runner.spec().name << "': "
+            << runner.universe().path_count() << " universe paths ("
+            << runner.base_path_count() << " base), "
+            << runner.universe().link_count() << " links, window "
+            << runner.spec().window << ", " << runner.spec().ticks
+            << " ticks, " << runner.timeline().size() << " events ("
+            << engine << " engine, " << accumulator << " accumulator)\n\n";
+
+  util::Table log({"tick", "event(s)", "active", "congested", "worst loss"});
+  const auto outcome = runner.run([&](std::size_t tick, std::size_t events,
+                                      const std::optional<core::LossInference>&
+                                          inference) {
+    if (events == 0 && !inference) return;
+    std::string names;
+    for (const auto& e : runner.timeline().at(tick)) {
+      if (!names.empty()) names += ",";
+      names += scenario::event_type_name(e.type);
+    }
+    if (events == 0 && names.empty() && inference) {
+      // Quiet diagnosing tick: log only a sparse sample to keep the
+      // output readable on long runs.
+      if (tick % 25 != 0) return;
+    }
+    std::size_t flagged = 0;
+    double worst = 0.0;
+    if (inference) {
+      for (const double loss : inference->loss) {
+        if (loss > tl) {
+          ++flagged;
+          worst = std::max(worst, loss);
+        }
+      }
+    }
+    log.add_row({std::to_string(tick), names.empty() ? "-" : names,
+                 std::to_string(runner.monitor().active_path_count()),
+                 inference ? std::to_string(flagged) : "-",
+                 inference ? util::Table::num(worst, 4) : "-"});
+  });
+  log.print(std::cout);
+  std::cout << '\n'
+            << outcome.ticks << " ticks, " << outcome.events_applied
+            << " events applied, " << outcome.diagnosed << " diagnosed, "
+            << outcome.active_paths_end << " paths active at end\n"
+            << "steady tick " << util::Table::num(outcome.steady_tick_seconds, 5)
+            << " s, event tick "
+            << util::Table::num(outcome.event_tick_seconds, 5) << " s, max "
+            << util::Table::num(outcome.max_tick_seconds, 5) << " s\n";
+  if (const auto* eqs = runner.monitor().streaming_equations()) {
+    std::cout << "factor cache: " << eqs->refactorizations()
+              << " refactorizations, " << eqs->rank1_updates()
+              << " rank-1 updates (" << eqs->pin_updates() << " pin borders), "
+              << eqs->refine_iterations() << " refinement steps, "
+              << eqs->links_pinned() << " links pinned\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,7 +326,9 @@ int main(int argc, char** argv) {
     if (mode == "generate") return generate(args);
     if (mode == "infer") return infer(args);
     if (mode == "monitor") return monitor(args);
-    std::cerr << "unknown mode: " << mode << " (use generate|infer|monitor)\n";
+    if (mode == "scenario") return scenario_mode(args);
+    std::cerr << "unknown mode: " << mode
+              << " (use generate|infer|monitor|scenario)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

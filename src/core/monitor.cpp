@@ -6,10 +6,28 @@
 
 namespace losstomo::core {
 
+namespace {
+
+// Freeze the negative-covariance policy on the construction-time path set:
+// churned relearns run over active submatrices whose row count may cross
+// the kAuto pairwise cap, and the streaming and batch engines must resolve
+// the policy identically for parity.
+MonitorOptions resolve_monitor_options(MonitorOptions options,
+                                       const linalg::SparseBinaryMatrix& r) {
+  options.lia.variance.negatives =
+      resolve_negative_policy(options.lia.variance, r.rows())
+          ? NegativeCovariancePolicy::kDrop
+          : NegativeCovariancePolicy::kKeep;
+  return options;
+}
+
+}  // namespace
+
 LiaMonitor::LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options)
-    : options_(options),
-      engine_(options.engine),
-      lia_(std::move(r), options_.lia) {
+    : options_(resolve_monitor_options(std::move(options), r)),
+      engine_(options_.engine),
+      r_(std::move(r)),
+      lia_(r_, options_.lia) {
   if (options_.window < 2) throw std::invalid_argument("window must be >= 2");
   if (options_.relearn_every == 0) {
     throw std::invalid_argument("relearn_every must be >= 1");
@@ -19,19 +37,154 @@ LiaMonitor::LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options)
   if (options_.lia.variance.method == VarianceMethod::kDenseQr) {
     engine_ = MonitorEngine::kBatch;
   }
+  const bool drop_negative =
+      options_.lia.variance.negatives == NegativeCovariancePolicy::kDrop;
+  if (options_.accumulator == CovarianceAccumulator::kSharingPairs &&
+      (engine_ != MonitorEngine::kStreaming || !drop_negative)) {
+    throw std::invalid_argument(
+        "the sharing-pair accumulator requires the streaming engine with "
+        "the drop-negative policy");
+  }
   if (engine_ == MonitorEngine::kStreaming) {
-    const auto& routing = lia_.routing();
-    accumulator_.emplace(
-        routing.rows(),
-        stats::StreamingMomentsOptions{.window = options_.window,
-                                       .refresh_every = options_.refresh_every,
-                                       .threads = options_.lia.variance.threads});
-    equations_.emplace(routing, options_.lia.variance);
+    const stats::StreamingMomentsOptions accumulator_options{
+        .window = options_.window,
+        .refresh_every = options_.refresh_every,
+        .threads = options_.lia.variance.threads};
+    if (options_.accumulator == CovarianceAccumulator::kSharingPairs) {
+      store_ = std::make_shared<SharingPairStore>(
+          SharingPairStore::build(r_, options_.lia.variance.threads));
+      pair_accumulator_.emplace(store_, r_.rows(), accumulator_options);
+      equations_.emplace(r_, options_.lia.variance, store_);
+    } else {
+      accumulator_.emplace(r_.rows(), accumulator_options);
+      equations_.emplace(r_, options_.lia.variance);
+    }
+  }
+  active_.assign(r_.rows(), 1);
+  activated_tick_.assign(r_.rows(), 0);
+}
+
+std::size_t LiaMonitor::window_fill() const {
+  if (engine_ != MonitorEngine::kStreaming) return window_.size();
+  return pair_accumulator_ ? pair_accumulator_->count()
+                           : accumulator_->count();
+}
+
+void LiaMonitor::push_snapshot(std::span<const double> y) {
+  if (engine_ == MonitorEngine::kStreaming) {
+    if (pair_accumulator_) {
+      pair_accumulator_->push(y);
+    } else {
+      accumulator_->push(y);
+    }
+    return;
+  }
+  window_.emplace_back(y.begin(), y.end());
+  if (window_.size() > options_.window) window_.pop_front();
+}
+
+bool LiaMonitor::path_full(std::size_t i) const {
+  if (!active_[i]) return false;
+  const std::size_t fill = window_fill();
+  // Snapshots pushed so far = ticks_ - 1 inside a relearn (the current
+  // snapshot enters the window after diagnosis) — the exact mirror of the
+  // accumulators' samples() bookkeeping.
+  return fill > 0 && ticks_ - 1 - activated_tick_[i] >= fill;
+}
+
+const VarianceEstimate& LiaMonitor::variances() const {
+  if (churn_ && churn_variance_) return *churn_variance_;
+  return lia_.variances();
+}
+
+std::size_t LiaMonitor::active_path_count() const {
+  std::size_t count = 0;
+  for (const auto a : active_) count += a != 0;
+  return count;
+}
+
+void LiaMonitor::set_path_active(std::size_t path, bool active) {
+  if (path >= r_.rows()) throw std::invalid_argument("path out of range");
+  if (engine_ == MonitorEngine::kStreaming &&
+      options_.lia.variance.negatives != NegativeCovariancePolicy::kDrop) {
+    throw std::logic_error(
+        "streaming path churn requires the drop-negative policy");
+  }
+  if ((active_[path] != 0) == active) return;
+  churn_ = true;
+  active_[path] = active ? 1 : 0;
+  if (active) activated_tick_[path] = ticks_;
+  active_dirty_ = true;
+  // Phase 2 must never run against a stale active set: force a relearn at
+  // the next diagnosing tick.
+  since_learn_ = options_.relearn_every;
+  if (engine_ == MonitorEngine::kStreaming) {
+    equations_->set_path_live(path, active);
+    if (pair_accumulator_) {
+      if (active) {
+        pair_accumulator_->activate_path(path);
+      } else {
+        pair_accumulator_->retire_path(path);
+      }
+    } else {
+      if (active) {
+        accumulator_->activate_path(path);
+      } else {
+        accumulator_->retire_path(path);
+      }
+    }
   }
 }
 
+std::size_t LiaMonitor::add_path(std::vector<std::uint32_t> links) {
+  if (engine_ == MonitorEngine::kStreaming &&
+      options_.lia.variance.negatives != NegativeCovariancePolicy::kDrop) {
+    throw std::logic_error(
+        "streaming path churn requires the drop-negative policy");
+  }
+  churn_ = true;
+  const std::size_t index = r_.rows();
+  std::vector<std::vector<std::uint32_t>> rows;
+  rows.reserve(index + 1);
+  for (std::size_t i = 0; i < index; ++i) {
+    const auto row = r_.row(i);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  rows.push_back(std::move(links));
+  r_ = linalg::SparseBinaryMatrix(r_.cols(), std::move(rows));
+  active_.push_back(1);
+  activated_tick_.push_back(ticks_);
+  active_dirty_ = true;
+  since_learn_ = options_.relearn_every;
+  if (engine_ == MonitorEngine::kStreaming) {
+    // Order matters with a shared store: the equations grow it, then the
+    // accumulator aligns its pair values to it.
+    equations_->add_path(r_);
+    if (pair_accumulator_) {
+      pair_accumulator_->add_path();
+    } else {
+      accumulator_->add_path();
+    }
+  }
+  return index;
+}
+
+void LiaMonitor::rebuild_active() {
+  if (!active_dirty_ && active_r_) return;
+  active_rows_.clear();
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (std::size_t i = 0; i < r_.rows(); ++i) {
+    if (!active_[i]) continue;
+    active_rows_.push_back(static_cast<std::uint32_t>(i));
+    const auto row = r_.row(i);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  active_r_.emplace(r_.cols(), std::move(rows));
+  active_dirty_ = false;
+}
+
 void LiaMonitor::relearn_batch() {
-  stats::SnapshotMatrix history(lia_.routing().rows(), options_.window);
+  stats::SnapshotMatrix history(r_.rows(), options_.window);
   for (std::size_t l = 0; l < options_.window; ++l) {
     const auto& y = window_[l];
     std::copy(y.begin(), y.end(), history.sample(l).begin());
@@ -39,23 +192,89 @@ void LiaMonitor::relearn_batch() {
   lia_.learn(history);
 }
 
+void LiaMonitor::relearn_churn() {
+  rebuild_active();
+  if (engine_ == MonitorEngine::kStreaming) {
+    const stats::CovarianceSource& source =
+        pair_accumulator_
+            ? static_cast<const stats::CovarianceSource&>(*pair_accumulator_)
+            : *accumulator_;
+    equations_->refresh(source);
+    churn_variance_ = equations_->solve();
+  } else {
+    // Batch reference: estimate from the active paths whose window entries
+    // are all real measurements — the exact set whose pairs the streaming
+    // engine reports ready.
+    std::vector<std::uint32_t> full_rows;
+    std::vector<std::vector<std::uint32_t>> rows;
+    for (std::size_t i = 0; i < r_.rows(); ++i) {
+      if (!active_[i] || !path_full(i)) continue;
+      full_rows.push_back(static_cast<std::uint32_t>(i));
+      const auto row = r_.row(i);
+      rows.emplace_back(row.begin(), row.end());
+    }
+    if (full_rows.size() < 2) {
+      // Not enough learned history to estimate anything yet.
+      churn_variance_.reset();
+      churn_elimination_.reset();
+      return;
+    }
+    linalg::SparseBinaryMatrix sub(r_.cols(), std::move(rows));
+    stats::SnapshotMatrix history(full_rows.size(), options_.window);
+    for (std::size_t l = 0; l < options_.window; ++l) {
+      const auto& y = window_[l];
+      for (std::size_t idx = 0; idx < full_rows.size(); ++idx) {
+        history.at(l, idx) = y[full_rows[idx]];
+      }
+    }
+    churn_variance_ =
+        estimate_link_variances(sub, history, options_.lia.variance);
+  }
+  churn_elimination_ = eliminate_low_variance_links(
+      *active_r_, churn_variance_->v, options_.lia.elimination);
+}
+
+std::optional<LossInference> LiaMonitor::observe_churn(
+    std::span<const double> y) {
+  std::optional<LossInference> result;
+  if (window_fill() == options_.window) {
+    if (!churn_variance_ || ++since_learn_ >= options_.relearn_every) {
+      relearn_churn();
+      since_learn_ = 0;
+    }
+    if (churn_variance_ && churn_elimination_) {
+      linalg::Vector y_active(active_rows_.size());
+      for (std::size_t idx = 0; idx < active_rows_.size(); ++idx) {
+        y_active[idx] = y[active_rows_[idx]];
+      }
+      result =
+          infer_snapshot_losses(*active_r_, *churn_elimination_, y_active);
+    }
+  }
+  push_snapshot(y);
+  return result;
+}
+
 std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
-  if (y.size() != lia_.routing().rows()) {
+  if (y.size() != r_.rows()) {
     throw std::invalid_argument("snapshot size");
   }
   ++ticks_;
+  if (churn_) return observe_churn(y);
 
   const bool streaming = engine_ == MonitorEngine::kStreaming;
-  const std::size_t window_fill =
-      streaming ? accumulator_->count() : window_.size();
-
   std::optional<LossInference> result;
-  if (window_fill == options_.window) {
+  if (window_fill() == options_.window) {
     // Window full: (re)learn if due, then diagnose this snapshot using the
     // PRECEDING window only (the paper's m-then-(m+1) split).
     if (!lia_.trained() || ++since_learn_ >= options_.relearn_every) {
       if (streaming) {
-        equations_->refresh(*accumulator_);
+        const stats::CovarianceSource& source =
+            pair_accumulator_
+                ? static_cast<const stats::CovarianceSource&>(
+                      *pair_accumulator_)
+                : *accumulator_;
+        equations_->refresh(source);
         lia_.adopt(equations_->solve());
       } else {
         relearn_batch();
@@ -66,12 +285,7 @@ std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
   }
   // Every snapshot enters the window — also between relearns — so a
   // delayed relearn sees the full intermediate history.
-  if (streaming) {
-    accumulator_->push(y);
-  } else {
-    window_.emplace_back(y.begin(), y.end());
-    if (window_.size() > options_.window) window_.pop_front();
-  }
+  push_snapshot(y);
   return result;
 }
 

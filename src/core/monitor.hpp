@@ -7,13 +7,17 @@
 // duration study, packaged so library users get it directly.
 //
 // Two engines drive the per-tick relearn:
-//  * kStreaming (default) — a stats::StreamingMoments accumulator keeps
-//    the window covariance matrix current under O(np^2) rank-1 add/retire
-//    updates, and a StreamingNormalEquations instance refreshes h (and the
-//    sign-flipped parts of G) from it, re-using the cached Cholesky factor
-//    while G is unchanged.  Steady-state tick cost is independent of the
-//    window length; under the keep-all policy G never changes and the
-//    normal equations are factorized exactly once.
+//  * kStreaming (default) — an incremental accumulator keeps the window
+//    covariance current under rank-1 add/retire updates, and a
+//    StreamingNormalEquations instance refreshes h (and the sign-flipped
+//    parts of G) from it, re-using the cached Cholesky factor while G is
+//    unchanged.  Steady-state tick cost is independent of the window
+//    length; under the keep-all policy G never changes and the normal
+//    equations are factorized exactly once.  The accumulator itself is
+//    selectable: the dense stats::StreamingMoments (full S, O(np^2) per
+//    tick) or the pair-indexed core::PairMoments (sharing-pair entries
+//    only, O(np + pairs) per tick — the configuration that scales
+//    drop-negative monitoring to multi-thousand-path overlays).
 //  * kBatch — the reference path: rebuild the m x np snapshot matrix and
 //    run the full Phase-1 estimate from scratch every relearn.  Retained
 //    for parity tests, and required for VarianceMethod::kDenseQr (the
@@ -24,13 +28,29 @@
 // drop-negative a pair covariance within the accumulator's drift of zero
 // can resolve its drop decision differently than the batch engine (the
 // policy is discontinuous at cov = 0; keep-all has no such boundary).
+//
+// Path churn (scenario engine, src/scenario/): the monitored overlay may
+// evolve mid-run — paths join, leave, and change routes.  The monitor
+// models this over a fixed *universe* link basis: routing-matrix rows can
+// be appended (add_path) and activated/retired (set_path_active) while
+// the streaming state carries over untouched for every unaffected path.
+// A (re)joining path warms up for one full window before its pair
+// equations enter Phase 1 (exactly the warm-up the initial window
+// imposes); Phase 2 runs on the active-row submatrix every relearn.
+// Streaming churn requires the drop-negative policy.  Callers must keep
+// supplying a snapshot entry for every known row — 0.0 for inactive
+// paths (a deterministic filler; never read by the estimator).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/lia.hpp"
+#include "core/pair_moments.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
 #include "stats/moments.hpp"
@@ -43,6 +63,11 @@ enum class MonitorEngine {
   kBatch,      // full relearn from the materialised window (reference)
 };
 
+enum class CovarianceAccumulator {
+  kDense,         // stats::StreamingMoments: full S, O(np^2) per tick
+  kSharingPairs,  // core::PairMoments: sharing-pair entries, O(np + pairs)
+};
+
 struct MonitorOptions {
   /// Learning-window length (the paper's m).
   std::size_t window = 50;
@@ -50,8 +75,15 @@ struct MonitorOptions {
   /// paper's procedure; larger values amortise Phase 1, which is the
   /// dominant cost — see bench/sec64_runtime).  Every snapshot still enters
   /// the window, so a delayed relearn sees the full intermediate history.
+  /// A churn event forces a relearn at the next diagnosing tick so Phase 2
+  /// always runs against the current active set.
   std::size_t relearn_every = 1;
   MonitorEngine engine = MonitorEngine::kStreaming;
+  /// Streaming engine only: which incremental covariance accumulator backs
+  /// the relearn.  kSharingPairs requires the streaming engine and a
+  /// configuration that resolves to the drop-negative policy (throws
+  /// std::invalid_argument otherwise).
+  CovarianceAccumulator accumulator = CovarianceAccumulator::kDense;
   /// Streaming engine only: full recompute cadence of the incremental
   /// accumulator in ticks, bounding floating-point drift
   /// (stats::StreamingMomentsOptions::refresh_every); 0 = 2 * window.
@@ -63,16 +95,19 @@ struct MonitorOptions {
 /// snapshot is diagnosed against variances learned from the preceding
 /// window.
 ///
-/// Thread-safety: single-writer — call observe() from one thread.
-/// Internal work parallelizes per MonitorOptions::lia.variance.threads
-/// with bit-identical results at any thread count.
+/// Thread-safety: single-writer — call observe() and the churn methods
+/// from one thread.  Internal work parallelizes per
+/// MonitorOptions::lia.variance.threads with bit-identical results at any
+/// thread count.
 class LiaMonitor {
  public:
-  /// Takes the routing matrix by value (owned by the internal Lia), so
-  /// constructing from a temporary is safe.  Throws std::invalid_argument
-  /// for window < 2 or relearn_every == 0.  Keep-all streaming
-  /// configurations assemble G here (O(nc^2)); drop-negative defers its
-  /// sharing-pair store to the first relearn tick.
+  /// Takes the routing matrix by value (owned), so constructing from a
+  /// temporary is safe.  Throws std::invalid_argument for window < 2,
+  /// relearn_every == 0, or an inconsistent accumulator configuration.
+  /// Keep-all streaming configurations assemble G here (O(nc^2));
+  /// drop-negative with the dense accumulator defers its sharing-pair
+  /// store to the first relearn tick, while kSharingPairs builds it here
+  /// (the accumulator indexes it from the first snapshot on).
   explicit LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options = {});
 
   /// Observes one snapshot (Y = log path transmission rates).  Returns the
@@ -80,23 +115,47 @@ class LiaMonitor {
   /// still filling (the first `window` snapshots are learning-only).
   /// `y.size()` must equal routing().rows() (throws
   /// std::invalid_argument).  Steady-state cost per tick (streaming
-  /// engine): O(np^2) covariance updates + the normal-equation refresh
-  /// (proportional to the sharing structure) + the cached-factor solve —
-  /// independent of the window length; the batch engine pays the full
-  /// O(m np^2) relearn instead.
+  /// engine): the accumulator update (O(np^2) dense, O(np + pairs)
+  /// pair-indexed) + the normal-equation refresh (proportional to the
+  /// sharing structure) + the cached-factor solve — independent of the
+  /// window length; the batch engine pays the full O(m np^2) relearn
+  /// instead.
   std::optional<LossInference> observe(std::span<const double> y);
+
+  // -- Path churn ---------------------------------------------------------
+
+  /// Activates (join) or retires (leave) path `path`.  A retired path's
+  /// equations leave Phase 1 immediately and the path leaves Phase 2's
+  /// active submatrix; a (re)activated path warms up for one full window
+  /// before its pair equations re-enter.  Streaming engine: requires the
+  /// drop-negative policy (throws std::logic_error otherwise).
+  void set_path_active(std::size_t path, bool active);
+
+  /// Appends a new path (row) over the existing link universe; `links`
+  /// must be ascending column indices < routing().cols().  The path
+  /// starts active with zero history.  Returns its row index.  Cost: one
+  /// O(nnz) routing-matrix rebuild + incremental pair-store/accumulator
+  /// growth — never a relearn.
+  std::size_t add_path(std::vector<std::uint32_t> links);
+
+  [[nodiscard]] bool path_active(std::size_t path) const {
+    return active_[path] != 0;
+  }
+  [[nodiscard]] std::size_t active_path_count() const;
 
   /// Number of snapshots consumed so far.
   [[nodiscard]] std::size_t ticks() const { return ticks_; }
   /// True once diagnoses are being produced.
   [[nodiscard]] bool warmed_up() const { return ticks_ >= options_.window; }
   /// Variances from the most recent learn (requires warmed_up()).
-  [[nodiscard]] const VarianceEstimate& variances() const {
-    return lia_.variances();
-  }
+  [[nodiscard]] const VarianceEstimate& variances() const;
   /// The engine actually driving relearns (kDenseQr configurations fall
   /// back to kBatch).
   [[nodiscard]] MonitorEngine engine() const { return engine_; }
+  /// The accumulator backing the streaming engine.
+  [[nodiscard]] CovarianceAccumulator accumulator() const {
+    return options_.accumulator;
+  }
   /// The streaming engine's incrementally maintained Phase-1 system, for
   /// factor-cache diagnostics (refactorizations, rank-1 up/downdates, pair
   /// store size); nullptr when the batch engine is driving.
@@ -104,20 +163,40 @@ class LiaMonitor {
     return equations_ ? &*equations_ : nullptr;
   }
   [[nodiscard]] const linalg::SparseBinaryMatrix& routing() const {
-    return lia_.routing();
+    return r_;
   }
 
  private:
   void relearn_batch();
+  void relearn_churn();
+  void rebuild_active();
+  std::optional<LossInference> observe_churn(std::span<const double> y);
+  void push_snapshot(std::span<const double> y);
+  [[nodiscard]] std::size_t window_fill() const;
+  /// Batch-engine mirror of the accumulators' validity rule: path i's
+  /// window entries are all real measurements.
+  [[nodiscard]] bool path_full(std::size_t i) const;
 
   MonitorOptions options_;
   MonitorEngine engine_;
-  Lia lia_;
+  linalg::SparseBinaryMatrix r_;  // authoritative (grows under add_path)
+  Lia lia_;                       // non-churn learn/infer state
   // Batch engine state.
   std::deque<linalg::Vector> window_;
   // Streaming engine state.
+  std::shared_ptr<SharingPairStore> store_;  // kSharingPairs only
   std::optional<stats::StreamingMoments> accumulator_;
+  std::optional<PairMoments> pair_accumulator_;
   std::optional<StreamingNormalEquations> equations_;
+  // Churn state (engaged at the first set_path_active/add_path call).
+  bool churn_ = false;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::size_t> activated_tick_;  // ticks_ at last activation
+  bool active_dirty_ = true;
+  std::vector<std::uint32_t> active_rows_;
+  std::optional<linalg::SparseBinaryMatrix> active_r_;
+  std::optional<VarianceEstimate> churn_variance_;
+  std::optional<Elimination> churn_elimination_;
   std::size_t ticks_ = 0;
   std::size_t since_learn_ = 0;
 };

@@ -1,0 +1,193 @@
+#include "core/pair_moments.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace losstomo::core {
+
+namespace {
+constexpr std::size_t kNoPair = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kPairGrain = 8192;
+}  // namespace
+
+PairMoments::PairMoments(std::shared_ptr<const SharingPairStore> store,
+                         std::size_t dim,
+                         stats::StreamingMomentsOptions options)
+    : store_(std::move(store)),
+      dim_(dim),
+      options_(options),
+      churn_(dim),
+      ring_(dim, options.window),
+      mean_(dim, 0.0),
+      delta_(dim, 0.0),
+      values_(store_->pair_count(), 0.0) {
+  if (options_.window < 2) throw std::invalid_argument("window must be >= 2");
+  if (store_->path_count() != dim_) {
+    throw std::invalid_argument("store path count != dim");
+  }
+  if (options_.refresh_every == 0) {
+    options_.refresh_every = 2 * options_.window;
+  }
+}
+
+void PairMoments::rank1(double w) {
+  util::parallel_for(
+      values_.size(), kPairGrain,
+      [&](std::size_t begin, std::size_t end) {
+        store_->for_pairs(begin, end,
+                          [&](std::size_t p, std::uint32_t i, std::uint32_t j,
+                              std::span<const std::uint32_t>) {
+                            values_[p] += w * delta_[i] * delta_[j];
+                          });
+      },
+      options_.threads);
+}
+
+void PairMoments::add(std::span<const double> y) {
+  const double n1 = static_cast<double>(count_ + 1);
+  for (std::size_t i = 0; i < dim_; ++i) delta_[i] = y[i] - mean_[i];
+  for (std::size_t i = 0; i < dim_; ++i) mean_[i] += delta_[i] / n1;
+  if (count_ > 0) rank1(static_cast<double>(count_) / n1);
+  ++count_;
+}
+
+void PairMoments::retire(std::span<const double> y) {
+  const double n = static_cast<double>(count_);
+  for (std::size_t i = 0; i < dim_; ++i) delta_[i] = y[i] - mean_[i];
+  if (count_ == 1) {
+    std::fill(mean_.begin(), mean_.end(), 0.0);
+    std::fill(values_.begin(), values_.end(), 0.0);
+    count_ = 0;
+    return;
+  }
+  const double n1 = n - 1.0;
+  for (std::size_t i = 0; i < dim_; ++i) mean_[i] -= delta_[i] / n1;
+  rank1(-n / n1);
+  --count_;
+}
+
+void PairMoments::push(std::span<const double> y) {
+  if (y.size() != dim_) throw std::invalid_argument("snapshot size != dim");
+  if (values_.size() != store_->pair_count()) {
+    throw std::logic_error("pair store grew without PairMoments::add_path");
+  }
+  std::size_t slot;
+  if (count_ == options_.window) {
+    slot = head_;
+    retire(ring_.sample(head_));
+    head_ = (head_ + 1) % options_.window;
+  } else {
+    slot = (head_ + count_) % options_.window;
+  }
+  std::copy(y.begin(), y.end(), ring_.sample(slot).begin());
+  add(y);
+  ++pushes_;
+  if (++since_refresh_ >= options_.refresh_every) refresh();
+}
+
+void PairMoments::refresh() {
+  since_refresh_ = 0;
+  ++refreshes_;
+  if (count_ == 0) return;
+  // Means in logical (oldest-to-newest) order, as in StreamingMoments.
+  std::fill(mean_.begin(), mean_.end(), 0.0);
+  for (std::size_t l = 0; l < count_; ++l) {
+    const auto src = ring_.sample((head_ + l) % options_.window);
+    for (std::size_t i = 0; i < dim_; ++i) mean_[i] += src[i];
+  }
+  const double inv = 1.0 / static_cast<double>(count_);
+  for (auto& m : mean_) m *= inv;
+  // Exact per-pair recompute, chunk-parallel over the pair list; each pair
+  // accumulates its own sum sequentially in logical order, so the result is
+  // independent of the thread count.
+  util::parallel_for(
+      values_.size(), std::max<std::size_t>(1, kPairGrain / options_.window),
+      [&](std::size_t begin, std::size_t end) {
+        store_->for_pairs(
+            begin, end,
+            [&](std::size_t p, std::uint32_t i, std::uint32_t j,
+                std::span<const std::uint32_t>) {
+              double sum = 0.0;
+              for (std::size_t l = 0; l < count_; ++l) {
+                const auto src = ring_.sample((head_ + l) % options_.window);
+                sum += (src[i] - mean_[i]) * (src[j] - mean_[j]);
+              }
+              values_[p] = sum;
+            });
+      },
+      options_.threads);
+}
+
+std::size_t PairMoments::find_pair(std::size_t i, std::size_t j) const {
+  const auto in_row = [&](std::size_t row, std::uint32_t want) {
+    std::size_t lo = store_->row_begin(row), hi = store_->row_end(row);
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (store_->partner(mid) < want) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < store_->row_end(row) && store_->partner(lo) == want) return lo;
+    return kNoPair;
+  };
+  const std::size_t p = in_row(i, static_cast<std::uint32_t>(j));
+  if (p != kNoPair) return p;
+  return in_row(j, static_cast<std::uint32_t>(i));
+}
+
+double PairMoments::covariance(std::size_t i, std::size_t j) const {
+  if (count_ < 2) throw std::logic_error("covariance needs >= 2 snapshots");
+  const std::size_t p = find_pair(i, j);
+  if (p == kNoPair) return 0.0;  // non-sharing pair: never consumed
+  return pair_covariance(p);
+}
+
+const linalg::Matrix& PairMoments::matrix() const {
+  throw std::logic_error(
+      "PairMoments maintains only sharing-pair covariances; use the dense "
+      "StreamingMoments accumulator where the full S is required");
+}
+
+std::size_t PairMoments::samples(std::size_t i) const {
+  return churn_.samples(i, pushes_, count_);
+}
+
+bool PairMoments::pair_ready(std::size_t i, std::size_t j) const {
+  return churn_.pair_ready(i, j, pushes_, count_);
+}
+
+void PairMoments::activate_path(std::size_t i) {
+  if (i >= dim_) throw std::invalid_argument("path out of range");
+  churn_.activate(i, pushes_);
+}
+
+void PairMoments::retire_path(std::size_t i) {
+  if (i >= dim_) throw std::invalid_argument("path out of range");
+  churn_.retire(i);
+}
+
+std::size_t PairMoments::add_path() {
+  const std::size_t index = dim_;
+  const std::size_t next = dim_ + 1;
+  stats::SnapshotMatrix ring(next, options_.window);
+  for (std::size_t l = 0; l < options_.window; ++l) {
+    const auto src = ring_.sample(l);
+    std::copy(src.begin(), src.end(), ring.sample(l).begin());
+  }
+  ring_ = std::move(ring);
+  mean_.push_back(0.0);
+  delta_.push_back(0.0);
+  churn_.add_dim(pushes_);
+  // New pairs appended by SharingPairStore::add_row start at zero — the
+  // exact centred cross-product of the new dimension's all-zero history.
+  values_.resize(store_->pair_count(), 0.0);
+  dim_ = next;
+  return index;
+}
+
+}  // namespace losstomo::core

@@ -40,8 +40,10 @@ SharingPairStore SharingPairStore::build(const linalg::SparseBinaryMatrix& r,
   const std::size_t np = r.rows();
   SharingPairStore store;
   store.row_offsets_.assign(np + 1, 0);
+  store.row_live_.assign(np, 1);
+  store.columns_ = r.column_lists();
   if (np == 0) return store;
-  const auto columns = r.column_lists();
+  const auto& columns = store.columns_;
 
   // Per-chunk local buffers, stitched in ascending chunk order afterwards:
   // chunk boundaries depend only on (np, grain), so the stored pair
@@ -108,11 +110,94 @@ SharingPairStore SharingPairStore::build(const linalg::SparseBinaryMatrix& r,
   return store;
 }
 
+std::size_t SharingPairStore::add_row(const linalg::SparseBinaryMatrix& r) {
+  const std::size_t i_new = path_count();
+  if (r.rows() != i_new + 1) {
+    throw std::invalid_argument(
+        "add_row: routing matrix must contain exactly one new trailing row");
+  }
+  // Growing from an empty store (default-constructed, or built over a
+  // 0-row matrix): establish the CSR leading offsets the loops below
+  // extend via back().
+  if (row_offsets_.empty()) row_offsets_.push_back(0);
+  if (link_offsets_.empty()) link_offsets_.push_back(0);
+  const auto row = r.row(i_new);
+  // Keep the transpose incidence current first, so the new path is its own
+  // partner candidate (diagonal pair) like every build()-time row.
+  for (const auto link : row) {
+    if (link >= columns_.size()) {
+      columns_.resize(link + 1);  // links unseen by any earlier path
+    }
+    columns_[link].push_back(static_cast<std::uint32_t>(i_new));
+  }
+  std::vector<std::uint32_t> partners;
+  for (const auto link : row) {
+    const auto& paths = columns_[link];
+    partners.insert(partners.end(), paths.begin(), paths.end());
+  }
+  std::sort(partners.begin(), partners.end());
+  partners.erase(std::unique(partners.begin(), partners.end()),
+                 partners.end());
+
+  const std::size_t first_pair = pair_count();
+  std::vector<std::uint32_t> shared;
+  for (const auto j : partners) {
+    linalg::intersect_sorted(row, r.row(j), shared);
+    if (shared.empty()) continue;
+    const std::size_t p = partner_.size();
+    partner_.push_back(j);
+    link_offsets_.push_back(link_offsets_.back() + shared.size());
+    links_.insert(links_.end(), shared.begin(), shared.end());
+    if (reverse_built_ && j != i_new) partner_pairs_[j].push_back(p);
+  }
+  row_offsets_.push_back(partner_.size());
+  row_live_.push_back(1);
+  if (reverse_built_) partner_pairs_.emplace_back();
+  return first_pair;
+}
+
+void SharingPairStore::set_row_live(std::size_t i, bool live) {
+  row_live_[i] = live ? 1 : 0;
+}
+
+void SharingPairStore::ensure_reverse_index() const {
+  if (reverse_built_) return;
+  partner_pairs_.assign(path_count(), {});
+  for (std::size_t i = 0; i < path_count(); ++i) {
+    for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      const std::uint32_t j = partner_[p];
+      if (j != i) partner_pairs_[j].push_back(p);
+    }
+  }
+  reverse_built_ = true;
+}
+
+void SharingPairStore::pairs_of_path(std::size_t i,
+                                     std::vector<std::size_t>& out) const {
+  ensure_reverse_index();
+  out.clear();
+  for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+    out.push_back(p);
+  }
+  out.insert(out.end(), partner_pairs_[i].begin(), partner_pairs_[i].end());
+  std::sort(out.begin(), out.end());
+}
+
 std::size_t SharingPairStore::bytes() const {
-  return row_offsets_.capacity() * sizeof(std::size_t) +
-         partner_.capacity() * sizeof(std::uint32_t) +
-         link_offsets_.capacity() * sizeof(std::size_t) +
-         links_.capacity() * sizeof(std::uint32_t);
+  std::size_t total = row_offsets_.capacity() * sizeof(std::size_t) +
+                      partner_.capacity() * sizeof(std::uint32_t) +
+                      link_offsets_.capacity() * sizeof(std::size_t) +
+                      links_.capacity() * sizeof(std::uint32_t) +
+                      row_live_.capacity();
+  for (const auto& column : columns_) {
+    total += column.capacity() * sizeof(std::uint32_t);
+  }
+  total += columns_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& pairs : partner_pairs_) {
+    total += pairs.capacity() * sizeof(std::size_t);
+  }
+  total += partner_pairs_.capacity() * sizeof(std::vector<std::size_t>);
+  return total;
 }
 
 }  // namespace losstomo::core

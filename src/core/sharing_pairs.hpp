@@ -58,10 +58,20 @@ class PartnerFinder {
 
 /// Flat CSR store of all sharing pairs with their shared-link sublists.
 ///
-/// Pairs are indexed 0..pair_count() in (i asc, j asc) order — the same
-/// order a row-major scan of the upper triangle produces, so consumers that
-/// previously iterated all pairs and skipped non-sharing ones see an
-/// identical sequence.  Immutable after build(); concurrent reads are safe.
+/// Pairs built by build() are indexed 0..pair_count() in (i asc, j asc)
+/// order — the same order a row-major scan of the upper triangle produces,
+/// so consumers that previously iterated all pairs and skipped non-sharing
+/// ones see an identical sequence.  Rows appended later by add_row() (path
+/// churn: a path joins the overlay after the store was built) keep their
+/// pairs contiguous in their own row, with the *partner* index on either
+/// side of the row index; the overall pair order stays deterministic —
+/// independent of thread count — which is what the streaming reductions
+/// need.
+///
+/// Thread-safety: the structural readers (for_pairs, links, partner, row
+/// ranges) are safe to call concurrently once no mutator (add_row,
+/// set_row_live, first pairs_of_path call — it builds the reverse index
+/// lazily) is running.  Mutation is single-writer.
 class SharingPairStore {
  public:
   SharingPairStore() = default;
@@ -72,6 +82,31 @@ class SharingPairStore {
   /// at any `threads` (0 = library default).
   static SharingPairStore build(const linalg::SparseBinaryMatrix& r,
                                 std::size_t threads = 0);
+
+  /// Incrementally appends the sharing pairs of one new path.  `r` must be
+  /// the grown routing matrix whose LAST row (index path_count()) is the
+  /// new path; every earlier row must match what the store was built from.
+  /// The new row's pairs cover all partners j <= new index (including the
+  /// diagonal), ascending.  Returns the index of the first appended pair.
+  /// Cost: the total column-list length of the new path's links plus one
+  /// sorted intersection per sharing partner — never a rebuild.
+  std::size_t add_row(const linalg::SparseBinaryMatrix& r);
+
+  /// Row liveness (path churn): a dead row's pairs stay in the store —
+  /// indices are stable — but streaming consumers skip them.  A pair is
+  /// live iff both of its paths' rows are live.  Rows start live.
+  [[nodiscard]] bool row_live(std::size_t i) const {
+    return row_live_[i] != 0;
+  }
+  void set_row_live(std::size_t i, bool live);
+  [[nodiscard]] bool pair_live(std::size_t p, std::size_t i) const {
+    return row_live_[i] != 0 && row_live_[partner_[p]] != 0;
+  }
+
+  /// Every pair index involving path i, ascending: its own row's range
+  /// plus the pairs of other rows whose partner is i.  Builds a reverse
+  /// (partner -> pairs) index on first call — that call is a mutator.
+  void pairs_of_path(std::size_t i, std::vector<std::size_t>& out) const;
 
   [[nodiscard]] std::size_t path_count() const {
     return row_offsets_.empty() ? 0 : row_offsets_.size() - 1;
@@ -104,8 +139,10 @@ class SharingPairStore {
   }
 
   /// Calls fn(p, i, j, shared_links) for every pair index p in
-  /// [begin, end) in ascending order, resolving the first path i via the
-  /// row offsets (O(log np) once, then amortized O(1) per pair).
+  /// [begin, end) in ascending order, resolving the row path i via the
+  /// row offsets (O(log np) once, then amortized O(1) per pair).  For
+  /// build()-time pairs j >= i; for add_row() pairs j may be on either
+  /// side (consumers treat (i, j) symmetrically).
   template <typename Fn>
   void for_pairs(std::size_t begin, std::size_t end, Fn&& fn) const {
     if (begin >= end) return;
@@ -127,10 +164,20 @@ class SharingPairStore {
   }
 
  private:
+  void ensure_reverse_index() const;
+
   std::vector<std::size_t> row_offsets_;   // path_count + 1
-  std::vector<std::uint32_t> partner_;     // second path per pair
+  std::vector<std::uint32_t> partner_;     // partner path per pair
   std::vector<std::size_t> link_offsets_;  // pair_count + 1
   std::vector<std::uint32_t> links_;       // concatenated shared-link lists
+  std::vector<std::uint8_t> row_live_;     // per path
+  // Transpose incidence of the routing matrix the store was built from,
+  // maintained by add_row; powers incremental partner discovery.
+  std::vector<std::vector<std::uint32_t>> columns_;
+  // Lazily built: pair ids where the path appears as the *partner* (its
+  // own-row pairs are already contiguous via row_offsets_).
+  mutable std::vector<std::vector<std::size_t>> partner_pairs_;
+  mutable bool reverse_built_ = false;
 };
 
 }  // namespace losstomo::core

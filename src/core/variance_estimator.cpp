@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/augmented_matrix.hpp"
+#include "core/pair_moments.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/qr.hpp"
 #include "util/parallel.hpp"
@@ -307,6 +308,53 @@ NormalEquations accumulate_closed_form_reference(
   return sys;
 }
 
+// Rank-revealing fallback for a drop-negative G left singular (or
+// numerically so) by equation drops with every diagonal still positive:
+// pivoted Cholesky identifies the well-conditioned link subset, the
+// reduced SPD system is solved directly, and the pivot-deficient links are
+// pinned to zero variance — the same degradation the dense-QR path gets
+// from its pivoted fallback, instead of a jitter-amplified solution on the
+// full singular system.  Deterministic: pivot selection depends only on G,
+// which both the batch accumulation and the streaming integer maintenance
+// produce exactly.
+linalg::Vector solve_rank_revealing(const linalg::Matrix& g,
+                                    const linalg::Vector& h,
+                                    std::size_t& pinned) {
+  const std::size_t n = g.rows();
+  const linalg::PivotedCholesky pivoted(g);
+  const std::size_t rank = pivoted.rank();
+  const auto& perm = pivoted.permutation();
+  linalg::Matrix gs(rank, rank);
+  linalg::Vector hs(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    hs[i] = h[perm[i]];
+    for (std::size_t j = 0; j < rank; ++j) gs(i, j) = g(perm[i], perm[j]);
+  }
+  const linalg::RegularizedCholesky chol(gs);
+  const auto vs = chol.solve(hs);
+  linalg::Vector v(n, 0.0);
+  for (std::size_t i = 0; i < rank; ++i) v[perm[i]] = vs[i];
+  pinned = n - rank;
+  return v;
+}
+
+// Identity-pins the links no kept pair equation covers: their G row and
+// column are exactly zero (integer counts), so a unit diagonal decouples
+// them — v = h / 1 = 0 — without perturbing any live link.  Applied only
+// under drop-negative: a reduced routing matrix has no all-zero column, so
+// keep-all diagonals are always positive on a full path set, and churned
+// (submatrix) systems resolve the policy to drop-negative.
+std::size_t pin_uncovered_links(NormalEquations& sys) {
+  std::size_t pinned = 0;
+  for (std::size_t a = 0; a < sys.g.rows(); ++a) {
+    if (sys.g(a, a) == 0.0) {
+      sys.g(a, a) = 1.0;
+      ++pinned;
+    }
+  }
+  return pinned;
+}
+
 VarianceEstimate finish(linalg::Vector v, VarianceEstimate partial) {
   for (auto& value : v) {
     if (value < 0.0) {
@@ -387,10 +435,12 @@ VarianceEstimate dense_qr_estimate(const linalg::SparseBinaryMatrix& r,
 
 // Shared normal-equation tail of both estimate_link_variances overloads.
 VarianceEstimate solve_normal_system(NormalEquations sys, VarianceMethod method,
-                                     bool drop_negative) {
+                                     bool drop_negative,
+                                     const VarianceOptions& options) {
   VarianceEstimate est;
   est.equations_used = sys.used;
   est.equations_dropped = sys.dropped;
+  if (drop_negative) est.links_pinned = pin_uncovered_links(sys);
 
   if (method == VarianceMethod::kNnls) {
     est.method = drop_negative ? "nnls(drop-negative)" : "nnls(keep-all)";
@@ -399,7 +449,23 @@ VarianceEstimate solve_normal_system(NormalEquations sys, VarianceMethod method,
   }
 
   est.method = drop_negative ? "normal(drop-negative)" : "normal(closed-form)";
-  const linalg::RegularizedCholesky chol(sys.g);
+  // Drop-negative G is integer-exact, so an exactly-singular system can
+  // compute a rounding-level "positive" pivot and sail through a plain
+  // factorization; the relative pivot floor forces such systems into the
+  // jitter ladder (and from there the rank-revealing fallback).
+  const linalg::RegularizedCholesky chol(sys.g, 1e-12, 6,
+                                         drop_negative ? 1e-12 : 0.0);
+  if (drop_negative && options.rank_revealing_min_attempts > 0 &&
+      chol.jitter_attempts() >= options.rank_revealing_min_attempts) {
+    // Equation drops left G rank-deficient beyond both the zero-diagonal
+    // pins and the configured jitter tolerance: degrade by pinning the
+    // deficient pivots instead of amplifying the jitter.
+    est.method = "normal(drop-negative,rank-revealing)";
+    std::size_t pinned = 0;
+    auto v = solve_rank_revealing(sys.g, sys.h, pinned);
+    est.links_pinned += pinned;
+    return finish(std::move(v), std::move(est));
+  }
   est.jitter_used = chol.jitter_used();
   return finish(chol.solve(sys.h), std::move(est));
 }
@@ -474,7 +540,7 @@ VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
   }
 
   return solve_normal_system(build_normal_equations_centered(r, centered, options),
-                             method, drop_negative);
+                             method, drop_negative, options);
 }
 
 VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
@@ -496,7 +562,7 @@ VarianceEstimate estimate_link_variances(const linalg::SparseBinaryMatrix& r,
                              drop_negative, options);
   }
   return solve_normal_system(build_normal_equations(r, source, options), method,
-                             drop_negative);
+                             drop_negative, options);
 }
 
 StreamingNormalEquations::StreamingNormalEquations(
@@ -517,10 +583,42 @@ StreamingNormalEquations::StreamingNormalEquations(
   }
   // Drop-negative: defer the sharing-pair enumeration to the first
   // refresh() (lazy build keeps construction O(nnz) — just this copy).
-  // G starts empty (every pair initially "dropped") and the first refresh
-  // folds the kept pairs in through the flip path.
+  // Every pair starts "dropped", so every link starts identity-pinned:
+  // G = I, and the first refresh folds the kept pairs in (and the pins
+  // out) through the flip path.
   pending_r_ = r;
   flip_scratch_.assign(nc_, 0.0);
+  coverage_.assign(nc_, 0);
+  pinned_in_g_.assign(nc_, 1);
+  pin_pending_mark_.assign(nc_, 0);
+  pins_active_ = nc_;
+  for (std::size_t a = 0; a < nc_; ++a) sys_.g(a, a) = 1.0;
+}
+
+StreamingNormalEquations::StreamingNormalEquations(
+    const linalg::SparseBinaryMatrix& r, const VarianceOptions& options,
+    std::shared_ptr<SharingPairStore> store)
+    : StreamingNormalEquations(r, options) {
+  if (!drop_negative_) {
+    throw std::invalid_argument(
+        "a shared pair store requires the drop-negative policy");
+  }
+  if (!store || store->path_count() != np_) {
+    throw std::invalid_argument("pair store does not match the routing matrix");
+  }
+  pairs_ = std::move(store);
+  pair_kept_.assign(pairs_->pair_count(), 0);
+  pending_mark_.assign(pairs_->pair_count(), 0);
+  pending_r_.reset();
+}
+
+void StreamingNormalEquations::ensure_store() {
+  if (pairs_) return;
+  pairs_ = std::make_shared<SharingPairStore>(
+      SharingPairStore::build(*pending_r_, options_.threads));
+  pair_kept_.assign(pairs_->pair_count(), 0);
+  pending_mark_.assign(pairs_->pair_count(), 0);
+  pending_r_.reset();
 }
 
 // Folds the flipped pairs into G (integer counts, so the order does not
@@ -533,10 +631,31 @@ void StreamingNormalEquations::apply_flips(
     const std::vector<std::size_t>& flips) {
   for (const std::size_t p : flips) {
     pair_kept_[p] ^= 1;
-    const double sign = pair_kept_[p] ? 1.0 : -1.0;
+    const bool now_kept = pair_kept_[p] != 0;
+    const double sign = now_kept ? 1.0 : -1.0;
     const auto links = pairs_->links(p);
     for (const auto a : links) {
       for (const auto b : links) sys_.g(a, b) += sign;
+    }
+    // Kept-pair coverage per link: a link crossing zero coverage enters or
+    // leaves the identity-pinned state — an extra +/- e_a e_a^T on G that
+    // the factor absorbs as a rank-1 border step.
+    for (const auto a : links) {
+      if (now_kept) {
+        if (coverage_[a]++ == 0) {
+          sys_.g(a, a) -= 1.0;
+          pinned_in_g_[a] = 0;
+          --pins_active_;
+          note_pin_change(a);
+        }
+      } else {
+        if (--coverage_[a] == 0) {
+          sys_.g(a, a) += 1.0;
+          pinned_in_g_[a] = 1;
+          ++pins_active_;
+          note_pin_change(a);
+        }
+      }
     }
     if (pending_mark_[p]) {
       // Net zero against the factor: drop from the pending set (the
@@ -557,49 +676,146 @@ void StreamingNormalEquations::apply_flips(
     std::erase_if(pending_,
                   [&](std::size_t p) { return pending_mark_[p] == 0; });
   }
+  if (pin_pending_.size() > 2 * pin_pending_live_ + 64) {
+    std::erase_if(pin_pending_,
+                  [&](std::size_t a) { return pin_pending_mark_[a] == 0; });
+  }
 }
 
-// Brings the cached factor up to date with G when the pending flip set is
-// small enough for rank-1 steps to beat a refactorization.  Returns false
-// when a downdate lost positive definiteness (factor invalid).
+void StreamingNormalEquations::note_pin_change(std::size_t link) {
+  if (pin_pending_mark_[link]) {
+    // Pinned and unpinned again before the factor caught up: net zero.
+    pin_pending_mark_[link] = 0;
+    --pin_pending_live_;
+  } else {
+    pin_pending_mark_[link] = 1;
+    ++pin_pending_live_;
+    pin_pending_.push_back(link);
+  }
+}
+
+void StreamingNormalEquations::set_path_live(std::size_t path, bool live) {
+  if (!drop_negative_) {
+    throw std::logic_error(
+        "path churn requires the drop-negative streaming configuration");
+  }
+  ensure_store();
+  if (path >= pairs_->path_count()) {
+    throw std::invalid_argument("path out of range");
+  }
+  if (pairs_->row_live(path) == live) return;
+  pairs_->set_row_live(path, live);
+  if (!live) {
+    // Flip the departing path's kept pairs out of G now; refresh() will
+    // skip the dead pairs from here on.
+    pairs_->pairs_of_path(path, path_pairs_scratch_);
+    std::vector<std::size_t> flips;
+    for (const auto p : path_pairs_scratch_) {
+      if (pair_kept_[p]) flips.push_back(p);
+    }
+    apply_flips(flips);
+  }
+  // Going live needs no immediate work: the pairs re-enter through
+  // refresh() once the covariance source reports them ready again.
+}
+
+void StreamingNormalEquations::add_path(const linalg::SparseBinaryMatrix& r) {
+  if (!drop_negative_) {
+    throw std::logic_error(
+        "path churn requires the drop-negative streaming configuration");
+  }
+  if (r.rows() != np_ + 1) {
+    throw std::invalid_argument("add_path: expected exactly one appended row");
+  }
+  np_ = r.rows();
+  if (!pairs_) {
+    pending_r_ = r;  // still lazy: the eventual build covers the new row
+    return;
+  }
+  pairs_->add_row(r);
+  // New pairs join dropped; they enter G through refresh() when ready.
+  pair_kept_.resize(pairs_->pair_count(), 0);
+  pending_mark_.resize(pairs_->pair_count(), 0);
+}
+
+// Brings the cached factor up to date with G when the pending flip set
+// (pair flips + pin/unpin border steps) is small enough for rank-1 steps
+// to beat a refactorization.  Returns false when a downdate lost positive
+// definiteness (factor invalid).
 bool StreamingNormalEquations::reconcile_factor() {
   const std::size_t cap = options_.factor_update_cap != 0
                               ? options_.factor_update_cap
                               : 4 * std::max<std::size_t>(nc_, 1);
   // Each up/downdate costs up to O(nc^2); a refactorization O(nc^3 / 3).
-  // Past ~nc/4 pending flips the incremental path stops paying for
-  // itself — the factor then stays stale and solve() leans on iterative
-  // refinement instead.  Past the cumulative cap the drift bound wins.
-  if (pending_live_ > nc_ / 4 + 1) return true;
-  if (factor_updates_ + pending_live_ > cap) {
+  // Past ~nc/4 pending flips (by default) the incremental path stops
+  // paying for itself — the factor then stays stale and solve() leans on
+  // iterative refinement instead.  Past the cumulative cap the drift
+  // bound wins.
+  const std::size_t stale_threshold = options_.factor_flip_threshold != 0
+                                          ? options_.factor_flip_threshold
+                                          : nc_ / 4 + 1;
+  const std::size_t pending_total = pending_live_ + pin_pending_live_;
+  if (pending_total > stale_threshold) return true;
+  if (factor_updates_ + pending_total > cap) {
     factor_dirty_ = true;
     return true;
   }
   bool ok = true;
-  for (const std::size_t p : pending_) {
-    if (!pending_mark_[p]) continue;  // cancelled while queued
-    pending_mark_[p] = 0;
-    --pending_live_;
-    if (!ok) continue;  // factor already invalid; just drain the queue
-    const auto links = pairs_->links(p);
-    // The flip perturbs G by +/- e_S e_S^T with e_S the shared-link
-    // indicator — exactly one rank-1 step on the factor.
-    for (const auto l : links) flip_scratch_[l] = 1.0;
-    if (pair_kept_[p]) {
-      factor_->update(flip_scratch_);
-    } else {
-      ok = factor_->downdate(flip_scratch_);
+  // Additions before removals: a churn event retires whole batches of pair
+  // equations while pinning the links they uncovered (and vice versa on a
+  // join), and folding the updates in first keeps every intermediate
+  // matrix maximally positive definite, so matched update/downdate batches
+  // cannot transiently lose definiteness.
+  for (const bool add_pass : {true, false}) {
+    for (const std::size_t p : pending_) {
+      if (!pending_mark_[p]) continue;  // cancelled while queued
+      if ((pair_kept_[p] != 0) != add_pass) continue;
+      pending_mark_[p] = 0;
+      --pending_live_;
+      if (!ok) continue;  // factor already invalid; just drain the queue
+      const auto links = pairs_->links(p);
+      // The flip perturbs G by +/- e_S e_S^T with e_S the shared-link
+      // indicator — exactly one rank-1 step on the factor.
+      for (const auto l : links) flip_scratch_[l] = 1.0;
+      if (add_pass) {
+        factor_->update(flip_scratch_);
+      } else {
+        ok = factor_->downdate(flip_scratch_);
+      }
+      for (const auto l : links) flip_scratch_[l] = 0.0;
+      if (!ok) {
+        ++downdate_fallbacks_;
+        factor_dirty_ = true;
+        continue;
+      }
+      ++factor_updates_;
+      ++rank1_updates_;
     }
-    for (const auto l : links) flip_scratch_[l] = 0.0;
-    if (!ok) {
-      ++downdate_fallbacks_;
-      factor_dirty_ = true;
-      continue;
+    for (const std::size_t a : pin_pending_) {
+      if (!pin_pending_mark_[a]) continue;
+      if ((pinned_in_g_[a] != 0) != add_pass) continue;
+      pin_pending_mark_[a] = 0;
+      --pin_pending_live_;
+      if (!ok) continue;
+      flip_scratch_[a] = 1.0;
+      if (add_pass) {
+        factor_->update(flip_scratch_);
+      } else {
+        ok = factor_->downdate(flip_scratch_);
+      }
+      flip_scratch_[a] = 0.0;
+      if (!ok) {
+        ++downdate_fallbacks_;
+        factor_dirty_ = true;
+        continue;
+      }
+      ++factor_updates_;
+      ++rank1_updates_;
+      ++pin_updates_;
     }
-    ++factor_updates_;
-    ++rank1_updates_;
   }
   pending_.clear();
+  pin_pending_.clear();
   return ok;
 }
 
@@ -609,19 +825,31 @@ const NormalEquations& StreamingNormalEquations::refresh(
     throw std::invalid_argument("source dimension != path count");
   }
   if (source.count() < 2) throw std::invalid_argument("need >= 2 snapshots");
-  const linalg::Matrix& s = source.matrix();
   refreshed_ = true;
 
   if (!drop_negative_) {
-    sys_.h = augmented_normal_rhs(s, column_paths_, options_.threads);
+    sys_.h =
+        augmented_normal_rhs(source.matrix(), column_paths_, options_.threads);
     return sys_;
   }
 
-  if (!pairs_) {
-    pairs_ = SharingPairStore::build(*pending_r_, options_.threads);
-    pair_kept_.assign(pairs_->pair_count(), 0);
-    pending_mark_.assign(pairs_->pair_count(), 0);
-    pending_r_.reset();
+  ensure_store();
+
+  // Aligned pair-indexed source (core::PairMoments on this very store):
+  // each pair's covariance is an O(1) array read — no np x np matrix
+  // anywhere in the tick.  Every other source serves the dense S.
+  const auto* pair_source = dynamic_cast<const PairMoments*>(&source);
+  if (pair_source && pair_source->store() != pairs_.get()) {
+    pair_source = nullptr;
+  }
+  const linalg::Matrix* s = pair_source ? nullptr : &source.matrix();
+
+  // Per-dimension readiness (path churn): a pair enters the system only
+  // when both paths' statistics cover the full current window.
+  std::vector<std::uint8_t> ready(np_);
+  const std::size_t window_count = source.count();
+  for (std::size_t i = 0; i < np_; ++i) {
+    ready[i] = source.samples(i) == window_count ? 1 : 0;
   }
 
   struct Partial {
@@ -642,7 +870,15 @@ const NormalEquations& StreamingNormalEquations::refresh(
             begin, end,
             [&](std::size_t p, std::uint32_t i, std::uint32_t j,
                 std::span<const std::uint32_t> links) {
-              const double cov = s(i, j);
+              if (!pairs_->pair_live(p, i) || !ready[i] || !ready[j]) {
+                // Dead or warming pair: out of the system (neither used
+                // nor dropped — matching a batch accumulation over the
+                // live-and-ready path subset).
+                if (pair_kept_[p]) part.flips.push_back(p);
+                return;
+              }
+              const double cov =
+                  pair_source ? pair_source->pair_covariance(p) : (*s)(i, j);
               const bool kept = !(cov < 0.0);
               if (kept != (pair_kept_[p] != 0)) part.flips.push_back(p);
               if (!kept) {
@@ -683,6 +919,7 @@ VarianceEstimate StreamingNormalEquations::solve() {
   VarianceEstimate est;
   est.equations_used = sys_.used;
   est.equations_dropped = sys_.dropped;
+  est.links_pinned = pins_active_;
 
   if (method == VarianceMethod::kNnls) {
     est.method = drop_negative_ ? "streaming-nnls(drop-negative)"
@@ -693,7 +930,20 @@ VarianceEstimate StreamingNormalEquations::solve() {
 
   est.method = drop_negative_ ? "streaming-normal(drop-negative)"
                               : "streaming-normal(keep-all)";
-  if (factor_ && !factor_dirty_ && pending_live_ > 0) {
+  // Zero-coverage links are identity-pinned inside G, so a factor that
+  // needed an *amplified* jitter (ladder rung >= 2, matching the batch
+  // trigger) means equation drops left the live block rank-deficient:
+  // degrade exactly like the batch path — pivoted rank-revealing solve,
+  // deficient links pinned — instead of amplifying the jittered solution.
+  const auto rank_revealing_tail = [&](VarianceEstimate partial) {
+    partial.method = "streaming-normal(drop-negative,rank-revealing)";
+    partial.jitter_used = 0.0;
+    std::size_t extra = 0;
+    auto pinned_v = solve_rank_revealing(sys_.g, sys_.h, extra);
+    partial.links_pinned = pins_active_ + extra;
+    return finish(std::move(pinned_v), std::move(partial));
+  };
+  if (factor_ && !factor_dirty_ && pending_live_ + pin_pending_live_ > 0) {
     // A jitter-regularized factor solves G + j*I, not G; carrying it
     // across G changes would make refinement target a different system
     // than the batch baseline (and on a still-singular G, an unsolvable
@@ -705,9 +955,13 @@ VarianceEstimate StreamingNormalEquations::solve() {
     }
   }
   if (!factor_ || factor_dirty_) refactorize();
+  if (drop_negative_ && options_.rank_revealing_min_attempts > 0 &&
+      factor_->jitter_attempts() >= options_.rank_revealing_min_attempts) {
+    return rank_revealing_tail(std::move(est));
+  }
   est.jitter_used = factor_->jitter_used();
   linalg::Vector v = factor_->solve(sys_.h);
-  if (factor_updates_ > 0 || pending_live_ > 0) {
+  if (factor_updates_ > 0 || pending_live_ + pin_pending_live_ > 0) {
     // The factor is inexact — up/downdate drift, or deliberately stale
     // after a flip burst too large for rank-1 steps.  G itself is exact
     // (integer counts), so iterative refinement — residual against the
@@ -718,6 +972,10 @@ VarianceEstimate StreamingNormalEquations::solve() {
     // to the batch solve, as on every freshly refactorized tick).
     if (!refine(v)) {
       refactorize();
+      if (drop_negative_ && options_.rank_revealing_min_attempts > 0 &&
+          factor_->jitter_attempts() >= options_.rank_revealing_min_attempts) {
+        return rank_revealing_tail(std::move(est));
+      }
       est.jitter_used = factor_->jitter_used();
       v = factor_->solve(sys_.h);
     }
@@ -726,13 +984,19 @@ VarianceEstimate StreamingNormalEquations::solve() {
 }
 
 void StreamingNormalEquations::refactorize() {
-  factor_.emplace(sys_.g);
+  // Same pivot floor as the batch solve (see solve_normal_system): an
+  // exactly-singular drop-negative G must enter the jitter ladder rather
+  // than factorize on a rounding-level pivot.
+  factor_.emplace(sys_.g, 1e-12, 6, drop_negative_ ? 1e-12 : 0.0);
   factor_dirty_ = false;
   factor_updates_ = 0;
-  // The fresh factor matches G exactly: the pending set is moot.
+  // The fresh factor matches G exactly: the pending sets are moot.
   for (const std::size_t p : pending_) pending_mark_[p] = 0;
   pending_.clear();
   pending_live_ = 0;
+  for (const std::size_t a : pin_pending_) pin_pending_mark_[a] = 0;
+  pin_pending_.clear();
+  pin_pending_live_ = 0;
   ++refactorizations_;
 }
 
@@ -746,12 +1010,15 @@ void StreamingNormalEquations::refactorize() {
 // sequential and depends only on the operand values, so results are
 // identical at any thread count.
 bool StreamingNormalEquations::refine(linalg::Vector& v) {
-  constexpr int kMaxIterations = 40;
-  constexpr double kRelTolerance = 1e-13;
+  // Tolerance, budget, and contraction come from VarianceOptions so a
+  // deployment can trade parity for tick latency (ROADMAP open item); the
+  // defaults reproduce the recorded 1e-13 * ||h|| behaviour.
+  const int max_iterations = options_.refine_max_iterations;
+  if (max_iterations <= 0) return false;  // refinement disabled
   const std::size_t n = sys_.h.size();
   double hnorm = 0.0;
   for (const double x : sys_.h) hnorm = std::max(hnorm, std::fabs(x));
-  const double tol = kRelTolerance * std::max(hnorm, 1e-300);
+  const double tol = options_.refine_tolerance * std::max(hnorm, 1e-300);
 
   const linalg::Vector gv = sys_.g.multiply(v);
   linalg::Vector r(n);
@@ -772,7 +1039,7 @@ bool StreamingNormalEquations::refine(linalg::Vector& v) {
   // fallback instead of burning the whole iteration budget every tick.
   double best = rnorm;
   int since_best = 0;
-  for (int iter = 0; iter < kMaxIterations; ++iter) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
     ++refine_iterations_;
     const linalg::Vector gp = sys_.g.multiply(p);
     double pgp = 0.0;
@@ -797,10 +1064,10 @@ bool StreamingNormalEquations::refine(linalg::Vector& v) {
       return true_rnorm <= 10.0 * tol;
     }
     if (rnorm > 100.0 * r0) return false;  // diverging
-    if (rnorm < 0.5 * best) {
+    if (rnorm < options_.refine_contraction * best) {
       best = rnorm;
       since_best = 0;
-    } else if (++since_best >= 5) {
+    } else if (++since_best >= options_.refine_stall_window) {
       return false;  // stalled above tolerance
     }
     z = factor_->solve(r);

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -66,6 +67,45 @@ struct VarianceOptions {
   /// drift of the incrementally maintained factor.  0 = automatic
   /// (4 * link count).
   std::size_t factor_update_cap = 0;
+  /// Streaming drop-negative only: pending flips (pair sign flips + churn
+  /// validity flips + pin border steps) a single solve will absorb as
+  /// rank-1 factor steps; beyond it the factor deliberately goes stale and
+  /// the solve leans on PCG refinement instead.  0 = automatic
+  /// (nc / 4 + 1 — past that, rank-1 work stops beating a
+  /// refactorization).  Deployments that churn in large bursts but want
+  /// the factor always current (e.g. to keep solve latency flat) can
+  /// raise it.
+  std::size_t factor_flip_threshold = 0;
+  /// Streaming drop-negative PCG refinement knobs (stale/drifted cached
+  /// factor polished against the exact integer-maintained G).  These trade
+  /// parity for tick latency in a deployment: a looser tolerance or a
+  /// smaller budget accepts a less-refined solve before falling back to a
+  /// full refactorization.
+  ///
+  /// Residual target, relative to ||h||_inf: refinement stops once
+  /// ||h - G v||_inf <= refine_tolerance * ||h||_inf (a recomputed true
+  /// residual within 10x of the target is accepted).
+  double refine_tolerance = 1e-13;
+  /// PCG iteration budget per solve; <= 0 disables refinement entirely, so
+  /// every inexact-factor tick refactorizes (the pre-PR-3 behaviour).
+  int refine_max_iterations = 40;
+  /// A step "contracts" when it multiplies the best residual seen by at
+  /// most this factor; refine_stall_window consecutive non-contracting
+  /// steps abort to the refactorization fallback.
+  double refine_contraction = 0.5;
+  int refine_stall_window = 5;
+  /// Drop-negative only: jitter-ladder rung (linalg::RegularizedCholesky
+  /// escalation attempts; 1 = the base jitter) at which the solve abandons
+  /// the regularized factorization and degrades through the pivoted
+  /// rank-revealing fallback — pinning pivot-deficient links to zero
+  /// variance, like the dense-QR pivoted fallback.  The default 2 keeps
+  /// the benign base-jitter solve (Tikhonov-like minimum-norm behaviour,
+  /// which measures better downstream on barely-singular instances) and
+  /// pins only when the guard would have to *amplify* the jitter;
+  /// 1 pins on any jitter; <= 0 never pins (the pre-PR-4 behaviour).
+  /// Links with no kept equation at all never reach this knob — they are
+  /// identity-pinned exactly, with no jitter involved.
+  int rank_revealing_min_attempts = 2;
   /// Runs the retained scalar implementation (per-pair O(m) covariance
   /// loops, sequential accumulation) instead of the blocked/parallel
   /// kernels.  Kept for the parity tests and as a debugging fallback; the
@@ -82,6 +122,13 @@ struct VarianceEstimate {
   std::size_t equations_dropped = 0; // negative-covariance rows removed
   std::size_t negative_clamped = 0;  // LS outputs clamped up to 0
   double jitter_used = 0.0;          // Cholesky regularization, if any
+  /// Drop-negative links solved as v = 0 instead of through the LS: links
+  /// whose every pair equation was dropped (zero G diagonal — the system
+  /// carries no information about them) plus, when equation drops leave G
+  /// rank-deficient with positive diagonals, the pivot-deficient links of
+  /// the rank-revealing fallback.  Replaces the old jitter-amplified
+  /// solutions on singular systems.
+  std::size_t links_pinned = 0;
 };
 
 /// The Phase-1 normal equations G v = h (G = A^T A restricted to the kept
@@ -173,9 +220,48 @@ class StreamingNormalEquations {
   StreamingNormalEquations(const linalg::SparseBinaryMatrix& r,
                            const VarianceOptions& options = {});
 
+  /// Drop-negative with an externally owned (shared) pair store — the
+  /// configuration the pair-indexed covariance accumulator
+  /// (core::PairMoments) uses, so refresh() reads each pair's covariance by
+  /// its store index in O(1).  `store` must enumerate exactly the pairs of
+  /// `r` and stay alive; the resolved policy must be drop-negative (throws
+  /// std::invalid_argument otherwise).
+  StreamingNormalEquations(const linalg::SparseBinaryMatrix& r,
+                           const VarianceOptions& options,
+                           std::shared_ptr<SharingPairStore> store);
+
   /// Recomputes h (and the sign-flipped parts of G and the cached factor
   /// under drop-negative) from the source's current covariance matrix.
+  /// Under drop-negative a pair enters the system only when it is live
+  /// (both paths' store rows live), ready (source.samples() covers the
+  /// full window for both paths — path-churn warm-up), and its covariance
+  /// is non-negative; skipped pairs count neither used nor dropped, so the
+  /// counts match a batch accumulation over the live-and-ready submatrix.
   const NormalEquations& refresh(const stats::CovarianceSource& source);
+
+  // -- Path churn (scenario engine, src/scenario/) ------------------------
+  //
+  // Dimension changes never resize the factor: G stays nc x nc, and a link
+  // whose every pair equation is gone is *identity-pinned* (unit diagonal,
+  // zero elsewhere — its variance solves to exactly 0).  A path join or
+  // leave therefore reaches the cached factor as a batch of rank-1
+  // +/- e_S e_S^T pair steps plus +/- e_a e_a^T pin/unpin steps — the
+  // bordered-update realization: pinned links sit as identity borders of
+  // the live block and are bordered in or out by rank-1 work, with the
+  // usual stale-factor PCG and full-refactorization fallbacks.
+  // Drop-negative only (throws std::logic_error under keep-all).
+
+  /// Marks a path's pairs live/dead.  Going dead immediately flips its
+  /// kept pairs out of G (exact integer updates; the factor reconciles at
+  /// the next solve).  Builds the lazy pair store if needed.
+  void set_path_live(std::size_t path, bool live);
+
+  /// Registers one appended path (row r.rows()-1 of the grown routing
+  /// matrix; earlier rows must be unchanged).  Its pairs join the store
+  /// dropped — they enter G through refresh() once the covariance source
+  /// reports them ready.  With a shared store this is the call that grows
+  /// it: invoke BEFORE PairMoments::add_path.
+  void add_path(const linalg::SparseBinaryMatrix& r);
 
   /// Solves the current system for v, reusing the cached (possibly
   /// up/downdated) factorization while it is valid.  Requires a prior
@@ -190,8 +276,14 @@ class StreamingNormalEquations {
   [[nodiscard]] std::size_t refactorizations() const {
     return refactorizations_;
   }
-  /// Rank-1 factor up/downdates applied so far (drop-negative only).
+  /// Rank-1 factor up/downdates applied so far (drop-negative only),
+  /// including the pin/unpin border steps.
   [[nodiscard]] std::size_t rank1_updates() const { return rank1_updates_; }
+  /// Pin/unpin border steps among rank1_updates() (links entering/leaving
+  /// the identity-pinned state on the factor).
+  [[nodiscard]] std::size_t pin_updates() const { return pin_updates_; }
+  /// Links currently identity-pinned (no kept pair equation covers them).
+  [[nodiscard]] std::size_t links_pinned() const { return pins_active_; }
   /// Failed downdates that forced a refactorization.
   [[nodiscard]] std::size_t downdate_fallbacks() const {
     return downdate_fallbacks_;
@@ -202,14 +294,17 @@ class StreamingNormalEquations {
   }
   /// Pairs whose kept/dropped state currently differs from the factor.
   [[nodiscard]] std::size_t pending_flips() const { return pending_live_; }
-  /// The lazily built sharing-pair store; nullptr before the first
-  /// drop-negative refresh (and always under keep-all).
+  /// The sharing-pair store: built lazily at the first drop-negative
+  /// refresh (or shared from construction); nullptr before that and always
+  /// under keep-all.
   [[nodiscard]] const SharingPairStore* pair_store() const {
-    return pairs_ ? &*pairs_ : nullptr;
+    return pairs_.get();
   }
 
  private:
+  void ensure_store();
   void apply_flips(const std::vector<std::size_t>& flips);
+  void note_pin_change(std::size_t link);
   bool reconcile_factor();
   void refactorize();
   bool refine(linalg::Vector& v);
@@ -221,9 +316,10 @@ class StreamingNormalEquations {
   bool refreshed_ = false;
   // keep-all: per-link path lists for the closed-form rhs.
   std::vector<std::vector<std::uint32_t>> column_paths_;
-  // drop-negative: routing matrix retained until the pair store is built.
+  // drop-negative: routing matrix retained until the pair store is built
+  // (kept current by add_path while still lazy).
   std::optional<linalg::SparseBinaryMatrix> pending_r_;
-  std::optional<SharingPairStore> pairs_;
+  std::shared_ptr<SharingPairStore> pairs_;
   std::vector<std::uint8_t> pair_kept_;
   linalg::Vector flip_scratch_;  // shared-link indicator for up/downdates
   // Pairs whose kept state diverged from the factor: queue + membership
@@ -231,12 +327,23 @@ class StreamingNormalEquations {
   std::vector<std::size_t> pending_;
   std::vector<std::uint8_t> pending_mark_;
   std::size_t pending_live_ = 0;
+  // Identity pinning of links with no kept pair equation: kept-pair
+  // coverage count per link, the pin state reflected in G, and the pin
+  // changes the factor has not absorbed yet (queue + marks, like pairs).
+  std::vector<std::uint32_t> coverage_;
+  std::vector<std::uint8_t> pinned_in_g_;
+  std::vector<std::size_t> pin_pending_;
+  std::vector<std::uint8_t> pin_pending_mark_;
+  std::size_t pin_pending_live_ = 0;
+  std::size_t pins_active_ = 0;
+  std::vector<std::size_t> path_pairs_scratch_;
   NormalEquations sys_;
   bool factor_dirty_ = true;
   std::optional<linalg::UpdatableCholesky> factor_;
   std::size_t factor_updates_ = 0;  // rank-1 steps since last refactorization
   std::size_t refactorizations_ = 0;
   std::size_t rank1_updates_ = 0;
+  std::size_t pin_updates_ = 0;
   std::size_t downdate_fallbacks_ = 0;
   std::size_t refine_iterations_ = 0;
 };

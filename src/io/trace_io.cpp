@@ -124,7 +124,9 @@ bool SnapshotStream::next(std::vector<double>& y) {
   y.clear();
   double phi;
   while (ss >> phi) {
-    if (phi < 0.0 || phi > 1.0) {
+    // Negated-range form so NaN (which compares false to everything, and
+    // which `ss >> phi` happily parses from "nan") is rejected too.
+    if (!(phi >= 0.0 && phi <= 1.0)) {
       throw std::runtime_error("phi out of [0,1]");
     }
     y.push_back(log_transform_ ? std::log(std::max(phi, 1e-9)) : phi);

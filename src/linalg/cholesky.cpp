@@ -29,13 +29,13 @@ Vector solve_llt(const Matrix& l, std::span<const double> b) {
 
 }  // namespace
 
-Cholesky::Cholesky(Matrix a) : l_(std::move(a)) {
+Cholesky::Cholesky(Matrix a, double min_pivot) : l_(std::move(a)) {
   if (l_.rows() != l_.cols()) throw std::invalid_argument("not square");
   const std::size_t n = l_.rows();
   for (std::size_t j = 0; j < n; ++j) {
     double d = l_(j, j);
     for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
-    if (!(d > 0.0)) throw std::runtime_error("Cholesky: matrix not SPD");
+    if (!(d > min_pivot)) throw std::runtime_error("Cholesky: matrix not SPD");
     const double ljj = std::sqrt(d);
     l_(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -59,12 +59,14 @@ double Cholesky::sqrt_det() const {
 }
 
 RegularizedCholesky::RegularizedCholesky(const Matrix& a, double jitter,
-                                         int max_attempts) {
+                                         int max_attempts,
+                                         double min_pivot_rel) {
   double max_diag = 0.0;
   for (std::size_t i = 0; i < a.rows(); ++i) {
     max_diag = std::max(max_diag, std::fabs(a(i, i)));
   }
   if (max_diag == 0.0) max_diag = 1.0;
+  const double min_pivot = min_pivot_rel * max_diag;
 
   double eps = 0.0;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -73,8 +75,9 @@ RegularizedCholesky::RegularizedCholesky(const Matrix& a, double jitter,
       for (std::size_t i = 0; i < work.rows(); ++i) work(i, i) += eps;
     }
     try {
-      holder_.emplace_back(std::move(work));
+      holder_.emplace_back(std::move(work), min_pivot);
       jitter_used_ = eps;
+      jitter_attempts_ = attempt;
       return;
     } catch (const std::runtime_error&) {
       eps = (eps == 0.0) ? jitter * max_diag : eps * 10.0;
@@ -88,10 +91,12 @@ Vector RegularizedCholesky::solve(std::span<const double> b) const {
 }
 
 UpdatableCholesky::UpdatableCholesky(const Matrix& a, double jitter,
-                                     int max_attempts) {
-  const RegularizedCholesky chol(a, jitter, max_attempts);
+                                     int max_attempts,
+                                     double min_pivot_rel) {
+  const RegularizedCholesky chol(a, jitter, max_attempts, min_pivot_rel);
   l_ = chol.factor().l();
   jitter_used_ = chol.jitter_used();
+  jitter_attempts_ = chol.jitter_attempts();
   w_.resize(l_.rows());
 }
 

@@ -24,8 +24,13 @@ class Cholesky {
  public:
   /// Factorizes `a` (copied; only the lower triangle is read).  O(n^3 / 3).
   /// Preconditions: `a` square (std::invalid_argument) and SPD
-  /// (std::runtime_error on a non-positive pivot).
-  explicit Cholesky(Matrix a);
+  /// (std::runtime_error on a pivot at or below `min_pivot`).  The default
+  /// floor of 0 accepts any positive pivot; callers factorizing matrices
+  /// whose exact-arithmetic pivots can be exactly zero (integer normal
+  /// equations after equation drops) pass a small absolute floor so
+  /// rounding-level "positive" pivots are treated as the singularities
+  /// they are instead of amplifying noise by ~1/pivot.
+  explicit Cholesky(Matrix a, double min_pivot = 0.0);
 
   [[nodiscard]] std::size_t dim() const { return l_.rows(); }
 
@@ -50,17 +55,26 @@ class Cholesky {
 /// O(n^3 / 3) per attempt; immutable after construction.
 class RegularizedCholesky {
  public:
+  /// `min_pivot_rel` scales by the largest diagonal into the Cholesky
+  /// pivot floor (0 keeps the accept-any-positive-pivot behaviour).
   explicit RegularizedCholesky(const Matrix& a, double jitter = 1e-12,
-                               int max_attempts = 6);
+                               int max_attempts = 6,
+                               double min_pivot_rel = 0.0);
 
   [[nodiscard]] Vector solve(std::span<const double> b) const;
   [[nodiscard]] double jitter_used() const { return jitter_used_; }
+  /// Ladder rung that succeeded: 0 = clean factorization, 1 = the base
+  /// jitter, k = base * 10^(k-1).  Values >= 2 mean the base jitter had to
+  /// be *amplified* — the signal consumers use to switch to a
+  /// rank-revealing fallback instead of trusting the regularized solve.
+  [[nodiscard]] int jitter_attempts() const { return jitter_attempts_; }
   /// The successful factorization (of a + jitter_used * I).
   [[nodiscard]] const Cholesky& factor() const { return holder_.front(); }
 
  private:
   std::vector<Cholesky> holder_;  // size 1; indirection for late init
   double jitter_used_ = 0.0;
+  int jitter_attempts_ = 0;
 };
 
 /// Cholesky factor that tracks a matrix evolving by symmetric rank-1 steps:
@@ -92,10 +106,14 @@ class UpdatableCholesky {
   /// O(n^3 / 3) per attempt.  Throws std::runtime_error when even the
   /// largest jitter fails.
   explicit UpdatableCholesky(const Matrix& a, double jitter = 1e-12,
-                             int max_attempts = 6);
+                             int max_attempts = 6,
+                             double min_pivot_rel = 0.0);
 
   [[nodiscard]] std::size_t dim() const { return l_.rows(); }
   [[nodiscard]] double jitter_used() const { return jitter_used_; }
+  /// Jitter-ladder rung of the construction-time factorization (see
+  /// RegularizedCholesky::jitter_attempts).
+  [[nodiscard]] int jitter_attempts() const { return jitter_attempts_; }
   /// Current lower-triangular factor (valid unless a downdate failed).
   [[nodiscard]] const Matrix& l() const { return l_; }
 
@@ -118,6 +136,7 @@ class UpdatableCholesky {
   Matrix l_;
   std::vector<double> w_;  // rotation scratch, kept to avoid reallocation
   double jitter_used_ = 0.0;
+  int jitter_attempts_ = 0;
 };
 
 /// Diagonal-pivoted (rank-revealing) Cholesky of a PSD matrix:

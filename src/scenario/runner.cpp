@@ -1,0 +1,298 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "stats/rng.hpp"
+#include "topology/generators.hpp"
+#include "topology/overlay.hpp"
+#include "topology/routing.hpp"
+#include "util/timer.hpp"
+
+namespace losstomo::scenario {
+
+namespace {
+
+// Deterministic alternate route for a measured path: shortest path (BFS,
+// out-edge order ties) from source to destination that avoids the path's
+// first edge.  Returns nullopt when the topology offers none (trees).
+std::optional<net::Path> alternate_route(const net::Graph& g,
+                                         const net::Path& path) {
+  if (path.edges.empty()) return std::nullopt;
+  const net::EdgeId avoid = path.edges.front();
+  constexpr net::EdgeId kNoEdge = 0xffffffffu;
+  std::vector<net::EdgeId> via(g.node_count(), kNoEdge);
+  std::vector<std::uint8_t> seen(g.node_count(), 0);
+  std::deque<net::NodeId> queue{path.source};
+  seen[path.source] = 1;
+  while (!queue.empty()) {
+    const net::NodeId v = queue.front();
+    queue.pop_front();
+    if (v == path.destination) break;
+    for (const auto e : g.out_edges(v)) {
+      if (e == avoid) continue;
+      const net::NodeId to = g.edge(e).to;
+      if (seen[to]) continue;
+      seen[to] = 1;
+      via[to] = e;
+      queue.push_back(to);
+    }
+  }
+  if (!seen[path.destination] || path.destination == path.source) {
+    return std::nullopt;
+  }
+  net::Path alt;
+  alt.source = path.source;
+  alt.destination = path.destination;
+  for (net::NodeId v = path.destination; v != path.source;) {
+    const net::EdgeId e = via[v];
+    alt.edges.push_back(e);
+    v = g.edge(e).from;
+  }
+  std::reverse(alt.edges.begin(), alt.edges.end());
+  return alt;
+}
+
+struct GeneratedBase {
+  net::Graph graph;
+  std::vector<net::Path> paths;
+};
+
+GeneratedBase generate_base(const TopologySpec& topology) {
+  GeneratedBase out;
+  stats::Rng rng(topology.seed);
+  switch (topology.kind) {
+    case TopologySpec::Kind::kTree: {
+      auto tree = topology::make_random_tree(
+          {.nodes = topology.nodes, .max_branching = topology.branching}, rng);
+      out.paths = topology::tree_paths(tree);
+      out.graph = std::move(tree.graph);
+      return out;
+    }
+    case TopologySpec::Kind::kMesh: {
+      auto topo = topology::make_waxman(
+          {.nodes = topology.nodes, .links_per_node = 2, .alpha = 0.3,
+           .beta = 0.4},
+          rng);
+      const auto hosts =
+          topology::pick_low_degree_hosts(topo.graph, topology.hosts);
+      auto routed = topology::route_paths(topo.graph, hosts, hosts);
+      out.paths = std::move(routed.paths);
+      out.graph = std::move(topo.graph);
+      return out;
+    }
+    case TopologySpec::Kind::kOverlay: {
+      auto topo = topology::make_planetlab_like(
+          {.hosts = topology.hosts, .as_count = topology.as_count,
+           .routers_per_as = topology.routers_per_as},
+          rng);
+      auto routed = topology::route_paths(topo.graph, topo.hosts, topo.hosts);
+      out.paths = std::move(routed.paths);
+      out.graph = std::move(topo.graph);
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown topology kind");
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
+                               core::MonitorOptions monitor_options)
+    : spec_(std::move(spec)), timeline_(spec_.events) {
+  spec_.validate();
+  auto base = generate_base(spec_.topology);
+  graph_ = std::move(base.graph);
+  base_paths_ = base.paths.size();
+  if (base_paths_ < 2) {
+    throw std::invalid_argument("scenario topology yields < 2 paths");
+  }
+  if (spec_.reserve_paths >= base_paths_) {
+    throw std::invalid_argument("reserve_paths must leave base paths");
+  }
+  const std::size_t initial = base_paths_ - spec_.reserve_paths;
+  if (spec_.initial_paths > initial) {
+    throw std::invalid_argument("initial_paths exceeds non-reserved paths");
+  }
+  std::vector<net::Path> pool(base.paths.begin() + initial, base.paths.end());
+  universe_paths_.assign(base.paths.begin(), base.paths.begin() + initial);
+
+  // Lay out every row the monitor will ever learn, in the order it will
+  // learn them, so universe and monitor row indices coincide.
+  std::size_t pool_next = 0;
+  std::set<std::size_t> rerouted;
+  for (const Event& e : timeline_.events()) {
+    switch (e.type) {
+      case EventType::kPathJoin:
+      case EventType::kPathLeave:
+        if (e.path >= initial) {
+          throw std::invalid_argument(
+              "join/leave path index out of the initial path range");
+        }
+        break;
+      case EventType::kRouteChange: {
+        if (e.path >= initial) {
+          throw std::invalid_argument("reroute path index out of range");
+        }
+        // The alternate is computed from the path's ORIGINAL route; a
+        // second reroute of the same path would silently duplicate that
+        // alternate (the first one can never be retired by later events).
+        if (rerouted.count(e.path) != 0) {
+          throw std::invalid_argument(
+              "path " + std::to_string(e.path) +
+              " is rerouted twice; one route change per path is supported");
+        }
+        rerouted.insert(e.path);
+        auto alt = alternate_route(graph_, universe_paths_[e.path]);
+        if (!alt) {
+          throw std::invalid_argument(
+              "no alternate route exists for rerouted path " +
+              std::to_string(e.path));
+        }
+        pending_additions_.push_back(universe_paths_.size());
+        universe_paths_.push_back(std::move(*alt));
+        break;
+      }
+      case EventType::kGrow:
+        for (std::size_t k = 0; k < e.count; ++k) {
+          if (pool_next >= pool.size()) {
+            throw std::invalid_argument("grow events exceed reserve_paths");
+          }
+          pending_additions_.push_back(universe_paths_.size());
+          universe_paths_.push_back(pool[pool_next++]);
+        }
+        break;
+      case EventType::kLinkDown:
+      case EventType::kLinkUp:
+      case EventType::kRegimeShift:
+        break;  // validated below / by the simulator
+    }
+  }
+
+  rrm_ = std::make_unique<net::ReducedRoutingMatrix>(graph_, universe_paths_);
+  for (const Event& e : timeline_.events()) {
+    if ((e.type == EventType::kLinkDown || e.type == EventType::kLinkUp) &&
+        e.link >= rrm_->link_count()) {
+      throw std::invalid_argument("event link index out of range");
+    }
+  }
+
+  // The monitor starts with the initial rows over the full universe link
+  // basis; churn requires drop-negative on the streaming engine, so an
+  // unresolved (kAuto) policy resolves to drop here.
+  monitor_options.window = spec_.window;
+  if (monitor_options.lia.variance.negatives ==
+      core::NegativeCovariancePolicy::kAuto) {
+    monitor_options.lia.variance.negatives =
+        core::NegativeCovariancePolicy::kDrop;
+  }
+  const auto& universe_matrix = rrm_->matrix();
+  std::vector<std::vector<std::uint32_t>> rows;
+  rows.reserve(initial);
+  for (std::size_t i = 0; i < initial; ++i) {
+    const auto row = universe_matrix.row(i);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  monitor_ = std::make_unique<core::LiaMonitor>(
+      linalg::SparseBinaryMatrix(universe_matrix.cols(), std::move(rows)),
+      monitor_options);
+  if (spec_.initial_paths > 0) {
+    for (std::size_t i = spec_.initial_paths; i < initial; ++i) {
+      monitor_->set_path_active(i, false);
+    }
+  }
+
+  sim::ScenarioConfig config;
+  config.p = spec_.p;
+  config.probes_per_snapshot = spec_.probes;
+  if (spec_.min_good_loss > 0.0) {
+    config.loss_model.good_lo = spec_.min_good_loss;
+    config.loss_model.good_hi =
+        std::max(config.loss_model.good_hi, spec_.min_good_loss);
+  }
+  simulator_ = std::make_unique<sim::SnapshotSimulator>(graph_, *rrm_, config,
+                                                        spec_.seed);
+}
+
+void ScenarioRunner::apply(const Event& event) {
+  switch (event.type) {
+    case EventType::kPathJoin:
+      monitor_->set_path_active(event.path, true);
+      break;
+    case EventType::kPathLeave:
+      monitor_->set_path_active(event.path, false);
+      break;
+    case EventType::kRouteChange:
+    case EventType::kGrow: {
+      if (event.type == EventType::kRouteChange) {
+        monitor_->set_path_active(event.path, false);
+      }
+      const std::size_t rows =
+          event.type == EventType::kGrow ? event.count : std::size_t{1};
+      for (std::size_t k = 0; k < rows; ++k) {
+        const std::size_t universe_row = pending_additions_.front();
+        pending_additions_.pop_front();
+        const auto row = rrm_->matrix().row(universe_row);
+        const std::size_t added = monitor_->add_path({row.begin(), row.end()});
+        if (added != universe_row) {
+          throw std::logic_error("universe/monitor row order diverged");
+        }
+      }
+      break;
+    }
+    case EventType::kLinkDown:
+      simulator_->force_link_loss(
+          event.link, event.value > 0.0 ? event.value : spec_.down_loss);
+      break;
+    case EventType::kLinkUp:
+      simulator_->clear_link_forcing(event.link);
+      break;
+    case EventType::kRegimeShift:
+      simulator_->shift_regime(event.value);
+      break;
+  }
+  ++events_applied_;
+}
+
+std::optional<core::LossInference> ScenarioRunner::step() {
+  if (tick_ >= spec_.ticks) throw std::logic_error("scenario exhausted");
+  util::Timer timer;
+  const auto due = timeline_.at(tick_);
+  for (const Event& e : due) apply(e);
+  last_snapshot_ = simulator_->next();
+  const std::size_t known = monitor_->routing().rows();
+  y_.assign(known, 0.0);
+  for (std::size_t i = 0; i < known; ++i) {
+    if (monitor_->path_active(i)) y_[i] = last_snapshot_.path_log_trans[i];
+  }
+  auto result = monitor_->observe(y_);
+  const double seconds = timer.seconds();
+  ++tick_;
+  if (result) ++diagnosed_;
+  if (!due.empty()) {
+    event_tick_.add(seconds);
+  } else if (result) {
+    steady_tick_.add(seconds);
+  }
+  max_tick_seconds_ = std::max(max_tick_seconds_, seconds);
+  return result;
+}
+
+ScenarioOutcome ScenarioRunner::outcome() const {
+  ScenarioOutcome out;
+  out.ticks = tick_;
+  out.events_applied = events_applied_;
+  out.diagnosed = diagnosed_;
+  out.active_paths_end = monitor_->active_path_count();
+  out.steady_tick_seconds = steady_tick_.count() ? steady_tick_.mean() : 0.0;
+  out.event_tick_seconds = event_tick_.count() ? event_tick_.mean() : 0.0;
+  out.max_tick_seconds = max_tick_seconds_;
+  return out;
+}
+
+}  // namespace losstomo::scenario

@@ -1,0 +1,131 @@
+// ScenarioRunner — drives sim::SnapshotSimulator + core::LiaMonitor
+// through a scripted churn timeline (spec.hpp).
+//
+// The runner fixes a *universe* of measurement paths at construction: the
+// base paths routed over the generated topology, plus the alternate routes
+// every kRouteChange event will switch to, plus the reserve paths kGrow
+// events will append — laid out in exactly the order the monitor will
+// come to know them, so universe row indices and monitor row indices
+// coincide.  The reduced routing matrix (virtual-link basis) is computed
+// once over the whole universe: churn changes which rows are live, never
+// the column space, which is what lets the streaming engine carry its
+// state across events instead of relearning from scratch.
+//
+// The simulator realises every universe path every tick (loss processes
+// evolve continuously whether or not a path is currently measured); the
+// runner zeroes the entries of paths the monitor knows but that are
+// inactive (deterministic filler — never read by the estimator) and feeds
+// the prefix of rows the monitor currently knows.
+//
+// Determinism: a runner is a pure function of (spec, monitor options) —
+// two runners over the same spec see identical snapshots and events, which
+// is how the churn parity tests drive a streaming and a batch monitor
+// through one scenario and compare tick by tick.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "net/graph.hpp"
+#include "net/path.hpp"
+#include "net/routing_matrix.hpp"
+#include "scenario/spec.hpp"
+#include "sim/probe_sim.hpp"
+#include "stats/moments.hpp"
+
+namespace losstomo::scenario {
+
+/// Aggregate figures of one scenario run.
+struct ScenarioOutcome {
+  std::size_t ticks = 0;
+  std::size_t events_applied = 0;
+  std::size_t diagnosed = 0;
+  std::size_t active_paths_end = 0;
+  /// Mean/max seconds of diagnosing ticks with no event applied (the
+  /// steady state) and of ticks that applied at least one event.
+  double steady_tick_seconds = 0.0;
+  double event_tick_seconds = 0.0;
+  double max_tick_seconds = 0.0;
+};
+
+class ScenarioRunner {
+ public:
+  /// Builds the universe (topology, base + alternate + reserve paths),
+  /// the simulator, and the monitor.  `monitor_options.window` comes from
+  /// the spec (every other monitor knob is the caller's); a kAuto
+  /// negative-covariance policy resolves to drop-negative (churn requires
+  /// it on the streaming engine).  Throws std::invalid_argument on an
+  /// invalid spec — unknown paths/links, a reroute with no alternate
+  /// route (trees) or of an already-rerouted path, or a grow beyond the
+  /// reserve pool.
+  explicit ScenarioRunner(ScenarioSpec spec,
+                          core::MonitorOptions monitor_options = {});
+
+  /// Applies the events due at the current tick, generates one snapshot,
+  /// and feeds it to the monitor.  Returns the monitor's inference (empty
+  /// while the window is filling).
+  std::optional<core::LossInference> step();
+
+  /// Runs the remaining ticks; fn(tick, events_applied_this_tick,
+  /// inference) is invoked after each one.
+  template <typename Fn>
+  ScenarioOutcome run(Fn&& fn) {
+    while (tick_ < spec_.ticks) {
+      const std::size_t before = events_applied_;
+      auto inference = step();
+      fn(tick_ - 1, events_applied_ - before, inference);
+    }
+    return outcome();
+  }
+  ScenarioOutcome run() {
+    return run([](std::size_t, std::size_t, const auto&) {});
+  }
+
+  [[nodiscard]] ScenarioOutcome outcome() const;
+
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+  [[nodiscard]] const EventTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] core::LiaMonitor& monitor() { return *monitor_; }
+  [[nodiscard]] const core::LiaMonitor& monitor() const { return *monitor_; }
+  /// The universe routing matrix (all base + alternate + reserve paths).
+  [[nodiscard]] const net::ReducedRoutingMatrix& universe() const {
+    return *rrm_;
+  }
+  [[nodiscard]] const net::Graph& graph() const { return graph_; }
+  /// Base paths routed over the topology (before alternates/reserve).
+  [[nodiscard]] std::size_t base_path_count() const { return base_paths_; }
+  [[nodiscard]] std::size_t ticks_run() const { return tick_; }
+  [[nodiscard]] std::size_t events_applied() const { return events_applied_; }
+  /// Ground truth of the most recent tick (for accuracy evaluation).
+  [[nodiscard]] const sim::Snapshot& last_snapshot() const {
+    return last_snapshot_;
+  }
+
+ private:
+  void apply(const Event& event);
+
+  ScenarioSpec spec_;
+  EventTimeline timeline_;
+  net::Graph graph_;
+  std::vector<net::Path> universe_paths_;
+  std::unique_ptr<net::ReducedRoutingMatrix> rrm_;
+  std::unique_ptr<sim::SnapshotSimulator> simulator_;
+  std::unique_ptr<core::LiaMonitor> monitor_;
+  std::size_t base_paths_ = 0;
+  // Universe rows each addition event will append, in timeline order.
+  std::deque<std::size_t> pending_additions_;
+  std::size_t tick_ = 0;
+  std::size_t events_applied_ = 0;
+  std::size_t diagnosed_ = 0;
+  stats::RunningStat steady_tick_;
+  stats::RunningStat event_tick_;
+  double max_tick_seconds_ = 0.0;
+  std::vector<double> y_;
+  sim::Snapshot last_snapshot_;
+};
+
+}  // namespace losstomo::scenario

@@ -1,0 +1,102 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace losstomo::scenario {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kPathJoin:
+      return "join";
+    case EventType::kPathLeave:
+      return "leave";
+    case EventType::kRouteChange:
+      return "reroute";
+    case EventType::kLinkDown:
+      return "link_down";
+    case EventType::kLinkUp:
+      return "link_up";
+    case EventType::kRegimeShift:
+      return "regime";
+    case EventType::kGrow:
+      return "grow";
+  }
+  return "?";
+}
+
+const char* topology_kind_name(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::kTree:
+      return "tree";
+    case TopologySpec::Kind::kMesh:
+      return "mesh";
+    case TopologySpec::Kind::kOverlay:
+      return "overlay";
+  }
+  return "?";
+}
+
+EventTimeline::EventTimeline(std::vector<Event> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.tick < b.tick; });
+}
+
+std::span<const Event> EventTimeline::at(std::size_t tick) const {
+  const auto begin = std::partition_point(
+      events_.begin(), events_.end(),
+      [&](const Event& e) { return e.tick < tick; });
+  if (begin == events_.end() || begin->tick != tick) return {};
+  auto end = begin;
+  while (end != events_.end() && end->tick == tick) ++end;
+  return {&*begin, static_cast<std::size_t>(end - begin)};
+}
+
+std::size_t EventTimeline::count(EventType type) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += e.type == type;
+  return n;
+}
+
+void ScenarioSpec::validate() const {
+  if (window < 2) throw std::invalid_argument("scenario window must be >= 2");
+  if (ticks <= window) {
+    throw std::invalid_argument(
+        "scenario ticks must exceed the window (nothing would be diagnosed)");
+  }
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("scenario p out of [0,1]");
+  if (probes == 0) throw std::invalid_argument("scenario probes must be >= 1");
+  if (down_loss < 0.0 || down_loss >= 1.0) {
+    throw std::invalid_argument("scenario down_loss out of [0,1)");
+  }
+  if (min_good_loss < 0.0 || min_good_loss >= 1.0) {
+    throw std::invalid_argument("scenario min_good_loss out of [0,1)");
+  }
+  for (const auto& e : events) {
+    if (e.tick >= ticks) {
+      throw std::invalid_argument("event tick beyond scenario end");
+    }
+    switch (e.type) {
+      case EventType::kRegimeShift:
+        if (e.value < 0.0 || e.value > 1.0) {
+          throw std::invalid_argument("regime event p out of [0,1]");
+        }
+        break;
+      case EventType::kLinkDown:
+        if (e.value < 0.0 || e.value >= 1.0) {
+          throw std::invalid_argument("link_down loss out of [0,1)");
+        }
+        break;
+      case EventType::kGrow:
+        if (e.count == 0) {
+          throw std::invalid_argument("grow event needs count >= 1");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace losstomo::scenario

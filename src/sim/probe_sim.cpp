@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -91,10 +92,12 @@ SnapshotSimulator::SnapshotSimulator(const net::Graph& g,
     throw std::invalid_argument("congestible_fraction out of (0,1]");
   }
   congestion_prob_.resize(unit_count_);
+  unit_congestible_.resize(unit_count_);
   for (std::size_t u = 0; u < unit_count_; ++u) {
+    unit_congestible_[u] = config_.congestible_fraction >= 1.0 ||
+                           rng_.bernoulli(config_.congestible_fraction);
     double pu = 0.0;
-    if (config_.congestible_fraction >= 1.0 ||
-        rng_.bernoulli(config_.congestible_fraction)) {
+    if (unit_congestible_[u]) {
       pu = config_.p / config_.congestible_fraction;
       if (unit_inter_as_[u]) pu *= config_.inter_as_congestion_bias;
     }
@@ -102,8 +105,47 @@ SnapshotSimulator::SnapshotSimulator(const net::Graph& g,
   }
   congested_.assign(unit_count_, false);
   rate_.assign(unit_count_, 0.0);
+  forced_rate_.assign(unit_count_,
+                      std::numeric_limits<double>::quiet_NaN());
   words_ = (config_.probes_per_snapshot + 63) / 64;
   bad_masks_.assign(unit_count_ * words_, 0);
+}
+
+double SnapshotSimulator::effective_rate(std::size_t u) const {
+  const double forced = forced_rate_[u];
+  return std::isnan(forced) ? rate_[u] : forced;
+}
+
+void SnapshotSimulator::force_link_loss(std::size_t k, double rate) {
+  if (k >= link_units_.size()) throw std::invalid_argument("link out of range");
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("forced loss rate out of [0,1)");
+  }
+  for (const auto u : link_units_[k]) forced_rate_[u] = rate;
+}
+
+void SnapshotSimulator::clear_link_forcing(std::size_t k) {
+  if (k >= link_units_.size()) throw std::invalid_argument("link out of range");
+  for (const auto u : link_units_[k]) {
+    forced_rate_[u] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+void SnapshotSimulator::shift_regime(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("p out of [0,1]");
+  config_.p = p;
+  for (std::size_t u = 0; u < unit_count_; ++u) {
+    double pu = 0.0;
+    if (unit_congestible_[u]) {
+      pu = p / config_.congestible_fraction;
+      if (unit_inter_as_[u]) pu *= config_.inter_as_congestion_bias;
+    }
+    congestion_prob_[u] = std::min(pu, 0.9);
+    congested_[u] = rng_.bernoulli(congestion_prob_[u]);
+    rate_[u] = draw_loss_rate(config_.loss_model, congested_[u], rng_);
+  }
+  // The regime draw above replaces the lazy first-snapshot draw.
+  first_snapshot_ = false;
 }
 
 void SnapshotSimulator::refresh_congestion() {
@@ -160,19 +202,20 @@ void SnapshotSimulator::fill_masks(stats::Rng& rng) {
   std::fill(bad_masks_.begin(), bad_masks_.end(), 0);
   util::parallel_for(unit_count_, 8, [&](std::size_t u_begin, std::size_t u_end) {
     for (std::size_t u = u_begin; u < u_end; ++u) {
-      if (rate_[u] <= 0.0) continue;
+      const double rate = effective_rate(u);
+      if (rate <= 0.0) continue;
       std::uint64_t* mask = bad_masks_.data() + u * words_;
       stats::Rng unit_rng(stats::splitmix64(base ^ (u + 1) * 0xff51afd7ed558ccdULL));
       if (config_.process == LossProcess::kGilbert) {
         GilbertChain chain(
-            GilbertParams::for_loss_rate(rate_[u], config_.gilbert_stay_bad),
+            GilbertParams::for_loss_rate(rate, config_.gilbert_stay_bad),
             unit_rng);
         for (std::size_t t = 0; t < s; ++t) {
           if (chain.step(unit_rng)) mask[t >> 6] |= (1ULL << (t & 63));
         }
       } else {
         for (std::size_t t = 0; t < s; ++t) {
-          if (unit_rng.bernoulli(rate_[u])) mask[t >> 6] |= (1ULL << (t & 63));
+          if (unit_rng.bernoulli(rate)) mask[t >> 6] |= (1ULL << (t & 63));
         }
       }
     }
@@ -242,7 +285,9 @@ Snapshot SnapshotSimulator::evaluate_per_packet(stats::Rng& rng) {
   chains.reserve(unit_count_);
   for (std::size_t u = 0; u < unit_count_; ++u) {
     chains.emplace_back(
-        GilbertParams::for_loss_rate(rate_[u], config_.gilbert_stay_bad), rng);
+        GilbertParams::for_loss_rate(effective_rate(u),
+                                     config_.gilbert_stay_bad),
+        rng);
   }
   std::vector<std::size_t> arrivals(unit_count_, 0);
   std::vector<std::size_t> drops(unit_count_, 0);
@@ -261,7 +306,7 @@ Snapshot SnapshotSimulator::evaluate_per_packet(stats::Rng& rng) {
         if (config_.process == LossProcess::kGilbert) {
           bad = chains[u].step(rng);
         } else {
-          bad = rng.bernoulli(rate_[u]);
+          bad = rng.bernoulli(effective_rate(u));
         }
         if (bad) {
           ++drops[u];
@@ -293,6 +338,12 @@ Snapshot SnapshotSimulator::evaluate_per_packet(stats::Rng& rng) {
   return snap;
 }
 
+bool SnapshotSimulator::effective_congested(std::size_t u) const {
+  const double forced = forced_rate_[u];
+  if (std::isnan(forced)) return congested_[u];
+  return forced > config_.loss_model.threshold_tl;
+}
+
 Snapshot SnapshotSimulator::finalize_truth(Snapshot snap) const {
   const std::size_t nc = rrm_.link_count();
   snap.edge_loss.assign(graph_.edge_count(), 0.0);
@@ -301,22 +352,22 @@ Snapshot SnapshotSimulator::finalize_truth(Snapshot snap) const {
   snap.link_congested.resize(nc);
   if (config_.granularity == LossGranularity::kPerPhysicalEdge) {
     for (std::size_t i = 0; i < covered_edges_.size(); ++i) {
-      snap.edge_loss[covered_edges_[i]] = rate_[i];
-      snap.edge_congested[covered_edges_[i]] = congested_[i];
+      snap.edge_loss[covered_edges_[i]] = effective_rate(i);
+      snap.edge_congested[covered_edges_[i]] = effective_congested(i);
     }
     snap.link_true_loss = rrm_.aggregate_edge_losses(snap.edge_loss);
   } else {
     for (std::size_t k = 0; k < nc; ++k) {
-      snap.link_true_loss[k] = rate_[k];
+      snap.link_true_loss[k] = effective_rate(k);
       // Diagnostics: split the link's rate evenly (in log space) over its
       // member edges.
       const auto members = rrm_.members(k);
       const double per_edge =
-          1.0 - std::pow(1.0 - rate_[k],
+          1.0 - std::pow(1.0 - snap.link_true_loss[k],
                          1.0 / static_cast<double>(members.size()));
       for (const auto e : members) {
         snap.edge_loss[e] = per_edge;
-        snap.edge_congested[e] = congested_[k];
+        snap.edge_congested[e] = effective_congested(k);
       }
     }
   }

@@ -128,6 +128,24 @@ class SnapshotSimulator {
   /// according to `persistence`).
   Snapshot next();
 
+  /// Mid-run churn hooks (scenario engine, src/scenario/):
+  ///
+  /// Forces every loss unit of virtual link k to the given loss rate until
+  /// clear_link_forcing(k) — the "link down" event (a down link drops a
+  /// severe fraction of its probes rather than black-holing them, so path
+  /// log-rates stay finite).  The unit's underlying congestion state keeps
+  /// evolving underneath and reappears unchanged when the forcing clears.
+  /// `rate` must be in [0, 1); k < link_count (throws std::invalid_argument).
+  void force_link_loss(std::size_t k, double rate);
+  void clear_link_forcing(std::size_t k);
+
+  /// Congestion-regime shift: rescales every congestible unit's congestion
+  /// probability to the new p (keeping the congestible subset and inter-AS
+  /// bias structure fixed) and redraws all congestion states and loss rates
+  /// from the new regime.  Deterministic: consumes the simulator's own RNG
+  /// stream.  `p` must be in [0, 1].
+  void shift_regime(double p);
+
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
   /// Physical edges covered by at least one path (the edges simulated).
@@ -154,10 +172,17 @@ class SnapshotSimulator {
   std::vector<std::vector<std::uint32_t>> path_units_;  // traversal order
   std::vector<std::vector<std::uint32_t>> link_units_;  // per virtual link
   std::vector<bool> unit_inter_as_;
+  std::vector<bool> unit_congestible_;   // drawn once (congestible_fraction)
   std::vector<double> congestion_prob_;  // per unit (bias applied)
   std::vector<bool> congested_;          // per unit, current snapshot
   std::vector<double> rate_;             // per unit, current snapshot
+  std::vector<double> forced_rate_;      // per unit; NaN = not forced
   bool first_snapshot_ = true;
+
+  /// Forced rate when set, else the unit's drawn rate.
+  [[nodiscard]] double effective_rate(std::size_t u) const;
+  /// Truth flag consistent with the effective rate (forcing overrides).
+  [[nodiscard]] bool effective_congested(std::size_t u) const;
 
   std::size_t words_ = 0;                 // mask words per unit
   std::vector<std::uint64_t> bad_masks_;  // unit-major [unit * words_]

@@ -17,9 +17,12 @@
 //    monitoring loop never pays the O(m np^2) batch recomputation.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "stats/moments.hpp"
@@ -62,6 +65,74 @@ class CovarianceSource {
   [[nodiscard]] virtual std::span<const double> centered_flat() const {
     return {};
   }
+
+  // -- Path churn (scenario engine, src/scenario/) ------------------------
+  //
+  // Sources that live under an evolving path set (dimensions activate,
+  // retire, and re-activate while the window slides) report per-dimension
+  // sample validity so consumers can exclude pairs whose statistics do not
+  // yet cover the full window.  Fixed-dimension batch sources keep the
+  // defaults: every coordinate is always backed by the whole window.
+
+  /// Number of trailing window samples that are *valid* for coordinate i —
+  /// samples observed since the coordinate was last activated, capped at
+  /// count().  Inactive coordinates report 0.  A pair statistic cov(i, j)
+  /// is *ready* for consumption exactly when both coordinates report
+  /// samples() == count() (full-window backing); consumers must exclude
+  /// pairs that are not ready — their accumulator entries mix
+  /// pre-activation filler with real data.
+  [[nodiscard]] virtual std::size_t samples(std::size_t i) const {
+    (void)i;
+    return count();
+  }
+};
+
+/// Per-dimension activation bookkeeping shared by the churn-aware
+/// accumulators (stats::StreamingMoments, core::PairMoments).  The
+/// readiness rule is load-bearing for batch/streaming parity and lives
+/// only here: a dimension's statistics are valid for
+/// min(pushes - activated_at, window_count) trailing samples, and a pair
+/// enters an estimator only when both dimensions cover the full current
+/// window.
+class PathChurnLedger {
+ public:
+  explicit PathChurnLedger(std::size_t dim)
+      : active_(dim, 1), activated_at_(dim, 0) {}
+
+  [[nodiscard]] std::size_t dim() const { return active_.size(); }
+  [[nodiscard]] bool active(std::size_t i) const { return active_[i] != 0; }
+
+  /// Marks dimension i active from the next push on (no-op when already
+  /// active); `pushes` is the owner's total push count so far.
+  void activate(std::size_t i, std::size_t pushes) {
+    if (active_[i]) return;
+    active_[i] = 1;
+    activated_at_[i] = pushes;
+  }
+  void retire(std::size_t i) { active_[i] = 0; }
+  /// Appends one dimension, active with zero samples.
+  void add_dim(std::size_t pushes) {
+    active_.push_back(1);
+    activated_at_.push_back(pushes);
+  }
+
+  /// Valid trailing samples of dimension i given the owner's push count
+  /// and current window fill.
+  [[nodiscard]] std::size_t samples(std::size_t i, std::size_t pushes,
+                                    std::size_t count) const {
+    if (!active_[i]) return 0;
+    return std::min(pushes - activated_at_[i], count);
+  }
+  [[nodiscard]] bool pair_ready(std::size_t i, std::size_t j,
+                                std::size_t pushes, std::size_t count) const {
+    if (count == 0) return false;
+    return samples(i, pushes, count) == count &&
+           samples(j, pushes, count) == count;
+  }
+
+ private:
+  std::vector<std::uint8_t> active_;
+  std::vector<std::size_t> activated_at_;  // pushes at last activation
 };
 
 /// Batch implementation over a snapshot window: the PR-1 path, unchanged in

@@ -12,6 +12,7 @@ StreamingMoments::StreamingMoments(std::size_t dim,
                                    StreamingMomentsOptions options)
     : dim_(dim),
       options_(options),
+      churn_(dim),
       ring_(dim, options.window),
       mean_(dim, 0.0),
       delta_(dim, 0.0),
@@ -21,6 +22,50 @@ StreamingMoments::StreamingMoments(std::size_t dim,
   if (options_.refresh_every == 0) {
     options_.refresh_every = 2 * options_.window;
   }
+}
+
+void StreamingMoments::activate_path(std::size_t i) {
+  if (i >= dim_) throw std::invalid_argument("path out of range");
+  churn_.activate(i, pushes_);
+}
+
+void StreamingMoments::retire_path(std::size_t i) {
+  if (i >= dim_) throw std::invalid_argument("path out of range");
+  churn_.retire(i);
+}
+
+std::size_t StreamingMoments::add_path() {
+  const std::size_t index = dim_;
+  const std::size_t next = dim_ + 1;
+  // Grow the ring: old rows widen with a zero tail — for the incremental
+  // invariant the new dimension's history IS zero.
+  SnapshotMatrix ring(next, options_.window);
+  for (std::size_t l = 0; l < options_.window; ++l) {
+    const auto src = ring_.sample(l);
+    std::copy(src.begin(), src.end(), ring.sample(l).begin());
+  }
+  ring_ = std::move(ring);
+  linalg::Matrix cross(next, next);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const auto src = cross_.row(i);
+    std::copy(src.begin(), src.end(), cross.row(i).begin());
+  }
+  cross_ = std::move(cross);
+  cov_ = linalg::Matrix(next, next);
+  cov_valid_ = false;
+  mean_.push_back(0.0);
+  delta_.push_back(0.0);
+  churn_.add_dim(pushes_);
+  dim_ = next;
+  return index;
+}
+
+std::size_t StreamingMoments::samples(std::size_t i) const {
+  return churn_.samples(i, pushes_, count_);
+}
+
+bool StreamingMoments::pair_ready(std::size_t i, std::size_t j) const {
+  return churn_.pair_ready(i, j, pushes_, count_);
 }
 
 void StreamingMoments::rank1(double w) {

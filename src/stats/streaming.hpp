@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "stats/covariance_source.hpp"
@@ -71,6 +73,39 @@ class StreamingMoments final : public CovarianceSource {
   /// Full recomputes performed so far (diagnostic for the drift tests).
   [[nodiscard]] std::size_t refreshes() const { return refreshes_; }
 
+  // -- Path churn (scenario engine) ---------------------------------------
+  //
+  // The accumulator's mathematical state is uniform across dimensions: C
+  // and the means always equal (up to bounded drift) the moments of the
+  // current ring content, whatever values each dimension's slots hold.
+  // Churn therefore needs no arithmetic changes — only bookkeeping that
+  // marks, per dimension, how many trailing ring slots carry *real*
+  // measurements.  Callers must keep pushing a deterministic filler
+  // (conventionally 0) for inactive dimensions; a freshly (re)activated
+  // dimension becomes pair-ready once `window` further pushes have flushed
+  // every filler slot out of the ring.
+
+  /// Marks dimension i active from the next push on; its validity restarts
+  /// at zero samples.  No-op when already active.
+  void activate_path(std::size_t i);
+  /// Marks dimension i inactive: samples(i) drops to 0 and every pair
+  /// through i stops being ready.  Its entries keep updating with the
+  /// pushed filler so a later activate_path(i) needs no state repair.
+  void retire_path(std::size_t i);
+  /// Appends one dimension (active, zero samples).  The ring history of the
+  /// new dimension is zero-filled, which is exactly the state the
+  /// incremental updates expect.  Returns the new dimension's index.
+  /// Cost: O(dim * (dim + window)) reallocation — churn events are rare.
+  std::size_t add_path();
+  [[nodiscard]] bool path_active(std::size_t i) const {
+    return churn_.active(i);
+  }
+
+  // CovarianceSource churn override + the derived pair-readiness test
+  // (both delegate to the shared stats::PathChurnLedger rule):
+  [[nodiscard]] std::size_t samples(std::size_t i) const override;
+  [[nodiscard]] bool pair_ready(std::size_t i, std::size_t j) const;
+
   /// Recomputes means and C from the retained window (oldest to newest),
   /// discarding accumulated rounding drift.  Runs automatically on the
   /// refresh_every cadence; public so callers can pin a drift bound of
@@ -85,6 +120,7 @@ class StreamingMoments final : public CovarianceSource {
 
   std::size_t dim_;
   StreamingMomentsOptions options_;
+  PathChurnLedger churn_;      // per-dim activation/validity bookkeeping
   SnapshotMatrix ring_;        // window_ rows; head_ = oldest
   std::size_t head_ = 0;
   std::size_t count_ = 0;

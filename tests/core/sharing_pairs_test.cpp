@@ -144,6 +144,94 @@ TEST(SharingPairStore, EmptyMatrix) {
   EXPECT_EQ(store.shared_link_entries(), 0u);
 }
 
+// Incremental row appends (path churn): an add_row-grown store must carry
+// exactly the pairs a from-scratch build over the grown matrix finds —
+// with the new rows' pairs contiguous at the tail, partner on either side.
+TEST(SharingPairStore, AddRowMatchesRebuiltStore) {
+  const auto r_full = tree_matrix();
+  const std::size_t np = r_full.rows();
+  ASSERT_GE(np, 6u);
+  // Build over a prefix, then append the remaining rows one at a time.
+  const std::size_t prefix = np - 3;
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const auto row = r_full.row(i);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  linalg::SparseBinaryMatrix r(r_full.cols(), rows);
+  auto store = SharingPairStore::build(r);
+  for (std::size_t i = prefix; i < np; ++i) {
+    const auto row = r_full.row(i);
+    rows.emplace_back(row.begin(), row.end());
+    r = linalg::SparseBinaryMatrix(r_full.cols(), rows);
+    const std::size_t first = store.add_row(r);
+    EXPECT_EQ(first, store.row_begin(i));
+    EXPECT_EQ(store.path_count(), i + 1);
+  }
+  // Same pair multiset as a fresh build (orientation-normalised).
+  const auto rebuilt = SharingPairStore::build(r_full);
+  const auto canonical = [](const SharingPairStore& s) {
+    std::vector<std::tuple<std::uint32_t, std::uint32_t,
+                           std::vector<std::uint32_t>>>
+        pairs;
+    s.for_pairs(0, s.pair_count(),
+                [&](std::size_t, std::uint32_t i, std::uint32_t j,
+                    std::span<const std::uint32_t> links) {
+                  pairs.emplace_back(
+                      std::min(i, j), std::max(i, j),
+                      std::vector<std::uint32_t>(links.begin(), links.end()));
+                });
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+  EXPECT_EQ(canonical(store), canonical(rebuilt));
+}
+
+TEST(SharingPairStore, GrowsFromEmptyStore) {
+  // A store built over zero paths (or default-constructed) must accept its
+  // first add_row — the CSR leading offsets are established on demand.
+  auto store = SharingPairStore::build(linalg::SparseBinaryMatrix(3, {}));
+  const linalg::SparseBinaryMatrix r1(3, {{0, 2}});
+  EXPECT_EQ(store.add_row(r1), 0u);
+  ASSERT_EQ(store.pair_count(), 1u);  // the diagonal pair
+  EXPECT_EQ(store.partner(0), 0u);
+  ASSERT_EQ(store.links(0).size(), 2u);
+  EXPECT_EQ(store.links(0)[0], 0u);
+  EXPECT_EQ(store.links(0)[1], 2u);
+
+  SharingPairStore fresh;
+  const linalg::SparseBinaryMatrix r0(2, {{1}});
+  EXPECT_EQ(fresh.add_row(r0), 0u);
+  EXPECT_EQ(fresh.pair_count(), 1u);
+}
+
+TEST(SharingPairStore, PairsOfPathAndLiveness) {
+  const linalg::SparseBinaryMatrix r(3, {{0, 1}, {1, 2}, {0, 2}});
+  auto store = SharingPairStore::build(r);
+  // Every pair shares a link here: 6 pairs total.
+  ASSERT_EQ(store.pair_count(), 6u);
+  std::vector<std::size_t> pairs;
+  store.pairs_of_path(1, pairs);
+  // Path 1 appears in (0,1), (1,1), (1,2).
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const auto p : pairs) {
+    const bool involved = store.partner(p) == 1 ||
+                          (p >= store.row_begin(1) && p < store.row_end(1));
+    EXPECT_TRUE(involved) << "pair " << p;
+  }
+
+  EXPECT_TRUE(store.row_live(1));
+  store.set_row_live(1, false);
+  store.for_pairs(0, store.pair_count(),
+                  [&](std::size_t p, std::uint32_t i, std::uint32_t j,
+                      std::span<const std::uint32_t>) {
+                    const bool touches1 = i == 1 || j == 1;
+                    EXPECT_EQ(store.pair_live(p, i), !touches1);
+                  });
+  store.set_row_live(1, true);
+  EXPECT_TRUE(store.pair_live(0, 0));
+}
+
 TEST(SharingPairStore, BytesScaleWithSharingStructure) {
   const auto r = tree_matrix();
   const auto store = SharingPairStore::build(r);

@@ -48,10 +48,12 @@ VarianceOptions drop_options() {
 }
 
 // Two paths over one shared link: three sharing pairs, all touching the
-// same G entry.  Flipping them between kept and dropped walks G(0,0)
-// through 3 -> 0 -> 3, which exercises update, downdate, and the
-// downdate-to-singular fallback.
-TEST(StreamingDropNegative, DowndateToSingularTriggersRefactorFallback) {
+// same G entry.  Flipping them between kept and dropped walks the kept
+// count through 3 -> 0 -> 3, which exercises update, downdate, and — when
+// the last equation covering the link drops — the identity pin that keeps
+// G nonsingular where the pre-pinning engine had to refactorize with
+// jitter.
+TEST(StreamingDropNegative, UncoveredLinkIsIdentityPinned) {
   const linalg::SparseBinaryMatrix r(1, {{0}, {0}});
   StreamingNormalEquations eqs(r, drop_options());
   ScriptedSource source(2);
@@ -63,6 +65,7 @@ TEST(StreamingDropNegative, DowndateToSingularTriggersRefactorFallback) {
   eqs.refresh(source);
   EXPECT_EQ(eqs.system().used, 3u);
   EXPECT_DOUBLE_EQ(eqs.system().g(0, 0), 3.0);
+  EXPECT_EQ(eqs.links_pinned(), 0u);
   (void)eqs.solve();  // first factorization
   EXPECT_EQ(eqs.refactorizations(), 1u);
 
@@ -77,10 +80,13 @@ TEST(StreamingDropNegative, DowndateToSingularTriggersRefactorFallback) {
   // v = h / G(0,0) = (0.5 + 0.75) / 2.
   EXPECT_NEAR(after_downdate.v[0], 1.25 / 2.0, 1e-9);
 
-  // Drop the remaining pairs one at a time: G(0,0) walks 2 -> 1 -> 0.
-  // The 2 -> 1 step is a clean downdate; the 1 -> 0 step would make G
-  // singular, must fail, and must fall back to a refactorization (which
-  // regularizes the all-zero system with jitter).
+  // Drop the remaining pairs one at a time: the kept count walks
+  // 2 -> 1 -> 0.  The 2 -> 1 step is a clean downdate; at the 1 -> 0 step
+  // the link loses its last equation and is identity-pinned — G(0,0)
+  // lands at exactly 1 (unit border), the factor follows by rank-1 steps
+  // (pin update before pair downdate, so nothing loses definiteness), and
+  // the link's variance solves to exactly 0.  No refactorization, no
+  // jitter, no downdate failure.
   source.set(1, 1, -0.75);
   eqs.refresh(source);
   EXPECT_DOUBLE_EQ(eqs.system().g(0, 0), 1.0);
@@ -90,26 +96,114 @@ TEST(StreamingDropNegative, DowndateToSingularTriggersRefactorFallback) {
 
   source.set(0, 0, -0.5);
   eqs.refresh(source);
-  EXPECT_DOUBLE_EQ(eqs.system().g(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(eqs.system().g(0, 0), 1.0);  // 0 kept + identity pin
   EXPECT_EQ(eqs.pending_flips(), 1u);  // factor reconciles at solve time
-  const auto after_fallback = eqs.solve();
-  EXPECT_EQ(eqs.downdate_fallbacks(), 1u);
-  EXPECT_EQ(eqs.refactorizations(), 2u);
+  const auto after_pin = eqs.solve();
+  EXPECT_EQ(eqs.downdate_fallbacks(), 0u);
+  EXPECT_EQ(eqs.refactorizations(), 1u);
+  EXPECT_EQ(eqs.links_pinned(), 1u);
   EXPECT_EQ(eqs.system().used, 0u);
   EXPECT_EQ(eqs.system().dropped, 3u);
-  EXPECT_GE(after_fallback.v[0], 0.0);
+  EXPECT_DOUBLE_EQ(after_pin.v[0], 0.0);
+  EXPECT_EQ(after_pin.links_pinned, 1u);
+  EXPECT_DOUBLE_EQ(after_pin.jitter_used, 0.0);
 
-  // Bring the pairs back (three flips at once exceeds the one-link
-  // incremental threshold, so this refactorizes) and check the estimate
-  // returns to the exact value.
+  // Bring the pairs back: the pin cancels against the unpin before the
+  // factor ever sees it, the three kept flips ride the stale-factor
+  // refinement path, and the estimate returns to the exact value — still
+  // on the original factorization.
   source.set(0, 0, 0.5);
   source.set(0, 1, 0.25);
   source.set(1, 1, 0.75);
   eqs.refresh(source);
   EXPECT_DOUBLE_EQ(eqs.system().g(0, 0), 3.0);
+  EXPECT_EQ(eqs.links_pinned(), 0u);
   const auto restored = eqs.solve();
-  EXPECT_EQ(eqs.refactorizations(), 3u);
+  EXPECT_EQ(eqs.refactorizations(), 1u);
   EXPECT_NEAR(restored.v[0], 1.5 / 3.0, 1e-12);
+}
+
+// Equation drops that leave the live block itself rank-deficient (every
+// diagonal still covered) must degrade through the pivoted rank-revealing
+// fallback when configured to pin on any jitter: the deficient pivot's
+// link is pinned to zero variance and the streaming solve matches the
+// batch path exactly — instead of both returning jitter-amplified
+// solutions.
+TEST(StreamingDropNegative, RankRevealingFallbackPinsDeficientLinks) {
+  // Paths {a}, {a,b}, {a,b}: dropping the three {a}-only pairs leaves
+  // G = [[3,3],[3,3]] — singular with positive diagonals (links a and b
+  // are still covered but have become indistinguishable).
+  const linalg::SparseBinaryMatrix r(2, {{0}, {0, 1}, {0, 1}});
+  VarianceOptions options = drop_options();
+  options.rank_revealing_min_attempts = 1;  // pin on any jitter
+  StreamingNormalEquations eqs(r, options);
+  ScriptedSource source(3);
+  source.set(0, 0, 0.5);
+  source.set(0, 1, 0.25);
+  source.set(0, 2, 0.25);
+  source.set(1, 1, 0.5);
+  source.set(1, 2, 0.25);
+  source.set(2, 2, 0.5);
+  eqs.refresh(source);
+  (void)eqs.solve();
+  EXPECT_EQ(eqs.refactorizations(), 1u);
+
+  // Drop the {a}-only pairs one tick at a time; the last downdate loses
+  // positive definiteness and falls back.
+  source.set(0, 0, -0.5);
+  eqs.refresh(source);
+  (void)eqs.solve();
+  source.set(0, 1, -0.25);
+  eqs.refresh(source);
+  (void)eqs.solve();
+  EXPECT_EQ(eqs.downdate_fallbacks(), 0u);
+  source.set(0, 2, -0.25);
+  eqs.refresh(source);
+  const auto streaming = eqs.solve();
+  EXPECT_EQ(eqs.downdate_fallbacks(), 1u);
+  EXPECT_EQ(streaming.method,
+            "streaming-normal(drop-negative,rank-revealing)");
+  EXPECT_EQ(streaming.links_pinned, 1u);
+  EXPECT_DOUBLE_EQ(streaming.jitter_used, 0.0);
+  // Pivoting keeps link a (first of the tied diagonals) and pins b:
+  // 3 v_a = h_a = 0.5 + 0.25 + 0.5 = 1.25.
+  EXPECT_NEAR(streaming.v[0], 1.25 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(streaming.v[1], 0.0);
+
+  // The batch solve on the same covariances degrades identically.
+  const auto batch = estimate_link_variances(r, source, options);
+  EXPECT_EQ(batch.method, "normal(drop-negative,rank-revealing)");
+  EXPECT_EQ(batch.links_pinned, 1u);
+  ASSERT_EQ(batch.v.size(), streaming.v.size());
+  for (std::size_t k = 0; k < batch.v.size(); ++k) {
+    EXPECT_NEAR(batch.v[k], streaming.v[k], 1e-12) << "link " << k;
+  }
+}
+
+// The PCG refinement knobs are live: disabling the budget
+// (refine_max_iterations = 0) forces a refactorization on every tick whose
+// factor is inexact, reproducing the pre-refinement engine.
+TEST(StreamingDropNegative, RefinementBudgetKnobForcesRefactorization) {
+  const linalg::SparseBinaryMatrix r(1, {{0}, {0}});
+  VarianceOptions options = drop_options();
+  options.refine_max_iterations = 0;
+  StreamingNormalEquations eqs(r, options);
+  ScriptedSource source(2);
+  source.set(0, 0, 0.5);
+  source.set(0, 1, 0.25);
+  source.set(1, 1, 0.75);
+  eqs.refresh(source);
+  (void)eqs.solve();
+  ASSERT_EQ(eqs.refactorizations(), 1u);
+
+  // A clean rank-1 downdate leaves the factor inexact (drift-wise); with
+  // refinement disabled the solve must rebuild it.
+  source.set(0, 1, -0.25);
+  eqs.refresh(source);
+  const auto est = eqs.solve();
+  EXPECT_EQ(eqs.rank1_updates(), 1u);
+  EXPECT_EQ(eqs.refactorizations(), 2u);
+  EXPECT_NEAR(est.v[0], 1.25 / 2.0, 1e-12);
 }
 
 // The cumulative-update drift bound: with factor_update_cap = 1 every tick

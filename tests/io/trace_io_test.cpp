@@ -163,6 +163,77 @@ TEST(SnapshotStream, RawModeSkipsLogTransform) {
   EXPECT_DOUBLE_EQ(y[1], 0.25);
 }
 
+// Malformed measurement feeds must fail loudly, never silently truncate or
+// poison the window: short rows (a producer died mid-campaign), NaN/inf
+// tokens (sensor glitches format as "nan" and parse as doubles), and
+// mid-line EOF (a truncated file whose last row lost its tail).
+TEST(SnapshotStream, RejectsNaNAndInfinity) {
+  {
+    std::istringstream input("0.5 nan 0.5\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+  {
+    std::istringstream input("0.5 -nan\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+  {
+    std::istringstream input("inf 0.5\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+  {
+    std::istringstream batch_input("0.5 nan\n");
+    EXPECT_THROW(read_snapshots(batch_input), std::runtime_error);
+  }
+}
+
+TEST(SnapshotStream, RejectsShortRowAfterValidRows) {
+  // A producer that died mid-campaign leaves a short final row; every
+  // complete row before it must still stream through.
+  std::istringstream input("0.5 0.6 0.7\n0.4 0.5 0.6\n0.3 0.4\n");
+  SnapshotStream stream(input);
+  std::vector<double> y;
+  ASSERT_TRUE(stream.next(y));
+  ASSERT_TRUE(stream.next(y));
+  EXPECT_THROW(stream.next(y), std::runtime_error);
+  EXPECT_EQ(stream.snapshots_read(), 2u);
+}
+
+TEST(SnapshotStream, MidLineEofHandled) {
+  // Truncation can cut a file mid-number ("0.7" -> "0."): the partial
+  // token still parses as a double, so the damage shows up as a short row.
+  {
+    std::istringstream input("0.5 0.6 0.7\n0.4 0.\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    ASSERT_TRUE(stream.next(y));
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+  // A final row without a trailing newline is complete data, not damage.
+  {
+    std::istringstream input("0.5 0.6\n0.4 0.5");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    ASSERT_TRUE(stream.next(y));
+    ASSERT_TRUE(stream.next(y));
+    EXPECT_DOUBLE_EQ(y[1], std::log(0.5));
+    EXPECT_FALSE(stream.next(y));
+  }
+  // Truncation mid-token leaving a non-numeric fragment ("0.4 0,") throws.
+  {
+    std::istringstream input("0.5 0.6\n0.4 -\n");
+    SnapshotStream stream(input);
+    std::vector<double> y;
+    ASSERT_TRUE(stream.next(y));
+    EXPECT_THROW(stream.next(y), std::runtime_error);
+  }
+}
+
 TEST(SnapshotStream, RejectsRaggedAndOutOfRangeRows) {
   {
     std::istringstream input("0.5 0.5\n0.5\n");

@@ -1,0 +1,170 @@
+// ScenarioRunner mechanics: universe layout, event application, spec
+// validation against the generated topology, and determinism (two runners
+// over one spec see identical snapshots and produce identical outcomes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "linalg/matrix.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace losstomo::scenario {
+namespace {
+
+ScenarioSpec small_mesh_spec() {
+  ScenarioSpec spec;
+  spec.name = "runner-test";
+  spec.topology.kind = TopologySpec::Kind::kMesh;
+  spec.topology.nodes = 40;
+  spec.topology.hosts = 10;
+  spec.topology.seed = 3;
+  spec.window = 10;
+  spec.ticks = 40;
+  spec.seed = 5;
+  spec.probes = 200;
+  spec.min_good_loss = 0.002;
+  spec.reserve_paths = 2;
+  spec.events = {
+      {.tick = 12, .type = EventType::kPathLeave, .path = 1},
+      {.tick = 15, .type = EventType::kPathJoin, .path = 1},
+      {.tick = 18, .type = EventType::kRouteChange, .path = 2},
+      {.tick = 20, .type = EventType::kLinkDown, .link = 0},
+      {.tick = 24, .type = EventType::kLinkUp, .link = 0},
+      {.tick = 26, .type = EventType::kRegimeShift, .value = 0.3},
+      {.tick = 28, .type = EventType::kGrow, .count = 2},
+  };
+  return spec;
+}
+
+TEST(ScenarioRunner, LaysOutUniverseAndAppliesEvents) {
+  ScenarioRunner runner(small_mesh_spec(), {});
+  const std::size_t base = runner.base_path_count();
+  // Universe = (base - reserve) initial rows + 1 reroute alternate + 2
+  // reserve rows appended in event order.
+  EXPECT_EQ(runner.universe().path_count(), base + 1);
+  EXPECT_EQ(runner.monitor().routing().rows(), base - 2);
+
+  std::size_t events_seen = 0;
+  const auto outcome = runner.run(
+      [&](std::size_t tick, std::size_t events,
+          const std::optional<core::LossInference>& inference) {
+        events_seen += events;
+        if (tick < 10) {
+          EXPECT_FALSE(inference.has_value());
+        } else {
+          EXPECT_TRUE(inference.has_value()) << tick;
+        }
+      });
+  EXPECT_EQ(outcome.ticks, 40u);
+  EXPECT_EQ(outcome.events_applied, 7u);
+  EXPECT_EQ(events_seen, 7u);
+  EXPECT_EQ(outcome.diagnosed, 30u);
+  // Path 2's old route left, its alternate + 2 grown paths joined.
+  EXPECT_EQ(outcome.active_paths_end, base - 2 - 1 + 1 + 2);
+  // Monitor learned every appended row at its universe index.
+  EXPECT_EQ(runner.monitor().routing().rows(), runner.universe().path_count());
+  EXPECT_FALSE(runner.monitor().path_active(2));
+  EXPECT_GT(outcome.steady_tick_seconds, 0.0);
+  EXPECT_GT(outcome.event_tick_seconds, 0.0);
+}
+
+TEST(ScenarioRunner, DeterministicAcrossRuns) {
+  ScenarioRunner a(small_mesh_spec(), {});
+  ScenarioRunner b(small_mesh_spec(), {});
+  while (a.ticks_run() < a.spec().ticks) {
+    const auto ia = a.step();
+    const auto ib = b.step();
+    ASSERT_EQ(ia.has_value(), ib.has_value());
+    if (!ia) continue;
+    EXPECT_EQ(linalg::max_abs_diff(ia->loss, ib->loss), 0.0);
+  }
+}
+
+TEST(ScenarioRunner, InitialPathsStartRetired) {
+  auto spec = small_mesh_spec();
+  spec.events.clear();
+  spec.reserve_paths = 0;
+  spec.initial_paths = 5;
+  ScenarioRunner runner(spec, {});
+  EXPECT_EQ(runner.monitor().active_path_count(), 5u);
+  for (std::size_t i = 5; i < runner.monitor().routing().rows(); ++i) {
+    EXPECT_FALSE(runner.monitor().path_active(i));
+  }
+}
+
+TEST(ScenarioRunner, ValidatesSpecAgainstTopology) {
+  // Reroute on a tree: no alternate route exists.
+  {
+    ScenarioSpec spec;
+    spec.topology.kind = TopologySpec::Kind::kTree;
+    spec.topology.nodes = 60;
+    spec.window = 8;
+    spec.ticks = 20;
+    spec.events = {{.tick = 10, .type = EventType::kRouteChange, .path = 0}};
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+  }
+  // A second reroute of the same path (its alternate would duplicate).
+  {
+    auto spec = small_mesh_spec();
+    spec.events = {
+        {.tick = 12, .type = EventType::kRouteChange, .path = 2},
+        {.tick = 20, .type = EventType::kRouteChange, .path = 2},
+    };
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+  }
+  // Grow beyond the reserve pool.
+  {
+    auto spec = small_mesh_spec();
+    spec.events = {{.tick = 12, .type = EventType::kGrow, .count = 99}};
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+  }
+  // Join of an out-of-range path.
+  {
+    auto spec = small_mesh_spec();
+    spec.events = {{.tick = 12, .type = EventType::kPathJoin, .path = 10000}};
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+  }
+  // Link event on an unknown link.
+  {
+    auto spec = small_mesh_spec();
+    spec.events = {{.tick = 12, .type = EventType::kLinkDown, .link = 100000}};
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioRunner, LinkDownRaisesMeasuredLossOnAffectedPaths) {
+  auto spec = small_mesh_spec();
+  spec.p = 0.0;  // only the forced failure produces meaningful loss
+  spec.events = {{.tick = 15, .type = EventType::kLinkDown, .link = 0,
+                  .value = 0.5}};
+  ScenarioRunner runner(spec, {});
+  // Find a universe path through virtual link 0.
+  const auto& r = runner.universe().matrix();
+  std::size_t victim = r.rows();
+  for (std::size_t i = 0; i < runner.monitor().routing().rows(); ++i) {
+    if (r.contains(i, 0)) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, r.rows());
+  double before = 0.0, after = 0.0;
+  while (runner.ticks_run() < spec.ticks) {
+    (void)runner.step();
+    const double loss = 1.0 - runner.last_snapshot().path_trans[victim];
+    if (runner.ticks_run() - 1 < 15) {
+      before = std::max(before, loss);
+    } else {
+      after = std::max(after, loss);
+    }
+  }
+  // Forced 50% loss dwarfs anything the stationary regime produced.
+  EXPECT_GT(after, 0.3);
+  EXPECT_LT(before, 0.3);
+}
+
+}  // namespace
+}  // namespace losstomo::scenario
