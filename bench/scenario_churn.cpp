@@ -5,10 +5,11 @@
 //   build/bench_scenario_churn [tree_nodes=1300] [tree_branching=8]
 //                              [tree_m=200] [tree_ticks=40] [churn_every=8]
 //                              [overlay_hosts=72] [overlay_m=50]
-//                              [overlay_ticks=12] [threads=0|1,2,8]
-//                              [--json <path>]
+//                              [overlay_ticks=12] [grow_hosts=40]
+//                              [grow_batch=512] [grow_m=50]
+//                              [threads=0|1,2,8] [--json <path>]
 //
-// Two instances, both driven through scenario::ScenarioRunner:
+// Three instances, all driven through scenario::ScenarioRunner:
 //  * the 646-path random tree of bench_monitor_streaming, swept over three
 //    churn rates (no churn / leave-join every 2*churn_every ticks / every
 //    churn_every ticks) — the tick-latency-vs-churn-rate curve, plus the
@@ -18,7 +19,13 @@
 //    the dense O(np^2)-per-tick accumulator against core::PairMoments
 //    (O(np + sharing pairs) per tick) under light churn — the ROADMAP
 //    lever: only sharing-pair covariances are ever read by drop-negative,
-//    ~1.3M entries instead of 26M there.
+//    ~1.3M entries instead of 26M there;
+//  * a mass-growth overlay: `grow_batch` reserve paths join in ONE grow
+//    event.  Measures the batched LiaMonitor::add_paths against the
+//    per-row add_path loop at that batch size (the acceptance lever: one
+//    O(appended nnz) append + one accumulator growth, not `grow_batch`
+//    reallocation cycles), the event-tick latency through the runner, and
+//    what lazy simulation saves while the reserve pool lies dormant.
 //
 // `threads=1,2,8` re-records every figure per worker count in one run
 // (keys suffixed _t<N>); the default single-entry sweep keeps the
@@ -127,6 +134,31 @@ scenario::ScenarioSpec overlay_spec(std::size_t hosts, std::size_t m,
   return spec;
 }
 
+scenario::ScenarioSpec mass_growth_spec(std::size_t hosts, std::size_t m,
+                                        std::size_t batch, bool lazy) {
+  scenario::ScenarioSpec spec;
+  spec.name = "mass-growth";
+  spec.topology.kind = scenario::TopologySpec::Kind::kOverlay;
+  spec.topology.hosts = hosts;
+  spec.topology.as_count = 10;
+  spec.topology.routers_per_as = 8;
+  spec.topology.seed = 41;
+  spec.window = m;
+  spec.ticks = m + 10;
+  spec.seed = 287;
+  spec.p = 0.04;
+  spec.probes = 1000;
+  spec.reserve_paths = batch;
+  spec.lazy_simulation = lazy;
+  // Late growth: most diagnosing ticks run with the reserve pool dormant,
+  // so the lazy-vs-full steady-tick comparison isolates what skipping the
+  // dormant rows saves.
+  spec.events.push_back({.tick = m + 8,
+                         .type = scenario::EventType::kGrow,
+                         .count = batch});
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,6 +171,9 @@ int main(int argc, char** argv) {
   const auto overlay_hosts = args.get_size("overlay_hosts", 72);
   const auto overlay_m = args.get_size("overlay_m", 50);
   const auto overlay_ticks = args.get_size("overlay_ticks", 12);
+  const auto grow_hosts = args.get_size("grow_hosts", 40);
+  const auto grow_batch = args.get_size("grow_batch", 512);
+  const auto grow_m = args.get_size("grow_m", 50);
   const auto json_path = args.get_string("json", "");
   const bench::ThreadSweep sweep(args);
   args.finish();
@@ -232,6 +267,96 @@ int main(int argc, char** argv) {
                  dense.outcome.steady_tick_seconds /
                      pairs.outcome.steady_tick_seconds);
     }
+    // -- mass growth: one grow event of `grow_batch` paths --------------
+    if (grow_hosts >= 2 && grow_batch >= 1) {
+      // Direct append comparison on the same universe: one batched
+      // add_paths vs the per-row add_path loop.
+      const auto spec = mass_growth_spec(grow_hosts, grow_m, grow_batch,
+                                         /*lazy=*/true);
+      scenario::ScenarioRunner layout(spec, pair_mode);
+      const auto& universe = layout.universe().matrix();
+      const std::size_t initial = universe.rows() - grow_batch;
+      std::vector<std::vector<std::uint32_t>> initial_rows;
+      initial_rows.reserve(initial);
+      for (std::size_t i = 0; i < initial; ++i) {
+        const auto row = universe.row(i);
+        initial_rows.emplace_back(row.begin(), row.end());
+      }
+      std::vector<std::vector<std::uint32_t>> batch_rows;
+      batch_rows.reserve(grow_batch);
+      for (std::size_t i = initial; i < universe.rows(); ++i) {
+        const auto row = universe.row(i);
+        batch_rows.emplace_back(row.begin(), row.end());
+      }
+      // Batched vs per-row append under both accumulators.  The dense
+      // accumulator is where the per-row path hurts most — each add_path
+      // reallocates the full np x np cross-product matrix, the exact
+      // ROADMAP complaint — while the pair-indexed accumulator isolates
+      // the ring/bookkeeping resizes.
+      const auto time_append = [&](core::MonitorOptions options,
+                                   bool batch_mode) {
+        options.window = grow_m;
+        options.lia.variance.threads = threads;
+        core::LiaMonitor monitor(
+            linalg::SparseBinaryMatrix(universe.cols(), initial_rows),
+            options);
+        auto rows = batch_rows;
+        util::Timer timer;
+        if (batch_mode) {
+          monitor.add_paths(std::move(rows));
+        } else {
+          for (auto& row : rows) monitor.add_path(std::move(row));
+        }
+        return timer.seconds();
+      };
+      const double batched_seconds = time_append(streaming, true);
+      const double loop_seconds = time_append(streaming, false);
+      const double batched_pairs_seconds = time_append(pair_mode, true);
+      const double loop_pairs_seconds = time_append(pair_mode, false);
+
+      // End-to-end scenario: event-tick latency and the lazy-simulation
+      // saving while the reserve pool lies dormant.
+      const auto lazy_fig = run_scenario(spec, pair_mode);
+      const auto full_fig = run_scenario(
+          mass_growth_spec(grow_hosts, grow_m, grow_batch, /*lazy=*/false),
+          pair_mode);
+
+      table.add_row({"mass-grow (" + std::to_string(universe.rows()) + "p)",
+                     "batch=" + std::to_string(grow_batch),
+                     util::Table::num(lazy_fig.outcome.steady_tick_seconds, 5),
+                     util::Table::num(lazy_fig.outcome.event_tick_seconds, 5),
+                     std::to_string(lazy_fig.refactorizations),
+                     std::to_string(lazy_fig.rank1_updates),
+                     std::to_string(lazy_fig.refine_iterations)});
+      std::cout << "mass growth: add_paths(" << grow_batch << ") dense "
+                << batched_seconds << " s batched vs " << loop_seconds
+                << " s per-row (" << loop_seconds / batched_seconds
+                << "x); pairs " << batched_pairs_seconds << " s vs "
+                << loop_pairs_seconds << " s ("
+                << loop_pairs_seconds / batched_pairs_seconds << "x)\n";
+      report.set("mass_growth_np" + suffix, universe.rows());
+      report.set("mass_growth_nc" + suffix, universe.cols());
+      report.set("mass_growth_batch" + suffix, grow_batch);
+      report.set("mass_growth_addpaths_seconds" + suffix, batched_seconds);
+      report.set("mass_growth_addpath_loop_seconds" + suffix, loop_seconds);
+      report.set("mass_growth_addpaths_speedup" + suffix,
+                 loop_seconds / batched_seconds);
+      report.set("mass_growth_addpaths_pairs_seconds" + suffix,
+                 batched_pairs_seconds);
+      report.set("mass_growth_addpath_pairs_loop_seconds" + suffix,
+                 loop_pairs_seconds);
+      report.set("mass_growth_addpaths_pairs_speedup" + suffix,
+                 loop_pairs_seconds / batched_pairs_seconds);
+      report.set("mass_growth_event_tick_seconds" + suffix,
+                 lazy_fig.outcome.event_tick_seconds);
+      report.set("mass_growth_steady_tick_seconds" + suffix,
+                 lazy_fig.outcome.steady_tick_seconds);
+      report.set("mass_growth_full_sim_steady_tick_seconds" + suffix,
+                 full_fig.outcome.steady_tick_seconds);
+      report.set("mass_growth_refactorizations" + suffix,
+                 lazy_fig.refactorizations);
+    }
+
     table.print(std::cout);
     std::cout << '\n';
   });

@@ -137,33 +137,38 @@ void LiaMonitor::set_path_active(std::size_t path, bool active) {
 }
 
 std::size_t LiaMonitor::add_path(std::vector<std::uint32_t> links) {
+  std::vector<std::vector<std::uint32_t>> rows;
+  rows.push_back(std::move(links));
+  return add_paths(std::move(rows));
+}
+
+std::size_t LiaMonitor::add_paths(std::vector<std::vector<std::uint32_t>> rows,
+                                  std::size_t new_links) {
   if (engine_ == MonitorEngine::kStreaming &&
       options_.lia.variance.negatives != NegativeCovariancePolicy::kDrop) {
     throw std::logic_error(
         "streaming path churn requires the drop-negative policy");
   }
-  churn_ = true;
-  const std::size_t index = r_.rows();
-  std::vector<std::vector<std::uint32_t>> rows;
-  rows.reserve(index + 1);
-  for (std::size_t i = 0; i < index; ++i) {
-    const auto row = r_.row(i);
-    rows.emplace_back(row.begin(), row.end());
+  if (rows.empty()) {
+    throw std::invalid_argument("add_paths needs at least one row");
   }
-  rows.push_back(std::move(links));
-  r_ = linalg::SparseBinaryMatrix(r_.cols(), std::move(rows));
-  active_.push_back(1);
-  activated_tick_.push_back(ticks_);
+  const std::size_t index = r_.rows();
+  const std::size_t count = rows.size();
+  r_.append_rows(new_links, std::move(rows));  // validates the rows
+  churn_ = true;
+  active_.resize(index + count, 1);
+  activated_tick_.resize(index + count, ticks_);
   active_dirty_ = true;
   since_learn_ = options_.relearn_every;
   if (engine_ == MonitorEngine::kStreaming) {
-    // Order matters with a shared store: the equations grow it, then the
-    // accumulator aligns its pair values to it.
-    equations_->add_path(r_);
+    // Order matters with a shared store: the equations grow the link basis
+    // and the store, then the accumulator aligns its pair values to it.
+    equations_->grow_links(new_links);
+    equations_->add_paths(r_, count);
     if (pair_accumulator_) {
-      pair_accumulator_->add_path();
+      pair_accumulator_->add_paths(count);
     } else {
-      accumulator_->add_path();
+      accumulator_->add_paths(count);
     }
   }
   return index;

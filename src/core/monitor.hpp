@@ -30,10 +30,15 @@
 // policy is discontinuous at cov = 0; keep-all has no such boundary).
 //
 // Path churn (scenario engine, src/scenario/): the monitored overlay may
-// evolve mid-run — paths join, leave, and change routes.  The monitor
-// models this over a fixed *universe* link basis: routing-matrix rows can
-// be appended (add_path) and activated/retired (set_path_active) while
-// the streaming state carries over untouched for every unaffected path.
+// evolve mid-run — paths join, leave, change routes, and arrive in mass-
+// growth bursts.  Routing-matrix rows can be appended one at a time
+// (add_path) or as a batch (add_paths — one O(appended nnz) append + one
+// accumulator growth for the whole burst, state-identical to the per-row
+// loop), and activated/retired (set_path_active), while the streaming
+// state carries over untouched for every unaffected path.  The *link*
+// universe can grow too: add_paths rows may reference fresh columns
+// (new_links), which enter identity-pinned through bordered growth of
+// the cached factor — no refactorization.
 // A (re)joining path warms up for one full window before its pair
 // equations enter Phase 1 (exactly the warm-up the initial window
 // imposes); Phase 2 runs on the active-row submatrix every relearn.
@@ -132,11 +137,30 @@ class LiaMonitor {
   void set_path_active(std::size_t path, bool active);
 
   /// Appends a new path (row) over the existing link universe; `links`
-  /// must be ascending column indices < routing().cols().  The path
-  /// starts active with zero history.  Returns its row index.  Cost: one
-  /// O(nnz) routing-matrix rebuild + incremental pair-store/accumulator
-  /// growth — never a relearn.
+  /// must be column indices < routing().cols().  The path starts active
+  /// with zero history.  Returns its row index.  Equivalent to a
+  /// single-row add_paths().
   std::size_t add_path(std::vector<std::uint32_t> links);
+
+  /// Mass growth: appends a batch of paths in ONE step — one O(appended
+  /// nnz) routing-matrix append, one pair-store growth, one accumulator
+  /// reallocation, one grouped normal-equation registration — where a loop
+  /// of add_path calls would pay the accumulator/bookkeeping resize per
+  /// row.  State-identical to that loop (bit-parity pinned by
+  /// tests/core/monitor_growth_test).
+  ///
+  /// `rows[i]` lists path i's links as column indices
+  /// < routing().cols() + new_links; indices >= routing().cols() denote
+  /// FRESH virtual links, appended to the link universe in the same step
+  /// (streaming engine: bordered identity growth of the cached factor —
+  /// fresh links enter identity-pinned with no refactorization, and unpin
+  /// through the usual border steps once warmed pairs cover them).  All
+  /// appended paths start active with zero history.  Returns the first
+  /// appended row's index.  Throws std::invalid_argument on an empty
+  /// batch or malformed rows, std::logic_error for streaming engines not
+  /// resolving to drop-negative.
+  std::size_t add_paths(std::vector<std::vector<std::uint32_t>> rows,
+                        std::size_t new_links = 0);
 
   [[nodiscard]] bool path_active(std::size_t path) const {
     return active_[path] != 0;

@@ -171,20 +171,23 @@ void PairMoments::retire_path(std::size_t i) {
   churn_.retire(i);
 }
 
-std::size_t PairMoments::add_path() {
+std::size_t PairMoments::add_path() { return add_paths(1); }
+
+std::size_t PairMoments::add_paths(std::size_t count) {
+  if (count == 0) throw std::invalid_argument("add_paths needs count >= 1");
   const std::size_t index = dim_;
-  const std::size_t next = dim_ + 1;
+  const std::size_t next = dim_ + count;
   stats::SnapshotMatrix ring(next, options_.window);
   for (std::size_t l = 0; l < options_.window; ++l) {
     const auto src = ring_.sample(l);
     std::copy(src.begin(), src.end(), ring.sample(l).begin());
   }
   ring_ = std::move(ring);
-  mean_.push_back(0.0);
-  delta_.push_back(0.0);
-  churn_.add_dim(pushes_);
-  // New pairs appended by SharingPairStore::add_row start at zero — the
-  // exact centred cross-product of the new dimension's all-zero history.
+  mean_.resize(next, 0.0);
+  delta_.resize(next, 0.0);
+  for (std::size_t k = 0; k < count; ++k) churn_.add_dim(pushes_);
+  // New pairs appended by SharingPairStore::add_rows start at zero — the
+  // exact centred cross-product of the new dimensions' all-zero history.
   values_.resize(store_->pair_count(), 0.0);
   dim_ = next;
   return index;

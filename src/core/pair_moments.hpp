@@ -93,6 +93,11 @@ class PairMoments final : public stats::CovarianceSource {
   /// values to match the store — call AFTER SharingPairStore::add_row.
   /// Returns the new dimension's index.
   std::size_t add_path();
+  /// Batched growth: appends `count` dimensions at once, state-identical
+  /// to `count` add_path() calls but with ONE ring reallocation — call
+  /// AFTER SharingPairStore::add_rows.  Returns the first new dimension's
+  /// index.
+  std::size_t add_paths(std::size_t count);
   [[nodiscard]] bool path_active(std::size_t i) const {
     return churn_.active(i);
   }

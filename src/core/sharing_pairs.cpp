@@ -111,48 +111,59 @@ SharingPairStore SharingPairStore::build(const linalg::SparseBinaryMatrix& r,
 }
 
 std::size_t SharingPairStore::add_row(const linalg::SparseBinaryMatrix& r) {
-  const std::size_t i_new = path_count();
-  if (r.rows() != i_new + 1) {
+  if (r.rows() != path_count() + 1) {
     throw std::invalid_argument(
         "add_row: routing matrix must contain exactly one new trailing row");
+  }
+  return add_rows(r);
+}
+
+std::size_t SharingPairStore::add_rows(const linalg::SparseBinaryMatrix& r) {
+  if (r.rows() < path_count()) {
+    throw std::invalid_argument(
+        "add_rows: routing matrix has fewer rows than the store");
   }
   // Growing from an empty store (default-constructed, or built over a
   // 0-row matrix): establish the CSR leading offsets the loops below
   // extend via back().
   if (row_offsets_.empty()) row_offsets_.push_back(0);
   if (link_offsets_.empty()) link_offsets_.push_back(0);
-  const auto row = r.row(i_new);
-  // Keep the transpose incidence current first, so the new path is its own
-  // partner candidate (diagonal pair) like every build()-time row.
-  for (const auto link : row) {
-    if (link >= columns_.size()) {
-      columns_.resize(link + 1);  // links unseen by any earlier path
-    }
-    columns_[link].push_back(static_cast<std::uint32_t>(i_new));
-  }
-  std::vector<std::uint32_t> partners;
-  for (const auto link : row) {
-    const auto& paths = columns_[link];
-    partners.insert(partners.end(), paths.begin(), paths.end());
-  }
-  std::sort(partners.begin(), partners.end());
-  partners.erase(std::unique(partners.begin(), partners.end()),
-                 partners.end());
-
   const std::size_t first_pair = pair_count();
+  std::vector<std::uint32_t> partners;
   std::vector<std::uint32_t> shared;
-  for (const auto j : partners) {
-    linalg::intersect_sorted(row, r.row(j), shared);
-    if (shared.empty()) continue;
-    const std::size_t p = partner_.size();
-    partner_.push_back(j);
-    link_offsets_.push_back(link_offsets_.back() + shared.size());
-    links_.insert(links_.end(), shared.begin(), shared.end());
-    if (reverse_built_ && j != i_new) partner_pairs_[j].push_back(p);
+  for (std::size_t i_new = path_count(); i_new < r.rows(); ++i_new) {
+    const auto row = r.row(i_new);
+    // Keep the transpose incidence current first, so the new path is its
+    // own partner candidate (diagonal pair) like every build()-time row —
+    // and earlier rows of this very batch partner with later ones.
+    for (const auto link : row) {
+      if (link >= columns_.size()) {
+        columns_.resize(link + 1);  // links unseen by any earlier path
+      }
+      columns_[link].push_back(static_cast<std::uint32_t>(i_new));
+    }
+    partners.clear();
+    for (const auto link : row) {
+      const auto& paths = columns_[link];
+      partners.insert(partners.end(), paths.begin(), paths.end());
+    }
+    std::sort(partners.begin(), partners.end());
+    partners.erase(std::unique(partners.begin(), partners.end()),
+                   partners.end());
+
+    for (const auto j : partners) {
+      linalg::intersect_sorted(row, r.row(j), shared);
+      if (shared.empty()) continue;
+      const std::size_t p = partner_.size();
+      partner_.push_back(j);
+      link_offsets_.push_back(link_offsets_.back() + shared.size());
+      links_.insert(links_.end(), shared.begin(), shared.end());
+      if (reverse_built_ && j != i_new) partner_pairs_[j].push_back(p);
+    }
+    row_offsets_.push_back(partner_.size());
+    row_live_.push_back(1);
+    if (reverse_built_) partner_pairs_.emplace_back();
   }
-  row_offsets_.push_back(partner_.size());
-  row_live_.push_back(1);
-  if (reverse_built_) partner_pairs_.emplace_back();
   return first_pair;
 }
 

@@ -92,6 +92,17 @@ class SharingPairStore {
   /// sorted intersection per sharing partner — never a rebuild.
   std::size_t add_row(const linalg::SparseBinaryMatrix& r);
 
+  /// Batched growth: appends every row of `r` beyond path_count(), in row
+  /// order — the exact pair sequence the equivalent add_row loop would
+  /// produce (rows appended earlier in the batch are sharing partners of
+  /// later ones).  `r` may also carry new trailing columns (a growing link
+  /// universe); the transpose incidence extends to cover them.  Returns
+  /// the index of the first appended pair.  Cost: O(appended nnz +
+  /// discovered partners) — one pass, no rebuild, no per-row routing
+  /// matrix copies.  Throws std::invalid_argument when `r` has fewer rows
+  /// than the store.
+  std::size_t add_rows(const linalg::SparseBinaryMatrix& r);
+
   /// Row liveness (path churn): a dead row's pairs stay in the store —
   /// indices are stable — but streaming consumers skip them.  A pair is
   /// live iff both of its paths' rows are live.  Rows start live.

@@ -720,22 +720,72 @@ void StreamingNormalEquations::set_path_live(std::size_t path, bool live) {
 }
 
 void StreamingNormalEquations::add_path(const linalg::SparseBinaryMatrix& r) {
+  add_paths(r, 1);
+}
+
+void StreamingNormalEquations::add_paths(const linalg::SparseBinaryMatrix& r,
+                                         std::size_t count) {
   if (!drop_negative_) {
     throw std::logic_error(
         "path churn requires the drop-negative streaming configuration");
   }
-  if (r.rows() != np_ + 1) {
-    throw std::invalid_argument("add_path: expected exactly one appended row");
+  if (count == 0) {
+    throw std::invalid_argument("add_paths needs count >= 1");
+  }
+  if (r.rows() != np_ + count) {
+    throw std::invalid_argument(
+        "add_paths: appended row count does not match the routing matrix");
+  }
+  if (r.cols() != nc_) {
+    throw std::invalid_argument(
+        "add_paths: link universe mismatch (call grow_links first)");
   }
   np_ = r.rows();
   if (!pairs_) {
-    pending_r_ = r;  // still lazy: the eventual build covers the new row
+    pending_r_ = r;  // still lazy: the eventual build covers the new rows
     return;
   }
-  pairs_->add_row(r);
+  pairs_->add_rows(r);
   // New pairs join dropped; they enter G through refresh() when ready.
   pair_kept_.resize(pairs_->pair_count(), 0);
   pending_mark_.resize(pairs_->pair_count(), 0);
+}
+
+void StreamingNormalEquations::grow_links(std::size_t count) {
+  if (!drop_negative_) {
+    throw std::logic_error(
+        "link growth requires the drop-negative streaming configuration");
+  }
+  if (count == 0) return;
+  const std::size_t nc = nc_ + count;
+  // Fresh links have no kept pair equation, so they join identity-pinned:
+  // G grows to diag(G, I) exactly.
+  linalg::Matrix g(nc, nc);
+  for (std::size_t i = 0; i < nc_; ++i) {
+    const auto src = sys_.g.row(i);
+    std::copy(src.begin(), src.end(), g.row(i).begin());
+  }
+  for (std::size_t a = nc_; a < nc; ++a) g(a, a) = 1.0;
+  sys_.g = std::move(g);
+  sys_.h.resize(nc, 0.0);
+  flip_scratch_.resize(nc, 0.0);
+  coverage_.resize(nc, 0);
+  pinned_in_g_.resize(nc, 1);
+  pin_pending_mark_.resize(nc, 0);
+  pins_active_ += count;
+  nc_ = nc;
+  links_grown_ += count;
+  if (factor_ && !factor_dirty_) {
+    if (factor_->jitter_used() > 0.0) {
+      // A jittered factor represents G + j*I; its identity border would
+      // mismatch the exact unit diagonal of the grown G.  Rebuild instead.
+      factor_dirty_ = true;
+    } else {
+      // Bordered growth: the identity border extends the factor exactly —
+      // no refactorization, and pending flips stay reconcilable.
+      factor_->append_identity(count);
+    }
+  }
 }
 
 // Brings the cached factor up to date with G when the pending flip set

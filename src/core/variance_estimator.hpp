@@ -263,6 +263,23 @@ class StreamingNormalEquations {
   /// it: invoke BEFORE PairMoments::add_path.
   void add_path(const linalg::SparseBinaryMatrix& r);
 
+  /// Batched growth: registers `count` appended paths (the trailing rows
+  /// of `r`; earlier rows must be unchanged) in one step — the pair store
+  /// grows once, state-identical to `count` add_path calls but without the
+  /// per-row bookkeeping resizes.  Rows referencing new links require a
+  /// grow_links() call first (r.cols() must equal the current link count;
+  /// throws std::invalid_argument otherwise).
+  void add_paths(const linalg::SparseBinaryMatrix& r, std::size_t count);
+
+  /// Grows the link universe by `count` fresh trailing columns.  Fresh
+  /// links have no kept pair equation yet, so they enter identity-pinned:
+  /// G becomes diag(G, I) exactly, and the cached factor follows by
+  /// bordered identity growth (linalg::UpdatableCholesky::append_identity)
+  /// — no refactorization, no rank-1 work.  Pairs covering the new links
+  /// later unpin them through the usual refresh()/flip border steps.
+  /// Drop-negative only (throws std::logic_error under keep-all).
+  void grow_links(std::size_t count);
+
   /// Solves the current system for v, reusing the cached (possibly
   /// up/downdated) factorization while it is valid.  Requires a prior
   /// refresh().
@@ -282,6 +299,9 @@ class StreamingNormalEquations {
   /// Pin/unpin border steps among rank1_updates() (links entering/leaving
   /// the identity-pinned state on the factor).
   [[nodiscard]] std::size_t pin_updates() const { return pin_updates_; }
+  /// Fresh virtual links absorbed mid-run via bordered identity growth
+  /// (grow_links), each entering pinned without a refactorization.
+  [[nodiscard]] std::size_t links_grown() const { return links_grown_; }
   /// Links currently identity-pinned (no kept pair equation covers them).
   [[nodiscard]] std::size_t links_pinned() const { return pins_active_; }
   /// Failed downdates that forced a refactorization.
@@ -344,6 +364,7 @@ class StreamingNormalEquations {
   std::size_t refactorizations_ = 0;
   std::size_t rank1_updates_ = 0;
   std::size_t pin_updates_ = 0;
+  std::size_t links_grown_ = 0;
   std::size_t downdate_fallbacks_ = 0;
   std::size_t refine_iterations_ = 0;
 };

@@ -144,6 +144,9 @@ Event parse_event(std::istringstream& ss, std::size_t lineno) {
   } else if (kind == "grow") {
     event.type = EventType::kGrow;
     event.count = attr_size(attrs, "count", lineno);
+  } else if (kind == "grow_links") {
+    event.type = EventType::kGrowLinks;
+    event.count = attr_size(attrs, "count", lineno);
   } else {
     fail(lineno, "unknown event: " + kind);
   }
@@ -176,6 +179,13 @@ scenario::ScenarioSpec read_scenario(std::istream& is) {
       spec.topology = parse_topology(ss, lineno);
     } else if (keyword == "at") {
       spec.events.push_back(parse_event(ss, lineno));
+    } else if (keyword == "lazy") {
+      std::string value_text;
+      if (!(ss >> value_text)) fail(lineno, "lazy needs 0 or 1");
+      if (value_text != "0" && value_text != "1") {
+        fail(lineno, "lazy must be 0 or 1, got " + value_text);
+      }
+      spec.lazy_simulation = value_text == "1";
     } else if (keyword == "window" || keyword == "ticks" ||
                keyword == "seed" || keyword == "probes" ||
                keyword == "initial_paths" || keyword == "reserve_paths") {
@@ -253,6 +263,7 @@ void write_scenario(std::ostream& os, const scenario::ScenarioSpec& spec) {
   }
   if (spec.initial_paths > 0) os << "initial_paths " << spec.initial_paths << '\n';
   if (spec.reserve_paths > 0) os << "reserve_paths " << spec.reserve_paths << '\n';
+  if (!spec.lazy_simulation) os << "lazy 0\n";
   for (const auto& e : spec.events) {
     os << "at " << e.tick << ' ' << scenario::event_type_name(e.type);
     switch (e.type) {
@@ -272,6 +283,7 @@ void write_scenario(std::ostream& os, const scenario::ScenarioSpec& spec) {
         os << " p=" << e.value;
         break;
       case EventType::kGrow:
+      case EventType::kGrowLinks:
         os << " count=" << e.count;
         break;
     }

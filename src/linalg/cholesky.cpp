@@ -149,6 +149,19 @@ bool UpdatableCholesky::downdate(std::span<const double> x,
   return true;
 }
 
+void UpdatableCholesky::append_identity(std::size_t k) {
+  if (k == 0) return;
+  const std::size_t n = dim();
+  Matrix grown(n + k, n + k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = l_.row(i);
+    std::copy(src.begin(), src.end(), grown.row(i).begin());
+  }
+  for (std::size_t i = n; i < n + k; ++i) grown(i, i) = 1.0;
+  l_ = std::move(grown);
+  w_.resize(n + k);
+}
+
 Vector UpdatableCholesky::solve(std::span<const double> b) const {
   return solve_llt(l_, b);
 }

@@ -129,6 +129,16 @@ class UpdatableCholesky {
   [[nodiscard]] bool downdate(std::span<const double> x,
                               double downdate_tol = 1e-12);
 
+  /// Bordered growth: the factored matrix becomes diag(A, I_k) — `k` new
+  /// trailing dimensions, decoupled (identity rows/columns).  Because the
+  /// border is exactly the identity, the factor extends with unit diagonal
+  /// entries and zero fill: no refactorization, no new rotation work, and
+  /// the extension is exact (the dimension-growth path of the streaming
+  /// normal equations, where fresh virtual links enter identity-pinned and
+  /// are later bordered into the live block by rank-1 steps).  Cost:
+  /// O((dim + k)^2) for the storage copy only.
+  void append_identity(std::size_t k);
+
   /// Solves A x = b with the current factor.  O(n^2).
   [[nodiscard]] Vector solve(std::span<const double> b) const;
 

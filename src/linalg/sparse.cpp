@@ -25,17 +25,25 @@ void intersect_sorted(std::span<const std::uint32_t> a,
 }
 
 SparseBinaryMatrix::SparseBinaryMatrix(
-    std::size_t cols, std::vector<std::vector<std::uint32_t>> rows)
-    : cols_(cols), rows_(std::move(rows)) {
-  for (auto& row : rows_) {
+    std::size_t cols, std::vector<std::vector<std::uint32_t>> rows) {
+  append_rows(cols, std::move(rows));
+}
+
+void SparseBinaryMatrix::append_rows(
+    std::size_t new_cols, std::vector<std::vector<std::uint32_t>> rows) {
+  const std::size_t cols = cols_ + new_cols;
+  for (auto& row : rows) {
     std::sort(row.begin(), row.end());
     if (std::adjacent_find(row.begin(), row.end()) != row.end()) {
       throw std::invalid_argument("duplicate column in sparse row");
     }
-    if (!row.empty() && row.back() >= cols_) {
+    if (!row.empty() && row.back() >= cols) {
       throw std::invalid_argument("column index out of range");
     }
   }
+  cols_ = cols;
+  rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
 }
 
 std::size_t SparseBinaryMatrix::nnz() const {

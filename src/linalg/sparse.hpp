@@ -27,7 +27,10 @@ void intersect_sorted(std::span<const std::uint32_t> a,
                       std::span<const std::uint32_t> b,
                       std::vector<std::uint32_t>& out);
 
-/// Immutable 0/1 sparse matrix stored as sorted column indices per row.
+/// 0/1 sparse matrix stored as sorted column indices per row.  Existing
+/// rows are immutable; the matrix grows append-only via append_rows (the
+/// overlay-growth path: new measurement paths, and with `new_cols` new
+/// virtual links, join an already-monitored matrix in O(appended nnz)).
 class SparseBinaryMatrix {
  public:
   SparseBinaryMatrix() = default;
@@ -35,6 +38,15 @@ class SparseBinaryMatrix {
   /// duplicates are rejected).
   SparseBinaryMatrix(std::size_t cols,
                      std::vector<std::vector<std::uint32_t>> rows);
+
+  /// Appends `rows` below the existing ones, first widening the column
+  /// space by `new_cols` (0 = fixed column universe).  Row indices may
+  /// reference the new columns; validation matches the constructor
+  /// (sorting, duplicate and range checks).  Cost: O(total appended nnz)
+  /// — existing rows are untouched, never copied.  Throws
+  /// std::invalid_argument and leaves the matrix unchanged on a bad row.
+  void append_rows(std::size_t new_cols,
+                   std::vector<std::vector<std::uint32_t>> rows);
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t cols() const { return cols_; }

@@ -122,10 +122,29 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
   std::vector<net::Path> pool(base.paths.begin() + initial, base.paths.end());
   universe_paths_.assign(base.paths.begin(), base.paths.begin() + initial);
 
+  // Combined reserve consumption up front: reroutes and both grow kinds
+  // all pop the pending-addition queue at apply time, and the grow kinds
+  // additionally pop the reserve pool here — validating the totals against
+  // the whole timeline before laying anything out means apply() can never
+  // run the queue dry or hand out a reserve path that does not exist.
+  std::size_t grow_total = 0;
+  for (const Event& e : timeline_.events()) {
+    if (e.type == EventType::kGrow || e.type == EventType::kGrowLinks) {
+      grow_total += e.count;
+    }
+  }
+  if (grow_total > pool.size()) {
+    throw std::invalid_argument(
+        "grow/grow_links events consume " + std::to_string(grow_total) +
+        " reserve paths combined, but reserve_paths is " +
+        std::to_string(pool.size()));
+  }
+
   // Lay out every row the monitor will ever learn, in the order it will
   // learn them, so universe and monitor row indices coincide.
   std::size_t pool_next = 0;
   std::set<std::size_t> rerouted;
+  std::vector<std::uint8_t> row_discovers_links(initial, 0);
   for (const Event& e : timeline_.events()) {
     switch (e.type) {
       case EventType::kPathJoin:
@@ -156,15 +175,15 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
         }
         pending_additions_.push_back(universe_paths_.size());
         universe_paths_.push_back(std::move(*alt));
+        row_discovers_links.push_back(0);
         break;
       }
       case EventType::kGrow:
+      case EventType::kGrowLinks:
         for (std::size_t k = 0; k < e.count; ++k) {
-          if (pool_next >= pool.size()) {
-            throw std::invalid_argument("grow events exceed reserve_paths");
-          }
           pending_additions_.push_back(universe_paths_.size());
           universe_paths_.push_back(pool[pool_next++]);
+          row_discovers_links.push_back(e.type == EventType::kGrowLinks);
         }
         break;
       case EventType::kLinkDown:
@@ -182,7 +201,52 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
     }
   }
 
-  // The monitor starts with the initial rows over the full universe link
+  // Monitor link basis.  Without kGrowLinks events: the whole universe
+  // basis, identity-mapped (churn never changes the column space).  With
+  // them (link-discovery mode): the links covered by any non-kGrowLinks
+  // row first, in ascending universe order, then the fresh links in the
+  // order their kGrowLinks rows append them — the exact order apply()
+  // replays, resolved here once so the mapping is a pure function of the
+  // spec.
+  const auto& universe_matrix = rrm_->matrix();
+  const std::size_t universe_links = rrm_->link_count();
+  constexpr std::uint32_t kUnmapped = 0xffffffffu;
+  link_to_monitor_.assign(universe_links, kUnmapped);
+  monitor_to_universe_.clear();
+  monitor_to_universe_.reserve(universe_links);
+  const bool discover = timeline_.count(EventType::kGrowLinks) > 0;
+  if (discover) {
+    std::vector<std::uint8_t> known(universe_links, 0);
+    for (std::size_t i = 0; i < universe_paths_.size(); ++i) {
+      if (row_discovers_links[i]) continue;
+      for (const auto link : universe_matrix.row(i)) known[link] = 1;
+    }
+    for (std::uint32_t k = 0; k < universe_links; ++k) {
+      if (!known[k]) continue;
+      link_to_monitor_[k] =
+          static_cast<std::uint32_t>(monitor_to_universe_.size());
+      monitor_to_universe_.push_back(k);
+    }
+  } else {
+    for (std::uint32_t k = 0; k < universe_links; ++k) {
+      link_to_monitor_[k] = k;
+      monitor_to_universe_.push_back(k);
+    }
+  }
+  const std::size_t initial_links = monitor_to_universe_.size();
+  if (discover) {
+    for (std::size_t i = 0; i < universe_paths_.size(); ++i) {
+      if (!row_discovers_links[i]) continue;
+      for (const auto link : universe_matrix.row(i)) {
+        if (link_to_monitor_[link] != kUnmapped) continue;
+        link_to_monitor_[link] =
+            static_cast<std::uint32_t>(monitor_to_universe_.size());
+        monitor_to_universe_.push_back(link);
+      }
+    }
+  }
+
+  // The monitor starts with the initial rows over the initially known link
   // basis; churn requires drop-negative on the streaming engine, so an
   // unresolved (kAuto) policy resolves to drop here.
   monitor_options.window = spec_.window;
@@ -191,15 +255,18 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
     monitor_options.lia.variance.negatives =
         core::NegativeCovariancePolicy::kDrop;
   }
-  const auto& universe_matrix = rrm_->matrix();
   std::vector<std::vector<std::uint32_t>> rows;
   rows.reserve(initial);
   for (std::size_t i = 0; i < initial; ++i) {
     const auto row = universe_matrix.row(i);
-    rows.emplace_back(row.begin(), row.end());
+    std::vector<std::uint32_t> mapped(row.size());
+    for (std::size_t idx = 0; idx < row.size(); ++idx) {
+      mapped[idx] = link_to_monitor_[row[idx]];
+    }
+    rows.push_back(std::move(mapped));
   }
   monitor_ = std::make_unique<core::LiaMonitor>(
-      linalg::SparseBinaryMatrix(universe_matrix.cols(), std::move(rows)),
+      linalg::SparseBinaryMatrix(initial_links, std::move(rows)),
       monitor_options);
   if (spec_.initial_paths > 0) {
     for (std::size_t i = spec_.initial_paths; i < initial; ++i) {
@@ -211,7 +278,10 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
   config.p = spec_.p;
   config.probes_per_snapshot = spec_.probes;
   if (spec_.min_good_loss > 0.0) {
-    config.loss_model.good_lo = spec_.min_good_loss;
+    // min_good_loss is a FLOOR on the good-link loss range: it must never
+    // lower a configured good_lo that already sits above it.
+    config.loss_model.good_lo =
+        std::max(config.loss_model.good_lo, spec_.min_good_loss);
     config.loss_model.good_hi =
         std::max(config.loss_model.good_hi, spec_.min_good_loss);
   }
@@ -228,20 +298,49 @@ void ScenarioRunner::apply(const Event& event) {
       monitor_->set_path_active(event.path, false);
       break;
     case EventType::kRouteChange:
-    case EventType::kGrow: {
+    case EventType::kGrow:
+    case EventType::kGrowLinks: {
       if (event.type == EventType::kRouteChange) {
         monitor_->set_path_active(event.path, false);
       }
       const std::size_t rows =
-          event.type == EventType::kGrow ? event.count : std::size_t{1};
+          event.type == EventType::kRouteChange ? std::size_t{1} : event.count;
+      // One batched append per event: the whole burst costs one routing-
+      // matrix append + one accumulator growth, not `rows` of each.
+      const std::size_t first_row = monitor_->routing().rows();
+      const std::size_t known_links = monitor_->routing().cols();
+      std::vector<std::vector<std::uint32_t>> batch;
+      batch.reserve(rows);
+      std::size_t fresh_links = 0;
       for (std::size_t k = 0; k < rows; ++k) {
+        if (pending_additions_.empty()) {
+          throw std::logic_error(
+              "pending-addition queue exhausted: universe layout and "
+              "timeline diverged");
+        }
         const std::size_t universe_row = pending_additions_.front();
         pending_additions_.pop_front();
-        const auto row = rrm_->matrix().row(universe_row);
-        const std::size_t added = monitor_->add_path({row.begin(), row.end()});
-        if (added != universe_row) {
+        if (universe_row != first_row + k) {
           throw std::logic_error("universe/monitor row order diverged");
         }
+        const auto row = rrm_->matrix().row(universe_row);
+        std::vector<std::uint32_t> mapped(row.size());
+        for (std::size_t idx = 0; idx < row.size(); ++idx) {
+          const std::uint32_t m = link_to_monitor_[row[idx]];
+          mapped[idx] = m;
+          // Fresh links were assigned the next consecutive monitor
+          // columns at construction; the batch carries them as new_links.
+          if (m >= known_links) {
+            fresh_links = std::max<std::size_t>(fresh_links,
+                                                m - known_links + 1);
+          }
+        }
+        batch.push_back(std::move(mapped));
+      }
+      const std::size_t added =
+          monitor_->add_paths(std::move(batch), fresh_links);
+      if (added != first_row) {
+        throw std::logic_error("universe/monitor row order diverged");
       }
       break;
     }
@@ -264,8 +363,21 @@ std::optional<core::LossInference> ScenarioRunner::step() {
   util::Timer timer;
   const auto due = timeline_.at(tick_);
   for (const Event& e : due) apply(e);
-  last_snapshot_ = simulator_->next();
   const std::size_t known = monitor_->routing().rows();
+  if (spec_.lazy_simulation &&
+      simulator_->config().mode == sim::ProbeMode::kSlotSynchronized) {
+    // Evaluate only the rows the monitor will actually read this tick:
+    // dormant reserve/alternate rows and retired paths cost nothing.  The
+    // per-unit loss processes consume the same RNG stream either way, so
+    // every evaluated entry is bit-identical to a full simulation.
+    needed_.assign(rrm_->path_count(), 0);
+    for (std::size_t i = 0; i < known; ++i) {
+      if (monitor_->path_active(i)) needed_[i] = 1;
+    }
+    last_snapshot_ = simulator_->next(needed_);
+  } else {
+    last_snapshot_ = simulator_->next();
+  }
   y_.assign(known, 0.0);
   for (std::size_t i = 0; i < known; ++i) {
     if (monitor_->path_active(i)) y_[i] = last_snapshot_.path_log_trans[i];

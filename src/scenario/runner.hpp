@@ -3,19 +3,32 @@
 //
 // The runner fixes a *universe* of measurement paths at construction: the
 // base paths routed over the generated topology, plus the alternate routes
-// every kRouteChange event will switch to, plus the reserve paths kGrow
-// events will append — laid out in exactly the order the monitor will
-// come to know them, so universe row indices and monitor row indices
-// coincide.  The reduced routing matrix (virtual-link basis) is computed
-// once over the whole universe: churn changes which rows are live, never
-// the column space, which is what lets the streaming engine carry its
-// state across events instead of relearning from scratch.
+// every kRouteChange event will switch to, plus the reserve paths kGrow /
+// kGrowLinks events will append — laid out in exactly the order the
+// monitor will come to know them, so universe row indices and monitor row
+// indices coincide.  The reduced routing matrix (virtual-link basis) is
+// computed once over the whole universe.
 //
-// The simulator realises every universe path every tick (loss processes
-// evolve continuously whether or not a path is currently measured); the
-// runner zeroes the entries of paths the monitor knows but that are
-// inactive (deterministic filler — never read by the estimator) and feeds
-// the prefix of rows the monitor currently knows.
+// The monitor's *link* basis depends on the script.  Without kGrowLinks
+// events it is the whole universe basis (identity mapping — churn changes
+// which rows are live, never the column space).  Any kGrowLinks event
+// switches the runner to link-discovery mode: the monitor starts with only
+// the universe links covered by non-kGrowLinks rows (initial paths,
+// reroute alternates, kGrow reserve rows), and a kGrowLinks batch whose
+// routes reference still-unseen links appends those links as fresh monitor
+// columns (core::LiaMonitor::add_paths with new_links > 0 — bordered nc
+// growth on the streaming factor, no refactorization).  monitor_links()
+// maps monitor columns back to universe links; the full mapping is fixed
+// at construction, so it is a pure function of the spec.
+//
+// The per-unit loss processes evolve continuously for every universe path
+// whether or not it is measured, and consume the same RNG stream either
+// way; with ScenarioSpec::lazy_simulation (the default) the per-tick path
+// evaluation runs only for monitor-active rows — dormant reserve rows cost
+// nothing — and inactive/unknown rows carry a 0.0 filler in
+// last_snapshot().  The runner feeds the monitor the prefix of rows it
+// currently knows, zero-filled for inactive paths (deterministic filler —
+// never read by the estimator).
 //
 // Determinism: a runner is a pure function of (spec, monitor options) —
 // two runners over the same spec see identical snapshots and events, which
@@ -60,8 +73,11 @@ class ScenarioRunner {
   /// negative-covariance policy resolves to drop-negative (churn requires
   /// it on the streaming engine).  Throws std::invalid_argument on an
   /// invalid spec — unknown paths/links, a reroute with no alternate
-  /// route (trees) or of an already-rerouted path, or a grow beyond the
-  /// reserve pool.
+  /// route (trees) or of an already-rerouted path, or a combined
+  /// reserve-pool consumption (kGrow + kGrowLinks counts together) beyond
+  /// reserve_paths; the pending-addition queue every reroute/grow pops is
+  /// validated against the whole timeline up front, so apply-time pops can
+  /// never run off a misaligned queue.
   explicit ScenarioRunner(ScenarioSpec spec,
                           core::MonitorOptions monitor_options = {});
 
@@ -95,6 +111,18 @@ class ScenarioRunner {
   [[nodiscard]] const net::ReducedRoutingMatrix& universe() const {
     return *rrm_;
   }
+  /// The simulator driving the scenario (configuration diagnostics).
+  [[nodiscard]] const sim::SnapshotSimulator& simulator() const {
+    return *simulator_;
+  }
+  /// Universe link id of each monitor column, in monitor-column order.
+  /// Identity (0, 1, ..., nc-1) without kGrowLinks events; in
+  /// link-discovery mode the discovered links in first-seen order.  The
+  /// prefix monitor().routing().cols() is live; the rest will be appended
+  /// by future kGrowLinks events.
+  [[nodiscard]] const std::vector<std::uint32_t>& monitor_links() const {
+    return monitor_to_universe_;
+  }
   [[nodiscard]] const net::Graph& graph() const { return graph_; }
   /// Base paths routed over the topology (before alternates/reserve).
   [[nodiscard]] std::size_t base_path_count() const { return base_paths_; }
@@ -118,6 +146,12 @@ class ScenarioRunner {
   std::size_t base_paths_ = 0;
   // Universe rows each addition event will append, in timeline order.
   std::deque<std::size_t> pending_additions_;
+  // Universe link -> monitor column (fully resolved at construction; in
+  // link-discovery mode fresh links map to columns the monitor does not
+  // have yet) and its inverse.  Identity without kGrowLinks events.
+  std::vector<std::uint32_t> link_to_monitor_;
+  std::vector<std::uint32_t> monitor_to_universe_;
+  std::vector<std::uint8_t> needed_;  // lazy-simulation scratch mask
   std::size_t tick_ = 0;
   std::size_t events_applied_ = 0;
   std::size_t diagnosed_ = 0;

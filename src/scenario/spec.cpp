@@ -21,6 +21,8 @@ const char* event_type_name(EventType type) {
       return "regime";
     case EventType::kGrow:
       return "grow";
+    case EventType::kGrowLinks:
+      return "grow_links";
   }
   return "?";
 }
@@ -89,6 +91,7 @@ void ScenarioSpec::validate() const {
         }
         break;
       case EventType::kGrow:
+      case EventType::kGrowLinks:
         if (e.count == 0) {
           throw std::invalid_argument("grow event needs count >= 1");
         }

@@ -27,6 +27,7 @@
 //   at 100 link_up link=2
 //   at 120 regime p=0.2
 //   at 130 grow count=2
+//   at 140 grow_links count=2   # reserve paths whose fresh links grow nc
 //
 // Ticks are 0-based measurement periods; an event `at t` is applied
 // before the snapshot of tick t is generated and observed.
@@ -48,6 +49,12 @@ enum class EventType {
   kLinkUp,       // clear the forcing
   kRegimeShift,  // rescale congestion probability, redraw the regime
   kGrow,         // append paths from the reserve pool as new dimensions
+  kGrowLinks,    // like kGrow, but the appended routes may reference fresh
+                 // virtual links: the monitor's link universe grows with
+                 // them (bordered nc growth on the streaming factor).  Any
+                 // kGrowLinks event switches the runner to link-discovery
+                 // mode — the monitor starts with only the links its known
+                 // rows cover, instead of the whole universe basis.
 };
 
 /// Name used in the text format ("join", "link_down", ...).
@@ -59,7 +66,7 @@ struct Event {
   std::size_t path = 0;   // kPathJoin / kPathLeave / kRouteChange
   std::size_t link = 0;   // kLinkDown / kLinkUp (virtual-link index)
   double value = 0.0;     // kRegimeShift: new p; kLinkDown: loss (0 = default)
-  std::size_t count = 1;  // kGrow: paths to append
+  std::size_t count = 1;  // kGrow / kGrowLinks: paths to append
 };
 
 /// How the scenario's network and measurement paths are generated.
@@ -130,6 +137,13 @@ struct ScenarioSpec {
   /// Trailing base paths held out of the monitor entirely until a kGrow
   /// event appends them as new dimensions.
   std::size_t reserve_paths = 0;
+  /// Simulate path measurements lazily: each tick evaluates only the
+  /// monitor-active paths (the per-unit loss processes keep evolving for
+  /// everything and consume the same RNG stream, so evaluated paths are
+  /// bit-identical either way).  A 10k-path universe with a heavy dormant
+  /// reserve pool then stops paying a popcount sweep per dormant row per
+  /// tick.  Text key: `lazy 0|1`.
+  bool lazy_simulation = true;
   std::vector<Event> events;
 
   /// Structural sanity: window >= 2, ticks > window (something to

@@ -222,7 +222,8 @@ void SnapshotSimulator::fill_masks(stats::Rng& rng) {
   });
 }
 
-Snapshot SnapshotSimulator::evaluate_slot_synchronized() {
+Snapshot SnapshotSimulator::evaluate_slot_synchronized(
+    std::span<const std::uint8_t> needed) {
   const std::size_t s = config_.probes_per_snapshot;
   const std::size_t np = rrm_.path_count();
   const std::size_t nc = rrm_.link_count();
@@ -245,10 +246,16 @@ Snapshot SnapshotSimulator::evaluate_slot_synchronized() {
 
   // Paths: a probe survives iff no traversed unit is bad in its slot.  Each
   // path/link writes only its own entries, so both sweeps parallelise
-  // without changing the output.
+  // without changing the output.  Unneeded paths (lazy mode) skip the
+  // popcount sweep entirely and carry a 0.0 filler.
   util::parallel_for(np, 32, [&](std::size_t begin, std::size_t end) {
     std::vector<std::uint64_t> acc(words_);
     for (std::size_t i = begin; i < end; ++i) {
+      if (!needed.empty() && needed[i] == 0) {
+        snap.path_trans[i] = 0.0;
+        snap.path_log_trans[i] = 0.0;
+        continue;
+      }
       const std::size_t bad = popcount_or(path_units_[i], acc);
       const double phi = clamp_fraction(
           static_cast<double>(s - bad) / static_cast<double>(s), s);
@@ -378,13 +385,20 @@ Snapshot SnapshotSimulator::finalize_truth(Snapshot snap) const {
   return snap;
 }
 
-Snapshot SnapshotSimulator::next() {
+Snapshot SnapshotSimulator::next() { return next({}); }
+
+Snapshot SnapshotSimulator::next(std::span<const std::uint8_t> needed_paths) {
+  if (!needed_paths.empty() && needed_paths.size() != rrm_.path_count()) {
+    throw std::invalid_argument("needed-path mask size != path count");
+  }
   refresh_congestion();
   auto slot_rng = rng_.fork(0x5eed);
   if (config_.mode == ProbeMode::kSlotSynchronized) {
     fill_masks(slot_rng);
-    return finalize_truth(evaluate_slot_synchronized());
+    return finalize_truth(evaluate_slot_synchronized(needed_paths));
   }
+  // Per-packet arrivals advance shared link chains path by path; skipping
+  // a path would change every later draw, so the mask is ignored here.
   return finalize_truth(evaluate_per_packet(slot_rng));
 }
 

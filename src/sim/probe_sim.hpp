@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -128,6 +129,20 @@ class SnapshotSimulator {
   /// according to `persistence`).
   Snapshot next();
 
+  /// Lazy variant: evaluates the path measurements only for paths whose
+  /// `needed_paths` entry is nonzero; the rest get a 0.0 filler in
+  /// path_trans / path_log_trans (never meaningful measurements).  The
+  /// loss processes are per *unit* and consume the identical RNG stream
+  /// whichever paths are evaluated, so next(mask) agrees bit-for-bit with
+  /// next() on every evaluated path and on all link-level truth — which is
+  /// what lets a scenario over a 10k-path universe with a dormant reserve
+  /// pool skip the per-tick popcount sweep of unmeasured rows.
+  /// `needed_paths.size()` must equal the routing matrix's path count
+  /// (throws std::invalid_argument); empty = evaluate everything.
+  /// kPerPacket mode ignores the mask: per-packet arrivals advance shared
+  /// link chains, so skipping a path would change the realisation.
+  Snapshot next(std::span<const std::uint8_t> needed_paths);
+
   /// Mid-run churn hooks (scenario engine, src/scenario/):
   ///
   /// Forces every loss unit of virtual link k to the given loss rate until
@@ -156,7 +171,7 @@ class SnapshotSimulator {
  private:
   void refresh_congestion();
   void fill_masks(stats::Rng& rng);
-  Snapshot evaluate_slot_synchronized();
+  Snapshot evaluate_slot_synchronized(std::span<const std::uint8_t> needed);
   Snapshot evaluate_per_packet(stats::Rng& rng);
   Snapshot finalize_truth(Snapshot snap) const;
 

@@ -34,11 +34,14 @@ void StreamingMoments::retire_path(std::size_t i) {
   churn_.retire(i);
 }
 
-std::size_t StreamingMoments::add_path() {
+std::size_t StreamingMoments::add_path() { return add_paths(1); }
+
+std::size_t StreamingMoments::add_paths(std::size_t count) {
+  if (count == 0) throw std::invalid_argument("add_paths needs count >= 1");
   const std::size_t index = dim_;
-  const std::size_t next = dim_ + 1;
+  const std::size_t next = dim_ + count;
   // Grow the ring: old rows widen with a zero tail — for the incremental
-  // invariant the new dimension's history IS zero.
+  // invariant the new dimensions' history IS zero.
   SnapshotMatrix ring(next, options_.window);
   for (std::size_t l = 0; l < options_.window; ++l) {
     const auto src = ring_.sample(l);
@@ -53,9 +56,9 @@ std::size_t StreamingMoments::add_path() {
   cross_ = std::move(cross);
   cov_ = linalg::Matrix(next, next);
   cov_valid_ = false;
-  mean_.push_back(0.0);
-  delta_.push_back(0.0);
-  churn_.add_dim(pushes_);
+  mean_.resize(next, 0.0);
+  delta_.resize(next, 0.0);
+  for (std::size_t k = 0; k < count; ++k) churn_.add_dim(pushes_);
   dim_ = next;
   return index;
 }

@@ -97,6 +97,11 @@ class StreamingMoments final : public CovarianceSource {
   /// incremental updates expect.  Returns the new dimension's index.
   /// Cost: O(dim * (dim + window)) reallocation — churn events are rare.
   std::size_t add_path();
+  /// Batched growth: appends `count` dimensions at once, state-identical to
+  /// `count` add_path() calls but with ONE ring/cross reallocation instead
+  /// of `count` — the O(change) path for mass-growth events.  Returns the
+  /// first new dimension's index.
+  std::size_t add_paths(std::size_t count);
   [[nodiscard]] bool path_active(std::size_t i) const {
     return churn_.active(i);
   }

@@ -187,6 +187,74 @@ TEST(SharingPairStore, AddRowMatchesRebuiltStore) {
   EXPECT_EQ(canonical(store), canonical(rebuilt));
 }
 
+// Batched growth must be state-identical to the equivalent add_row loop —
+// same pair indices, same partner orientation, same shared-link lists —
+// including pairs between two rows of the same batch, and rows that bring
+// fresh columns (a growing link universe).
+TEST(SharingPairStore, AddRowsMatchesSequentialAddRow) {
+  auto r_full = tree_matrix();
+  const std::size_t np = r_full.rows();
+  const std::size_t prefix = np - 5;
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const auto row = r_full.row(i);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  const linalg::SparseBinaryMatrix r_prefix(r_full.cols(), rows);
+  // A trailing row over two fresh columns shared with the last batch row.
+  const auto fresh_a = static_cast<std::uint32_t>(r_full.cols());
+  const auto fresh_b = fresh_a + 1;
+  r_full.append_rows(2, {{0, fresh_a, fresh_b}, {fresh_a, fresh_b}});
+
+  auto batched = SharingPairStore::build(r_prefix);
+  EXPECT_EQ(batched.add_rows(r_full), batched.row_begin(prefix));
+
+  auto sequential = SharingPairStore::build(r_prefix);
+  for (std::size_t i = prefix; i < r_full.rows(); ++i) {
+    std::vector<std::vector<std::uint32_t>> upto;
+    for (std::size_t k = 0; k <= i; ++k) {
+      const auto row = r_full.row(k);
+      upto.emplace_back(row.begin(), row.end());
+    }
+    sequential.add_row(linalg::SparseBinaryMatrix(r_full.cols(), upto));
+  }
+
+  ASSERT_EQ(batched.pair_count(), sequential.pair_count());
+  ASSERT_EQ(batched.path_count(), sequential.path_count());
+  std::size_t p = 0;
+  batched.for_pairs(
+      0, batched.pair_count(),
+      [&](std::size_t idx, std::uint32_t i, std::uint32_t j,
+          std::span<const std::uint32_t> links) {
+        EXPECT_EQ(j, sequential.partner(idx)) << "pair " << idx;
+        std::size_t q = 0;
+        sequential.for_pairs(idx, idx + 1,
+                             [&](std::size_t, std::uint32_t si, std::uint32_t,
+                                 std::span<const std::uint32_t> slinks) {
+                               EXPECT_EQ(i, si) << "pair " << idx;
+                               EXPECT_TRUE(std::equal(links.begin(),
+                                                      links.end(),
+                                                      slinks.begin(),
+                                                      slinks.end()))
+                                   << "pair " << idx;
+                               ++q;
+                             });
+        EXPECT_EQ(q, 1u);
+        ++p;
+      });
+  EXPECT_EQ(p, batched.pair_count());
+}
+
+TEST(SharingPairStore, AddRowsRejectsShrunkMatrix) {
+  const linalg::SparseBinaryMatrix r(3, {{0, 1}, {1, 2}});
+  auto store = SharingPairStore::build(r);
+  EXPECT_THROW(store.add_rows(linalg::SparseBinaryMatrix(3, {{0}})),
+               std::invalid_argument);
+  // add_rows over an identical matrix appends nothing.
+  EXPECT_EQ(store.add_rows(r), store.pair_count());
+  EXPECT_EQ(store.path_count(), 2u);
+}
+
 TEST(SharingPairStore, GrowsFromEmptyStore) {
   // A store built over zero paths (or default-constructed) must accept its
   // first add_row — the CSR leading offsets are established on demand.

@@ -124,6 +124,41 @@ TEST(UpdatableCholesky, DowndateMatchesFreshFactorization) {
   EXPECT_LT(max_abs_diff(upd.solve(b), Cholesky(a).solve(b)), 1e-9);
 }
 
+TEST(UpdatableCholesky, AppendIdentityMatchesBorderedMatrix) {
+  stats::Rng rng(23);
+  const std::size_t n = 6, k = 3;
+  const Matrix a = random_spd(n, rng);
+  UpdatableCholesky upd(a);
+  upd.append_identity(k);
+  EXPECT_EQ(upd.dim(), n + k);
+  // The factor now represents diag(a, I_k) exactly.
+  Matrix grown(n + k, n + k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) grown(i, j) = a(i, j);
+  }
+  for (std::size_t i = n; i < n + k; ++i) grown(i, i) = 1.0;
+  Vector b(n + k);
+  for (auto& v : b) v = rng.gaussian();
+  EXPECT_EQ(max_abs_diff(upd.solve(b), Cholesky(grown).solve(b)), 0.0);
+  // And subsequent rank-1 work that borders the new block in stays exact.
+  Vector x(n + k, 0.0);
+  x[1] = 1.0;
+  x[n + 1] = 1.0;
+  upd.update(x);
+  for (std::size_t i = 0; i < n + k; ++i) {
+    for (std::size_t j = 0; j < n + k; ++j) grown(i, j) += x[i] * x[j];
+  }
+  EXPECT_LT(max_abs_diff(upd.solve(b), Cholesky(grown).solve(b)), 1e-9);
+}
+
+TEST(UpdatableCholesky, AppendIdentityZeroIsNoOp) {
+  stats::Rng rng(24);
+  const Matrix a = random_spd(4, rng);
+  UpdatableCholesky upd(a);
+  upd.append_identity(0);
+  EXPECT_EQ(upd.dim(), 4u);
+}
+
 TEST(UpdatableCholesky, SparseVectorWithLeadingZeros) {
   // The indicator-vector case the streaming drop-negative path exercises:
   // zeros before the first shared link must be skipped without changing

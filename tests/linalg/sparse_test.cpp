@@ -35,6 +35,33 @@ TEST(SparseBinaryMatrix, RejectsOutOfRange) {
   EXPECT_THROW(SparseBinaryMatrix(2, {{2}}), std::invalid_argument);
 }
 
+TEST(SparseBinaryMatrix, AppendRowsGrowsRowsAndColumns) {
+  auto m = example();
+  // One new row over existing columns, one referencing two fresh columns.
+  m.append_rows(2, {{3, 0}, {4, 5, 1}});
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 6u);
+  // Existing rows untouched.
+  EXPECT_TRUE(m.contains(0, 2));
+  // Appended rows sorted and placed below.
+  const auto r3 = m.row(3);
+  EXPECT_EQ(r3[0], 0u);
+  EXPECT_EQ(r3[1], 3u);
+  const auto r4 = m.row(4);
+  EXPECT_EQ(r4[0], 1u);
+  EXPECT_EQ(r4[1], 4u);
+  EXPECT_EQ(r4[2], 5u);
+}
+
+TEST(SparseBinaryMatrix, AppendRowsValidatesLikeConstructor) {
+  auto m = example();
+  EXPECT_THROW(m.append_rows(0, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(m.append_rows(1, {{5}}), std::invalid_argument);
+  // Failed appends leave the matrix unchanged.
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
 TEST(SparseBinaryMatrix, Contains) {
   const auto m = example();
   EXPECT_TRUE(m.contains(0, 2));

@@ -33,7 +33,9 @@ TEST(ScenarioIo, ParsesFullScript) {
       "at 80 link_down link=2 loss=0.4\n"
       "at 100 link_up link=2\n"
       "at 120 regime p=0.2\n"
-      "at 130 grow count=4\n");
+      "at 130 grow count=4\n"
+      "at 140 grow_links count=2\n"
+      "lazy 0\n");
   const auto spec = read_scenario(input);
   EXPECT_EQ(spec.name, "flapping-mesh");
   EXPECT_EQ(spec.topology.kind, TopologySpec::Kind::kMesh);
@@ -48,7 +50,8 @@ TEST(ScenarioIo, ParsesFullScript) {
   EXPECT_DOUBLE_EQ(spec.min_good_loss, 0.002);
   EXPECT_EQ(spec.initial_paths, 40u);
   EXPECT_EQ(spec.reserve_paths, 4u);
-  ASSERT_EQ(spec.events.size(), 7u);
+  EXPECT_FALSE(spec.lazy_simulation);
+  ASSERT_EQ(spec.events.size(), 8u);
   EXPECT_EQ(spec.events[0].type, EventType::kPathLeave);
   EXPECT_EQ(spec.events[0].tick, 40u);
   EXPECT_EQ(spec.events[0].path, 3u);
@@ -58,6 +61,8 @@ TEST(ScenarioIo, ParsesFullScript) {
   EXPECT_DOUBLE_EQ(spec.events[5].value, 0.2);
   EXPECT_EQ(spec.events[6].type, EventType::kGrow);
   EXPECT_EQ(spec.events[6].count, 4u);
+  EXPECT_EQ(spec.events[7].type, EventType::kGrowLinks);
+  EXPECT_EQ(spec.events[7].count, 2u);
 }
 
 TEST(ScenarioIo, WriteReadRoundTrip) {
@@ -76,8 +81,10 @@ TEST(ScenarioIo, WriteReadRoundTrip) {
   spec.down_loss = 0.25;
   spec.min_good_loss = 0.001;
   spec.reserve_paths = 6;
+  spec.lazy_simulation = false;  // non-default value must round-trip
   spec.events = {
       {.tick = 30, .type = EventType::kGrow, .count = 3},
+      {.tick = 35, .type = EventType::kGrowLinks, .count = 2},
       {.tick = 40, .type = EventType::kLinkDown, .link = 1, .value = 0.5},
       {.tick = 50, .type = EventType::kRegimeShift, .value = 0.3},
   };
@@ -93,6 +100,7 @@ TEST(ScenarioIo, WriteReadRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded.p, spec.p);
   EXPECT_DOUBLE_EQ(loaded.min_good_loss, spec.min_good_loss);
   EXPECT_EQ(loaded.reserve_paths, spec.reserve_paths);
+  EXPECT_EQ(loaded.lazy_simulation, spec.lazy_simulation);
   ASSERT_EQ(loaded.events.size(), spec.events.size());
   for (std::size_t i = 0; i < spec.events.size(); ++i) {
     EXPECT_EQ(loaded.events[i].tick, spec.events[i].tick);

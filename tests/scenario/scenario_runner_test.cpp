@@ -3,13 +3,16 @@
 // over one spec see identical snapshots and produce identical outcomes).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/monitor.hpp"
 #include "linalg/matrix.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "sim/loss_model.hpp"
 
 namespace losstomo::scenario {
 namespace {
@@ -121,6 +124,28 @@ TEST(ScenarioRunner, ValidatesSpecAgainstTopology) {
     spec.events = {{.tick = 12, .type = EventType::kGrow, .count = 99}};
     EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
   }
+  // COMBINED grow + grow_links consumption beyond the reserve pool: each
+  // event alone fits (reserve 2), together they over-consume — the
+  // pending-addition queue would run dry at apply time.  Mixing in a
+  // reroute must not mask the check (reroutes pop the queue but not the
+  // pool).
+  {
+    auto spec = small_mesh_spec();
+    spec.events = {
+        {.tick = 10, .type = EventType::kRouteChange, .path = 2},
+        {.tick = 12, .type = EventType::kGrow, .count = 2},
+        {.tick = 14, .type = EventType::kGrowLinks, .count = 1},
+    };
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+  }
+  // Grow with count 0 (both kinds) is rejected by spec validation.
+  {
+    auto spec = small_mesh_spec();
+    spec.events = {{.tick = 12, .type = EventType::kGrow, .count = 0}};
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+    spec.events = {{.tick = 12, .type = EventType::kGrowLinks, .count = 0}};
+    EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
+  }
   // Join of an out-of-range path.
   {
     auto spec = small_mesh_spec();
@@ -133,6 +158,109 @@ TEST(ScenarioRunner, ValidatesSpecAgainstTopology) {
     spec.events = {{.tick = 12, .type = EventType::kLinkDown, .link = 100000}};
     EXPECT_THROW(ScenarioRunner(spec, {}), std::invalid_argument);
   }
+}
+
+// Regression (min_good_loss clamp): the floor must never LOWER a
+// configured good_lo that already exceeds it — the seed overwrote good_lo
+// unconditionally, silently shrinking the good-loss floor.
+TEST(ScenarioRunner, MinGoodLossIsAFloorNotAnOverwrite) {
+  const auto defaults = sim::LossModelConfig::llrd1_calibrated();
+  // A floor below the calibrated good range must leave good_hi untouched
+  // and only raise good_lo.
+  {
+    auto spec = small_mesh_spec();
+    spec.min_good_loss = 1e-5;
+    ScenarioRunner runner(spec, {});
+    const auto& model = runner.simulator().config().loss_model;
+    EXPECT_DOUBLE_EQ(model.good_lo, std::max(defaults.good_lo, 1e-5));
+    EXPECT_DOUBLE_EQ(model.good_hi, defaults.good_hi);
+    EXPECT_LE(model.good_lo, model.good_hi);
+  }
+  // A floor above the whole calibrated range raises both bounds to it.
+  {
+    auto spec = small_mesh_spec();
+    spec.min_good_loss = 0.01;
+    ScenarioRunner runner(spec, {});
+    const auto& model = runner.simulator().config().loss_model;
+    EXPECT_DOUBLE_EQ(model.good_lo, 0.01);
+    EXPECT_DOUBLE_EQ(model.good_hi, 0.01);
+  }
+}
+
+// A script mixing reroutes with both grow kinds must keep the pending-
+// addition queue aligned end to end: every appended monitor row lands at
+// its universe index and the queue is exactly drained.
+TEST(ScenarioRunner, MixedRerouteAndGrowStayAligned) {
+  auto spec = small_mesh_spec();
+  spec.events = {
+      {.tick = 12, .type = EventType::kRouteChange, .path = 2},
+      {.tick = 14, .type = EventType::kGrow, .count = 1},
+      {.tick = 16, .type = EventType::kGrowLinks, .count = 1},
+      {.tick = 18, .type = EventType::kRouteChange, .path = 4},
+  };
+  ScenarioRunner runner(spec, {});
+  const auto outcome = runner.run();
+  EXPECT_EQ(outcome.events_applied, 4u);
+  EXPECT_EQ(runner.monitor().routing().rows(), runner.universe().path_count());
+}
+
+// Link-discovery mode: a grow_links script starts the monitor on the
+// links its known rows cover and appends the fresh ones mid-run; without
+// grow_links events the mapping stays the identity over the whole
+// universe basis.
+TEST(ScenarioRunner, GrowLinksDiscoversFreshColumns) {
+  // A tree universe guarantees fresh links: every root-to-leaf path owns
+  // its leaf virtual link exclusively, so reserve rows held for
+  // grow_links keep those links out of the initial basis.
+  auto spec = small_mesh_spec();
+  spec.topology.kind = TopologySpec::Kind::kTree;
+  spec.topology.nodes = 60;
+  spec.events = {{.tick = 15, .type = EventType::kGrowLinks, .count = 2}};
+  ScenarioRunner runner(spec, {});
+  const std::size_t universe_links = runner.universe().link_count();
+  const std::size_t initial_cols = runner.monitor().routing().cols();
+  EXPECT_LE(initial_cols, universe_links);
+  (void)runner.run();
+  const std::size_t final_cols = runner.monitor().routing().cols();
+  EXPECT_EQ(final_cols, universe_links);
+  EXPECT_EQ(runner.monitor_links().size(), universe_links);
+  // The mapping is a bijection onto the universe basis, identity on the
+  // initially known prefix's ascending layout.
+  std::vector<std::uint8_t> seen(universe_links, 0);
+  for (const auto k : runner.monitor_links()) {
+    ASSERT_LT(k, universe_links);
+    EXPECT_EQ(seen[k], 0);
+    seen[k] = 1;
+  }
+  // This instance genuinely discovers links mid-run (otherwise the test
+  // would pin nothing; reseed the topology if generation ever changes).
+  EXPECT_LT(initial_cols, universe_links);
+  const auto* eqs = runner.monitor().streaming_equations();
+  ASSERT_NE(eqs, nullptr);
+  EXPECT_EQ(eqs->links_grown(), universe_links - initial_cols);
+}
+
+// Lazy simulation must not change anything the monitor ever reads: the
+// same spec with lazy off produces bit-identical inferences.
+TEST(ScenarioRunner, LazySimulationMatchesFullSimulation) {
+  auto lazy_spec = small_mesh_spec();
+  auto full_spec = small_mesh_spec();
+  full_spec.lazy_simulation = false;
+  ASSERT_TRUE(lazy_spec.lazy_simulation);
+  ScenarioRunner lazy(lazy_spec, {});
+  ScenarioRunner full(full_spec, {});
+  while (lazy.ticks_run() < lazy_spec.ticks) {
+    const auto a = lazy.step();
+    const auto b = full.step();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) continue;
+    EXPECT_EQ(linalg::max_abs_diff(a->loss, b->loss), 0.0);
+  }
+  // Link-level truth is identical too (the loss processes are per unit
+  // and consume the same RNG stream either way).
+  EXPECT_EQ(linalg::max_abs_diff(lazy.last_snapshot().link_true_loss,
+                                 full.last_snapshot().link_true_loss),
+            0.0);
 }
 
 TEST(ScenarioRunner, LinkDownRaisesMeasuredLossOnAffectedPaths) {
