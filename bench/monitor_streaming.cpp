@@ -37,6 +37,7 @@
 #include "common.hpp"
 #include "core/monitor.hpp"
 #include "core/sharing_pairs.hpp"
+#include "io/checkpoint.hpp"
 
 namespace {
 
@@ -111,6 +112,11 @@ struct OverlayFigures {
   double streaming_tick_seconds = 0.0;
   std::size_t refactorizations = 0;
   std::size_t rank1_updates = 0;
+  // Failover cost at this scale: one full monitor checkpoint (store +
+  // accumulator + cached factor) serialized and restored.
+  std::size_t checkpoint_bytes = 0;
+  double checkpoint_save_seconds = 0.0;
+  double checkpoint_restore_seconds = 0.0;
 };
 
 OverlayFigures run_overlay(std::size_t hosts, std::size_t m, std::size_t ticks,
@@ -152,6 +158,19 @@ OverlayFigures run_overlay(std::size_t hosts, std::size_t m, std::size_t ticks,
   const auto* eqs = monitor.streaming_equations();
   out.refactorizations = eqs->refactorizations();
   out.rank1_updates = eqs->rank1_updates();
+
+  util::Timer save_timer;
+  io::CheckpointWriter writer;
+  monitor.save_state(writer);
+  auto image = writer.finish();
+  out.checkpoint_save_seconds = save_timer.seconds();
+  out.checkpoint_bytes = image.size();
+
+  core::LiaMonitor restored(r, options);
+  util::Timer restore_timer;
+  auto reader = io::CheckpointReader::from_bytes(std::move(image));
+  restored.restore_state(reader);
+  out.checkpoint_restore_seconds = restore_timer.seconds();
   return out;
 }
 
@@ -244,6 +263,12 @@ int main(int argc, char** argv) {
                 << util::Table::num(overlay.streaming_tick_seconds, 5) << " s ("
                 << overlay.refactorizations << " refactorizations, "
                 << overlay.rank1_updates << " rank-1 updates)\n";
+      std::cout << "  checkpoint: " << overlay.checkpoint_bytes
+                << " bytes, saved in "
+                << util::Table::num(overlay.checkpoint_save_seconds, 4)
+                << " s, restored (factor included, no refactorization) in "
+                << util::Table::num(overlay.checkpoint_restore_seconds, 4)
+                << " s\n";
     }
 
     report.set("threads" + suffix,
@@ -277,6 +302,11 @@ int main(int argc, char** argv) {
                  overlay.streaming_tick_seconds);
       report.set("overlay_refactorizations" + suffix,
                  overlay.refactorizations);
+      report.set("checkpoint_bytes" + suffix, overlay.checkpoint_bytes);
+      report.set("checkpoint_save_s" + suffix,
+                 overlay.checkpoint_save_seconds);
+      report.set("checkpoint_restore_s" + suffix,
+                 overlay.checkpoint_restore_seconds);
     }
   });
   report.write(json_path);

@@ -21,16 +21,30 @@
 //       lia_cli mode=scenario scenario=scenarios/flapping_mesh.scn
 //               [ticks=] [window=] [engine=streaming|batch]
 //               [accumulator=dense|pairs] [tl=0.002]
+//   checkpoint-drill: crash-recovery drill (io/checkpoint.hpp).  Runs the
+//             scenario uninterrupted as a reference, re-runs it killing the
+//             process state at a scripted tick, restores from the
+//             checkpoint file, and verifies the resumed run is
+//             bit-identical with no extra refactorizations.  fault=
+//             corrupts the checkpoint instead and verifies the restore is
+//             rejected with the right typed error (exit 0 on clean
+//             rejection):
+//       lia_cli mode=checkpoint-drill scenario=scenarios/flapping_mesh.scn
+//               [kill_at=] [file=/tmp/losstomo_drill.ckpt] [ticks=]
+//               [window=] [threads=1] [fault=none|truncate|bitflip|version]
 //
 // File formats are documented in src/io/trace_io.hpp (measurements) and
 // src/scenario/spec.hpp (scenario scripts; shipped examples in scenarios/).
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 
 #include "core/identifiability.hpp"
 #include "core/lia.hpp"
 #include "core/monitor.hpp"
+#include "io/checkpoint.hpp"
 #include "io/scenario_io.hpp"
 #include "io/trace_io.hpp"
 #include "net/routing_matrix.hpp"
@@ -317,6 +331,132 @@ int scenario_mode(const util::Args& args) {
   return 0;
 }
 
+// Overwrites `file` with a deliberately damaged copy of itself.
+void corrupt_checkpoint(const std::string& file, const std::string& fault) {
+  std::ifstream in(file, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (bytes.empty()) throw std::runtime_error("empty checkpoint: " + file);
+  if (fault == "truncate") {
+    bytes.resize(bytes.size() / 2);
+  } else if (fault == "bitflip") {
+    bytes[bytes.size() / 2] ^= 0x20;
+  } else if (fault == "version") {
+    bytes[4] ^= 0xff;  // version field sits right after the 4-byte magic
+  } else {
+    throw std::runtime_error("unknown fault: " + fault);
+  }
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+int checkpoint_drill(const util::Args& args) {
+  const auto scenario_file = args.get_string("scenario", "");
+  const auto ckpt_file =
+      args.get_string("file", "/tmp/losstomo_drill.ckpt");
+  auto kill_at = args.get_size("kill_at", 0);
+  const auto ticks_override = args.get_size("ticks", 0);
+  const auto window_override = args.get_size("window", 0);
+  const auto threads = args.get_size("threads", 1);
+  const auto fault = args.get_string("fault", "none");
+  args.finish();
+  if (scenario_file.empty()) {
+    std::cerr << "mode=checkpoint-drill needs scenario=<file>\n";
+    return 2;
+  }
+  auto spec = io::load_scenario(scenario_file);
+  if (window_override > 0) spec.window = window_override;
+  if (ticks_override > 0) {
+    spec.ticks = ticks_override;
+    std::erase_if(spec.events, [&](const scenario::Event& e) {
+      return e.tick >= spec.ticks;
+    });
+  }
+  if (kill_at == 0) kill_at = (spec.window + spec.ticks) / 2;
+  if (kill_at >= spec.ticks) {
+    std::cerr << "kill_at must be < ticks (" << spec.ticks << ")\n";
+    return 2;
+  }
+  core::MonitorOptions options;
+  options.lia.variance.threads = threads;
+
+  // Uninterrupted reference run, recording every diagnosing tick.
+  std::vector<std::optional<linalg::Vector>> reference;
+  scenario::ScenarioRunner ref_runner(spec, options);
+  ref_runner.run([&](std::size_t, std::size_t,
+                     const std::optional<core::LossInference>& inf) {
+    reference.push_back(inf ? std::optional<linalg::Vector>(inf->loss)
+                            : std::nullopt);
+  });
+  const auto* ref_eqs = ref_runner.monitor().streaming_equations();
+  const std::size_t ref_refactorizations =
+      ref_eqs ? ref_eqs->refactorizations() : 0;
+
+  // Interrupted run: advance to the kill tick, checkpoint, and "die".
+  {
+    scenario::ScenarioRunner runner(spec, options);
+    while (runner.ticks_run() < kill_at) runner.step();
+    runner.save_checkpoint(ckpt_file);
+  }
+  std::cout << "checkpointed '" << spec.name << "' at tick " << kill_at
+            << " -> " << ckpt_file << '\n';
+
+  if (fault != "none") {
+    corrupt_checkpoint(ckpt_file, fault);
+    try {
+      auto runner = scenario::restore_runner(ckpt_file, options);
+      (void)runner;
+      std::cerr << "FAIL: " << fault
+                << "-corrupted checkpoint was accepted\n";
+      return 1;
+    } catch (const io::CheckpointError& e) {
+      std::cout << "corrupt checkpoint (" << fault
+                << ") cleanly rejected: " << e.what() << '\n';
+      return 0;
+    }
+  }
+
+  // Restore into a fresh process image and run the remaining ticks.
+  auto resumed = scenario::restore_runner(ckpt_file, options);
+  if (resumed.ticks_run() != kill_at) {
+    std::cerr << "FAIL: restored tick " << resumed.ticks_run() << " != "
+              << kill_at << '\n';
+    return 1;
+  }
+  double max_diff = 0.0;
+  bool shape_ok = true;
+  std::size_t tick = kill_at;
+  resumed.run([&](std::size_t, std::size_t,
+                  const std::optional<core::LossInference>& inf) {
+    const auto& ref = reference[tick++];
+    if (ref.has_value() != inf.has_value() ||
+        (ref && ref->size() != inf->loss.size())) {
+      shape_ok = false;
+      return;
+    }
+    if (!ref) return;
+    for (std::size_t k = 0; k < ref->size(); ++k) {
+      max_diff = std::max(max_diff, std::abs((*ref)[k] - inf->loss[k]));
+    }
+  });
+  const auto* eqs = resumed.monitor().streaming_equations();
+  const std::size_t refactorizations = eqs ? eqs->refactorizations() : 0;
+  std::cout << "resumed " << (spec.ticks - kill_at) << " ticks: max |diff| "
+            << max_diff << " vs uninterrupted run, " << refactorizations
+            << " refactorizations (reference " << ref_refactorizations
+            << ")\n";
+  if (!shape_ok || max_diff != 0.0) {
+    std::cerr << "FAIL: resumed run diverged from the reference\n";
+    return 1;
+  }
+  if (refactorizations != ref_refactorizations) {
+    std::cerr << "FAIL: restore cost a refactorization\n";
+    return 1;
+  }
+  std::cout << "bit-identical resume, factor cache intact\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -327,8 +467,9 @@ int main(int argc, char** argv) {
     if (mode == "infer") return infer(args);
     if (mode == "monitor") return monitor(args);
     if (mode == "scenario") return scenario_mode(args);
+    if (mode == "checkpoint-drill") return checkpoint_drill(args);
     std::cerr << "unknown mode: " << mode
-              << " (use generate|infer|monitor|scenario)\n";
+              << " (use generate|infer|monitor|scenario|checkpoint-drill)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "io/checkpoint.hpp"
+
 namespace losstomo::core {
 
 namespace {
@@ -19,6 +21,32 @@ MonitorOptions resolve_monitor_options(MonitorOptions options,
           ? NegativeCovariancePolicy::kDrop
           : NegativeCovariancePolicy::kKeep;
   return options;
+}
+
+void save_estimate(io::CheckpointWriter& writer, const VarianceEstimate& e) {
+  writer.begin_section("VEST");
+  writer.doubles(e.v);
+  writer.str(e.method);
+  writer.usize(e.equations_used);
+  writer.usize(e.equations_dropped);
+  writer.usize(e.negative_clamped);
+  writer.f64(e.jitter_used);
+  writer.usize(e.links_pinned);
+  writer.end_section();
+}
+
+VarianceEstimate restore_estimate(io::CheckpointReader& reader) {
+  reader.expect_section("VEST");
+  VarianceEstimate e;
+  e.v = reader.doubles();
+  e.method = reader.str();
+  e.equations_used = reader.usize();
+  e.equations_dropped = reader.usize();
+  e.negative_clamped = reader.usize();
+  e.jitter_used = reader.f64();
+  e.links_pinned = reader.usize();
+  reader.end_section();
+  return e;
 }
 
 }  // namespace
@@ -292,6 +320,191 @@ std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
   // delayed relearn sees the full intermediate history.
   push_snapshot(y);
   return result;
+}
+
+void LiaMonitor::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("LMON");
+  // Configuration fingerprint — everything a divergent restore target
+  // could silently disagree on.
+  writer.usize(options_.window);
+  writer.usize(options_.relearn_every);
+  writer.u8(static_cast<std::uint8_t>(engine_));
+  writer.u8(static_cast<std::uint8_t>(options_.accumulator));
+  writer.boolean(options_.lia.variance.negatives ==
+                 NegativeCovariancePolicy::kDrop);
+  writer.usize(options_.refresh_every);
+  // The grown routing matrix (the initial rows are its prefix).
+  writer.usize(r_.cols());
+  writer.usize(r_.rows());
+  for (std::size_t i = 0; i < r_.rows(); ++i) writer.u32s(r_.row(i));
+  writer.usize(ticks_);
+  writer.usize(since_learn_);
+  writer.boolean(churn_);
+  writer.u8s(active_);
+  writer.sizes(activated_tick_);
+  writer.boolean(lia_.trained());
+  if (lia_.trained()) save_estimate(writer, lia_.variances());
+  writer.boolean(churn_variance_.has_value());
+  if (churn_variance_) save_estimate(writer, *churn_variance_);
+  if (engine_ == MonitorEngine::kStreaming) {
+    const bool shared_store = store_ != nullptr;
+    if (shared_store) store_->save_state(writer);
+    if (pair_accumulator_) {
+      pair_accumulator_->save_state(writer);
+    } else {
+      accumulator_->save_state(writer);
+    }
+    equations_->save_state(writer, shared_store);
+  } else {
+    writer.usize(window_.size());
+    for (const auto& y : window_) writer.doubles(y);
+  }
+  writer.end_section();
+}
+
+void LiaMonitor::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("LMON");
+  const std::size_t window = reader.usize();
+  const std::size_t relearn_every = reader.usize();
+  const auto engine = static_cast<MonitorEngine>(reader.u8());
+  const auto accumulator = static_cast<CovarianceAccumulator>(reader.u8());
+  const bool drop_negative = reader.boolean();
+  const std::size_t refresh_every = reader.usize();
+  if (window != options_.window || relearn_every != options_.relearn_every ||
+      engine != engine_ || accumulator != options_.accumulator ||
+      drop_negative != (options_.lia.variance.negatives ==
+                        NegativeCovariancePolicy::kDrop) ||
+      refresh_every != options_.refresh_every) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "monitor configuration differs from the checkpointed one");
+  }
+  // Rebuild the grown routing matrix and verify the constructed monitor's
+  // initial routing is its prefix.
+  const std::size_t cols = reader.usize();
+  const std::size_t nrows = reader.usize();
+  if (nrows > reader.remaining() / 8) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "routing row count exceeds the payload");
+  }
+  std::vector<std::vector<std::uint32_t>> rows(nrows);
+  for (auto& row : rows) {
+    const std::vector<std::uint32_t> links = reader.u32s();
+    row.assign(links.begin(), links.end());
+  }
+  if (cols < r_.cols() || nrows < r_.rows()) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "checkpointed routing matrix is smaller than the monitor's");
+  }
+  std::optional<linalg::SparseBinaryMatrix> new_r;
+  try {
+    new_r.emplace(cols, std::move(rows));
+  } catch (const std::exception& e) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              std::string("routing matrix: ") + e.what());
+  }
+  for (std::size_t i = 0; i < r_.rows(); ++i) {
+    const auto mine = r_.row(i);
+    const auto theirs = new_r->row(i);
+    if (!std::equal(mine.begin(), mine.end(), theirs.begin(), theirs.end())) {
+      throw io::CheckpointError(
+          io::CheckpointErrorKind::kMismatch,
+          "checkpointed routing does not extend the monitor's routing");
+    }
+  }
+  const std::size_t ticks = reader.usize();
+  const std::size_t since_learn = reader.usize();
+  const bool churn = reader.boolean();
+  std::vector<std::uint8_t> active = reader.u8s();
+  std::vector<std::size_t> activated_tick = reader.sizes();
+  if (active.size() != nrows || activated_tick.size() != nrows) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "activation ledger size != path count");
+  }
+  std::optional<VarianceEstimate> lia_estimate;
+  if (reader.boolean()) lia_estimate = restore_estimate(reader);
+  if (lia_estimate && lia_estimate->v.size() != lia_.routing().cols()) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "adopted variance estimate has wrong size");
+  }
+  std::optional<VarianceEstimate> churn_estimate;
+  if (reader.boolean()) churn_estimate = restore_estimate(reader);
+  if (churn_estimate && churn_estimate->v.size() != cols) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "churn variance estimate has wrong size");
+  }
+
+  // Reconstruct the engine stack over the restored routing, restore its
+  // serialized state into the fresh objects, and only then commit.
+  std::shared_ptr<SharingPairStore> store;
+  std::optional<stats::StreamingMoments> acc;
+  std::optional<PairMoments> pair_acc;
+  std::optional<StreamingNormalEquations> equations;
+  std::deque<linalg::Vector> batch_window;
+  if (engine_ == MonitorEngine::kStreaming) {
+    const stats::StreamingMomentsOptions accumulator_options{
+        .window = options_.window,
+        .refresh_every = options_.refresh_every,
+        .threads = options_.lia.variance.threads};
+    if (options_.accumulator == CovarianceAccumulator::kSharingPairs) {
+      store = std::make_shared<SharingPairStore>();
+      store->restore_state(reader);
+      if (store->path_count() != nrows) {
+        throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                                  "pair store path count != routing rows");
+      }
+      pair_acc.emplace(store, nrows, accumulator_options);
+      pair_acc->restore_state(reader);
+      equations.emplace(*new_r, options_.lia.variance, store);
+      equations->restore_state(reader, store);
+    } else {
+      acc.emplace(nrows, accumulator_options);
+      acc->restore_state(reader);
+      equations.emplace(*new_r, options_.lia.variance);
+      equations->restore_state(reader, nullptr);
+    }
+  } else {
+    const std::size_t stored = reader.usize();
+    if (stored > options_.window) {
+      throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                                "batch window larger than configured");
+    }
+    for (std::size_t l = 0; l < stored; ++l) {
+      batch_window.emplace_back(reader.doubles());
+      if (batch_window.back().size() != nrows) {
+        throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                                  "batch window snapshot has wrong size");
+      }
+    }
+  }
+  reader.end_section();
+
+  // Commit (non-throwing moves), then recompute the derived Phase-2 state.
+  r_ = std::move(*new_r);
+  ticks_ = ticks;
+  since_learn_ = since_learn;
+  churn_ = churn;
+  active_ = std::move(active);
+  activated_tick_ = std::move(activated_tick);
+  active_dirty_ = true;
+  active_rows_.clear();
+  active_r_.reset();
+  window_ = std::move(batch_window);
+  store_ = std::move(store);
+  accumulator_ = std::move(acc);
+  pair_accumulator_ = std::move(pair_acc);
+  equations_ = std::move(equations);
+  if (lia_estimate) lia_.adopt(std::move(*lia_estimate));
+  if (churn_ && churn_estimate) {
+    churn_variance_ = std::move(churn_estimate);
+    rebuild_active();
+    churn_elimination_ = eliminate_low_variance_links(
+        *active_r_, churn_variance_->v, options_.lia.elimination);
+  } else {
+    churn_variance_.reset();
+    churn_elimination_.reset();
+  }
 }
 
 }  // namespace losstomo::core

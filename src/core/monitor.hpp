@@ -61,6 +61,11 @@
 #include "stats/moments.hpp"
 #include "stats/streaming.hpp"
 
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
+
 namespace losstomo::core {
 
 enum class MonitorEngine {
@@ -189,6 +194,28 @@ class LiaMonitor {
   [[nodiscard]] const linalg::SparseBinaryMatrix& routing() const {
     return r_;
   }
+
+  // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
+  //
+  // save_state serializes the complete mutable monitor: the (possibly
+  // grown) routing matrix, tick/relearn counters, churn flags and
+  // activation ledger, the batch window or the streaming stack (shared
+  // pair store, accumulator rings, incrementally maintained normal
+  // equations with their cached factor), and the adopted Phase-1
+  // estimates.  Phase-2 eliminations are NOT serialized — they are pure
+  // functions of (routing, variances) and are recomputed on restore, bit-
+  // identically.
+  //
+  // restore_state targets a monitor constructed with the SAME options and
+  // the same *initial* routing matrix (paths appended mid-run are replayed
+  // from the checkpoint); it validates a configuration fingerprint first
+  // and throws io::CheckpointError(kMismatch) on disagreement.  All
+  // payload is parsed and validated into temporaries before any member
+  // changes, so a failed restore leaves the monitor fully usable.  A
+  // restored monitor resumes bit-identically and keeps its cached factor:
+  // zero refactorizations on resume.
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
 
  private:
   void relearn_batch();

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "io/checkpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace losstomo::core {
@@ -119,6 +120,65 @@ void PairMoments::refresh() {
             });
       },
       options_.threads);
+}
+
+void PairMoments::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("PMOM");
+  writer.usize(dim_);
+  writer.usize(options_.window);
+  writer.usize(values_.size());
+  churn_.save_state(writer);
+  writer.doubles(ring_.flat());
+  writer.usize(head_);
+  writer.usize(count_);
+  writer.usize(pushes_);
+  writer.usize(since_refresh_);
+  writer.usize(refreshes_);
+  writer.doubles(mean_);
+  writer.doubles(values_);
+  writer.end_section();
+}
+
+void PairMoments::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("PMOM");
+  const std::size_t dim = reader.usize();
+  const std::size_t window = reader.usize();
+  const std::size_t pairs = reader.usize();
+  if (dim != dim_ || window != options_.window || pairs != values_.size()) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "pair moments shape " + std::to_string(dim) + "x" +
+            std::to_string(window) + "/" + std::to_string(pairs) +
+            " pairs, expected " + std::to_string(dim_) + "x" +
+            std::to_string(options_.window) + "/" +
+            std::to_string(values_.size()));
+  }
+  stats::PathChurnLedger churn = churn_;
+  churn.restore_state(reader);
+  std::vector<double> ring = reader.doubles();
+  const std::size_t head = reader.usize();
+  const std::size_t count = reader.usize();
+  const std::size_t pushes = reader.usize();
+  const std::size_t since_refresh = reader.usize();
+  const std::size_t refreshes = reader.usize();
+  std::vector<double> mean = reader.doubles();
+  std::vector<double> values = reader.doubles();
+  reader.end_section();
+  if (ring.size() != dim_ * options_.window || head >= options_.window ||
+      count > options_.window || mean.size() != dim_ ||
+      values.size() != values_.size()) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "pair moments state is inconsistent");
+  }
+  churn_ = std::move(churn);
+  std::copy(ring.begin(), ring.end(), ring_.sample(0).data());
+  head_ = head;
+  count_ = count;
+  pushes_ = pushes;
+  since_refresh_ = since_refresh;
+  refreshes_ = refreshes;
+  mean_ = std::move(mean);
+  values_ = std::move(values);
 }
 
 std::size_t PairMoments::find_pair(std::size_t i, std::size_t j) const {

@@ -102,6 +102,17 @@ class PairMoments final : public stats::CovarianceSource {
     return churn_.active(i);
   }
 
+  // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
+  //
+  // Same contract as stats::StreamingMoments::save_state/restore_state:
+  // ring, means, per-pair cross-products, churn ledger, and cadence
+  // counters round-trip bit-exactly; delta_ scratch is rebuilt.  The
+  // SharingPairStore is serialized by its owner (the monitor) — restore
+  // targets an accumulator already constructed over the restored store and
+  // throws io::CheckpointError(kMismatch) on any shape disagreement.
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
+
  private:
   void add(std::span<const double> y);
   void retire(std::span<const double> y);

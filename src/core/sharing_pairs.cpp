@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "io/checkpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace losstomo::core {
@@ -192,6 +193,67 @@ void SharingPairStore::pairs_of_path(std::size_t i,
   }
   out.insert(out.end(), partner_pairs_[i].begin(), partner_pairs_[i].end());
   std::sort(out.begin(), out.end());
+}
+
+void SharingPairStore::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("PAIR");
+  writer.sizes(row_offsets_);
+  writer.u32s(partner_);
+  writer.sizes(link_offsets_);
+  writer.u32s(links_);
+  writer.u8s(row_live_);
+  writer.usize(columns_.size());
+  for (const auto& column : columns_) writer.u32s(column);
+  writer.end_section();
+}
+
+void SharingPairStore::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("PAIR");
+  SharingPairStore tmp;
+  tmp.row_offsets_ = reader.sizes();
+  tmp.partner_ = reader.u32s();
+  tmp.link_offsets_ = reader.sizes();
+  tmp.links_ = reader.u32s();
+  tmp.row_live_ = reader.u8s();
+  const std::size_t column_count = reader.usize();
+  if (column_count > reader.remaining() / 8) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "pair store column count exceeds the payload");
+  }
+  tmp.columns_.resize(column_count);
+  for (auto& column : tmp.columns_) column = reader.u32s();
+  reader.end_section();
+  // Structural consistency: offsets monotone within bounds, partner and
+  // link ids in range — everything the unchecked readers rely on.
+  const std::size_t paths = tmp.path_count();
+  bool ok = !tmp.row_offsets_.empty() && tmp.row_offsets_.front() == 0 &&
+            tmp.row_offsets_.back() == tmp.partner_.size() &&
+            tmp.row_live_.size() == paths &&
+            tmp.link_offsets_.size() == tmp.partner_.size() + 1 &&
+            !tmp.link_offsets_.empty() && tmp.link_offsets_.front() == 0 &&
+            tmp.link_offsets_.back() == tmp.links_.size();
+  for (std::size_t i = 0; ok && i + 1 < tmp.row_offsets_.size(); ++i) {
+    ok = tmp.row_offsets_[i] <= tmp.row_offsets_[i + 1];
+  }
+  for (std::size_t p = 0; ok && p + 1 < tmp.link_offsets_.size(); ++p) {
+    ok = tmp.link_offsets_[p] <= tmp.link_offsets_[p + 1];
+  }
+  for (std::size_t p = 0; ok && p < tmp.partner_.size(); ++p) {
+    ok = tmp.partner_[p] < paths;
+  }
+  for (std::size_t e = 0; ok && e < tmp.links_.size(); ++e) {
+    ok = tmp.links_[e] < tmp.columns_.size();
+  }
+  for (std::size_t c = 0; ok && c < tmp.columns_.size(); ++c) {
+    for (std::size_t k = 0; ok && k < tmp.columns_[c].size(); ++k) {
+      ok = tmp.columns_[c][k] < paths;
+    }
+  }
+  if (!ok) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "pair store CSR structure is inconsistent");
+  }
+  *this = std::move(tmp);
 }
 
 std::size_t SharingPairStore::bytes() const {

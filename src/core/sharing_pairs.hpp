@@ -30,6 +30,11 @@
 
 #include "linalg/sparse.hpp"
 
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
+
 namespace losstomo::core {
 
 /// Reusable discovery of the sharing partners of one path.
@@ -173,6 +178,17 @@ class SharingPairStore {
       fn(p, static_cast<std::uint32_t>(i), partner_[p], links(p));
     }
   }
+
+  // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
+  //
+  // Serializes the CSR arrays, the liveness flags, and the transpose
+  // incidence; the reverse (partner -> pairs) index is NOT serialized —
+  // it is a deterministic function of the rest and rebuilds lazily on the
+  // first pairs_of_path call.  restore_state replaces the whole store (it
+  // may target a default-constructed instance); on failure *this is
+  // unchanged.
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
 
  private:
   void ensure_reverse_index() const;

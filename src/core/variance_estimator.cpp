@@ -8,6 +8,7 @@
 
 #include "core/augmented_matrix.hpp"
 #include "core/pair_moments.hpp"
+#include "io/checkpoint.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/qr.hpp"
 #include "util/parallel.hpp"
@@ -1128,6 +1129,195 @@ bool StreamingNormalEquations::refine(linalg::Vector& v) {
     for (std::size_t k = 0; k < n; ++k) p[k] = z[k] + beta * p[k];
   }
   return false;
+}
+
+void StreamingNormalEquations::save_state(io::CheckpointWriter& writer,
+                                          bool store_external) const {
+  writer.begin_section("SNEQ");
+  writer.usize(np_);
+  writer.usize(nc_);
+  writer.boolean(drop_negative_);
+  writer.boolean(refreshed_);
+  writer.doubles(sys_.g.data());
+  writer.doubles(sys_.h);
+  writer.usize(sys_.used);
+  writer.usize(sys_.dropped);
+  writer.boolean(factor_dirty_);
+  writer.boolean(factor_.has_value());
+  if (factor_) {
+    writer.doubles(factor_->l().data());
+    writer.f64(factor_->jitter_used());
+    writer.u32(static_cast<std::uint32_t>(factor_->jitter_attempts()));
+  }
+  writer.usize(factor_updates_);
+  writer.usize(refactorizations_);
+  writer.usize(rank1_updates_);
+  writer.usize(pin_updates_);
+  writer.usize(links_grown_);
+  writer.usize(downdate_fallbacks_);
+  writer.usize(refine_iterations_);
+  if (drop_negative_) {
+    const bool has_store = pairs_ != nullptr;
+    writer.boolean(has_store);
+    writer.boolean(store_external);
+    if (has_store && !store_external) pairs_->save_state(writer);
+    writer.u8s(pair_kept_);
+    writer.sizes(pending_);
+    writer.u8s(pending_mark_);
+    writer.usize(pending_live_);
+    writer.u32s(coverage_);
+    writer.u8s(pinned_in_g_);
+    writer.sizes(pin_pending_);
+    writer.u8s(pin_pending_mark_);
+    writer.usize(pin_pending_live_);
+    writer.usize(pins_active_);
+  }
+  writer.end_section();
+}
+
+void StreamingNormalEquations::restore_state(
+    io::CheckpointReader& reader, std::shared_ptr<SharingPairStore> store) {
+  reader.expect_section("SNEQ");
+  const std::size_t np = reader.usize();
+  const std::size_t nc = reader.usize();
+  const bool drop_negative = reader.boolean();
+  if (np != np_ || nc != nc_ || drop_negative != drop_negative_) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "normal equations shape " + std::to_string(np) + "x" +
+            std::to_string(nc) + (drop_negative ? " drop" : " keep") +
+            ", expected " + std::to_string(np_) + "x" + std::to_string(nc_) +
+            (drop_negative_ ? " drop" : " keep"));
+  }
+  // Everything parses into locals first; members only move in at the end
+  // (no-partial-state guarantee).
+  const bool refreshed = reader.boolean();
+  std::vector<double> g = reader.doubles();
+  std::vector<double> h = reader.doubles();
+  const std::size_t used = reader.usize();
+  const std::size_t dropped = reader.usize();
+  const bool factor_dirty = reader.boolean();
+  const bool has_factor = reader.boolean();
+  std::optional<linalg::UpdatableCholesky> factor;
+  if (has_factor) {
+    std::vector<double> l = reader.doubles();
+    const double jitter_used = reader.f64();
+    const int jitter_attempts = static_cast<int>(reader.u32());
+    if (l.size() != nc_ * nc_) {
+      throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                                "cached factor has the wrong shape");
+    }
+    linalg::Matrix lm(nc_, nc_);
+    std::copy(l.begin(), l.end(), lm.data().begin());
+    factor = linalg::UpdatableCholesky::from_state(std::move(lm), jitter_used,
+                                                   jitter_attempts);
+  }
+  const std::size_t factor_updates = reader.usize();
+  const std::size_t refactorizations = reader.usize();
+  const std::size_t rank1_updates = reader.usize();
+  const std::size_t pin_updates = reader.usize();
+  const std::size_t links_grown = reader.usize();
+  const std::size_t downdate_fallbacks = reader.usize();
+  const std::size_t refine_iterations = reader.usize();
+  if (g.size() != nc_ * nc_ || h.size() != nc_) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "normal equations G/h have the wrong shape");
+  }
+  std::shared_ptr<SharingPairStore> pairs;
+  std::vector<std::uint8_t> pair_kept;
+  std::vector<std::size_t> pending;
+  std::vector<std::uint8_t> pending_mark;
+  std::size_t pending_live = 0;
+  std::vector<std::uint32_t> coverage;
+  std::vector<std::uint8_t> pinned_in_g;
+  std::vector<std::size_t> pin_pending;
+  std::vector<std::uint8_t> pin_pending_mark;
+  std::size_t pin_pending_live = 0;
+  std::size_t pins_active = 0;
+  bool has_store = false;
+  if (drop_negative_) {
+    has_store = reader.boolean();
+    const bool store_external = reader.boolean();
+    if (has_store) {
+      if (store_external) {
+        if (store == nullptr) {
+          throw io::CheckpointError(
+              io::CheckpointErrorKind::kMismatch,
+              "checkpoint expects a shared pair store, none was provided");
+        }
+        pairs = std::move(store);
+      } else {
+        if (store != nullptr) {
+          throw io::CheckpointError(
+              io::CheckpointErrorKind::kMismatch,
+              "checkpoint embeds its own pair store, but a shared store "
+              "was provided");
+        }
+        pairs = std::make_shared<SharingPairStore>();
+        pairs->restore_state(reader);
+      }
+    }
+    pair_kept = reader.u8s();
+    pending = reader.sizes();
+    pending_mark = reader.u8s();
+    pending_live = reader.usize();
+    coverage = reader.u32s();
+    pinned_in_g = reader.u8s();
+    pin_pending = reader.sizes();
+    pin_pending_mark = reader.u8s();
+    pin_pending_live = reader.usize();
+    pins_active = reader.usize();
+    const std::size_t pair_count = pairs ? pairs->pair_count() : 0;
+    bool ok = pair_kept.size() == pair_count &&
+              pending_mark.size() == pair_count &&
+              coverage.size() == nc_ && pinned_in_g.size() == nc_ &&
+              pin_pending_mark.size() == nc_ && pins_active <= nc_ &&
+              (!pairs || pairs->path_count() == np_);
+    for (std::size_t k = 0; ok && k < pending.size(); ++k) {
+      ok = pending[k] < pair_count;
+    }
+    for (std::size_t k = 0; ok && k < pin_pending.size(); ++k) {
+      ok = pin_pending[k] < nc_;
+    }
+    if (!ok) {
+      throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                                "pending-flip/pin state is inconsistent");
+    }
+  }
+  reader.end_section();
+
+  refreshed_ = refreshed;
+  std::copy(g.begin(), g.end(), sys_.g.data().begin());
+  sys_.h = std::move(h);
+  sys_.used = used;
+  sys_.dropped = dropped;
+  factor_dirty_ = factor_dirty;
+  factor_ = std::move(factor);
+  factor_updates_ = factor_updates;
+  refactorizations_ = refactorizations;
+  rank1_updates_ = rank1_updates;
+  pin_updates_ = pin_updates;
+  links_grown_ = links_grown;
+  downdate_fallbacks_ = downdate_fallbacks;
+  refine_iterations_ = refine_iterations;
+  if (drop_negative_) {
+    if (has_store) {
+      pairs_ = std::move(pairs);
+      pending_r_.reset();
+    }
+    // else: the lazy pending_r_ installed by the constructor stays.
+    pair_kept_ = std::move(pair_kept);
+    pending_ = std::move(pending);
+    pending_mark_ = std::move(pending_mark);
+    pending_live_ = pending_live;
+    coverage_ = std::move(coverage);
+    pinned_in_g_ = std::move(pinned_in_g);
+    pin_pending_ = std::move(pin_pending);
+    pin_pending_mark_ = std::move(pin_pending_mark);
+    pin_pending_live_ = pin_pending_live;
+    pins_active_ = pins_active;
+    flip_scratch_.assign(nc_, 0.0);
+  }
 }
 
 }  // namespace losstomo::core

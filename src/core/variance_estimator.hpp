@@ -321,6 +321,25 @@ class StreamingNormalEquations {
     return pairs_.get();
   }
 
+  // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
+  //
+  // Serializes every piece of mutable state the incremental machinery
+  // depends on: the integer-maintained G and rhs, the cached
+  // UpdatableCholesky factor (restored via from_state — NO refactorization
+  // on resume), the pending pair/pin flip queues with their membership
+  // marks, the kept-pair flags, link coverage and pin states, and all
+  // counters.  `store_external` is true when the pair store is owned by
+  // someone else (the monitor's shared PairMoments store) and serialized
+  // there; otherwise an owned store is embedded.  Structure derived purely
+  // from the routing matrix (column_paths_, the lazy pending_r_) is NOT
+  // serialized — restore_state targets an instance freshly constructed
+  // over the same (already restored) routing matrix and store
+  // configuration, and throws io::CheckpointError(kMismatch) on any shape
+  // or policy disagreement.  On failure *this is unchanged.
+  void save_state(io::CheckpointWriter& writer, bool store_external) const;
+  void restore_state(io::CheckpointReader& reader,
+                     std::shared_ptr<SharingPairStore> shared_store);
+
  private:
   void ensure_store();
   void apply_flips(const std::vector<std::size_t>& flips);

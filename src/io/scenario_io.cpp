@@ -77,6 +77,13 @@ double attr_double(const std::map<std::string, std::string>& attrs,
   }
 }
 
+std::string attr_string(const std::map<std::string, std::string>& attrs,
+                        const std::string& key, std::size_t lineno) {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) fail(lineno, "missing attribute '" + key + "'");
+  return it->second;
+}
+
 TopologySpec parse_topology(std::istringstream& ss, std::size_t lineno) {
   TopologySpec topology;
   std::string kind;
@@ -147,6 +154,14 @@ Event parse_event(std::istringstream& ss, std::size_t lineno) {
   } else if (kind == "grow_links") {
     event.type = EventType::kGrowLinks;
     event.count = attr_size(attrs, "count", lineno);
+  } else if (kind == "checkpoint") {
+    event.type = EventType::kCheckpoint;
+    event.file = attr_string(attrs, "file", lineno);
+  } else if (kind == "restore") {
+    event.type = EventType::kRestore;
+    event.file = attr_string(attrs, "file", lineno);
+  } else if (kind == "handoff") {
+    event.type = EventType::kHandoff;
   } else {
     fail(lineno, "unknown event: " + kind);
   }
@@ -222,6 +237,13 @@ scenario::ScenarioSpec read_scenario(std::istream& is) {
     std::string trailing;
     if (ss >> trailing) fail(lineno, "trailing tokens: " + trailing);
   }
+  // getline returning false means EOF *or* a stream-level I/O failure;
+  // treating a failed read as "end of script" would silently truncate the
+  // scenario.  failbit alone is the normal EOF-on-empty-line signal.
+  if (is.bad()) {
+    throw std::runtime_error("scenario read: stream I/O failure after line " +
+                             std::to_string(lineno));
+  }
   if (!named) throw std::runtime_error("empty scenario script");
   try {
     spec.validate();
@@ -285,6 +307,12 @@ void write_scenario(std::ostream& os, const scenario::ScenarioSpec& spec) {
       case EventType::kGrow:
       case EventType::kGrowLinks:
         os << " count=" << e.count;
+        break;
+      case EventType::kCheckpoint:
+      case EventType::kRestore:
+        os << " file=" << e.file;
+        break;
+      case EventType::kHandoff:
         break;
     }
     os << '\n';

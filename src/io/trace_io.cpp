@@ -9,14 +9,24 @@ namespace losstomo::io {
 
 namespace {
 
-// Strips comments and returns false for blank lines.
-bool next_content_line(std::istream& is, std::string& line) {
+// Strips comments, skips blank lines, and keeps `lineno` at the 1-based
+// number of the returned line.  Returns false only at clean end-of-file: a
+// stream-level I/O failure (badbit) mid-read would otherwise be
+// indistinguishable from EOF and silently truncate the trace, so it throws
+// instead.
+bool next_content_line(std::istream& is, std::string& line,
+                       std::size_t& lineno) {
   while (std::getline(is, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream probe(line);
     std::string token;
     if (probe >> token) return true;
+  }
+  if (is.bad()) {
+    throw std::runtime_error("trace read: stream I/O failure after line " +
+                             std::to_string(lineno));
   }
   return false;
 }
@@ -51,27 +61,40 @@ void write_topology(std::ostream& os, const net::Graph& g) {
 
 net::Graph read_topology(std::istream& is) {
   std::string line;
-  if (!next_content_line(is, line)) throw std::runtime_error("empty topology");
+  std::size_t lineno = 0;
+  if (!next_content_line(is, line, lineno)) {
+    throw std::runtime_error("empty topology");
+  }
   std::istringstream header(line);
   std::string keyword;
   std::size_t nv = 0;
   header >> keyword >> nv;
-  if (keyword != "nodes") throw std::runtime_error("expected 'nodes <count>'");
+  if (keyword != "nodes") {
+    throw std::runtime_error("expected 'nodes <count>' at topology line " +
+                             std::to_string(lineno) + ": " + line);
+  }
   net::Graph g(nv);
-  while (next_content_line(is, line)) {
+  while (next_content_line(is, line, lineno)) {
     std::istringstream ss(line);
     ss >> keyword;
     if (keyword == "as") {
       net::NodeId v;
       std::uint32_t as_id;
-      if (!(ss >> v >> as_id)) throw std::runtime_error("bad 'as' line");
+      if (!(ss >> v >> as_id)) {
+        throw std::runtime_error("bad 'as' line " + std::to_string(lineno) +
+                                 ": " + line);
+      }
       g.set_as(v, as_id);
     } else if (keyword == "edge") {
       net::NodeId from, to;
-      if (!(ss >> from >> to)) throw std::runtime_error("bad 'edge' line");
+      if (!(ss >> from >> to)) {
+        throw std::runtime_error("bad 'edge' line " + std::to_string(lineno) +
+                                 ": " + line);
+      }
       g.add_edge(from, to);
     } else {
-      throw std::runtime_error("unknown topology keyword: " + keyword);
+      throw std::runtime_error("unknown topology keyword at line " +
+                               std::to_string(lineno) + ": " + keyword);
     }
   }
   return g;
@@ -89,15 +112,24 @@ void write_paths(std::ostream& os, const std::vector<net::Path>& paths) {
 std::vector<net::Path> read_paths(std::istream& is) {
   std::vector<net::Path> paths;
   std::string line;
-  while (next_content_line(is, line)) {
+  std::size_t lineno = 0;
+  while (next_content_line(is, line, lineno)) {
     std::istringstream ss(line);
     net::Path p;
     if (!(ss >> p.source >> p.destination)) {
-      throw std::runtime_error("bad path line: " + line);
+      throw std::runtime_error("bad path line " + std::to_string(lineno) +
+                               ": " + line);
     }
     net::EdgeId e;
     while (ss >> e) p.edges.push_back(e);
-    if (p.edges.empty()) throw std::runtime_error("path without edges");
+    if (!ss.eof()) {  // non-numeric trailing token, not end of line
+      throw std::runtime_error("bad path line " + std::to_string(lineno) +
+                               ": " + line);
+    }
+    if (p.edges.empty()) {
+      throw std::runtime_error("path without edges at line " +
+                               std::to_string(lineno) + ": " + line);
+    }
     paths.push_back(std::move(p));
   }
   return paths;
@@ -119,7 +151,7 @@ SnapshotStream::SnapshotStream(std::istream& is, bool log_transform)
     : is_(&is), log_transform_(log_transform) {}
 
 bool SnapshotStream::next(std::vector<double>& y) {
-  if (!next_content_line(*is_, line_)) return false;
+  if (!next_content_line(*is_, line_, lineno_)) return false;
   std::istringstream ss(line_);
   y.clear();
   double phi;
@@ -127,19 +159,22 @@ bool SnapshotStream::next(std::vector<double>& y) {
     // Negated-range form so NaN (which compares false to everything, and
     // which `ss >> phi` happily parses from "nan") is rejected too.
     if (!(phi >= 0.0 && phi <= 1.0)) {
-      throw std::runtime_error("phi out of [0,1]");
+      throw std::runtime_error("phi out of [0,1] at snapshot line " +
+                               std::to_string(lineno_) + ": " + line_);
     }
     y.push_back(log_transform_ ? std::log(std::max(phi, 1e-9)) : phi);
   }
   // next_content_line guarantees at least one token, so an empty parse (or
   // one that stopped before the end of the line) means non-numeric input.
   if (!ss.eof() || y.empty()) {
-    throw std::runtime_error("bad snapshot line: " + line_);
+    throw std::runtime_error("bad snapshot line " + std::to_string(lineno_) +
+                             ": " + line_);
   }
   if (dim_ == 0) {
     dim_ = y.size();
   } else if (y.size() != dim_) {
-    throw std::runtime_error("ragged snapshot file");
+    throw std::runtime_error("ragged snapshot file at line " +
+                             std::to_string(lineno_));
   }
   ++read_;
   return true;

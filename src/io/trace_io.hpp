@@ -50,8 +50,11 @@ class SnapshotStream {
   explicit SnapshotStream(std::istream& is, bool log_transform = true);
 
   /// Reads the next snapshot into `y` (resized to the arity of the file).
-  /// Returns false at end of input.  Throws std::runtime_error on malformed
-  /// lines, out-of-range phi, or a row arity that differs from the first.
+  /// Returns false at *clean* end of input only.  Throws std::runtime_error
+  /// on malformed lines, out-of-range phi, a row arity that differs from
+  /// the first (all reported with their 1-based line number), or a
+  /// stream-level I/O failure (badbit) — a failing disk must not read as a
+  /// shorter trace.
   bool next(std::vector<double>& y);
 
   /// Snapshot arity; 0 until the first row has been read.
@@ -64,6 +67,7 @@ class SnapshotStream {
   bool log_transform_;
   std::size_t dim_ = 0;
   std::size_t read_ = 0;
+  std::size_t lineno_ = 0;  // 1-based, for error reporting
   std::string line_;
 };
 

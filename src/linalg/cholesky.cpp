@@ -100,6 +100,19 @@ UpdatableCholesky::UpdatableCholesky(const Matrix& a, double jitter,
   w_.resize(l_.rows());
 }
 
+UpdatableCholesky UpdatableCholesky::from_state(Matrix l, double jitter_used,
+                                                int jitter_attempts) {
+  if (l.rows() != l.cols()) {
+    throw std::invalid_argument("from_state: factor must be square");
+  }
+  UpdatableCholesky chol;
+  chol.l_ = std::move(l);
+  chol.jitter_used_ = jitter_used;
+  chol.jitter_attempts_ = jitter_attempts;
+  chol.w_.resize(chol.l_.rows());
+  return chol;
+}
+
 void UpdatableCholesky::update(std::span<const double> x) {
   const std::size_t n = dim();
   if (x.size() != n) throw std::invalid_argument("update size mismatch");

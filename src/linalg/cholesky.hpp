@@ -109,6 +109,15 @@ class UpdatableCholesky {
                              int max_attempts = 6,
                              double min_pivot_rel = 0.0);
 
+  /// Reconstructs a factor from previously extracted state — `l` a valid
+  /// lower-triangular factor plus the jitter diagnostics that produced it —
+  /// WITHOUT refactorizing (no O(n^3) work; `l` must be square, throws
+  /// std::invalid_argument otherwise).  This is the checkpoint-restore
+  /// entry (io/checkpoint.hpp): a resumed streaming run re-adopts its
+  /// cached factor and keeps its zero-refactorization guarantee.
+  static UpdatableCholesky from_state(Matrix l, double jitter_used,
+                                      int jitter_attempts);
+
   [[nodiscard]] std::size_t dim() const { return l_.rows(); }
   [[nodiscard]] double jitter_used() const { return jitter_used_; }
   /// Jitter-ladder rung of the construction-time factorization (see
@@ -143,6 +152,8 @@ class UpdatableCholesky {
   [[nodiscard]] Vector solve(std::span<const double> b) const;
 
  private:
+  UpdatableCholesky() : l_(0, 0) {}  // from_state fills the members
+
   Matrix l_;
   std::vector<double> w_;  // rotation scratch, kept to avoid reallocation
   double jitter_used_ = 0.0;

@@ -4,10 +4,13 @@
 #include <deque>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "io/checkpoint.hpp"
+#include "io/scenario_io.hpp"
 #include "stats/rng.hpp"
 #include "topology/generators.hpp"
 #include "topology/overlay.hpp"
@@ -189,7 +192,10 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
       case EventType::kLinkDown:
       case EventType::kLinkUp:
       case EventType::kRegimeShift:
-        break;  // validated below / by the simulator
+      case EventType::kCheckpoint:
+      case EventType::kRestore:
+      case EventType::kHandoff:
+        break;  // validated below / by the simulator / at apply time
     }
   }
 
@@ -248,13 +254,36 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
 
   // The monitor starts with the initial rows over the initially known link
   // basis; churn requires drop-negative on the streaming engine, so an
-  // unresolved (kAuto) policy resolves to drop here.
+  // unresolved (kAuto) policy resolves to drop here.  The resolved options
+  // and simulator config are kept: checkpoint restore and handoff rebuild
+  // the engines from them, exactly as constructed here.
   monitor_options.window = spec_.window;
   if (monitor_options.lia.variance.negatives ==
       core::NegativeCovariancePolicy::kAuto) {
     monitor_options.lia.variance.negatives =
         core::NegativeCovariancePolicy::kDrop;
   }
+  monitor_options_ = monitor_options;
+  initial_links_ = initial_links;
+  monitor_ = make_initial_monitor();
+
+  sim_config_.p = spec_.p;
+  sim_config_.probes_per_snapshot = spec_.probes;
+  if (spec_.min_good_loss > 0.0) {
+    // min_good_loss is a FLOOR on the good-link loss range: it must never
+    // lower a configured good_lo that already sits above it.
+    sim_config_.loss_model.good_lo =
+        std::max(sim_config_.loss_model.good_lo, spec_.min_good_loss);
+    sim_config_.loss_model.good_hi =
+        std::max(sim_config_.loss_model.good_hi, spec_.min_good_loss);
+  }
+  simulator_ = make_simulator();
+}
+
+std::unique_ptr<core::LiaMonitor> ScenarioRunner::make_initial_monitor()
+    const {
+  const std::size_t initial = base_paths_ - spec_.reserve_paths;
+  const auto& universe_matrix = rrm_->matrix();
   std::vector<std::vector<std::uint32_t>> rows;
   rows.reserve(initial);
   for (std::size_t i = 0; i < initial; ++i) {
@@ -265,28 +294,21 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
     }
     rows.push_back(std::move(mapped));
   }
-  monitor_ = std::make_unique<core::LiaMonitor>(
-      linalg::SparseBinaryMatrix(initial_links, std::move(rows)),
-      monitor_options);
+  auto monitor = std::make_unique<core::LiaMonitor>(
+      linalg::SparseBinaryMatrix(initial_links_, std::move(rows)),
+      monitor_options_);
   if (spec_.initial_paths > 0) {
     for (std::size_t i = spec_.initial_paths; i < initial; ++i) {
-      monitor_->set_path_active(i, false);
+      monitor->set_path_active(i, false);
     }
   }
+  return monitor;
+}
 
-  sim::ScenarioConfig config;
-  config.p = spec_.p;
-  config.probes_per_snapshot = spec_.probes;
-  if (spec_.min_good_loss > 0.0) {
-    // min_good_loss is a FLOOR on the good-link loss range: it must never
-    // lower a configured good_lo that already sits above it.
-    config.loss_model.good_lo =
-        std::max(config.loss_model.good_lo, spec_.min_good_loss);
-    config.loss_model.good_hi =
-        std::max(config.loss_model.good_hi, spec_.min_good_loss);
-  }
-  simulator_ = std::make_unique<sim::SnapshotSimulator>(graph_, *rrm_, config,
-                                                        spec_.seed);
+std::unique_ptr<sim::SnapshotSimulator> ScenarioRunner::make_simulator()
+    const {
+  return std::make_unique<sim::SnapshotSimulator>(graph_, *rrm_, sim_config_,
+                                                  spec_.seed);
 }
 
 void ScenarioRunner::apply(const Event& event) {
@@ -354,8 +376,142 @@ void ScenarioRunner::apply(const Event& event) {
     case EventType::kRegimeShift:
       simulator_->shift_regime(event.value);
       break;
+    case EventType::kCheckpoint:
+      // Count this event BEFORE saving, so the serialized state already
+      // includes it and a restored run continues exactly past it.
+      ++events_applied_;
+      save_checkpoint(event.file);
+      return;
+    case EventType::kRestore:
+      restore_checkpoint(event.file);
+      // A scripted restore is a same-tick drill: restoring an earlier
+      // tick's checkpoint mid-script would rewind the timeline and replay
+      // this restore forever.
+      if (tick_ != event.tick) {
+        throw std::runtime_error(
+            "restore event at tick " + std::to_string(event.tick) +
+            " loaded a checkpoint of tick " + std::to_string(tick_) +
+            "; scripted restores must target a same-tick checkpoint");
+      }
+      // events_applied_ came back from the checkpoint (which already counts
+      // its own checkpoint event); count this restore on top of it.
+      ++events_applied_;
+      return;
+    case EventType::kHandoff: {
+      // Warm failover: serialize to memory, tear the engines down, rebuild
+      // them from scratch, and restore.  The run must continue as if
+      // nothing happened — the parity drills pin that bit-identically.
+      ++events_applied_;
+      io::CheckpointWriter writer;
+      save_state(writer);
+      std::vector<std::uint8_t> image = writer.finish();
+      monitor_.reset();
+      simulator_.reset();
+      io::CheckpointReader reader =
+          io::CheckpointReader::from_bytes(std::move(image));
+      restore_state(reader);
+      return;
+    }
   }
   ++events_applied_;
+}
+
+void ScenarioRunner::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("SRUN");
+  // The full spec rides along as text: restore validates identity against
+  // it, and restore_runner() can rebuild a runner from the file alone.
+  std::ostringstream spec_text;
+  io::write_scenario(spec_text, spec_);
+  writer.str(spec_text.str());
+  writer.usize(tick_);
+  writer.usize(events_applied_);
+  writer.usize(diagnosed_);
+  const std::vector<std::size_t> pending(pending_additions_.begin(),
+                                         pending_additions_.end());
+  writer.sizes(pending);
+  steady_tick_.save_state(writer);
+  event_tick_.save_state(writer);
+  writer.f64(max_tick_seconds_);
+  simulator_->save_state(writer);
+  monitor_->save_state(writer);
+  writer.end_section();
+}
+
+void ScenarioRunner::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("SRUN");
+  const std::string spec_text = reader.str();
+  std::ostringstream mine;
+  io::write_scenario(mine, spec_);
+  if (spec_text != mine.str()) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "checkpoint was taken under a different scenario spec");
+  }
+  const std::size_t tick = reader.usize();
+  const std::size_t events_applied = reader.usize();
+  const std::size_t diagnosed = reader.usize();
+  if (tick > spec_.ticks) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "checkpoint tick beyond the scenario end");
+  }
+  const std::vector<std::size_t> pending = reader.sizes();
+  for (const std::size_t row : pending) {
+    if (row >= universe_paths_.size()) {
+      throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                                "pending addition outside the universe");
+    }
+  }
+  stats::RunningStat steady_tick;
+  steady_tick.restore_state(reader);
+  stats::RunningStat event_tick;
+  event_tick.restore_state(reader);
+  const double max_tick_seconds = reader.f64();
+  // Fresh engines, exactly the constructor's, restored before anything of
+  // this runner changes: a throw below leaves the runner fully usable.
+  std::unique_ptr<sim::SnapshotSimulator> simulator = make_simulator();
+  simulator->restore_state(reader);
+  std::unique_ptr<core::LiaMonitor> monitor = make_initial_monitor();
+  monitor->restore_state(reader);
+  reader.end_section();
+
+  tick_ = tick;
+  events_applied_ = events_applied;
+  diagnosed_ = diagnosed;
+  pending_additions_.assign(pending.begin(), pending.end());
+  steady_tick_ = steady_tick;
+  event_tick_ = event_tick;
+  max_tick_seconds_ = max_tick_seconds;
+  simulator_ = std::move(simulator);
+  monitor_ = std::move(monitor);
+}
+
+void ScenarioRunner::save_checkpoint(const std::string& file) const {
+  io::CheckpointWriter writer;
+  save_state(writer);
+  writer.save(file);
+}
+
+void ScenarioRunner::restore_checkpoint(const std::string& file) {
+  io::CheckpointReader reader = io::CheckpointReader::from_file(file);
+  restore_state(reader);
+}
+
+ScenarioRunner restore_runner(const std::string& file,
+                              core::MonitorOptions monitor_options) {
+  io::CheckpointReader reader = io::CheckpointReader::from_file(file);
+  reader.expect_section("SRUN");
+  std::istringstream spec_stream(reader.str());
+  scenario::ScenarioSpec spec;
+  try {
+    spec = io::read_scenario(spec_stream);
+  } catch (const std::exception& e) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kCorrupt,
+        std::string("embedded scenario spec: ") + e.what());
+  }
+  ScenarioRunner runner(std::move(spec), monitor_options);
+  runner.restore_checkpoint(file);
+  return runner;
 }
 
 std::optional<core::LossInference> ScenarioRunner::step() {

@@ -40,6 +40,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/monitor.hpp"
@@ -49,6 +50,11 @@
 #include "scenario/spec.hpp"
 #include "sim/probe_sim.hpp"
 #include "stats/moments.hpp"
+
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
 
 namespace losstomo::scenario {
 
@@ -133,13 +139,40 @@ class ScenarioRunner {
     return last_snapshot_;
   }
 
+  // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
+  //
+  // save_state serializes the runner's full resumable state: the scenario
+  // spec itself (as text, for identity validation on restore), the tick /
+  // event / diagnosis counters, the pending-addition queue, the timing
+  // stats, the simulator's stochastic state, and the complete monitor.
+  // last_snapshot() is NOT serialized — the next step() regenerates it
+  // before anything reads it.
+  //
+  // restore_state rebuilds a *fresh* monitor and simulator (exactly the
+  // constructor's), restores the serialized state into them, and commits
+  // only after everything validated — a failed restore (torn file, flipped
+  // bits, a checkpoint from a different scenario or monitor configuration)
+  // throws io::CheckpointError and leaves the runner fully usable.  A
+  // restored runner continues bit-identically: same inferences at every
+  // remaining tick, cached factor intact, zero refactorizations.
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
+  /// File conveniences over save_state/restore_state.
+  void save_checkpoint(const std::string& file) const;
+  void restore_checkpoint(const std::string& file);
+
  private:
   void apply(const Event& event);
+  [[nodiscard]] std::unique_ptr<core::LiaMonitor> make_initial_monitor() const;
+  [[nodiscard]] std::unique_ptr<sim::SnapshotSimulator> make_simulator() const;
 
   ScenarioSpec spec_;
   EventTimeline timeline_;
   net::Graph graph_;
   std::vector<net::Path> universe_paths_;
+  core::MonitorOptions monitor_options_;  // resolved (window, drop policy)
+  sim::ScenarioConfig sim_config_;
+  std::size_t initial_links_ = 0;  // monitor columns at construction
   std::unique_ptr<net::ReducedRoutingMatrix> rrm_;
   std::unique_ptr<sim::SnapshotSimulator> simulator_;
   std::unique_ptr<core::LiaMonitor> monitor_;
@@ -161,5 +194,13 @@ class ScenarioRunner {
   std::vector<double> y_;
   sim::Snapshot last_snapshot_;
 };
+
+/// Crash-recovery entry point: reads the checkpoint at `file`, rebuilds the
+/// runner from the spec embedded in it (monitor knobs other than the
+/// window come from `monitor_options`, which must match the checkpointing
+/// process's), and restores the serialized state into it.  Throws
+/// io::CheckpointError on any defect in the file.
+ScenarioRunner restore_runner(const std::string& file,
+                              core::MonitorOptions monitor_options = {});
 
 }  // namespace losstomo::scenario

@@ -23,6 +23,12 @@ const char* event_type_name(EventType type) {
       return "grow";
     case EventType::kGrowLinks:
       return "grow_links";
+    case EventType::kCheckpoint:
+      return "checkpoint";
+    case EventType::kRestore:
+      return "restore";
+    case EventType::kHandoff:
+      return "handoff";
   }
   return "?";
 }
@@ -94,6 +100,13 @@ void ScenarioSpec::validate() const {
       case EventType::kGrowLinks:
         if (e.count == 0) {
           throw std::invalid_argument("grow event needs count >= 1");
+        }
+        break;
+      case EventType::kCheckpoint:
+      case EventType::kRestore:
+        if (e.file.empty()) {
+          throw std::invalid_argument(
+              "checkpoint/restore event needs a file path");
         }
         break;
       default:

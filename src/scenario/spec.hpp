@@ -28,6 +28,9 @@
 //   at 120 regime p=0.2
 //   at 130 grow count=2
 //   at 140 grow_links count=2   # reserve paths whose fresh links grow nc
+//   at 150 checkpoint file=/tmp/run.ckpt
+//   at 150 restore file=/tmp/run.ckpt   # same-tick restore drill
+//   at 155 handoff              # in-memory warm-failover drill
 //
 // Ticks are 0-based measurement periods; an event `at t` is applied
 // before the snapshot of tick t is generated and observed.
@@ -55,6 +58,14 @@ enum class EventType {
                  // kGrowLinks event switches the runner to link-discovery
                  // mode — the monitor starts with only the links its known
                  // rows cover, instead of the whole universe basis.
+  kCheckpoint,   // save the full runner state to Event::file
+                 // (io/checkpoint.hpp format)
+  kRestore,      // restore the runner from Event::file; the checkpoint
+                 // must have been taken at this same tick (a scripted
+                 // restore cannot rewind the timeline)
+  kHandoff,      // warm failover drill: serialize to memory, tear down the
+                 // monitor and simulator, rebuild them fresh, and restore —
+                 // the run must continue bit-identically
 };
 
 /// Name used in the text format ("join", "link_down", ...).
@@ -67,6 +78,8 @@ struct Event {
   std::size_t link = 0;   // kLinkDown / kLinkUp (virtual-link index)
   double value = 0.0;     // kRegimeShift: new p; kLinkDown: loss (0 = default)
   std::size_t count = 1;  // kGrow / kGrowLinks: paths to append
+  std::string file;       // kCheckpoint / kRestore: checkpoint file path
+                          // (whitespace-free in the text format)
 };
 
 /// How the scenario's network and measurement paths are generated.

@@ -8,6 +8,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "io/checkpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace losstomo::sim {
@@ -400,6 +401,52 @@ Snapshot SnapshotSimulator::next(std::span<const std::uint8_t> needed_paths) {
   // Per-packet arrivals advance shared link chains path by path; skipping
   // a path would change every later draw, so the mask is ignored here.
   return finalize_truth(evaluate_per_packet(slot_rng));
+}
+
+void SnapshotSimulator::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("PSIM");
+  writer.usize(unit_count_);
+  rng_.save_state(writer);
+  std::vector<std::uint8_t> congested(unit_count_, 0);
+  for (std::size_t u = 0; u < unit_count_; ++u) congested[u] = congested_[u];
+  writer.u8s(congested);
+  writer.doubles(rate_);
+  writer.doubles(forced_rate_);  // NaN sentinels round-trip bit-exactly
+  writer.doubles(congestion_prob_);
+  writer.boolean(first_snapshot_);
+  writer.end_section();
+}
+
+void SnapshotSimulator::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("PSIM");
+  const std::size_t units = reader.usize();
+  if (units != unit_count_) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "simulator unit count differs from the checkpointed one");
+  }
+  stats::Rng rng = rng_;
+  rng.restore_state(reader);
+  const std::vector<std::uint8_t> congested = reader.u8s();
+  std::vector<double> rate = reader.doubles();
+  std::vector<double> forced_rate = reader.doubles();
+  std::vector<double> congestion_prob = reader.doubles();
+  const bool first_snapshot = reader.boolean();
+  reader.end_section();
+  if (congested.size() != unit_count_ || rate.size() != unit_count_ ||
+      forced_rate.size() != unit_count_ ||
+      congestion_prob.size() != unit_count_) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "simulator per-unit array size != unit count");
+  }
+  rng_ = std::move(rng);
+  for (std::size_t u = 0; u < unit_count_; ++u) {
+    congested_[u] = congested[u] != 0;
+  }
+  rate_ = std::move(rate);
+  forced_rate_ = std::move(forced_rate);
+  congestion_prob_ = std::move(congestion_prob);
+  first_snapshot_ = first_snapshot;
 }
 
 stats::SnapshotMatrix SnapshotSeries::observation_matrix() const {

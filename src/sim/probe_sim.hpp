@@ -28,6 +28,11 @@
 #include "stats/moments.hpp"
 #include "stats/rng.hpp"
 
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
+
 namespace losstomo::sim {
 
 enum class LossProcess {
@@ -162,6 +167,20 @@ class SnapshotSimulator {
   void shift_regime(double p);
 
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
+  //
+  // save_state serializes the evolving stochastic state: the RNG streams,
+  // per-unit congestion states/loss rates/forcings, the (regime-shifted)
+  // congestion probabilities, and the first-snapshot flag.  The per-snapshot
+  // mask scratch is not serialized.  restore_state targets a simulator
+  // constructed over the same topology/routing/config/seed; it validates
+  // the unit count (io::CheckpointError kMismatch on disagreement) and
+  // parses everything into temporaries before committing, so a failed
+  // restore leaves the simulator usable.  A restored simulator's next()
+  // stream continues bit-identically.
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
 
   /// Physical edges covered by at least one path (the edges simulated).
   [[nodiscard]] const std::vector<net::EdgeId>& covered_edges() const {

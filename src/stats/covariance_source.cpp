@@ -1,6 +1,31 @@
 #include "stats/covariance_source.hpp"
 
+#include "io/checkpoint.hpp"
+
 namespace losstomo::stats {
+
+void PathChurnLedger::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("CHRN");
+  writer.u8s(active_);
+  writer.sizes(activated_at_);
+  writer.end_section();
+}
+
+void PathChurnLedger::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("CHRN");
+  std::vector<std::uint8_t> active = reader.u8s();
+  std::vector<std::size_t> activated_at = reader.sizes();
+  reader.end_section();
+  if (active.size() != active_.size() ||
+      activated_at.size() != activated_at_.size()) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "churn ledger dimension " + std::to_string(active.size()) +
+            ", expected " + std::to_string(active_.size()));
+  }
+  active_ = std::move(active);
+  activated_at_ = std::move(activated_at);
+}
 
 BatchCovarianceSource::BatchCovarianceSource(const SnapshotMatrix& y,
                                              std::size_t threads)

@@ -27,6 +27,11 @@
 #include "linalg/matrix.hpp"
 #include "stats/moments.hpp"
 
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
+
 namespace losstomo::stats {
 
 /// Abstract supplier of the unbiased sample covariance of an np-dimensional
@@ -129,6 +134,13 @@ class PathChurnLedger {
     return samples(i, pushes, count) == count &&
            samples(j, pushes, count) == count;
   }
+
+  /// Checkpoint hooks (io/checkpoint.hpp): the ledger is pure state, so
+  /// save → restore reproduces samples()/pair_ready() exactly.  restore
+  /// throws io::CheckpointError(kMismatch) when the serialized dimension
+  /// differs from dim().
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
 
  private:
   std::vector<std::uint8_t> active_;

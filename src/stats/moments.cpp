@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "io/checkpoint.hpp"
 #include "linalg/kernels.hpp"
 
 namespace losstomo::stats {
@@ -105,6 +106,28 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 double RunningStat::min() const { return min_; }
 
 double RunningStat::max() const { return max_; }
+
+void RunningStat::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("RSTA");
+  writer.usize(n_);
+  writer.f64(mean_);
+  writer.f64(m2_);
+  writer.f64(min_);
+  writer.f64(max_);
+  writer.end_section();
+}
+
+void RunningStat::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("RSTA");
+  RunningStat tmp;
+  tmp.n_ = reader.usize();
+  tmp.mean_ = reader.f64();
+  tmp.m2_ = reader.f64();
+  tmp.min_ = reader.f64();
+  tmp.max_ = reader.f64();
+  reader.end_section();
+  *this = tmp;
+}
 
 double pearson(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size() || a.empty()) {

@@ -18,6 +18,11 @@
 
 #include "linalg/matrix.hpp"
 
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
+
 namespace losstomo::stats {
 
 /// Row-major collection of m snapshots of an np-dimensional observation:
@@ -106,6 +111,11 @@ class RunningStat {
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
+
+  /// Checkpoint hooks (io/checkpoint.hpp): full Welford state round-trips
+  /// bit-exactly.
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
 
  private:
   std::size_t n_ = 0;

@@ -1,6 +1,61 @@
 #include "stats/rng.hpp"
 
+#include <sstream>
+
+#include "io/checkpoint.hpp"
+
 namespace losstomo::stats {
+namespace {
+
+// The standard requires operator<</>> on engines and distributions to
+// round-trip the complete state through text (mt19937_64's 312-word state,
+// the normal distribution's cached spare value), which is exactly the
+// bit-identity the checkpoint format needs without poking at
+// implementation internals.
+template <typename T>
+std::string stream_out(const T& value) {
+  std::ostringstream os;
+  os << value;
+  if (!os) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kIo,
+                              "cannot serialize RNG stream state");
+  }
+  return os.str();
+}
+
+template <typename T>
+void stream_in(const std::string& text, T& value) {
+  std::istringstream is(text);
+  is >> value;
+  if (!is) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "RNG stream state does not parse");
+  }
+}
+
+}  // namespace
+
+void Rng::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("RNG ");
+  writer.str(stream_out(engine_));
+  writer.str(stream_out(unit_));
+  writer.str(stream_out(normal_));
+  writer.end_section();
+}
+
+void Rng::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("RNG ");
+  std::mt19937_64 engine;
+  std::uniform_real_distribution<double> unit;
+  std::normal_distribution<double> normal;
+  stream_in(reader.str(), engine);
+  stream_in(reader.str(), unit);
+  stream_in(reader.str(), normal);
+  reader.end_section();
+  engine_ = engine;
+  unit_ = unit;
+  normal_ = normal;
+}
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;

@@ -9,6 +9,11 @@
 #include <cstdint>
 #include <random>
 
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
+
 namespace losstomo::stats {
 
 /// Seeded pseudo-random generator wrapping std::mt19937_64 with the
@@ -62,6 +67,15 @@ class Rng {
 
   /// Access to the raw engine for std::shuffle and custom distributions.
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the full stream state — the mt19937_64 engine *and* the
+  /// member distributions (std::normal_distribution caches a spare
+  /// Box–Muller draw) — so a restored Rng reproduces the exact upcoming
+  /// draw sequence bit for bit (io/checkpoint.hpp).
+  void save_state(io::CheckpointWriter& writer) const;
+  /// Inverse of save_state.  Throws io::CheckpointError(kCorrupt) when the
+  /// serialized stream text does not parse.
+  void restore_state(io::CheckpointReader& reader);
 
  private:
   std::mt19937_64 engine_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "io/checkpoint.hpp"
 #include "linalg/kernels.hpp"
 #include "util/parallel.hpp"
 
@@ -147,6 +148,64 @@ void StreamingMoments::refresh() {
   }
   cross_ = linalg::blocked_gram(centered.flat().data(), count_, dim_, 1.0,
                                 options_.threads);
+}
+
+void StreamingMoments::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("SMOM");
+  writer.usize(dim_);
+  writer.usize(options_.window);
+  churn_.save_state(writer);
+  writer.doubles(ring_.flat());
+  writer.usize(head_);
+  writer.usize(count_);
+  writer.usize(pushes_);
+  writer.usize(since_refresh_);
+  writer.usize(refreshes_);
+  writer.doubles(mean_);
+  writer.doubles(cross_.data());
+  writer.end_section();
+}
+
+void StreamingMoments::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("SMOM");
+  const std::size_t dim = reader.usize();
+  const std::size_t window = reader.usize();
+  if (dim != dim_ || window != options_.window) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "streaming moments shape " + std::to_string(dim) + "x" +
+            std::to_string(window) + ", expected " + std::to_string(dim_) +
+            "x" + std::to_string(options_.window));
+  }
+  // Parse everything into temporaries, validate, then commit with moves so
+  // a corrupt section leaves *this untouched.
+  PathChurnLedger churn = churn_;
+  churn.restore_state(reader);
+  std::vector<double> ring = reader.doubles();
+  const std::size_t head = reader.usize();
+  const std::size_t count = reader.usize();
+  const std::size_t pushes = reader.usize();
+  const std::size_t since_refresh = reader.usize();
+  const std::size_t refreshes = reader.usize();
+  std::vector<double> mean = reader.doubles();
+  std::vector<double> cross = reader.doubles();
+  reader.end_section();
+  if (ring.size() != dim_ * options_.window || head >= options_.window ||
+      count > options_.window || mean.size() != dim_ ||
+      cross.size() != dim_ * dim_) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "streaming moments state is inconsistent");
+  }
+  churn_ = std::move(churn);
+  std::copy(ring.begin(), ring.end(), ring_.sample(0).data());
+  head_ = head;
+  count_ = count;
+  pushes_ = pushes;
+  since_refresh_ = since_refresh;
+  refreshes_ = refreshes;
+  mean_ = std::move(mean);
+  std::copy(cross.begin(), cross.end(), cross_.data().begin());
+  cov_valid_ = false;
 }
 
 double StreamingMoments::covariance(std::size_t i, std::size_t j) const {

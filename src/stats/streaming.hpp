@@ -117,6 +117,18 @@ class StreamingMoments final : public CovarianceSource {
   /// their own.
   void refresh();
 
+  // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
+  //
+  // Serializes the ring, means, cross-products, churn ledger, and cadence
+  // counters — everything except the delta_ scratch and the cov_ cache
+  // (recomputed on demand) — so a restored accumulator continues the exact
+  // push/refresh sequence bit-identically.  restore_state targets an
+  // accumulator constructed with the same dim and window and throws
+  // io::CheckpointError(kMismatch) otherwise; on failure *this is
+  // unchanged.
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
+
  private:
   void add(std::span<const double> y);
   void retire(std::span<const double> y);

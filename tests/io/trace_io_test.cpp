@@ -263,5 +263,105 @@ TEST(SnapshotStream, RejectsRaggedAndOutOfRangeRows) {
   }
 }
 
+// Returns the message of the std::runtime_error that `fn` must throw.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a std::runtime_error";
+  return {};
+}
+
+// A stream whose backing storage dies after `head`: reading past it sets
+// badbit (the std::getline contract for exceptions from the streambuf),
+// which readers must report as an I/O failure — never as a clean EOF.
+class DyingStreambuf : public std::streambuf {
+ public:
+  explicit DyingStreambuf(std::string head) : head_(std::move(head)) {
+    setg(head_.data(), head_.data(), head_.data() + head_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::runtime_error("disk vanished"); }
+
+ private:
+  std::string head_;
+};
+
+TEST(TraceIo, ParseErrorsCarryOneBasedLineNumbers) {
+  // Line numbers count raw file lines, comments and blanks included, so
+  // the number in the message matches what an editor shows.
+  EXPECT_NE(thrown_message([] {
+              std::istringstream is("# header\nnodes 2\nedge 0 1\nedge 0\n");
+              read_topology(is);
+            }).find("bad 'edge' line 4"),
+            std::string::npos);
+  EXPECT_NE(thrown_message([] {
+              std::istringstream is("nodes 2\n\nwires 0 1\n");
+              read_topology(is);
+            }).find("unknown topology keyword at line 3"),
+            std::string::npos);
+  EXPECT_NE(thrown_message([] {
+              std::istringstream is("edges 5\n");
+              read_topology(is);
+            }).find("topology line 1"),
+            std::string::npos);
+  EXPECT_NE(thrown_message([] {
+              std::istringstream is("# paths\n\n0 1 0\n0 1\n");
+              read_paths(is);
+            }).find("path without edges at line 4"),
+            std::string::npos);
+  EXPECT_NE(thrown_message([] {
+              std::istringstream is("0 1 zero\n");
+              read_paths(is);
+            }).find("bad path line 1"),
+            std::string::npos);
+  EXPECT_NE(thrown_message([] {
+              std::istringstream is("0.5\n2.0\n");
+              read_snapshots(is);
+            }).find("phi out of [0,1] at snapshot line 2"),
+            std::string::npos);
+  EXPECT_NE(thrown_message([] {
+              std::istringstream is("0.5 0.5\n0.5\n");
+              read_snapshots(is);
+            }).find("ragged snapshot file at line 2"),
+            std::string::npos);
+}
+
+TEST(SnapshotStream, LineNumbersSkipCommentsAndBlanks) {
+  std::istringstream input(
+      "# campaign start\n\n0.5 0.5\n# mid-campaign note\n0.5 0.9\n0.5 oops\n");
+  SnapshotStream stream(input);
+  std::vector<double> y;
+  ASSERT_TRUE(stream.next(y));
+  ASSERT_TRUE(stream.next(y));
+  const auto message = thrown_message([&] { stream.next(y); });
+  EXPECT_NE(message.find("bad snapshot line 6"), std::string::npos) << message;
+}
+
+TEST(SnapshotStream, BadbitIsAnIoFailureNotEof) {
+  // One complete snapshot, then the medium dies: next() must throw (the
+  // data is NOT over), never return false as if the campaign ended.
+  DyingStreambuf buf("0.5 0.5\n");
+  std::istream input(&buf);
+  SnapshotStream stream(input);
+  std::vector<double> y;
+  ASSERT_TRUE(stream.next(y));
+  const auto message = thrown_message([&] { stream.next(y); });
+  EXPECT_NE(message.find("stream I/O failure after line 1"), std::string::npos)
+      << message;
+  EXPECT_EQ(stream.snapshots_read(), 1u);
+}
+
+TEST(TraceIo, BatchReadersReportBadbitToo) {
+  DyingStreambuf buf("nodes 2\nedge 0 1\n");
+  std::istream input(&buf);
+  const auto message = thrown_message([&] { read_topology(input); });
+  EXPECT_NE(message.find("stream I/O failure"), std::string::npos) << message;
+}
+
 }  // namespace
 }  // namespace losstomo::io

@@ -156,10 +156,105 @@ TEST(ScenarioIo, TimelineOrdersAndLooksUpEvents) {
   EXPECT_EQ(timeline.count(EventType::kGrow), 0u);
 }
 
+TEST(ScenarioIo, ParsesFailoverEvents) {
+  std::istringstream input(
+      "scenario drill\n"
+      "window 5\n"
+      "ticks 20\n"
+      "at 5 checkpoint file=/tmp/x.ckpt\n"
+      "at 5 restore file=/tmp/x.ckpt\n"
+      "at 6 handoff\n");
+  const auto spec = read_scenario(input);
+  ASSERT_EQ(spec.events.size(), 3u);
+  EXPECT_EQ(spec.events[0].type, EventType::kCheckpoint);
+  EXPECT_EQ(spec.events[0].file, "/tmp/x.ckpt");
+  EXPECT_EQ(spec.events[1].type, EventType::kRestore);
+  EXPECT_EQ(spec.events[1].file, "/tmp/x.ckpt");
+  EXPECT_EQ(spec.events[2].type, EventType::kHandoff);
+  EXPECT_EQ(spec.events[2].tick, 6u);
+}
+
+TEST(ScenarioIo, FailoverEventsRoundTrip) {
+  scenario::ScenarioSpec spec;
+  spec.name = "failover-round-trip";
+  spec.window = 10;
+  spec.ticks = 40;
+  spec.events = {
+      {.tick = 20, .type = EventType::kCheckpoint, .file = "/tmp/a.ckpt"},
+      {.tick = 20, .type = EventType::kRestore, .file = "/tmp/a.ckpt"},
+      {.tick = 25, .type = EventType::kHandoff},
+  };
+  std::stringstream buffer;
+  write_scenario(buffer, spec);
+  const auto loaded = read_scenario(buffer);
+  ASSERT_EQ(loaded.events.size(), 3u);
+  for (std::size_t i = 0; i < spec.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].tick, spec.events[i].tick);
+    EXPECT_EQ(loaded.events[i].type, spec.events[i].type);
+    EXPECT_EQ(loaded.events[i].file, spec.events[i].file);
+  }
+}
+
+TEST(ScenarioIo, ErrorsCarryOneBasedLineNumbers) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    std::istringstream input(text);
+    try {
+      read_scenario(input);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "parsed without error: " << text;
+    return {};
+  };
+  // Line numbers count raw lines, comments and blanks included.
+  EXPECT_NE(message_of("scenario x\n# note\n\nfrobnicate 3\n")
+                .find("scenario line 4: unknown keyword"),
+            std::string::npos);
+  EXPECT_NE(message_of("scenario x\nwindow 5\nticks 20\nat 5 leave\n")
+                .find("scenario line 4: missing attribute 'path'"),
+            std::string::npos);
+  // Checkpoint/restore events demand a file= attribute at parse time.
+  EXPECT_NE(message_of("scenario x\nwindow 5\nticks 20\nat 5 checkpoint\n")
+                .find("scenario line 4: missing attribute 'file'"),
+            std::string::npos);
+  EXPECT_NE(message_of("scenario x\nwindow 5\nticks 20\nat 5 restore\n")
+                .find("scenario line 4: missing attribute 'file'"),
+            std::string::npos);
+}
+
+// A stream whose medium dies mid-script: read_scenario must call that out
+// as an I/O failure, not parse the truncated prefix as a whole scenario.
+class DyingStreambuf : public std::streambuf {
+ public:
+  explicit DyingStreambuf(std::string head) : head_(std::move(head)) {
+    setg(head_.data(), head_.data(), head_.data() + head_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::runtime_error("disk vanished"); }
+
+ private:
+  std::string head_;
+};
+
+TEST(ScenarioIo, BadbitIsAnIoFailureNotEof) {
+  DyingStreambuf buf("scenario half-written\nwindow 5\n");
+  std::istream input(&buf);
+  try {
+    read_scenario(input);
+    FAIL() << "accepted a scenario from a dying stream";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("stream I/O failure after line 2"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ScenarioIo, ShippedScenariosParse) {
-  // The four scripts shipped in scenarios/ stay loadable.
+  // The scripts shipped in scenarios/ stay loadable.
   for (const char* name :
-       {"stable_tree", "flapping_mesh", "growing_overlay", "regime_shift"}) {
+       {"stable_tree", "flapping_mesh", "growing_overlay", "regime_shift",
+        "failover"}) {
     SCOPED_TRACE(name);
     EXPECT_NO_THROW({
       const auto spec =
