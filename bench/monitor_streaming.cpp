@@ -7,8 +7,8 @@
 //   build/bench_monitor_streaming [nodes=1300] [branching=8] [m=200]
 //                                 [ticks=60] [relearn_every=1] [p=0.05]
 //                                 [overlay_hosts=72] [overlay_m=50]
-//                                 [overlay_ticks=8] [threads=0|1,2,8]
-//                                 [--json <path>]
+//                                 [overlay_ticks=8] [ingest_snapshots=192]
+//                                 [threads=0|1,2,8] [--json <path>]
 //
 // Both engines consume an identical snapshot sequence; every measured tick
 // cross-checks the two inferences (max |loss diff| is part of the report).
@@ -31,13 +31,28 @@
 // structure that replaced the O(np^2) pair scan) and the steady-state
 // streaming tick.  The batch engine is deliberately not run there — its
 // O(m np^2) relearn is exactly what the streaming engine exists to avoid.
+//
+// The ingest section records what the LTBT binary trace format buys over
+// ASCII parsing on the same overlay: one phi campaign of ingest_snapshots
+// rows is written both as a text snapshot file and as a binary trace, then
+// each file is ingested to raw phi rows in memory (open + parse/map +
+// touch every value).  That isolates the parse/I-O stage the binary
+// format replaces — the log transform and accumulator folds downstream
+// are identical in both pipelines.  The report carries snapshots/s for
+// both paths, the speedup, and the share of a steady monitoring tick that
+// ingestion would occupy on each.
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "common.hpp"
 #include "core/monitor.hpp"
 #include "core/sharing_pairs.hpp"
+#include "io/binary_trace.hpp"
 #include "io/checkpoint.hpp"
+#include "io/pipeline.hpp"
+#include "io/trace_io.hpp"
 
 namespace {
 
@@ -101,6 +116,23 @@ EngineComparison compare_engines(const linalg::SparseBinaryMatrix& r,
   return out;
 }
 
+// Consumes every value pushed down a pipeline (folding into a checksum so
+// the ingest passes cannot be dead-code-eliminated and both paths touch
+// every double).
+class ChecksumSink final : public io::Element {
+ public:
+  void push(const io::SnapshotBatch& batch) override {
+    rows_ += batch.rows;
+    for (const double v : batch.values) sum_ += v;
+  }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t rows_ = 0;
+  double sum_ = 0.0;
+};
+
 // Streaming drop-negative at overlay scale: sharing-pair store size and
 // build time, then the steady-state monitor tick.  No batch reference —
 // the O(m np^2) relearn at 5k+ paths is the cost this path exists to
@@ -117,10 +149,22 @@ struct OverlayFigures {
   std::size_t checkpoint_bytes = 0;
   double checkpoint_save_seconds = 0.0;
   double checkpoint_restore_seconds = 0.0;
+  // Ingestion: the same phi campaign through ASCII parsing vs the binary
+  // trace pipeline, measured to raw phi rows in memory (parse/I-O only).
+  // `verified` = first open (full payload-CRC pass); `binary` = steady
+  // re-open of an already-verified trace (PayloadCheck::kTrust).
+  std::size_t ingest_snapshots = 0;
+  std::size_t ingest_text_bytes = 0;
+  std::size_t ingest_binary_bytes = 0;
+  double ingest_ascii_seconds = 0.0;
+  double ingest_verified_seconds = 0.0;
+  double ingest_binary_seconds = 0.0;
+  bool ingest_mmap = false;
+  bool ingest_sums_match = false;
 };
 
 OverlayFigures run_overlay(std::size_t hosts, std::size_t m, std::size_t ticks,
-                           std::uint64_t seed) {
+                           std::size_t ingest_snapshots, std::uint64_t seed) {
   stats::Rng rng(seed);
   auto topo = topology::make_planetlab_like(
       {.hosts = hosts, .as_count = 10, .routers_per_as = 8}, rng);
@@ -171,6 +215,81 @@ OverlayFigures run_overlay(std::size_t hosts, std::size_t m, std::size_t ticks,
   auto reader = io::CheckpointReader::from_bytes(std::move(image));
   restored.restore_state(reader);
   out.checkpoint_restore_seconds = restore_timer.seconds();
+
+  // Ingestion shoot-out on the same overlay: one phi campaign, written
+  // once as text and once as an LTBT binary trace, then each file is
+  // ingested to raw phi rows in memory.  This isolates the parse/I-O
+  // stage the binary format replaces — the log transform and the
+  // accumulator folds downstream are identical for both paths, so they
+  // are excluded from the clock.  Text stores full-precision doubles, so
+  // both passes deliver bit-identical values in the same order and the
+  // checksums must match exactly.
+  if (ingest_snapshots > 0) {
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path();
+    const auto tag = "losstomo_ingest_" + std::to_string(seed);
+    const auto text_file = (dir / (tag + ".snapshots")).string();
+    const auto bin_file = (dir / (tag + ".bin")).string();
+
+    std::vector<std::vector<double>> campaign;
+    campaign.reserve(ingest_snapshots);
+    for (std::size_t t = 0; t < ingest_snapshots; ++t) {
+      const auto& phi = simulator.next().path_trans;
+      campaign.emplace_back(phi.begin(), phi.end());
+    }
+    io::save_snapshots(text_file, campaign);
+    {
+      io::BinaryTraceWriter writer(bin_file, out.np,
+                                   /*log_transformed=*/false);
+      for (const auto& row : campaign) writer.append(row);
+      writer.finish();
+    }
+    out.ingest_snapshots = ingest_snapshots;
+    out.ingest_text_bytes = fs::file_size(text_file);
+    out.ingest_binary_bytes = fs::file_size(bin_file);
+
+    double ascii_sum = 0.0;
+    {
+      util::Timer ascii_timer;
+      std::ifstream is(text_file);
+      io::SnapshotStream stream(is, /*log_transform=*/false);
+      std::vector<double> y;
+      while (stream.next(y)) {
+        for (const double v : y) ascii_sum += v;
+      }
+      out.ingest_ascii_seconds = ascii_timer.seconds();
+    }
+    double binary_sum = 0.0;
+    {
+      // First contact: full validation including the payload-CRC pass.
+      util::Timer verified_timer;
+      auto trace = io::BinaryTraceReader::open(bin_file);
+      io::BinaryTraceSource source(trace);
+      ChecksumSink sink;
+      source.drain(sink);
+      out.ingest_verified_seconds = verified_timer.seconds();
+      out.ingest_mmap = trace.mapped();
+      binary_sum = sink.sum();
+    }
+    double trusted_sum = 0.0;
+    {
+      // Steady path: re-open of the trace this process just verified
+      // (header checks still run; the payload pass is skipped).
+      util::Timer binary_timer;
+      auto trace = io::BinaryTraceReader::open(
+          bin_file, io::BinaryTraceReader::PayloadCheck::kTrust);
+      io::BinaryTraceSource source(trace);
+      ChecksumSink sink;
+      source.drain(sink);
+      out.ingest_binary_seconds = binary_timer.seconds();
+      trusted_sum = sink.sum();
+    }
+    out.ingest_sums_match = ascii_sum == binary_sum &&
+                            trusted_sum == binary_sum;
+
+    fs::remove(text_file);
+    fs::remove(bin_file);
+  }
   return out;
 }
 
@@ -188,6 +307,7 @@ int main(int argc, char** argv) {
   const auto overlay_hosts = args.get_size("overlay_hosts", 72);
   const auto overlay_m = args.get_size("overlay_m", 50);
   const auto overlay_ticks = args.get_size("overlay_ticks", 8);
+  const auto ingest_snapshots = args.get_size("ingest_snapshots", 192);
   const auto json_path = args.get_string("json", "");
   // `threads=1,2,8` re-records the whole bench per worker count in one run
   // (keys suffixed _t<N>); the default keeps the historical key names.
@@ -252,7 +372,8 @@ int main(int argc, char** argv) {
 
     OverlayFigures overlay;
     if (overlay_hosts >= 2) {
-      overlay = run_overlay(overlay_hosts, overlay_m, overlay_ticks, seed);
+      overlay = run_overlay(overlay_hosts, overlay_m, overlay_ticks,
+                            ingest_snapshots, seed);
       std::cout << "\nlarge overlay (" << overlay_hosts
                 << " hosts): np=" << overlay.np << " nc=" << overlay.nc
                 << "\n  sharing-pair store: " << overlay.pairs << " pairs, "
@@ -269,6 +390,34 @@ int main(int argc, char** argv) {
                 << " s, restored (factor included, no refactorization) in "
                 << util::Table::num(overlay.checkpoint_restore_seconds, 4)
                 << " s\n";
+      if (overlay.ingest_snapshots > 0) {
+        const double n = static_cast<double>(overlay.ingest_snapshots);
+        const double ascii_per_s = n / overlay.ingest_ascii_seconds;
+        const double verified_per_s = n / overlay.ingest_verified_seconds;
+        const double binary_per_s = n / overlay.ingest_binary_seconds;
+        const double ascii_snap = overlay.ingest_ascii_seconds / n;
+        const double binary_snap = overlay.ingest_binary_seconds / n;
+        const double tick = overlay.streaming_tick_seconds;
+        std::cout << "  ingest (" << overlay.ingest_snapshots
+                  << " snapshots): ascii "
+                  << util::Table::num(ascii_per_s, 1) << " snapshots/s ("
+                  << overlay.ingest_text_bytes << " bytes), binary "
+                  << util::Table::num(binary_per_s, 1) << " snapshots/s ("
+                  << overlay.ingest_binary_bytes << " bytes, "
+                  << (overlay.ingest_mmap ? "mmap" : "buffered")
+                  << ", first open w/ payload CRC "
+                  << util::Table::num(verified_per_s, 1)
+                  << ") — " << util::Table::num(binary_per_s / ascii_per_s, 1)
+                  << "x; share of a steady tick: ascii "
+                  << util::Table::num(
+                         100.0 * ascii_snap / (ascii_snap + tick), 1)
+                  << "%, binary "
+                  << util::Table::num(
+                         100.0 * binary_snap / (binary_snap + tick), 1)
+                  << "%"
+                  << (overlay.ingest_sums_match ? "" : " [CHECKSUM MISMATCH]")
+                  << "\n";
+      }
     }
 
     report.set("threads" + suffix,
@@ -307,6 +456,33 @@ int main(int argc, char** argv) {
                  overlay.checkpoint_save_seconds);
       report.set("checkpoint_restore_s" + suffix,
                  overlay.checkpoint_restore_seconds);
+      if (overlay.ingest_snapshots > 0) {
+        const double n = static_cast<double>(overlay.ingest_snapshots);
+        const double ascii_snap = overlay.ingest_ascii_seconds / n;
+        const double binary_snap = overlay.ingest_binary_seconds / n;
+        const double tick = overlay.streaming_tick_seconds;
+        report.set("ingest_snapshots" + suffix, overlay.ingest_snapshots);
+        report.set("ingest_ascii_snapshots_per_s" + suffix,
+                   n / overlay.ingest_ascii_seconds);
+        // Headline: binary-trace ingestion throughput (validated trace;
+        // the verified key carries the first-open cost incl. payload CRC).
+        report.set("ingest_snapshots_per_s" + suffix,
+                   n / overlay.ingest_binary_seconds);
+        report.set("ingest_verified_snapshots_per_s" + suffix,
+                   n / overlay.ingest_verified_seconds);
+        report.set("ingest_speedup" + suffix,
+                   overlay.ingest_ascii_seconds /
+                       overlay.ingest_binary_seconds);
+        report.set("ingest_ascii_share_of_tick" + suffix,
+                   ascii_snap / (ascii_snap + tick));
+        report.set("ingest_share_of_tick" + suffix,
+                   binary_snap / (binary_snap + tick));
+        report.set("ingest_text_bytes" + suffix, overlay.ingest_text_bytes);
+        report.set("ingest_binary_bytes" + suffix,
+                   overlay.ingest_binary_bytes);
+        report.set("ingest_mmap" + suffix,
+                   static_cast<std::size_t>(overlay.ingest_mmap ? 1 : 0));
+      }
     }
   });
   report.write(json_path);

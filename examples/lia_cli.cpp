@@ -4,23 +4,43 @@
 // Modes:
 //   generate: writes a sample campaign (topology/paths/snapshots files)
 //             from the built-in simulator, so the file formats are easy to
-//             copy:
+//             copy.  format=binary emits the snapshots as an mmap-able
+//             io::BinaryTrace instead of text (direct emission through the
+//             ingestion pipeline — no intermediate campaign in memory):
 //       lia_cli mode=generate out=/tmp/campaign [hosts=16] [m=50]
+//               [format=text|binary]
 //   infer:    reads a campaign, learns on all but the last snapshot,
 //             diagnoses the last one, prints per-link loss rates and the
 //             identifiability report:
 //       lia_cli mode=infer topology=... paths=... snapshots=... [tl=0.002]
-//   monitor:  streams the snapshot file line by line through LiaMonitor
-//             (io::SnapshotStream + the incremental covariance engine), so
-//             arbitrarily long traces run at O(np) reader memory:
+//   monitor:  streams the snapshot file through the ingestion pipeline
+//             (io/pipeline.hpp) into LiaMonitor, so arbitrarily long
+//             traces run at O(np) reader memory.  The format is detected
+//             by content (binary traces by magic) and binary ingestion is
+//             zero-copy off the mmap; thin=k keeps every k-th snapshot:
 //       lia_cli mode=monitor topology=... paths=... snapshots=... [m=50]
 //               [relearn_every=1] [engine=streaming|batch] [tl=0.002]
+//               [format=auto|text|binary] [thin=1]
+//   convert:  converts a snapshot campaign between the text and binary
+//             trace formats (direction auto-detected from the input;
+//             doubles round-trip bit-identically in both directions):
+//       lia_cli mode=convert in=<snapshots> out=<snapshots>
 //   scenario: runs a scripted dynamic-overlay scenario (path churn, link
 //             failures, regime shifts — src/scenario/) through the
-//             streaming monitor and reports per-event diagnostics:
+//             streaming monitor and reports per-event diagnostics.
+//             record= captures the exact monitor feed as a binary trace;
+//             replay= drives the monitor from such a trace instead of the
+//             simulator (bit-identical inferences):
 //       lia_cli mode=scenario scenario=scenarios/flapping_mesh.scn
 //               [ticks=] [window=] [engine=streaming|batch]
 //               [accumulator=dense|pairs] [tl=0.002]
+//               [record=<trace>] [replay=<trace>]
+//   ingest-drill: end-to-end parity drill for the binary ingestion path.
+//             Simulates a campaign, writes it both as text and as a binary
+//             trace, monitors both (text through the classic SnapshotStream
+//             loop, binary zero-copy through the pipeline off the mmap),
+//             and verifies every inference is bit-identical (exit 0):
+//       lia_cli mode=ingest-drill [hosts=12] [m=30] [ticks=60] [dir=/tmp]
 //   checkpoint-drill: crash-recovery drill (io/checkpoint.hpp).  Runs the
 //             scenario uninterrupted as a reference, re-runs it killing the
 //             process state at a scripted tick, restores from the
@@ -44,7 +64,9 @@
 #include "core/identifiability.hpp"
 #include "core/lia.hpp"
 #include "core/monitor.hpp"
+#include "io/binary_trace.hpp"
 #include "io/checkpoint.hpp"
+#include "io/pipeline.hpp"
 #include "io/scenario_io.hpp"
 #include "io/trace_io.hpp"
 #include "net/routing_matrix.hpp"
@@ -64,7 +86,12 @@ int generate(const util::Args& args) {
   const auto hosts = args.get_size("hosts", 16);
   const auto m = args.get_size("m", 50);
   const auto seed = args.get_size("seed", 1);
+  const auto format = args.get_string("format", "text");
   args.finish();
+  if (format != "text" && format != "binary") {
+    std::cerr << "format must be text|binary\n";
+    return 2;
+  }
 
   stats::Rng rng(seed);
   auto topo = topology::make_planetlab_like(
@@ -75,18 +102,28 @@ int generate(const util::Args& args) {
   sim::ScenarioConfig config;
   config.p = 0.08;
   sim::SnapshotSimulator simulator(topo.graph, rrm, config, seed * 5);
-  std::vector<std::vector<double>> phi_rows;
-  for (std::size_t l = 0; l < m + 1; ++l) {
-    phi_rows.push_back(simulator.next().path_trans);
+  std::size_t snapshots = 0;
+  if (format == "binary") {
+    // Direct emission: simulator -> binary trace, never materialising the
+    // campaign in memory.
+    io::SimulatorSource source(simulator, m + 1);
+    io::BinaryTraceSink sink(out + ".snapshots");
+    snapshots = source.drain(sink);
+  } else {
+    std::vector<std::vector<double>> phi_rows;
+    for (std::size_t l = 0; l < m + 1; ++l) {
+      phi_rows.push_back(simulator.next().path_trans);
+    }
+    io::save_snapshots(out + ".snapshots", phi_rows);
+    snapshots = phi_rows.size();
   }
 
   io::save_topology(out + ".topology", topo.graph);
   io::save_paths(out + ".paths", routed.paths);
-  io::save_snapshots(out + ".snapshots", phi_rows);
   std::cout << "wrote " << out << ".topology (" << topo.graph.edge_count()
             << " edges), " << out << ".paths (" << routed.paths.size()
-            << " paths), " << out << ".snapshots (" << phi_rows.size()
-            << " snapshots)\n"
+            << " paths), " << out << ".snapshots (" << snapshots << ' '
+            << format << " snapshots)\n"
             << "try:  lia_cli mode=infer topology=" << out
             << ".topology paths=" << out << ".paths snapshots=" << out
             << ".snapshots\n";
@@ -177,6 +214,8 @@ int monitor(const util::Args& args) {
   const auto m = args.get_size("m", 50);
   const auto relearn_every = args.get_size("relearn_every", 1);
   const auto engine = args.get_string("engine", "streaming");
+  const auto format = args.get_string("format", "auto");
+  const auto thin_every = args.get_size("thin", 1);
   args.finish();
   if (topology_file.empty() || paths_file.empty() || snapshots_file.empty()) {
     std::cerr << "mode=monitor needs topology=, paths=, snapshots= files\n";
@@ -186,13 +225,21 @@ int monitor(const util::Args& args) {
     std::cerr << "engine must be streaming|batch\n";
     return 2;
   }
+  if (format != "auto" && format != "text" && format != "binary") {
+    std::cerr << "format must be auto|text|binary\n";
+    return 2;
+  }
 
   const auto graph = io::load_topology(topology_file);
   const auto paths = io::load_paths(paths_file);
   const net::ReducedRoutingMatrix rrm(graph, paths);
-  std::ifstream snapshots(snapshots_file);
-  if (!snapshots) {
-    std::cerr << "cannot open " << snapshots_file << '\n';
+  auto opened = io::open_snapshot_source(snapshots_file);
+  if (format == "binary" && !opened.binary) {
+    std::cerr << snapshots_file << " is not a binary trace\n";
+    return 2;
+  }
+  if (format == "text" && opened.binary) {
+    std::cerr << snapshots_file << " is a binary trace (use format=auto)\n";
     return 2;
   }
 
@@ -201,35 +248,42 @@ int monitor(const util::Args& args) {
                      .relearn_every = relearn_every,
                      .engine = engine == "batch" ? core::MonitorEngine::kBatch
                                                  : core::MonitorEngine::kStreaming});
-  io::SnapshotStream stream(snapshots);
-  std::vector<double> y;
   util::Table log({"tick", "congested links", "worst link loss"});
   std::size_t diagnosed = 0;
-  while (stream.next(y)) {
-    if (y.size() != rrm.path_count()) {
-      std::cerr << "snapshot arity " << y.size() << " != path count "
-                << rrm.path_count() << '\n';
-      return 2;
-    }
-    const auto inference = monitor.observe(y);
-    if (!inference) continue;
-    ++diagnosed;
-    std::size_t flagged = 0;
-    double worst = 0.0;
-    for (std::size_t k = 0; k < rrm.link_count(); ++k) {
-      if (inference->loss[k] > tl) {
-        ++flagged;
-        worst = std::max(worst, inference->loss[k]);
-      }
-    }
-    log.add_row({std::to_string(monitor.ticks()), std::to_string(flagged),
-                 util::Table::num(worst, 4)});
+  // source -> thin -> log-transform -> monitor: the same chain for text
+  // and binary input; binary batches arrive zero-copy off the mmap.
+  io::Thin thin(thin_every);
+  io::LogTransform log_transform;
+  io::MonitorSink sink(
+      monitor, [&](std::size_t tick, const core::LossInference& inference) {
+        ++diagnosed;
+        std::size_t flagged = 0;
+        double worst = 0.0;
+        for (std::size_t k = 0; k < rrm.link_count(); ++k) {
+          if (inference.loss[k] > tl) {
+            ++flagged;
+            worst = std::max(worst, inference.loss[k]);
+          }
+        }
+        log.add_row({std::to_string(tick + 1), std::to_string(flagged),
+                     util::Table::num(worst, 4)});
+      });
+  thin.to(log_transform).to(sink);
+  std::size_t streamed = 0;
+  try {
+    streamed = opened.source->drain(thin);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "snapshot feed rejected (" << e.what() << "); expected arity "
+              << rrm.path_count() << '\n';
+    return 2;
   }
   log.print(std::cout);
   std::cout << '\n'
-            << stream.snapshots_read() << " snapshots streamed, " << diagnosed
-            << " diagnosed (window m=" << m << ", " << engine << " engine)\n";
-  if (stream.snapshots_read() <= m) {
+            << streamed << " snapshots streamed ("
+            << (opened.binary ? "binary, zero-copy" : "text") << "), "
+            << diagnosed << " diagnosed (window m=" << m << ", " << engine
+            << " engine)\n";
+  if (streamed <= m) {
     std::cout << "note: the first m snapshots are learning-only; feed more "
                  "than m to see diagnoses\n";
   }
@@ -243,6 +297,8 @@ int scenario_mode(const util::Args& args) {
   const auto window_override = args.get_size("window", 0);
   const auto engine = args.get_string("engine", "streaming");
   const auto accumulator = args.get_string("accumulator", "dense");
+  const auto record_file = args.get_string("record", "");
+  const auto replay_file = args.get_string("replay", "");
   args.finish();
   if (scenario_file.empty()) {
     std::cerr << "mode=scenario needs scenario=<file> "
@@ -274,6 +330,15 @@ int scenario_mode(const util::Args& args) {
                             ? core::CovarianceAccumulator::kSharingPairs
                             : core::CovarianceAccumulator::kDense;
   scenario::ScenarioRunner runner(std::move(spec), options);
+  if (!record_file.empty()) {
+    runner.record_trace(record_file);
+    std::cout << "recording monitor feed -> " << record_file << '\n';
+  }
+  if (!replay_file.empty()) {
+    runner.replay_trace(replay_file);
+    std::cout << "replaying monitor feed <- " << replay_file
+              << " (simulator bypassed)\n";
+  }
   std::cout << "scenario '" << runner.spec().name << "': "
             << runner.universe().path_count() << " universe paths ("
             << runner.base_path_count() << " base), "
@@ -328,6 +393,132 @@ int scenario_mode(const util::Args& args) {
               << eqs->refine_iterations() << " refinement steps, "
               << eqs->links_pinned() << " links pinned\n";
   }
+  return 0;
+}
+
+int convert(const util::Args& args) {
+  const auto in = args.get_string("in", "");
+  const auto out = args.get_string("out", "");
+  args.finish();
+  if (in.empty() || out.empty()) {
+    std::cerr << "mode=convert needs in=<snapshots> out=<snapshots>\n";
+    return 2;
+  }
+  auto opened = io::open_snapshot_source(in);
+  std::size_t snapshots = 0;
+  if (opened.binary) {
+    if (opened.log_transformed) {
+      std::cerr << in
+                << " stores log-transformed Y (a recorded scenario feed); "
+                   "the text format stores phi, so this trace has no "
+                   "lossless text form\n";
+      return 2;
+    }
+    std::ofstream os(out);
+    if (!os) {
+      std::cerr << "cannot open for writing: " << out << '\n';
+      return 2;
+    }
+    io::TextSnapshotSink sink(os);
+    snapshots = opened.source->drain(sink);
+    std::cout << "converted binary -> text: " << snapshots << " snapshots -> "
+              << out << '\n';
+  } else {
+    io::BinaryTraceSink sink(out);
+    snapshots = opened.source->drain(sink);
+    std::cout << "converted text -> binary: " << snapshots << " snapshots -> "
+              << out << '\n';
+  }
+  return 0;
+}
+
+// End-to-end parity drill: the binary ingestion path (mmap reader +
+// pipeline) must produce inferences bit-identical to the classic text
+// loop on the same campaign.  Exercised under ASan in CI to cover the
+// mmap reader, and in the Release smoke as the convert -> run -> compare
+// gate.
+int ingest_drill(const util::Args& args) {
+  const auto hosts = args.get_size("hosts", 12);
+  const auto m = args.get_size("m", 30);
+  const auto ticks = args.get_size("ticks", 60);
+  const auto seed = args.get_size("seed", 7);
+  const auto dir = args.get_string("dir", "/tmp");
+  const auto threads = args.get_size("threads", 0);
+  args.finish();
+
+  stats::Rng rng(seed);
+  auto topo = topology::make_planetlab_like(
+      {.hosts = hosts, .as_count = 6, .routers_per_as = 5}, rng);
+  const auto routed = topology::route_paths(topo.graph, topo.hosts, topo.hosts);
+  const net::ReducedRoutingMatrix rrm(topo.graph, routed.paths);
+  sim::ScenarioConfig config;
+  config.p = 0.12;
+  sim::SnapshotSimulator simulator(topo.graph, rrm, config, seed * 11);
+  std::vector<std::vector<double>> phi_rows;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    phi_rows.push_back(simulator.next().path_trans);
+  }
+  const auto text_file = dir + "/losstomo_ingest.snapshots";
+  const auto binary_file = dir + "/losstomo_ingest.snapshots.bin";
+  io::save_snapshots(text_file, phi_rows);
+  {
+    io::BinaryTraceWriter writer(binary_file, rrm.path_count());
+    for (const auto& row : phi_rows) writer.append(row);
+    writer.finish();
+  }
+  std::cout << "campaign: " << rrm.path_count() << " paths, " << ticks
+            << " snapshots (text + binary)\n";
+
+  core::MonitorOptions options{.window = m};
+  options.lia.variance.threads = threads;
+
+  // Reference: the classic per-line text loop.
+  std::vector<linalg::Vector> text_inferences;
+  {
+    core::LiaMonitor monitor(rrm.matrix(), options);
+    std::ifstream is(text_file);
+    io::SnapshotStream stream(is);
+    std::vector<double> y;
+    while (stream.next(y)) {
+      if (const auto inference = monitor.observe(y)) {
+        text_inferences.push_back(inference->loss);
+      }
+    }
+  }
+
+  // Candidate: zero-copy binary ingestion through the pipeline.
+  std::vector<linalg::Vector> binary_inferences;
+  const auto reader = io::BinaryTraceReader::open(binary_file);
+  std::cout << "binary trace: " << reader.snapshots() << " snapshots, "
+            << (reader.mapped() ? "mmap" : "buffered") << " payload\n";
+  {
+    core::LiaMonitor monitor(rrm.matrix(), options);
+    io::BinaryTraceSource source(reader);
+    io::LogTransform log_transform(threads);
+    io::MonitorSink sink(monitor,
+                         [&](std::size_t, const core::LossInference& inf) {
+                           binary_inferences.push_back(inf.loss);
+                         });
+    log_transform.to(sink);
+    source.drain(log_transform);
+  }
+
+  if (text_inferences.size() != binary_inferences.size()) {
+    std::cerr << "FAIL: " << text_inferences.size() << " text vs "
+              << binary_inferences.size() << " binary diagnoses\n";
+    return 1;
+  }
+  for (std::size_t t = 0; t < text_inferences.size(); ++t) {
+    for (std::size_t k = 0; k < text_inferences[t].size(); ++k) {
+      if (text_inferences[t][k] != binary_inferences[t][k]) {
+        std::cerr << "FAIL: inference diverges at tick " << t << " link " << k
+                  << '\n';
+        return 1;
+      }
+    }
+  }
+  std::cout << text_inferences.size()
+            << " diagnoses bit-identical across text and binary ingestion\n";
   return 0;
 }
 
@@ -466,10 +657,13 @@ int main(int argc, char** argv) {
     if (mode == "generate") return generate(args);
     if (mode == "infer") return infer(args);
     if (mode == "monitor") return monitor(args);
+    if (mode == "convert") return convert(args);
     if (mode == "scenario") return scenario_mode(args);
     if (mode == "checkpoint-drill") return checkpoint_drill(args);
+    if (mode == "ingest-drill") return ingest_drill(args);
     std::cerr << "unknown mode: " << mode
-              << " (use generate|infer|monitor|scenario|checkpoint-drill)\n";
+              << " (use generate|infer|monitor|convert|scenario|"
+                 "checkpoint-drill|ingest-drill)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -288,6 +288,19 @@ std::optional<LossInference> LiaMonitor::observe_churn(
   return result;
 }
 
+void LiaMonitor::observe_block(std::span<const double> values,
+                               std::size_t rows,
+                               const InferenceFn& on_inference) {
+  const std::size_t np = r_.rows();
+  if (values.size() != rows * np) {
+    throw std::invalid_argument("observe_block size != rows * paths");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto inference = observe(values.subspan(r * np, np));
+    if (on_inference && inference) on_inference(ticks_ - 1, *inference);
+  }
+}
+
 std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
   if (y.size() != r_.rows()) {
     throw std::invalid_argument("snapshot size");

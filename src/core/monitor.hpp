@@ -49,6 +49,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -131,6 +132,21 @@ class LiaMonitor {
   /// window length; the batch engine pays the full O(m np^2) relearn
   /// instead.
   std::optional<LossInference> observe(std::span<const double> y);
+
+  /// Per-diagnosing-tick callback for observe_block: (0-based tick index,
+  /// the inference for that tick).
+  using InferenceFn = std::function<void(std::size_t, const LossInference&)>;
+
+  /// Observes `rows` consecutive snapshots from a contiguous row-major
+  /// block of rows * routing().rows() doubles — the batched ingestion
+  /// entry point (io::MonitorSink feeds mmap-backed binary-trace blocks
+  /// here with zero copies).  Tick-identical to `rows` observe() calls:
+  /// each row still advances the window, relearn cadence, and diagnosis
+  /// exactly as observe() would, so inferences are bit-identical to the
+  /// per-row loop.  `on_inference` (optional) fires for every tick that
+  /// produces a diagnosis.
+  void observe_block(std::span<const double> values, std::size_t rows,
+                     const InferenceFn& on_inference = {});
 
   // -- Path churn ---------------------------------------------------------
 

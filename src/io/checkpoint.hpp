@@ -71,6 +71,19 @@ class CheckpointError : public std::runtime_error {
 /// CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff) of a byte span.
 std::uint32_t crc32(std::span<const std::uint8_t> bytes);
 
+/// Incremental CRC-32 over a byte stream (same polynomial/value as crc32):
+/// lets a streaming writer (io::BinaryTraceWriter) checksum gigabytes of
+/// appended rows without ever holding the payload in memory.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> bytes);
+  /// CRC of everything updated so far; the accumulator stays usable.
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
 /// Builds a checkpoint payload field by field.  All write methods append
 /// to an in-memory buffer; finish() seals the header + CRC and returns the
 /// complete file image (the writer is then spent).  Sections must be

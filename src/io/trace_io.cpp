@@ -1,7 +1,9 @@
 #include "io/trace_io.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -20,9 +22,9 @@ bool next_content_line(std::istream& is, std::string& line,
     ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    std::istringstream probe(line);
-    std::string token;
-    if (probe >> token) return true;
+    // Any non-whitespace character makes this a content line; no stream
+    // construction in the per-line loop.
+    if (line.find_first_not_of(" \t\r\v\f") != std::string::npos) return true;
   }
   if (is.bad()) {
     throw std::runtime_error("trace read: stream I/O failure after line " +
@@ -138,6 +140,9 @@ std::vector<net::Path> read_paths(std::istream& is) {
 void write_snapshots(std::ostream& os,
                      const std::vector<std::vector<double>>& phi_rows) {
   os << "# losstomo snapshots: one line per snapshot, phi per path\n";
+  // max_digits10 so a written campaign parses back to bit-identical
+  // doubles (text <-> binary conversion round-trips exactly).
+  const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& row : phi_rows) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) os << ' ';
@@ -145,6 +150,7 @@ void write_snapshots(std::ostream& os,
     }
     os << '\n';
   }
+  os.precision(saved);
 }
 
 SnapshotStream::SnapshotStream(std::istream& is, bool log_transform)
@@ -152,21 +158,36 @@ SnapshotStream::SnapshotStream(std::istream& is, bool log_transform)
 
 bool SnapshotStream::next(std::vector<double>& y) {
   if (!next_content_line(*is_, line_, lineno_)) return false;
-  std::istringstream ss(line_);
   y.clear();
-  double phi;
-  while (ss >> phi) {
+  // Hot loop: scan the reused line buffer with std::from_chars — no
+  // istringstream construction, no locale machinery, same
+  // correctly-rounded doubles as the stream extraction it replaces.
+  const char* p = line_.data();
+  const char* const end = p + line_.size();
+  while (true) {
+    while (p != end && (*p == ' ' || *p == '\t' || *p == '\r' ||
+                        *p == '\v' || *p == '\f')) {
+      ++p;
+    }
+    if (p == end) break;
+    double phi = 0.0;
+    const auto [rest, ec] = std::from_chars(p, end, phi);
+    if (ec != std::errc{}) {
+      throw std::runtime_error("bad snapshot line " + std::to_string(lineno_) +
+                               ": " + line_);
+    }
+    p = rest;
     // Negated-range form so NaN (which compares false to everything, and
-    // which `ss >> phi` happily parses from "nan") is rejected too.
+    // which from_chars happily parses from "nan") is rejected too.
     if (!(phi >= 0.0 && phi <= 1.0)) {
       throw std::runtime_error("phi out of [0,1] at snapshot line " +
                                std::to_string(lineno_) + ": " + line_);
     }
     y.push_back(log_transform_ ? std::log(std::max(phi, 1e-9)) : phi);
   }
-  // next_content_line guarantees at least one token, so an empty parse (or
-  // one that stopped before the end of the line) means non-numeric input.
-  if (!ss.eof() || y.empty()) {
+  // next_content_line guarantees at least one token, so an empty parse
+  // means non-numeric input.
+  if (y.empty()) {
     throw std::runtime_error("bad snapshot line " + std::to_string(lineno_) +
                              ": " + line_);
   }

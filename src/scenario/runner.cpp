@@ -514,33 +514,79 @@ ScenarioRunner restore_runner(const std::string& file,
   return runner;
 }
 
+void ScenarioRunner::record_trace(const std::string& file) {
+  if (replay_) throw std::logic_error("cannot record while replaying");
+  recorder_ = std::make_unique<io::BinaryTraceWriter>(
+      file, rrm_->path_count(), /*log_transformed=*/true);
+}
+
+void ScenarioRunner::replay_trace(const std::string& file) {
+  if (recorder_) throw std::logic_error("cannot replay while recording");
+  auto reader = io::BinaryTraceReader::open(file);
+  if (reader.paths() != rrm_->path_count()) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "trace arity " + std::to_string(reader.paths()) +
+            " != scenario universe " + std::to_string(rrm_->path_count()));
+  }
+  if (!reader.log_transformed()) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "scenario replay needs a log-transformed (recorded) trace");
+  }
+  if (reader.snapshots() < spec_.ticks) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "trace has " + std::to_string(reader.snapshots()) +
+            " snapshots, scenario runs " + std::to_string(spec_.ticks) +
+            " ticks");
+  }
+  replay_.emplace(std::move(reader));
+}
+
 std::optional<core::LossInference> ScenarioRunner::step() {
   if (tick_ >= spec_.ticks) throw std::logic_error("scenario exhausted");
   util::Timer timer;
   const auto due = timeline_.at(tick_);
   for (const Event& e : due) apply(e);
   const std::size_t known = monitor_->routing().rows();
-  if (spec_.lazy_simulation &&
-      simulator_->config().mode == sim::ProbeMode::kSlotSynchronized) {
-    // Evaluate only the rows the monitor will actually read this tick:
-    // dormant reserve/alternate rows and retired paths cost nothing.  The
-    // per-unit loss processes consume the same RNG stream either way, so
-    // every evaluated entry is bit-identical to a full simulation.
-    needed_.assign(rrm_->path_count(), 0);
-    for (std::size_t i = 0; i < known; ++i) {
-      if (monitor_->path_active(i)) needed_[i] = 1;
-    }
-    last_snapshot_ = simulator_->next(needed_);
+  if (replay_) {
+    // Replay: the recorded universe-width row's known prefix IS the feed
+    // of the recording run — the simulator is bypassed entirely (events
+    // touching it are harmless; its output is never read), and there is
+    // no ground truth to expose in last_snapshot_.
+    const auto row = replay_->row(tick_);
+    y_.assign(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(known));
+    last_snapshot_ = sim::Snapshot{};
   } else {
-    last_snapshot_ = simulator_->next();
+    if (spec_.lazy_simulation &&
+        simulator_->config().mode == sim::ProbeMode::kSlotSynchronized) {
+      // Evaluate only the rows the monitor will actually read this tick:
+      // dormant reserve/alternate rows and retired paths cost nothing.  The
+      // per-unit loss processes consume the same RNG stream either way, so
+      // every evaluated entry is bit-identical to a full simulation.
+      needed_.assign(rrm_->path_count(), 0);
+      for (std::size_t i = 0; i < known; ++i) {
+        if (monitor_->path_active(i)) needed_[i] = 1;
+      }
+      last_snapshot_ = simulator_->next(needed_);
+    } else {
+      last_snapshot_ = simulator_->next();
+    }
+    y_.assign(known, 0.0);
+    for (std::size_t i = 0; i < known; ++i) {
+      if (monitor_->path_active(i)) y_[i] = last_snapshot_.path_log_trans[i];
+    }
   }
-  y_.assign(known, 0.0);
-  for (std::size_t i = 0; i < known; ++i) {
-    if (monitor_->path_active(i)) y_[i] = last_snapshot_.path_log_trans[i];
+  if (recorder_) {
+    record_row_.assign(rrm_->path_count(), 0.0);
+    std::copy(y_.begin(), y_.end(), record_row_.begin());
+    recorder_->append(record_row_);
   }
   auto result = monitor_->observe(y_);
   const double seconds = timer.seconds();
   ++tick_;
+  if (recorder_ && tick_ == spec_.ticks) recorder_->finish();
   if (result) ++diagnosed_;
   if (!due.empty()) {
     event_tick_.add(seconds);

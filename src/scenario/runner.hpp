@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/monitor.hpp"
+#include "io/binary_trace.hpp"
 #include "net/graph.hpp"
 #include "net/path.hpp"
 #include "net/routing_matrix.hpp"
@@ -139,6 +140,32 @@ class ScenarioRunner {
     return last_snapshot_;
   }
 
+  // -- Trace record / replay (io/binary_trace.hpp) ------------------------
+  //
+  // Recording captures the exact monitor feed: every step() appends one
+  // universe-width row of Y = log phi (zero filler for rows the monitor
+  // does not yet know or has retired) to a log-flagged binary trace, so
+  // the arity is constant even while churn events grow the known prefix.
+  // Replay drives the monitor from such a trace INSTEAD of the simulator:
+  // events still apply on schedule (they are what grows/retires rows), but
+  // each tick's y is the recorded row's known-rows prefix — bit-identical
+  // to the feed of the recording run, hence bit-identical inferences at
+  // any thread count (tests/scenario/replay_test).  Ground truth is not
+  // recorded: last_snapshot() is empty during replay.
+
+  /// Arms recording to `file`; the trace is sealed when the final tick
+  /// runs (an aborted run leaves a file every reader rejects).  Call
+  /// before the first step().
+  void record_trace(const std::string& file);
+  /// Arms replay from `file`.  Validates arity (= universe path count),
+  /// the log-transform flag, and the tick count against the spec; throws
+  /// io::CheckpointError(kMismatch) on disagreement, kBadMagic/kCorrupt/
+  /// ... per the binary-trace failure surface.  Call before the first
+  /// step().
+  void replay_trace(const std::string& file);
+  /// True when replay_trace is driving (last_snapshot() is meaningless).
+  [[nodiscard]] bool replaying() const { return replay_.has_value(); }
+
   // -- Checkpointing (io/checkpoint.hpp) ----------------------------------
   //
   // save_state serializes the runner's full resumable state: the scenario
@@ -193,6 +220,10 @@ class ScenarioRunner {
   double max_tick_seconds_ = 0.0;
   std::vector<double> y_;
   sim::Snapshot last_snapshot_;
+  // Trace record/replay (armed post-construction, run-scoped).
+  std::unique_ptr<io::BinaryTraceWriter> recorder_;
+  std::vector<double> record_row_;
+  std::optional<io::BinaryTraceReader> replay_;
 };
 
 /// Crash-recovery entry point: reads the checkpoint at `file`, rebuilds the
