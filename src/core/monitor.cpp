@@ -1,9 +1,11 @@
 #include "core/monitor.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "core/sharded_moments.hpp"
 #include "io/checkpoint.hpp"
 
 namespace losstomo::core {
@@ -73,6 +75,14 @@ LiaMonitor::LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options)
         "the sharing-pair accumulator requires the streaming engine with "
         "the drop-negative policy");
   }
+  if (options_.shards > 0 &&
+      options_.accumulator != CovarianceAccumulator::kSharingPairs) {
+    throw std::invalid_argument(
+        "sharding requires the kSharingPairs accumulator");
+  }
+  if (options_.shards == 0 && !options_.partition.empty()) {
+    throw std::invalid_argument("partition given without shards");
+  }
   if (engine_ == MonitorEngine::kStreaming) {
     const stats::StreamingMomentsOptions accumulator_options{
         .window = options_.window,
@@ -81,7 +91,14 @@ LiaMonitor::LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options)
     if (options_.accumulator == CovarianceAccumulator::kSharingPairs) {
       store_ = std::make_shared<SharingPairStore>(
           SharingPairStore::build(r_, options_.lia.variance.threads));
-      pair_accumulator_.emplace(store_, r_.rows(), accumulator_options);
+      if (options_.shards > 0) {
+        pair_accumulator_ = std::make_unique<ShardedPairMoments>(
+            store_, r_, options_.shards, accumulator_options,
+            options_.partition);
+      } else {
+        pair_accumulator_ = std::make_unique<PairMoments>(store_, r_.rows(),
+                                                          accumulator_options);
+      }
       equations_.emplace(r_, options_.lia.variance, store_);
     } else {
       accumulator_.emplace(r_.rows(), accumulator_options);
@@ -123,6 +140,10 @@ bool LiaMonitor::path_full(std::size_t i) const {
 const VarianceEstimate& LiaMonitor::variances() const {
   if (churn_ && churn_variance_) return *churn_variance_;
   return lia_.variances();
+}
+
+const ShardedPairMoments* LiaMonitor::sharded_accumulator() const {
+  return dynamic_cast<const ShardedPairMoments*>(pair_accumulator_.get());
 }
 
 std::size_t LiaMonitor::active_path_count() const {
@@ -194,7 +215,7 @@ std::size_t LiaMonitor::add_paths(std::vector<std::vector<std::uint32_t>> rows,
     equations_->grow_links(new_links);
     equations_->add_paths(r_, count);
     if (pair_accumulator_) {
-      pair_accumulator_->add_paths(count);
+      pair_accumulator_->add_paths(r_, count);
     } else {
       accumulator_->add_paths(count);
     }
@@ -346,6 +367,7 @@ void LiaMonitor::save_state(io::CheckpointWriter& writer) const {
   writer.boolean(options_.lia.variance.negatives ==
                  NegativeCovariancePolicy::kDrop);
   writer.usize(options_.refresh_every);
+  writer.usize(options_.shards);
   // The grown routing matrix (the initial rows are its prefix).
   writer.usize(r_.cols());
   writer.usize(r_.rows());
@@ -383,11 +405,12 @@ void LiaMonitor::restore_state(io::CheckpointReader& reader) {
   const auto accumulator = static_cast<CovarianceAccumulator>(reader.u8());
   const bool drop_negative = reader.boolean();
   const std::size_t refresh_every = reader.usize();
+  const std::size_t shards = reader.usize();
   if (window != options_.window || relearn_every != options_.relearn_every ||
       engine != engine_ || accumulator != options_.accumulator ||
       drop_negative != (options_.lia.variance.negatives ==
                         NegativeCovariancePolicy::kDrop) ||
-      refresh_every != options_.refresh_every) {
+      refresh_every != options_.refresh_every || shards != options_.shards) {
     throw io::CheckpointError(
         io::CheckpointErrorKind::kMismatch,
         "monitor configuration differs from the checkpointed one");
@@ -452,7 +475,7 @@ void LiaMonitor::restore_state(io::CheckpointReader& reader) {
   // serialized state into the fresh objects, and only then commit.
   std::shared_ptr<SharingPairStore> store;
   std::optional<stats::StreamingMoments> acc;
-  std::optional<PairMoments> pair_acc;
+  std::unique_ptr<PairIndexedSource> pair_acc;
   std::optional<StreamingNormalEquations> equations;
   std::deque<linalg::Vector> batch_window;
   if (engine_ == MonitorEngine::kStreaming) {
@@ -467,7 +490,14 @@ void LiaMonitor::restore_state(io::CheckpointReader& reader) {
         throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
                                   "pair store path count != routing rows");
       }
-      pair_acc.emplace(store, nrows, accumulator_options);
+      if (options_.shards > 0) {
+        pair_acc = std::make_unique<ShardedPairMoments>(
+            store, *new_r, options_.shards, accumulator_options,
+            options_.partition);
+      } else {
+        pair_acc =
+            std::make_unique<PairMoments>(store, nrows, accumulator_options);
+      }
       pair_acc->restore_state(reader);
       equations.emplace(*new_r, options_.lia.variance, store);
       equations->restore_state(reader, store);

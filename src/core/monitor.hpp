@@ -99,8 +99,23 @@ struct MonitorOptions {
   /// accumulator in ticks, bounding floating-point drift
   /// (stats::StreamingMomentsOptions::refresh_every); 0 = 2 * window.
   std::size_t refresh_every = 0;
+  /// Partition the pair-indexed accumulator across `shards` interior
+  /// shards plus one boundary shard for cross-shard sharing pairs
+  /// (core::ShardedPairMoments).  0 = the flat accumulator (default);
+  /// shards >= 1 engages the sharded machinery (1 still exercises the
+  /// partition/merge plumbing).  Requires the streaming engine, the
+  /// kSharingPairs accumulator, and a drop-negative configuration (throws
+  /// std::invalid_argument otherwise).  Inferences are bit-identical to
+  /// the unsharded monitor at any shard count.
+  std::size_t shards = 0;
+  /// Explicit shard of each *initial* path (entries < shards); empty =
+  /// deterministic splitmix64 hash partition.  Paths grown mid-run are
+  /// always hash-partitioned.
+  std::vector<std::uint32_t> partition;
   LiaOptions lia;
 };
+
+class ShardedPairMoments;
 
 /// Feeds snapshots one at a time; once the window is full, every further
 /// snapshot is diagnosed against variances learned from the preceding
@@ -201,6 +216,9 @@ class LiaMonitor {
   [[nodiscard]] CovarianceAccumulator accumulator() const {
     return options_.accumulator;
   }
+  /// The sharded accumulator's diagnostics (shard sizes, cross-shard pair
+  /// counts, merge counters); nullptr unless options.shards > 0.
+  [[nodiscard]] const ShardedPairMoments* sharded_accumulator() const;
   /// The streaming engine's incrementally maintained Phase-1 system, for
   /// factor-cache diagnostics (refactorizations, rank-1 up/downdates, pair
   /// store size); nullptr when the batch engine is driving.
@@ -253,7 +271,8 @@ class LiaMonitor {
   // Streaming engine state.
   std::shared_ptr<SharingPairStore> store_;  // kSharingPairs only
   std::optional<stats::StreamingMoments> accumulator_;
-  std::optional<PairMoments> pair_accumulator_;
+  // kSharingPairs: PairMoments (flat) or ShardedPairMoments (shards > 0).
+  std::unique_ptr<PairIndexedSource> pair_accumulator_;
   std::optional<StreamingNormalEquations> equations_;
   // Churn state (engaged at the first set_path_active/add_path call).
   bool churn_ = false;

@@ -10,7 +10,6 @@
 namespace losstomo::core {
 
 namespace {
-constexpr std::size_t kNoPair = std::numeric_limits<std::size_t>::max();
 constexpr std::size_t kPairGrain = 8192;
 }  // namespace
 
@@ -191,29 +190,12 @@ void PairMoments::restore_state(io::CheckpointReader& reader) {
   values_ = std::move(values);
 }
 
-std::size_t PairMoments::find_pair(std::size_t i, std::size_t j) const {
-  const auto in_row = [&](std::size_t row, std::uint32_t want) {
-    std::size_t lo = store_->row_begin(row), hi = store_->row_end(row);
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (store_->partner(mid) < want) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo < store_->row_end(row) && store_->partner(lo) == want) return lo;
-    return kNoPair;
-  };
-  const std::size_t p = in_row(i, static_cast<std::uint32_t>(j));
-  if (p != kNoPair) return p;
-  return in_row(j, static_cast<std::uint32_t>(i));
-}
-
 double PairMoments::covariance(std::size_t i, std::size_t j) const {
   if (count_ < 2) throw std::logic_error("covariance needs >= 2 snapshots");
-  const std::size_t p = find_pair(i, j);
-  if (p == kNoPair) return 0.0;  // non-sharing pair: never consumed
+  const std::size_t p = store_->find_pair(i, j);
+  if (p == SharingPairStore::kNoPair) {
+    return 0.0;  // non-sharing pair: never consumed
+  }
   return pair_covariance(p);
 }
 

@@ -38,12 +38,46 @@
 
 namespace losstomo::core {
 
+/// Interface of the pair-indexed accumulators that back the streaming
+/// drop-negative engine: a covariance source whose entries are addressable
+/// by SharingPairStore pair index.  Two implementations — the flat
+/// core::PairMoments and the partitioned core::ShardedPairMoments — so the
+/// monitor and the StreamingNormalEquations refresh are agnostic to
+/// whether the window statistics live in one accumulator or K shard-local
+/// ones.
+///
+/// The writer API mirrors the accumulator contract the monitor drives:
+/// single-writer push/churn, with add_paths called AFTER the shared store
+/// has grown (the routing matrix is passed so sharded implementations can
+/// slice the new rows).
+class PairIndexedSource : public stats::CovarianceSource {
+ public:
+  virtual void push(std::span<const double> y) = 0;
+  virtual void push_block(std::span<const double> values,
+                          std::size_t rows) = 0;
+  virtual void activate_path(std::size_t i) = 0;
+  virtual void retire_path(std::size_t i) = 0;
+  /// Appends the trailing `count` rows of the (already grown) routing
+  /// matrix `r`; returns the first new dimension's index.
+  virtual std::size_t add_paths(const linalg::SparseBinaryMatrix& r,
+                                std::size_t count) = 0;
+  virtual void save_state(io::CheckpointWriter& writer) const = 0;
+  virtual void restore_state(io::CheckpointReader& reader) = 0;
+
+  /// The store the pair values are indexed by (the monitor's shared one).
+  [[nodiscard]] virtual const SharingPairStore* pair_store() const = 0;
+  /// Centred cross-product per stored pair, aligned with pair_store()'s
+  /// indexing; cov(pair p) = pair_values()[p] / (count() - 1).  May gather
+  /// lazily (sharded implementation) — logically const, single-writer.
+  [[nodiscard]] virtual std::span<const double> pair_values() const = 0;
+};
+
 /// Pair-indexed sparse sliding-window covariance accumulator.
 ///
 /// Thread-safety: single-writer (push/refresh/add_path/activate mutate);
 /// reads parallelize internally per options.threads with bit-identical
 /// results at any thread count.
-class PairMoments final : public stats::CovarianceSource {
+class PairMoments final : public PairIndexedSource {
  public:
   /// `store` must outlive the accumulator and already enumerate the pairs
   /// of the routing matrix the pushed snapshots are measured over; `dim`
@@ -55,13 +89,13 @@ class PairMoments final : public stats::CovarianceSource {
   /// when full.  Cost: O(dim + pair_count()) — two rank-1 passes over the
   /// stored pairs — plus the amortized O(window * pairs / refresh_every)
   /// drift refresh.
-  void push(std::span<const double> y);
+  void push(std::span<const double> y) override;
 
   /// Batched ingestion entry point: folds `rows` consecutive snapshots
   /// from a contiguous row-major block of rows * dim() doubles.
   /// State-identical and bit-identical to the per-row push() loop (same
   /// contract as stats::StreamingMoments::push_block).
-  void push_block(std::span<const double> values, std::size_t rows);
+  void push_block(std::span<const double> values, std::size_t rows) override;
 
   /// Recomputes means and every stored pair entry from the retained ring
   /// (drift bound; runs automatically every refresh_every pushes).
@@ -87,14 +121,22 @@ class PairMoments final : public stats::CovarianceSource {
   }
   [[nodiscard]] const SharingPairStore* store() const { return store_.get(); }
 
+  // PairIndexedSource:
+  [[nodiscard]] const SharingPairStore* pair_store() const override {
+    return store_.get();
+  }
+  [[nodiscard]] std::span<const double> pair_values() const override {
+    return values_;
+  }
+
   [[nodiscard]] std::size_t window() const { return options_.window; }
   [[nodiscard]] bool full() const { return count_ == options_.window; }
   [[nodiscard]] std::size_t pushes() const { return pushes_; }
   [[nodiscard]] std::size_t refreshes() const { return refreshes_; }
 
   // Path churn (same contract as stats::StreamingMoments):
-  void activate_path(std::size_t i);
-  void retire_path(std::size_t i);
+  void activate_path(std::size_t i) override;
+  void retire_path(std::size_t i) override;
   /// Appends one dimension (active, zero samples) and extends the pair
   /// values to match the store — call AFTER SharingPairStore::add_row.
   /// Returns the new dimension's index.
@@ -104,6 +146,13 @@ class PairMoments final : public stats::CovarianceSource {
   /// AFTER SharingPairStore::add_rows.  Returns the first new dimension's
   /// index.
   std::size_t add_paths(std::size_t count);
+  /// PairIndexedSource growth entry point: the flat accumulator reads the
+  /// new rows straight off the already-grown shared store, so `r` is
+  /// unused here.
+  std::size_t add_paths(const linalg::SparseBinaryMatrix&,
+                        std::size_t count) override {
+    return add_paths(count);
+  }
   [[nodiscard]] bool path_active(std::size_t i) const {
     return churn_.active(i);
   }
@@ -116,8 +165,8 @@ class PairMoments final : public stats::CovarianceSource {
   // SharingPairStore is serialized by its owner (the monitor) — restore
   // targets an accumulator already constructed over the restored store and
   // throws io::CheckpointError(kMismatch) on any shape disagreement.
-  void save_state(io::CheckpointWriter& writer) const;
-  void restore_state(io::CheckpointReader& reader);
+  void save_state(io::CheckpointWriter& writer) const override;
+  void restore_state(io::CheckpointReader& reader) override;
 
  private:
   void add(std::span<const double> y);
@@ -125,8 +174,6 @@ class PairMoments final : public stats::CovarianceSource {
   /// values_[p] += w * delta_i delta_j over every stored pair (parallel,
   /// disjoint writes — bit-identical at any thread count).
   void rank1(double w);
-  /// Stored pair index of (i, j) in either orientation, or npos.
-  [[nodiscard]] std::size_t find_pair(std::size_t i, std::size_t j) const;
 
   std::shared_ptr<const SharingPairStore> store_;
   std::size_t dim_;

@@ -1,0 +1,296 @@
+#include "core/sharded_moments.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "io/checkpoint.hpp"
+#include "util/parallel.hpp"
+
+namespace losstomo::core {
+
+namespace {
+constexpr std::size_t kMergeGrain = 8192;
+}  // namespace
+
+std::uint32_t ShardedPairMoments::hash_shard(std::size_t path,
+                                             std::size_t shards) {
+  // splitmix64 finalizer: well-mixed, stable across platforms, and cheap
+  // enough to recompute per grown path.
+  std::uint64_t z = static_cast<std::uint64_t>(path) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % static_cast<std::uint64_t>(shards));
+}
+
+ShardedPairMoments::ShardedPairMoments(
+    std::shared_ptr<const SharingPairStore> store,
+    const linalg::SparseBinaryMatrix& r, std::size_t shards,
+    stats::StreamingMomentsOptions options,
+    std::span<const std::uint32_t> partition)
+    : store_(std::move(store)),
+      dim_(r.rows()),
+      shard_count_(shards),
+      options_(options) {
+  if (shard_count_ == 0) throw std::invalid_argument("shards must be >= 1");
+  if (store_->path_count() != dim_) {
+    throw std::invalid_argument("store path count != routing rows");
+  }
+  if (partition.size() > dim_) {
+    throw std::invalid_argument("partition larger than the path count");
+  }
+  shard_of_.resize(dim_);
+  local_of_.resize(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (i < partition.size()) {
+      if (partition[i] >= shard_count_) {
+        throw std::invalid_argument("partition entry out of shard range");
+      }
+      shard_of_[i] = partition[i];
+    } else {
+      shard_of_[i] = hash_shard(i, shard_count_);
+    }
+  }
+
+  shards_.resize(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::vector<std::vector<std::uint32_t>> rows;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      if (shard_of_[i] != s) continue;
+      local_of_[i] = static_cast<std::uint32_t>(shard.paths.size());
+      shard.paths.push_back(static_cast<std::uint32_t>(i));
+      const auto row = r.row(i);
+      rows.emplace_back(row.begin(), row.end());
+    }
+    shard.sub_r = linalg::SparseBinaryMatrix(r.cols(), std::move(rows));
+    shard.store = std::make_shared<SharingPairStore>(
+        SharingPairStore::build(shard.sub_r, options_.threads));
+    shard.moments.emplace(shard.store, shard.paths.size(), options_);
+    shard.gather.resize(shard.paths.size());
+  }
+
+  // The filter captures this->shard_of_, which add_paths extends before
+  // growing the boundary store — that is why the class is not movable.
+  boundary_store_ = std::make_shared<SharingPairStore>(SharingPairStore::build(
+      r, options_.threads, [this](std::size_t i, std::size_t j) {
+        return shard_of_[i] != shard_of_[j];
+      }));
+  boundary_.emplace(boundary_store_, dim_, options_);
+
+  map_pairs_from(0);
+}
+
+void ShardedPairMoments::map_pairs_from(std::size_t first_pair) {
+  const std::size_t pairs = store_->pair_count();
+  pair_shard_.resize(pairs);
+  pair_local_.resize(pairs);
+  store_->for_pairs(
+      first_pair, pairs,
+      [&](std::size_t p, std::uint32_t i, std::uint32_t j,
+          std::span<const std::uint32_t>) {
+        const std::uint32_t si = shard_of_[i];
+        std::size_t local = SharingPairStore::kNoPair;
+        if (si == shard_of_[j]) {
+          local = shards_[si].store->find_pair(local_of_[i], local_of_[j]);
+          pair_shard_[p] = si;
+        } else {
+          local = boundary_store_->find_pair(i, j);
+          pair_shard_[p] = static_cast<std::uint32_t>(shard_count_);
+        }
+        if (local == SharingPairStore::kNoPair) {
+          // Every global sharing pair is intra-shard or cross-shard by
+          // construction; a miss means the stores diverged from the
+          // global one.
+          throw std::logic_error("sharded pair maps lost a sharing pair");
+        }
+        pair_local_[p] = local;
+      });
+}
+
+void ShardedPairMoments::push(std::span<const double> y) {
+  if (y.size() != dim_) throw std::invalid_argument("snapshot size != dim");
+  for (auto& shard : shards_) {
+    for (std::size_t k = 0; k < shard.paths.size(); ++k) {
+      shard.gather[k] = y[shard.paths[k]];
+    }
+    shard.moments->push(shard.gather);
+  }
+  boundary_->push(y);
+  merged_dirty_ = true;
+}
+
+void ShardedPairMoments::push_block(std::span<const double> values,
+                                    std::size_t rows) {
+  if (values.size() != rows * dim_) {
+    throw std::invalid_argument("push_block size != rows * dim");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    push(values.subspan(r * dim_, dim_));
+  }
+}
+
+void ShardedPairMoments::activate_path(std::size_t i) {
+  if (i >= dim_) throw std::invalid_argument("path out of range");
+  boundary_->activate_path(i);
+  shards_[shard_of_[i]].moments->activate_path(local_of_[i]);
+}
+
+void ShardedPairMoments::retire_path(std::size_t i) {
+  if (i >= dim_) throw std::invalid_argument("path out of range");
+  boundary_->retire_path(i);
+  shards_[shard_of_[i]].moments->retire_path(local_of_[i]);
+}
+
+std::size_t ShardedPairMoments::add_paths(const linalg::SparseBinaryMatrix& r,
+                                          std::size_t count) {
+  if (count == 0) throw std::invalid_argument("add_paths needs count >= 1");
+  if (r.rows() != dim_ + count) {
+    throw std::invalid_argument("routing rows != dim + count");
+  }
+  if (store_->path_count() != r.rows()) {
+    throw std::logic_error("global pair store not grown before add_paths");
+  }
+  const std::size_t first = dim_;
+  const std::size_t first_pair_before = store_->row_begin(first);
+  // Grown paths always hash — the rule a restored accumulator replays.
+  shard_of_.reserve(r.rows());
+  local_of_.resize(r.rows());
+  for (std::size_t i = first; i < r.rows(); ++i) {
+    shard_of_.push_back(hash_shard(i, shard_count_));
+  }
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::vector<std::vector<std::uint32_t>> rows;
+    for (std::size_t i = first; i < r.rows(); ++i) {
+      if (shard_of_[i] != s) continue;
+      local_of_[i] =
+          static_cast<std::uint32_t>(shard.paths.size() + rows.size());
+      const auto row = r.row(i);
+      rows.emplace_back(row.begin(), row.end());
+    }
+    const std::size_t grown = rows.size();
+    // Widen every shard's column space to the (possibly grown) global link
+    // universe, even when the shard receives no rows this batch.
+    shard.sub_r.append_rows(r.cols() - shard.sub_r.cols(), std::move(rows));
+    if (grown == 0) continue;
+    for (std::size_t i = first; i < r.rows(); ++i) {
+      if (shard_of_[i] == s) {
+        shard.paths.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    shard.store->add_rows(shard.sub_r);
+    shard.moments->add_paths(grown);
+    shard.gather.resize(shard.paths.size());
+  }
+  boundary_store_->add_rows(r);
+  boundary_->add_paths(count);
+  dim_ = r.rows();
+  map_pairs_from(first_pair_before);
+  merged_dirty_ = true;
+  return first;
+}
+
+std::span<const double> ShardedPairMoments::pair_values() const {
+  if (merged_dirty_) {
+    merged_values_.resize(store_->pair_count());
+    std::vector<std::span<const double>> sources(shard_count_ + 1);
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      sources[s] = shards_[s].moments->pair_values();
+    }
+    sources[shard_count_] = boundary_->pair_values();
+    // The merge is a pure gather (disjoint writes, no arithmetic), so it
+    // is bit-identical at any thread count — and the reason shard count
+    // never changes an inference.
+    util::parallel_for(
+        merged_values_.size(), kMergeGrain,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            merged_values_[p] = sources[pair_shard_[p]][pair_local_[p]];
+          }
+        },
+        options_.threads);
+    merged_dirty_ = false;
+    ++merges_;
+  }
+  return merged_values_;
+}
+
+double ShardedPairMoments::covariance(std::size_t i, std::size_t j) const {
+  if (count() < 2) throw std::logic_error("covariance needs >= 2 snapshots");
+  const std::size_t p = store_->find_pair(i, j);
+  if (p == SharingPairStore::kNoPair) {
+    return 0.0;  // non-sharing pair: never consumed
+  }
+  return pair_values()[p] / static_cast<double>(count() - 1);
+}
+
+const linalg::Matrix& ShardedPairMoments::matrix() const {
+  throw std::logic_error(
+      "ShardedPairMoments maintains only sharing-pair covariances; use the "
+      "dense StreamingMoments accumulator where the full S is required");
+}
+
+void ShardedPairMoments::save_state(io::CheckpointWriter& writer) const {
+  writer.begin_section("SPMO");
+  writer.usize(shard_count_);
+  writer.u32s(shard_of_);
+  // The boundary and shard-local stores are serialized, not rebuilt on
+  // restore: a store grown by add_rows orders the appended rows' pairs
+  // differently from a fresh build over the grown matrix, and the moment
+  // windows restore POSITIONALLY in store order — rebuilding would load
+  // them against the wrong pairs after any mid-run growth.
+  boundary_store_->save_state(writer);
+  for (const auto& shard : shards_) shard.store->save_state(writer);
+  boundary_->save_state(writer);
+  for (const auto& shard : shards_) shard.moments->save_state(writer);
+  writer.end_section();
+}
+
+void ShardedPairMoments::restore_state(io::CheckpointReader& reader) {
+  reader.expect_section("SPMO");
+  const std::size_t shards = reader.usize();
+  if (shards != shard_count_) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "checkpointed shard count " + std::to_string(shards) +
+            " != configured " + std::to_string(shard_count_));
+  }
+  const std::vector<std::uint32_t> shard_of = reader.u32s();
+  if (shard_of != shard_of_) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "checkpointed shard partition differs from the constructed one");
+  }
+  // The sub-matrices and partition are a deterministic function of
+  // (routing, partition) and were rebuilt by the constructor, but the
+  // STORES restore from the image: their pair order depends on the
+  // build-then-grow history, which the constructor cannot replay.  After
+  // the stores land, the global gather maps are rebuilt against the
+  // restored orders, and only then do the windows load.  Unlike the flat
+  // PairMoments this is not atomic across shards — the monitor restores
+  // into a freshly constructed accumulator and discards it on failure.
+  boundary_store_->restore_state(reader);
+  if (boundary_store_->path_count() != dim_) {
+    throw io::CheckpointError(
+        io::CheckpointErrorKind::kMismatch,
+        "checkpointed boundary store path count != routing rows");
+  }
+  for (auto& shard : shards_) {
+    shard.store->restore_state(reader);
+    if (shard.store->path_count() != shard.paths.size()) {
+      throw io::CheckpointError(
+          io::CheckpointErrorKind::kMismatch,
+          "checkpointed shard store path count != owned paths");
+    }
+  }
+  map_pairs_from(0);
+  boundary_->restore_state(reader);
+  for (auto& shard : shards_) shard.moments->restore_state(reader);
+  reader.end_section();
+  merged_dirty_ = true;
+}
+
+}  // namespace losstomo::core

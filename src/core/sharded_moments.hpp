@@ -1,0 +1,169 @@
+// ShardedPairMoments — the pair-indexed window accumulator, partitioned
+// across K shards plus a boundary shard for cross-shard sharing pairs.
+//
+// The normal equations are additive over sharing pairs, and the
+// Youngs–Cramer arithmetic PairMoments runs is elementwise independent:
+// every per-dimension mean update and every per-pair centred cross-product
+// update reads only that dimension's (or that pair's two dimensions')
+// values.  So the global accumulator state can be partitioned by PATH:
+// shard s owns the paths assigned to it, runs a full PairMoments over its
+// own rows' sub-matrix (intra-shard pairs only), and a boundary shard —
+// a full-dimension PairMoments over a store filtered to exactly the
+// cross-shard pairs — absorbs every pair whose paths live in different
+// shards.  Feeding shard s the gathered sub-vector of each snapshot
+// reproduces the global accumulator's per-pair values BIT-IDENTICALLY:
+// same adds, same retires, same periodic refresh cadence, same operand
+// order.  This is the partition/merge layer of core::ShardedMonitor — each
+// shard's state is independent (a future multi-socket or multi-machine
+// deployment pins one shard per node), and the coordinator's merge is a
+// value gather, not an arithmetic reduction, so shard count never changes
+// the result.
+//
+// The merged per-pair view (pair_values()) is gathered lazily into an
+// array aligned with the monitor's global SharingPairStore via
+// precomputed (pair -> owning shard, local index) maps; each gather after
+// new pushes counts as one coordinator merge (merges()).  The
+// StreamingNormalEquations refresh consumes that view exactly as it
+// consumes the flat PairMoments', preserving h's summation order and the
+// drop/keep flip sequence — hence one cached factor, zero extra
+// refactorizations, at any shard count.
+//
+// Partition: a deterministic splitmix64 hash of the global path index
+// (hash_shard) by default, or an explicit per-path assignment for the
+// initial paths; paths grown mid-run are always hash-partitioned, so a
+// checkpoint restored into a freshly constructed accumulator reproduces
+// the same partition without serializing the topology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/pair_moments.hpp"
+#include "core/sharing_pairs.hpp"
+#include "linalg/sparse.hpp"
+
+namespace losstomo::core {
+
+/// Partitioned pair-indexed sliding-window covariance accumulator.
+///
+/// Thread-safety: single-writer like PairMoments; per-shard work
+/// parallelizes internally per options.threads with bit-identical results
+/// at any thread count.  Not copyable/movable (the boundary store's pair
+/// filter captures this).
+class ShardedPairMoments final : public PairIndexedSource {
+ public:
+  /// `store` is the monitor's global pair store, already built over `r`
+  /// (dim = r.rows() paths); the accumulator slices `r` into per-shard row
+  /// sub-matrices.  `partition` (optional) fixes the shard of the first
+  /// partition.size() paths (entries < shards); every other path hashes.
+  /// Throws std::invalid_argument on shards == 0, a store/matrix shape
+  /// disagreement, or an out-of-range partition entry.
+  ShardedPairMoments(std::shared_ptr<const SharingPairStore> store,
+                     const linalg::SparseBinaryMatrix& r, std::size_t shards,
+                     stats::StreamingMomentsOptions options,
+                     std::span<const std::uint32_t> partition = {});
+
+  ShardedPairMoments(const ShardedPairMoments&) = delete;
+  ShardedPairMoments& operator=(const ShardedPairMoments&) = delete;
+
+  /// Deterministic hash shard of global path `path` (splitmix64 % shards)
+  /// — exposed so tests and tools can predict the default partition.
+  static std::uint32_t hash_shard(std::size_t path, std::size_t shards);
+
+  // CovarianceSource:
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] std::size_t count() const override {
+    return boundary_->count();
+  }
+  [[nodiscard]] double covariance(std::size_t i, std::size_t j) const override;
+  /// Unsupported, exactly like PairMoments.  Throws std::logic_error.
+  [[nodiscard]] const linalg::Matrix& matrix() const override;
+  [[nodiscard]] bool matrix_is_cheap() const override { return false; }
+  [[nodiscard]] std::size_t samples(std::size_t i) const override {
+    return boundary_->samples(i);
+  }
+  [[nodiscard]] bool pair_ready(std::size_t i, std::size_t j) const {
+    return boundary_->pair_ready(i, j);
+  }
+
+  // PairIndexedSource:
+  void push(std::span<const double> y) override;
+  void push_block(std::span<const double> values, std::size_t rows) override;
+  void activate_path(std::size_t i) override;
+  void retire_path(std::size_t i) override;
+  std::size_t add_paths(const linalg::SparseBinaryMatrix& r,
+                        std::size_t count) override;
+  void save_state(io::CheckpointWriter& writer) const override;
+  void restore_state(io::CheckpointReader& reader) override;
+  [[nodiscard]] const SharingPairStore* pair_store() const override {
+    return store_.get();
+  }
+  /// The merged per-pair view, gathered lazily from the shard-local
+  /// accumulators (one coordinator merge per gather-after-push).
+  [[nodiscard]] std::span<const double> pair_values() const override;
+
+  [[nodiscard]] std::size_t window() const { return options_.window; }
+  [[nodiscard]] bool full() const { return boundary_->full(); }
+  [[nodiscard]] std::size_t pushes() const { return boundary_->pushes(); }
+
+  // -- Shard diagnostics --------------------------------------------------
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] std::uint32_t shard_of(std::size_t path) const {
+    return shard_of_[path];
+  }
+  [[nodiscard]] std::size_t shard_path_count(std::size_t s) const {
+    return shards_[s].paths.size();
+  }
+  /// Intra-shard sharing pairs owned by shard s.
+  [[nodiscard]] std::size_t shard_pair_count(std::size_t s) const {
+    return shards_[s].store->pair_count();
+  }
+  /// Sharing pairs absorbed by the boundary shard.
+  [[nodiscard]] std::size_t cross_shard_pairs() const {
+    return boundary_store_->pair_count();
+  }
+  /// Coordinator merges performed so far (pair_values() gathers that
+  /// followed at least one push).
+  [[nodiscard]] std::size_t merges() const { return merges_; }
+
+ private:
+  struct Shard {
+    std::vector<std::uint32_t> paths;  // owned global path ids, ascending
+    linalg::SparseBinaryMatrix sub_r;  // owned rows, global column width
+    std::shared_ptr<SharingPairStore> store;  // intra-shard pairs
+    std::optional<PairMoments> moments;       // dim = paths.size()
+    std::vector<double> gather;               // sub-vector scratch
+  };
+
+  /// Extends the (global pair -> owning shard, local pair) maps for every
+  /// global pair index >= first_pair.
+  void map_pairs_from(std::size_t first_pair);
+
+  std::shared_ptr<const SharingPairStore> store_;  // global (monitor's)
+  std::size_t dim_;
+  std::size_t shard_count_;
+  stats::StreamingMomentsOptions options_;
+  std::vector<std::uint32_t> shard_of_;   // per global path
+  std::vector<std::uint32_t> local_of_;   // index within the owning shard
+  std::vector<Shard> shards_;
+  // Boundary shard: full dimension (growth may pair a new path with any
+  // old one), store filtered to cross-shard pairs only.  Its push stream
+  // is the full snapshot, so its count/pushes/churn ledger mirror the flat
+  // accumulator's global bookkeeping exactly — count(), samples() and
+  // pair_ready() delegate to it.
+  std::shared_ptr<SharingPairStore> boundary_store_;
+  std::optional<PairMoments> boundary_;
+  // Merged view: global pair p lives in shard pair_shard_[p] (shard_count_
+  // = boundary) at local pair index pair_local_[p].
+  std::vector<std::uint32_t> pair_shard_;
+  std::vector<std::size_t> pair_local_;
+  mutable std::vector<double> merged_values_;
+  mutable bool merged_dirty_ = true;
+  mutable std::size_t merges_ = 0;
+};
+
+}  // namespace losstomo::core

@@ -1,0 +1,33 @@
+#include "core/sharded_monitor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/variance_estimator.hpp"
+
+namespace losstomo::core {
+
+namespace {
+
+MonitorOptions sharded_options(std::size_t shards, MonitorOptions options) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedMonitor needs shards >= 1");
+  }
+  if (options.lia.variance.method == VarianceMethod::kDenseQr) {
+    throw std::invalid_argument(
+        "ShardedMonitor cannot run kDenseQr (it forces the batch engine)");
+  }
+  options.engine = MonitorEngine::kStreaming;
+  options.accumulator = CovarianceAccumulator::kSharingPairs;
+  options.lia.variance.negatives = NegativeCovariancePolicy::kDrop;
+  options.shards = shards;
+  return options;
+}
+
+}  // namespace
+
+ShardedMonitor::ShardedMonitor(linalg::SparseBinaryMatrix r,
+                               std::size_t shards, MonitorOptions options)
+    : monitor_(std::move(r), sharded_options(shards, std::move(options))) {}
+
+}  // namespace losstomo::core

@@ -1,0 +1,113 @@
+// ShardedMonitor — LiaMonitor with its pair accumulator partitioned
+// across K shards (core::ShardedPairMoments) behind a single coordinator.
+//
+// The million-path deployment shape: each of K shards owns a slice of the
+// overlay's paths — its rows of the routing matrix, its intra-shard
+// sharing pairs, its shard-local sliding-window accumulator — and a
+// boundary shard absorbs every sharing pair whose paths live in different
+// shards.  Each tick the coordinator gathers the per-shard pair deltas
+// into one merged view and solves ONCE on the merged cached Cholesky
+// factor.  Because the merge is a value gather (no arithmetic) and each
+// shard replays the flat accumulator's arithmetic on its own slice
+// bit-identically, the sharded monitor's inferences are BIT-IDENTICAL to
+// the unsharded streaming monitor at any shard count and any thread
+// count, and the cached factor stays incremental: one factorization per
+// run, zero extra refactorizations from sharding (pinned by
+// tests/core/sharded_parity_test).
+//
+// This wrapper is a thin composition over LiaMonitor: it forces the
+// streaming engine, the kSharingPairs accumulator, and the drop-negative
+// policy (the configuration sharding requires), then exposes the shard
+// diagnostics next to the full monitor API.  Churn —
+// set_path_active/add_path/add_paths/grow-links — and
+// checkpoint/restore route through the owning shard automatically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/sharded_moments.hpp"
+
+namespace losstomo::core {
+
+/// Per-shard size snapshot, for logs and benchmarks.
+struct ShardStats {
+  std::size_t paths = 0;  ///< global paths owned by this shard
+  std::size_t pairs = 0;  ///< intra-shard sharing pairs it accumulates
+};
+
+class ShardedMonitor {
+ public:
+  /// `shards` interior shards (>= 1; 1 still exercises the full
+  /// partition/merge plumbing).  `options.engine`, `options.accumulator`
+  /// and the negative-covariance policy are overridden to the streaming /
+  /// kSharingPairs / drop-negative configuration sharding requires;
+  /// `options.shards` is overridden by `shards`.  Everything else
+  /// (window, relearn cadence, partition, LiaOptions) passes through.
+  /// Throws std::invalid_argument for shards == 0 or a variance method
+  /// that cannot run drop-negative streaming (kDenseQr).
+  ShardedMonitor(linalg::SparseBinaryMatrix r, std::size_t shards,
+                 MonitorOptions options = {});
+
+  // -- Monitoring (see LiaMonitor for semantics) ---------------------------
+  std::optional<LossInference> observe(std::span<const double> y) {
+    return monitor_.observe(y);
+  }
+  void observe_block(std::span<const double> values, std::size_t rows,
+                     const LiaMonitor::InferenceFn& on_inference = {}) {
+    monitor_.observe_block(values, rows, on_inference);
+  }
+  void set_path_active(std::size_t path, bool active) {
+    monitor_.set_path_active(path, active);
+  }
+  std::size_t add_path(std::vector<std::uint32_t> links) {
+    return monitor_.add_path(std::move(links));
+  }
+  std::size_t add_paths(std::vector<std::vector<std::uint32_t>> rows,
+                        std::size_t new_links = 0) {
+    return monitor_.add_paths(std::move(rows), new_links);
+  }
+  void save_state(io::CheckpointWriter& writer) const {
+    monitor_.save_state(writer);
+  }
+  void restore_state(io::CheckpointReader& reader) {
+    monitor_.restore_state(reader);
+  }
+
+  /// The composed monitor, for the full diagnostic surface
+  /// (streaming_equations(), variances(), routing(), ...).
+  [[nodiscard]] LiaMonitor& monitor() { return monitor_; }
+  [[nodiscard]] const LiaMonitor& monitor() const { return monitor_; }
+
+  // -- Shard diagnostics ---------------------------------------------------
+  [[nodiscard]] std::size_t shard_count() const {
+    return accumulator().shard_count();
+  }
+  /// Owning shard of a global path.
+  [[nodiscard]] std::uint32_t shard_of(std::size_t path) const {
+    return accumulator().shard_of(path);
+  }
+  [[nodiscard]] ShardStats shard_stats(std::size_t shard) const {
+    return {accumulator().shard_path_count(shard),
+            accumulator().shard_pair_count(shard)};
+  }
+  /// Sharing pairs spanning two shards (owned by the boundary shard).
+  [[nodiscard]] std::size_t cross_shard_pairs() const {
+    return accumulator().cross_shard_pairs();
+  }
+  /// Coordinator merges: lazy gathers of the per-shard pair values into
+  /// the merged view the solver consumes.
+  [[nodiscard]] std::size_t merges() const { return accumulator().merges(); }
+
+ private:
+  [[nodiscard]] const ShardedPairMoments& accumulator() const {
+    return *monitor_.sharded_accumulator();
+  }
+
+  LiaMonitor monitor_;
+};
+
+}  // namespace losstomo::core

@@ -37,14 +37,17 @@ void PartnerFinder::partners_of(std::size_t i, std::vector<std::uint32_t>& out) 
 }
 
 SharingPairStore SharingPairStore::build(const linalg::SparseBinaryMatrix& r,
-                                         std::size_t threads) {
+                                         std::size_t threads,
+                                         PairFilter keep) {
   const std::size_t np = r.rows();
   SharingPairStore store;
   store.row_offsets_.assign(np + 1, 0);
   store.row_live_.assign(np, 1);
   store.columns_ = r.column_lists();
+  store.keep_ = std::move(keep);
   if (np == 0) return store;
   const auto& columns = store.columns_;
+  const auto& filter = store.keep_;
 
   // Per-chunk local buffers, stitched in ascending chunk order afterwards:
   // chunk boundaries depend only on (np, grain), so the stored pair
@@ -71,6 +74,7 @@ SharingPairStore SharingPairStore::build(const linalg::SparseBinaryMatrix& r,
           finder.partners_of(i, partners);
           const auto ri = r.row(i);
           for (const auto j : partners) {
+            if (filter && !filter(i, j)) continue;
             linalg::intersect_sorted(ri, r.row(j), shared);
             // Candidates share a link by construction, but keep the guard:
             // the invariant is cheap to check and load-bearing downstream.
@@ -153,6 +157,7 @@ std::size_t SharingPairStore::add_rows(const linalg::SparseBinaryMatrix& r) {
                    partners.end());
 
     for (const auto j : partners) {
+      if (keep_ && !keep_(j, i_new)) continue;
       linalg::intersect_sorted(row, r.row(j), shared);
       if (shared.empty()) continue;
       const std::size_t p = partner_.size();
@@ -182,6 +187,25 @@ void SharingPairStore::ensure_reverse_index() const {
     }
   }
   reverse_built_ = true;
+}
+
+std::size_t SharingPairStore::find_pair(std::size_t i, std::size_t j) const {
+  const auto in_row = [&](std::size_t row, std::uint32_t want) {
+    std::size_t lo = row_offsets_[row], hi = row_offsets_[row + 1];
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (partner_[mid] < want) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < row_offsets_[row + 1] && partner_[lo] == want) return lo;
+    return kNoPair;
+  };
+  const std::size_t p = in_row(i, static_cast<std::uint32_t>(j));
+  if (p != kNoPair) return p;
+  return in_row(j, static_cast<std::uint32_t>(i));
 }
 
 void SharingPairStore::pairs_of_path(std::size_t i,
@@ -253,6 +277,10 @@ void SharingPairStore::restore_state(io::CheckpointReader& reader) {
     throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
                               "pair store CSR structure is inconsistent");
   }
+  // The filter is not serialized; the restore target keeps its own, so a
+  // store constructed filtered (the sharded boundary store) stays
+  // filtered for post-restore growth.
+  tmp.keep_ = std::move(keep_);
   *this = std::move(tmp);
 }
 

@@ -25,6 +25,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -81,12 +83,27 @@ class SharingPairStore {
  public:
   SharingPairStore() = default;
 
+  /// Sentinel returned by find_pair for a pair the store does not hold.
+  static constexpr std::size_t kNoPair =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Optional pair filter: a store built with one keeps only the sharing
+  /// pairs for which keep(i, j) returns true (the sharded accumulator's
+  /// boundary store keeps exactly the cross-shard pairs this way).  The
+  /// filter is remembered and applied by add_rows too; it must be a pure
+  /// function of (i, j) — chunk-parallel construction calls it from worker
+  /// threads.  It is NOT serialized: restore_state keeps the target
+  /// instance's own filter, so an owner that constructs a filtered store
+  /// and restores into it stays filtered for post-restore growth.
+  using PairFilter = std::function<bool(std::size_t, std::size_t)>;
+
   /// Enumerates the sharing structure of `r`.  Work is proportional to the
   /// sharing pairs present (candidate discovery + one sorted intersection
   /// per sharing pair), parallel over path chunks; the result is identical
   /// at any `threads` (0 = library default).
   static SharingPairStore build(const linalg::SparseBinaryMatrix& r,
-                                std::size_t threads = 0);
+                                std::size_t threads = 0,
+                                PairFilter keep = {});
 
   /// Incrementally appends the sharing pairs of one new path.  `r` must be
   /// the grown routing matrix whose LAST row (index path_count()) is the
@@ -123,6 +140,11 @@ class SharingPairStore {
   /// plus the pairs of other rows whose partner is i.  Builds a reverse
   /// (partner -> pairs) index on first call — that call is a mutator.
   void pairs_of_path(std::size_t i, std::vector<std::size_t>& out) const;
+
+  /// Index of the stored pair (i, j), looked up in either orientation
+  /// (O(log deg) binary search over both rows), or kNoPair when the paths
+  /// share no link.
+  [[nodiscard]] std::size_t find_pair(std::size_t i, std::size_t j) const;
 
   [[nodiscard]] std::size_t path_count() const {
     return row_offsets_.empty() ? 0 : row_offsets_.size() - 1;
@@ -205,6 +227,7 @@ class SharingPairStore {
   // own-row pairs are already contiguous via row_offsets_).
   mutable std::vector<std::vector<std::size_t>> partner_pairs_;
   mutable bool reverse_built_ = false;
+  PairFilter keep_;  // empty = keep every sharing pair
 };
 
 }  // namespace losstomo::core

@@ -886,14 +886,20 @@ const NormalEquations& StreamingNormalEquations::refresh(
 
   ensure_store();
 
-  // Aligned pair-indexed source (core::PairMoments on this very store):
-  // each pair's covariance is an O(1) array read — no np x np matrix
-  // anywhere in the tick.  Every other source serves the dense S.
-  const auto* pair_source = dynamic_cast<const PairMoments*>(&source);
-  if (pair_source && pair_source->store() != pairs_.get()) {
+  // Aligned pair-indexed source (core::PairMoments or the sharded
+  // ShardedPairMoments on this very store): each pair's covariance is an
+  // O(1) array read — no np x np matrix anywhere in the tick.  Every other
+  // source serves the dense S.
+  const auto* pair_source = dynamic_cast<const PairIndexedSource*>(&source);
+  if (pair_source && pair_source->pair_store() != pairs_.get()) {
     pair_source = nullptr;
   }
   const linalg::Matrix* s = pair_source ? nullptr : &source.matrix();
+  const std::span<const double> pair_values =
+      pair_source ? pair_source->pair_values() : std::span<const double>{};
+  // cov = values[p] / (count - 1): dividing here keeps the arithmetic
+  // bit-identical to PairMoments::pair_covariance.
+  const double pair_denom = static_cast<double>(source.count() - 1);
 
   // Per-dimension readiness (path churn): a pair enters the system only
   // when both paths' statistics cover the full current window.
@@ -929,7 +935,7 @@ const NormalEquations& StreamingNormalEquations::refresh(
                 return;
               }
               const double cov =
-                  pair_source ? pair_source->pair_covariance(p) : (*s)(i, j);
+                  pair_source ? pair_values[p] / pair_denom : (*s)(i, j);
               const bool kept = !(cov < 0.0);
               if (kept != (pair_kept_[p] != 0)) part.flips.push_back(p);
               if (!kept) {

@@ -87,13 +87,17 @@ std::string attr_string(const std::map<std::string, std::string>& attrs,
 TopologySpec parse_topology(std::istringstream& ss, std::size_t lineno) {
   TopologySpec topology;
   std::string kind;
-  if (!(ss >> kind)) fail(lineno, "topology needs a kind (tree|mesh|overlay)");
+  if (!(ss >> kind)) {
+    fail(lineno, "topology needs a kind (tree|mesh|overlay|branching_tree)");
+  }
   if (kind == "tree") {
     topology.kind = TopologySpec::Kind::kTree;
   } else if (kind == "mesh") {
     topology.kind = TopologySpec::Kind::kMesh;
   } else if (kind == "overlay") {
     topology.kind = TopologySpec::Kind::kOverlay;
+  } else if (kind == "branching_tree") {
+    topology.kind = TopologySpec::Kind::kBranchingTree;
   } else {
     fail(lineno, "unknown topology kind: " + kind);
   }
@@ -111,6 +115,10 @@ TopologySpec parse_topology(std::istringstream& ss, std::size_t lineno) {
       topology.as_count = parsed;
     } else if (key == "routers_per_as") {
       topology.routers_per_as = parsed;
+    } else if (key == "depth") {
+      topology.depth = parsed;
+    } else if (key == "extra_leaves") {
+      topology.extra_leaves = parsed;
     } else if (key == "seed") {
       topology.seed = parsed;
     } else {
@@ -271,6 +279,10 @@ void write_scenario(std::ostream& os, const scenario::ScenarioSpec& spec) {
     case TopologySpec::Kind::kOverlay:
       os << " hosts=" << t.hosts << " as_count=" << t.as_count
          << " routers_per_as=" << t.routers_per_as;
+      break;
+    case TopologySpec::Kind::kBranchingTree:
+      os << " depth=" << t.depth << " branching=" << t.branching
+         << " extra_leaves=" << t.extra_leaves;
       break;
   }
   os << " seed=" << t.seed << '\n';

@@ -99,6 +99,15 @@ GeneratedBase generate_base(const TopologySpec& topology) {
       out.graph = std::move(topo.graph);
       return out;
     }
+    case TopologySpec::Kind::kBranchingTree: {
+      auto tree = topology::make_branching_tree(
+          {.depth = topology.depth, .branching = topology.branching,
+           .extra_leaves = topology.extra_leaves},
+          rng);
+      out.paths = topology::tree_paths(tree);
+      out.graph = std::move(tree.graph);
+      return out;
+    }
   }
   throw std::invalid_argument("unknown topology kind");
 }

@@ -41,6 +41,8 @@ const char* topology_kind_name(TopologySpec::Kind kind) {
       return "mesh";
     case TopologySpec::Kind::kOverlay:
       return "overlay";
+    case TopologySpec::Kind::kBranchingTree:
+      return "branching_tree";
   }
   return "?";
 }

@@ -85,16 +85,24 @@ struct Event {
 /// How the scenario's network and measurement paths are generated.
 struct TopologySpec {
   enum class Kind {
-    kTree,     // random tree, root-to-leaf paths (paper §6.1)
-    kMesh,     // Waxman mesh, low-degree hosts, routed paths (§6.2)
-    kOverlay,  // PlanetLab-like overlay (§7 scenarios)
+    kTree,           // random tree, root-to-leaf paths (paper §6.1)
+    kMesh,           // Waxman mesh, low-degree hosts, routed paths (§6.2)
+    kOverlay,        // PlanetLab-like overlay (§7 scenarios)
+    kBranchingTree,  // complete `branching`-ary core + `extra_leaves`
+                     // growth leaves at branching junctions: the
+                     // constructive well-conditioned link-discovery
+                     // family (topology::make_branching_tree).  Reserve
+                     // exactly extra_leaves paths and feed them to
+                     // grow_links for guaranteed tight parity.
   };
   Kind kind = Kind::kTree;
   std::size_t nodes = 120;          // kTree / kMesh
-  std::size_t branching = 8;        // kTree
+  std::size_t branching = 8;        // kTree / kBranchingTree
   std::size_t hosts = 16;           // kMesh / kOverlay
   std::size_t as_count = 8;         // kOverlay
   std::size_t routers_per_as = 6;   // kOverlay
+  std::size_t depth = 3;            // kBranchingTree
+  std::size_t extra_leaves = 0;     // kBranchingTree
   std::uint64_t seed = 1;           // generator stream
 };
 

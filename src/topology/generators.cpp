@@ -94,6 +94,46 @@ std::vector<net::Path> tree_paths(const Tree& tree) {
   return paths;
 }
 
+Tree make_branching_tree(const BranchingTreeConfig& config, stats::Rng& rng) {
+  if (config.depth < 1) throw std::invalid_argument("depth must be >= 1");
+  if (config.branching < 2) {
+    throw std::invalid_argument("branching must be >= 2");
+  }
+  Tree tree;
+  tree.root = tree.graph.add_node();
+  tree.parent_edge.assign(1, net::kNoAs);  // root sentinel
+
+  // Complete `branching`-ary core, level by level; every node of a
+  // non-final level is a junction with exactly `branching` children.
+  std::vector<NodeId> junctions;
+  std::vector<NodeId> level{tree.root};
+  for (std::size_t d = 0; d < config.depth; ++d) {
+    junctions.insert(junctions.end(), level.begin(), level.end());
+    std::vector<NodeId> next;
+    next.reserve(level.size() * config.branching);
+    for (const NodeId parent : level) {
+      for (std::size_t b = 0; b < config.branching; ++b) {
+        const NodeId child = tree.graph.add_node();
+        tree.parent_edge.push_back(tree.graph.add_edge(parent, child));
+        next.push_back(child);
+      }
+    }
+    level = std::move(next);
+  }
+
+  // Growth leaves last: their node ids follow every core node, so the
+  // out-degree scan below lists them after the core leaves.
+  for (std::size_t x = 0; x < config.extra_leaves; ++x) {
+    const NodeId parent = junctions[rng.index(junctions.size())];
+    const NodeId child = tree.graph.add_node();
+    tree.parent_edge.push_back(tree.graph.add_edge(parent, child));
+  }
+  for (NodeId v = 0; v < tree.graph.node_count(); ++v) {
+    if (tree.graph.out_degree(v) == 0) tree.leaves.push_back(v);
+  }
+  return tree;
+}
+
 Topology make_waxman(const WaxmanConfig& config, stats::Rng& rng) {
   if (config.nodes < config.links_per_node + 1) {
     throw std::invalid_argument("waxman: too few nodes");

@@ -52,6 +52,35 @@ Tree make_random_tree(const TreeConfig& config, stats::Rng& rng);
 std::vector<net::Path> tree_paths(const Tree& tree);
 
 // ---------------------------------------------------------------------------
+// Constructive well-conditioned link-discovery family: a complete
+// `branching`-ary core tree (every junction branches among the core
+// root-to-leaf paths) plus `extra_leaves` growth leaves hung off randomly
+// chosen core junctions.
+// ---------------------------------------------------------------------------
+
+struct BranchingTreeConfig {
+  /// Edges on every core root-to-leaf path (>= 1).
+  std::size_t depth = 3;
+  /// Children of every core junction (>= 2) — the well-conditioning
+  /// guarantee: a fresh link can only ever attach where the core paths
+  /// already branch.
+  std::size_t branching = 3;
+  /// Growth leaves attached to random core junctions, appended AFTER the
+  /// core leaves in Tree::leaves (and hence in tree_paths order), so a
+  /// scenario's trailing reserve_paths selects exactly them.
+  std::size_t extra_leaves = 0;
+};
+
+/// Every internal node of the core has exactly `branching` >= 2 children,
+/// so the drop-negative normal equations over the core paths are never
+/// singular, and each extra leaf's fresh link attaches at a junction that
+/// already branches among them — the constructive instance family for
+/// tight-parity link-discovery tests (closes the conditioning caveat of
+/// arbitrary grow_links scenarios, where a fresh link at a non-branching
+/// junction leaves two columns indistinguishable until growth).
+Tree make_branching_tree(const BranchingTreeConfig& config, stats::Rng& rng);
+
+// ---------------------------------------------------------------------------
 // Waxman (BRITE incremental variant): nodes placed uniformly on the unit
 // square; each new node connects to `links_per_node` existing nodes chosen
 // with probability proportional to alpha * exp(-d / (beta * L)).

@@ -1,0 +1,475 @@
+// Randomized shard-parity harness for core::ShardedMonitor /
+// core::ShardedPairMoments: sharding must NEVER change an inference.
+//
+// Two fuzz regimes, both seeded and fully deterministic:
+//
+//  * Scenario-driven (tight regime): seeded random specs over the
+//    constructive branching-tree family (topology::make_branching_tree —
+//    every junction branches among the initial paths, every fresh link
+//    attaches at a branching junction) with random churn scripts (leaves,
+//    rejoins, grow_links bursts), driven through ScenarioRunner at shard
+//    counts {1,2,3,7} x thread counts {1,2,8}.  Inferences must be
+//    BIT-IDENTICAL to the unsharded streaming monitor, with exactly ONE
+//    factorization per run, zero downdate fallbacks, zero jitter — the
+//    merge is a value gather, so shard count can never cost even a
+//    refactorization.
+//
+//  * Synthetic-feed (degraded regime): a noisy Gaussian feed over the
+//    same tree family whose window covariances routinely drop equations
+//    until G goes singular — the jitter / rank-revealing / refactorize
+//    degradation path.  Sharding must track the flat accumulator
+//    bit-identically THERE TOO, including every factor-cache counter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/sharded_moments.hpp"
+#include "core/sharded_monitor.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "net/graph.hpp"
+#include "net/routing_matrix.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "stats/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace losstomo::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scenario-driven fuzz: tight-parity regime.
+// ---------------------------------------------------------------------------
+
+// Seeded random scenario over the well-conditioned branching-tree family:
+// random leave/rejoin pairs on distinct initial paths plus grow_links
+// bursts consuming every extra leaf (each one a fresh link at a junction
+// that already branches).
+scenario::ScenarioSpec random_spec(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  scenario::ScenarioSpec spec;
+  spec.name = "sharded-parity-" + std::to_string(seed);
+  // branching 4, not 2: a binary junction that loses one path stops
+  // branching and leaves its two links indistinguishable (exact
+  // singularity), so leave events demand a third child — and under the
+  // drop-negative policy sample-covariance noise drops a sizeable
+  // fraction of pair equations every tick (~14% per pair at this window),
+  // so each link needs enough INDEPENDENT pairs that a simultaneous drop
+  // burst cannot sever it from the equations.  Depth 3 x branching 4
+  // (64 core paths) gives that redundancy; smaller overlays go singular
+  // on unlucky ticks.  NOTE: the instances are seed-deterministic — if
+  // the draw sequence below changes, re-validate that every seed still
+  // holds refactorizations == 1.
+  spec.topology.kind = scenario::TopologySpec::Kind::kBranchingTree;
+  spec.topology.depth = 3;
+  spec.topology.branching = 4;
+  spec.topology.extra_leaves = 2 + rng.index(3);  // 2-4 growth leaves
+  spec.topology.seed = seed;
+  // The proven tight-parity feed (see churn_parity_test).  Equations DO
+  // still drop under the drop-negative policy — window 30 plus the
+  // overlay's pair redundancy keeps G nonsingular through every drop
+  // pattern the seeds produce (jitter_used == 0 is asserted every tick).
+  spec.window = 30;
+  spec.ticks = 70;
+  spec.seed = seed * 7 + 1;
+  spec.p = 0.6;
+  spec.probes = 800;
+  spec.min_good_loss = 0.002;
+  spec.reserve_paths = spec.topology.extra_leaves;
+
+  std::size_t initial = 1;
+  for (std::size_t d = 0; d < spec.topology.depth; ++d) {
+    initial *= spec.topology.branching;
+  }
+  const auto event_tick = [&] { return 28 + rng.index(32); };
+
+  const auto push = [&](std::size_t tick, scenario::EventType type,
+                        std::size_t path_or_count) {
+    scenario::Event event;
+    event.tick = tick;
+    event.type = type;
+    if (type == scenario::EventType::kGrowLinks) {
+      event.count = path_or_count;
+    } else {
+      event.path = path_or_count;
+    }
+    spec.events.push_back(event);
+  };
+
+  // Two leave/rejoin pairs on paths under DIFFERENT leaf-parent
+  // junctions: two simultaneous leaves under the same 3-ary leaf parent
+  // would collapse it to one covered child anyway.
+  const std::size_t a = rng.index(initial);
+  std::size_t b = rng.index(initial);
+  if (b / spec.topology.branching == a / spec.topology.branching) {
+    b = (b + spec.topology.branching) % initial;
+  }
+  for (const std::size_t path : {a, b}) {
+    const std::size_t leave = event_tick();
+    push(leave, scenario::EventType::kPathLeave, path);
+    push(leave + 2 + rng.index(4), scenario::EventType::kPathJoin, path);
+  }
+  // grow_links bursts consuming the whole reserve, in one or two events.
+  const std::size_t first_burst = 1 + rng.index(spec.reserve_paths);
+  std::size_t t1 = event_tick();
+  std::size_t t2 = event_tick();
+  if (t2 < t1) std::swap(t1, t2);
+  push(t1, scenario::EventType::kGrowLinks, first_burst);
+  if (first_burst < spec.reserve_paths) {
+    push(t2, scenario::EventType::kGrowLinks,
+         spec.reserve_paths - first_burst);
+  }
+  // Event ticks can exceed spec.ticks - 1 by construction margin; clamp.
+  for (auto& e : spec.events) e.tick = std::min(e.tick, spec.ticks - 2);
+  return spec;
+}
+
+MonitorOptions runner_options(std::size_t shards, std::size_t threads) {
+  MonitorOptions options;
+  options.accumulator = CovarianceAccumulator::kSharingPairs;
+  options.shards = shards;
+  options.lia.variance.threads = threads;
+  // Absorb whole churn bursts as rank-1/bordered factor steps (the
+  // machinery under test) instead of tripping the drift cap.
+  options.lia.variance.factor_flip_threshold = 1u << 20;
+  options.lia.variance.factor_update_cap = 1u << 20;
+  return options;
+}
+
+struct ScenarioRun {
+  std::vector<std::optional<LossInference>> inferences;
+  std::size_t refactorizations = 0;
+  std::size_t downdate_fallbacks = 0;
+};
+
+ScenarioRun drive_scenario(const scenario::ScenarioSpec& spec,
+                           const MonitorOptions& options,
+                           const std::string& label) {
+  scenario::ScenarioRunner runner(spec, options);
+  ScenarioRun run;
+  while (runner.ticks_run() < spec.ticks) {
+    run.inferences.push_back(runner.step());
+    if (run.inferences.back()) {
+      EXPECT_DOUBLE_EQ(runner.monitor().variances().jitter_used, 0.0)
+          << label << " tick " << runner.ticks_run();
+    }
+  }
+  const auto* eqs = runner.monitor().streaming_equations();
+  EXPECT_NE(eqs, nullptr) << label;
+  if (eqs) {
+    run.refactorizations = eqs->refactorizations();
+    run.downdate_fallbacks = eqs->downdate_fallbacks();
+  }
+
+  const auto* acc = runner.monitor().sharded_accumulator();
+  if (options.shards > 0) {
+    // Shard bookkeeping: every path owned exactly once, every sharing
+    // pair owned exactly once (intra-shard or boundary), coordinator
+    // merges recorded.
+    EXPECT_NE(acc, nullptr) << label;
+    if (acc) {
+      EXPECT_EQ(acc->shard_count(), options.shards) << label;
+      std::size_t paths = 0;
+      std::size_t pairs = acc->cross_shard_pairs();
+      for (std::size_t s = 0; s < acc->shard_count(); ++s) {
+        paths += acc->shard_path_count(s);
+        pairs += acc->shard_pair_count(s);
+      }
+      EXPECT_EQ(paths, runner.monitor().routing().rows()) << label;
+      EXPECT_EQ(pairs, acc->pair_store()->pair_count()) << label;
+      EXPECT_GT(acc->merges(), 0u) << label;
+      if (options.shards > 1) {
+        EXPECT_GT(acc->cross_shard_pairs(), 0u) << label;
+      }
+    }
+  } else {
+    EXPECT_EQ(acc, nullptr) << label;
+  }
+  return run;
+}
+
+void expect_bit_identical(const std::vector<std::optional<LossInference>>& a,
+                          const std::vector<std::optional<LossInference>>& b,
+                          const std::string& label,
+                          std::size_t min_compared = 20) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  std::size_t compared = 0;
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    ASSERT_EQ(a[l].has_value(), b[l].has_value()) << label << " tick " << l;
+    if (!a[l]) continue;
+    ++compared;
+    EXPECT_EQ(linalg::max_abs_diff(a[l]->loss, b[l]->loss), 0.0)
+        << label << " tick " << l;
+  }
+  EXPECT_GT(compared, min_compared) << label;
+}
+
+class ShardedParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedParity, ShardCountNeverChangesAnInference) {
+  const auto spec = random_spec(GetParam());
+  const std::string base = "seed=" + std::to_string(GetParam());
+
+  const ScenarioRun reference =
+      drive_scenario(spec, runner_options(/*shards=*/0, /*threads=*/1),
+                     base + " flat");
+  // The instance family keeps the flat run in the tight regime: one
+  // factorization, churn absorbed incrementally.
+  ASSERT_EQ(reference.refactorizations, 1u) << base;
+  ASSERT_EQ(reference.downdate_fallbacks, 0u) << base;
+
+  for (const std::size_t shards : {1u, 2u, 3u, 7u}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      const std::string label = base + " shards=" + std::to_string(shards) +
+                                " threads=" + std::to_string(threads);
+      const ScenarioRun run =
+          drive_scenario(spec, runner_options(shards, threads), label);
+      expect_bit_identical(reference.inferences, run.inferences, label);
+      // Sharding must not cost a refactorization or a downdate fallback.
+      EXPECT_EQ(run.refactorizations, 1u) << label;
+      EXPECT_EQ(run.downdate_fallbacks, 0u) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedParity,
+                         ::testing::Values(3u, 17u, 29u, 101u));
+
+// ---------------------------------------------------------------------------
+// Synthetic-feed fuzz: the degradation path (dropped equations drive G
+// singular; jitter / rank-revealing / refactorize).  Sharding must track
+// the flat accumulator bit-identically there too, counters included.
+// ---------------------------------------------------------------------------
+
+MonitorOptions direct_options(std::size_t threads) {
+  MonitorOptions options = runner_options(/*shards=*/0, threads);
+  options.window = 10;
+  options.lia.variance.negatives = NegativeCovariancePolicy::kDrop;
+  options.lia.variance.rank_revealing_min_attempts = 1;
+  return options;
+}
+
+struct ChurnEvent {
+  std::size_t tick = 0;
+  enum class Kind { kToggle, kGrow } kind = Kind::kToggle;
+  std::size_t path = 0;                          // kToggle
+  std::vector<std::vector<std::uint32_t>> rows;  // kGrow
+  std::size_t new_links = 0;                     // kGrow
+};
+
+struct FuzzInstance {
+  linalg::SparseBinaryMatrix r;
+  std::vector<ChurnEvent> script;
+  std::size_t ticks = 48;
+};
+
+FuzzInstance make_instance(std::uint64_t seed) {
+  FuzzInstance instance;
+  stats::Rng rng(seed);
+  const topology::BranchingTreeConfig config{
+      .depth = 3, .branching = 2 + rng.index(2), .extra_leaves = 0};
+  const auto tree = topology::make_branching_tree(config, rng);
+  const auto paths = topology::tree_paths(tree);
+  net::ReducedRoutingMatrix reduced(tree.graph, paths);
+  instance.r = reduced.matrix();
+
+  // Junction prefixes, as sorted virtual-link rows: growth rows attach
+  // at branching junctions even in this regime.
+  std::vector<std::vector<std::uint32_t>> prefixes;
+  for (net::NodeId v = 0; v < tree.graph.node_count(); ++v) {
+    if (tree.graph.out_degree(v) < 2) continue;  // leaves
+    std::vector<std::uint32_t> prefix;
+    for (net::NodeId at = v; at != tree.root;) {
+      const auto e = tree.parent_edge[at];
+      prefix.push_back(static_cast<std::uint32_t>(*reduced.link_of(e)));
+      at = tree.graph.edge(e).from;
+    }
+    std::sort(prefix.begin(), prefix.end());
+    prefixes.push_back(std::move(prefix));
+  }
+
+  // Random script: toggles on initial paths plus two growth bursts.  The
+  // bursts must apply in construction order (the second one's fresh-link
+  // indices assume the first already widened the monitor), so their ticks
+  // are drawn together and sorted.
+  const std::size_t initial_paths = instance.r.rows();
+  std::size_t cols = instance.r.cols();
+  const std::size_t events = 4 + rng.index(3);
+  std::size_t grow_ticks[2] = {4 + rng.index(instance.ticks - 10),
+                               4 + rng.index(instance.ticks - 10)};
+  if (grow_ticks[1] < grow_ticks[0]) std::swap(grow_ticks[0], grow_ticks[1]);
+  for (std::size_t e = 0; e < events; ++e) {
+    ChurnEvent event;
+    event.tick = e < 2 ? grow_ticks[e] : 4 + rng.index(instance.ticks - 10);
+    if (e < 2) {  // the first two events are growth bursts
+      event.kind = ChurnEvent::Kind::kGrow;
+      const std::size_t batch = 1 + rng.index(3);
+      for (std::size_t b = 0; b < batch; ++b) {
+        auto row = prefixes[rng.index(prefixes.size())];
+        if (rng.bernoulli(0.5)) {
+          // Fresh leaf at the junction: link-universe growth.
+          row.push_back(static_cast<std::uint32_t>(cols + event.new_links));
+          ++event.new_links;
+        } else if (row.empty()) {
+          // A root prefix without a fresh link would be an empty row.
+          row.push_back(0);
+        }
+        event.rows.push_back(std::move(row));
+      }
+      cols += event.new_links;
+    } else {
+      event.kind = ChurnEvent::Kind::kToggle;
+      event.path = rng.index(initial_paths);
+    }
+    instance.script.push_back(event);
+  }
+  return instance;
+}
+
+// Drives one monitor (flat LiaMonitor or ShardedMonitor — anything with
+// the churn surface) through the instance.  The feed draws snapshots over
+// the FINAL link universe and projects through the monitor's current
+// routing rows, so every variant sees one deterministic sequence.
+template <typename Monitor>
+std::vector<std::optional<LossInference>> drive(Monitor& monitor,
+                                                const FuzzInstance& instance,
+                                                const LiaMonitor& state) {
+  std::size_t final_cols = instance.r.cols();
+  for (const auto& event : instance.script) final_cols += event.new_links;
+
+  stats::Rng rng(1234);
+  std::vector<std::optional<LossInference>> out;
+  std::vector<std::uint8_t> active(instance.r.rows(), 1);
+  for (std::size_t l = 0; l < instance.ticks; ++l) {
+    for (const auto& event : instance.script) {
+      if (event.tick != l) continue;
+      if (event.kind == ChurnEvent::Kind::kToggle) {
+        active[event.path] ^= 1;
+        monitor.set_path_active(event.path, active[event.path] != 0);
+      } else {
+        monitor.add_paths(event.rows, event.new_links);
+        active.resize(active.size() + event.rows.size(), 1);
+      }
+    }
+    linalg::Vector x(final_cols);
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      x[k] = rng.gaussian(-0.05, 0.1 + 0.01 * static_cast<double>(k));
+    }
+    const auto& r = state.routing();
+    std::vector<double> y(r.rows(), 0.0);
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      if (!active[i]) continue;  // deterministic filler for inactive rows
+      double sum = 0.0;
+      for (const auto k : r.row(i)) sum += x[k];
+      y[i] = sum;
+    }
+    out.push_back(monitor.observe(y));
+  }
+  return out;
+}
+
+class ShardedDegraded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedDegraded, TracksFlatAccumulatorThroughDegradation) {
+  const auto instance = make_instance(GetParam());
+  LiaMonitor flat(instance.r, direct_options(/*threads=*/1));
+  const auto reference = drive(flat, instance, flat);
+  const auto* flat_eqs = flat.streaming_equations();
+  ASSERT_NE(flat_eqs, nullptr);
+
+  for (const std::size_t shards : {2u, 5u}) {
+    ShardedMonitor monitor(instance.r, shards, direct_options(/*threads=*/1));
+    const auto out = drive(monitor, instance, monitor.monitor());
+    const std::string label = "seed=" + std::to_string(GetParam()) +
+                              " shards=" + std::to_string(shards);
+    expect_bit_identical(reference, out, label, /*min_compared=*/10);
+    // The degradation path itself must be replayed step for step: same
+    // refactorization count, same downdate fallbacks.
+    const auto* eqs = monitor.monitor().streaming_equations();
+    ASSERT_NE(eqs, nullptr) << label;
+    EXPECT_EQ(eqs->refactorizations(), flat_eqs->refactorizations()) << label;
+    EXPECT_EQ(eqs->downdate_fallbacks(), flat_eqs->downdate_fallbacks())
+        << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDegraded,
+                         ::testing::Values(3u, 101u));
+
+// ---------------------------------------------------------------------------
+// Wrapper / partition specifics.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedParityExtras, ExplicitPartitionIsBitIdenticalToo) {
+  const auto instance = make_instance(7);
+  LiaMonitor flat(instance.r, direct_options(/*threads=*/2));
+  const auto reference = drive(flat, instance, flat);
+
+  // Round-robin the initial paths explicitly; grown paths still hash.
+  MonitorOptions options = direct_options(/*threads=*/2);
+  options.partition.resize(instance.r.rows());
+  for (std::size_t i = 0; i < options.partition.size(); ++i) {
+    options.partition[i] = static_cast<std::uint32_t>(i % 3);
+  }
+  ShardedMonitor monitor(instance.r, 3, options);
+  const auto out = drive(monitor, instance, monitor.monitor());
+  expect_bit_identical(reference, out, "explicit partition",
+                       /*min_compared=*/10);
+  EXPECT_EQ(monitor.shard_of(0), 0u);
+  EXPECT_EQ(monitor.shard_of(1), 1u);
+  EXPECT_EQ(monitor.shard_of(2), 2u);
+  EXPECT_EQ(monitor.shard_count(), 3u);
+  std::size_t paths = 0;
+  for (std::size_t s = 0; s < 3; ++s) paths += monitor.shard_stats(s).paths;
+  EXPECT_EQ(paths, monitor.monitor().routing().rows());
+}
+
+TEST(ShardedParityExtras, HashPartitionIsDeterministic) {
+  for (const std::size_t shards : {1u, 2u, 5u}) {
+    for (std::size_t path = 0; path < 64; ++path) {
+      const auto s = ShardedPairMoments::hash_shard(path, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardedPairMoments::hash_shard(path, shards));
+    }
+  }
+}
+
+TEST(ShardedParityExtras, ConfigurationValidation) {
+  const linalg::SparseBinaryMatrix r(4, {{0, 1}, {0, 2}, {0, 3}});
+
+  // shards > 0 requires the kSharingPairs accumulator.
+  MonitorOptions dense;
+  dense.shards = 2;
+  dense.lia.variance.negatives = NegativeCovariancePolicy::kDrop;
+  EXPECT_THROW(LiaMonitor(r, dense), std::invalid_argument);
+
+  // partition without shards is a configuration error.
+  MonitorOptions stray;
+  stray.partition = {0, 0, 0};
+  EXPECT_THROW(LiaMonitor(r, stray), std::invalid_argument);
+
+  // Partition entries must stay below the shard count, and the partition
+  // must not outnumber the paths.
+  MonitorOptions bad;
+  bad.shards = 2;
+  bad.accumulator = CovarianceAccumulator::kSharingPairs;
+  bad.lia.variance.negatives = NegativeCovariancePolicy::kDrop;
+  bad.partition = {0, 2, 0};
+  EXPECT_THROW(LiaMonitor(r, bad), std::invalid_argument);
+  bad.partition = {0, 1, 0, 1, 0};
+  EXPECT_THROW(LiaMonitor(r, bad), std::invalid_argument);
+
+  // The wrapper rejects shards == 0 and batch-only variance backends.
+  EXPECT_THROW(ShardedMonitor(r, 0), std::invalid_argument);
+  MonitorOptions qr;
+  qr.lia.variance.method = VarianceMethod::kDenseQr;
+  EXPECT_THROW(ShardedMonitor(r, 2, qr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace losstomo::core

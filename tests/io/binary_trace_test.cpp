@@ -17,17 +17,13 @@
 #include <vector>
 
 #include "io/checkpoint.hpp"
+#include "test_util.hpp"
 
 namespace losstomo::io {
 namespace {
 
 std::string temp_file(const std::string& name) {
-  // Tests run as separate ctest processes, possibly in parallel — the
-  // current test's name keeps their scratch files disjoint.
-  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
-  return ::testing::TempDir() + "losstomo_binary_trace_" +
-         (info != nullptr ? std::string(info->name()) + "_" : std::string()) +
-         name;
+  return losstomo::testing::scratch_file(name);
 }
 
 std::vector<std::uint8_t> file_bytes(const std::string& file) {

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "test_util.hpp"
+
 namespace losstomo::io {
 namespace {
 
@@ -187,7 +189,7 @@ TEST(Checkpoint, MissingFileIsIoError) {
 }
 
 TEST(Checkpoint, FileSaveLoadRoundTrip) {
-  const std::string file = "/tmp/losstomo_checkpoint_test.ckpt";
+  const std::string file = losstomo::testing::scratch_file("roundtrip.ckpt");
   CheckpointWriter writer;
   writer.begin_section("FILE");
   writer.str("on disk");

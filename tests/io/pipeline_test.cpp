@@ -29,11 +29,7 @@ namespace losstomo::io {
 namespace {
 
 std::string temp_file(const std::string& name) {
-  // Unique per test: parallel ctest processes must not share scratch files.
-  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
-  return ::testing::TempDir() + "losstomo_pipeline_" +
-         (info != nullptr ? std::string(info->name()) + "_" : std::string()) +
-         name;
+  return losstomo::testing::scratch_file(name);
 }
 
 SnapshotBatch phi_batch(std::span<const double> values, std::size_t rows,

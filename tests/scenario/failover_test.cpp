@@ -20,6 +20,7 @@
 #include "linalg/matrix.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "test_util.hpp"
 
 namespace losstomo::scenario {
 namespace {
@@ -185,7 +186,7 @@ TEST(Failover, ScriptedFailoverEventsAreInvisible) {
 TEST(Failover, RestoreRunnerRebuildsFromTheFileAlone) {
   const auto spec = drill_spec();
   const auto options = drill_options(1);
-  const std::string file = "/tmp/losstomo_failover_test.ckpt";
+  const std::string file = losstomo::testing::scratch_file("restore.ckpt");
   std::vector<std::optional<linalg::Vector>> reference;
   {
     ScenarioRunner runner(spec, options);
@@ -265,7 +266,8 @@ TEST(Failover, ScriptedRestoreOfForeignTickIsRefused) {
   // A restore event pointing at a checkpoint of a DIFFERENT tick must be
   // refused (it would rewind the timeline and replay itself forever).
   auto spec = drill_spec();
-  const std::string file = "/tmp/losstomo_failover_wrong_tick.ckpt";
+  const std::string file =
+      losstomo::testing::scratch_file("wrong_tick.ckpt");
   {
     ScenarioRunner runner(spec, drill_options(1));
     while (runner.ticks_run() < 20) (void)runner.step();

@@ -76,6 +76,35 @@ ScenarioSpec grow_links_spec() {
   return spec;
 }
 
+// The constructive well-conditioned link-discovery family
+// (topology::make_branching_tree): unlike the random tree above, which
+// needs a hand-picked topology seed to keep every growth junction
+// branching, the complete branching-ary core GUARANTEES it — every
+// junction branches among the initial root-to-leaf paths, and every
+// extra leaf (exactly the reserve pool, appended after the core leaves)
+// attaches its fresh link at such a junction.  Any seed works.
+ScenarioSpec branching_tree_spec() {
+  ScenarioSpec spec;
+  spec.name = "branching-tree-grow-links-parity";
+  spec.topology.kind = TopologySpec::Kind::kBranchingTree;
+  spec.topology.depth = 3;
+  spec.topology.branching = 4;
+  spec.topology.extra_leaves = 3;
+  spec.topology.seed = 5;
+  spec.window = 30;
+  spec.ticks = 80;
+  spec.seed = 11;
+  spec.p = 0.6;
+  spec.probes = 800;
+  spec.min_good_loss = 0.002;
+  spec.reserve_paths = 3;
+  spec.events = {
+      {.tick = 40, .type = EventType::kGrowLinks, .count = 2},
+      {.tick = 55, .type = EventType::kGrowLinks, .count = 1},
+  };
+  return spec;
+}
+
 // Growth-parity monitor knobs: absorb every burst as rank-1/bordered
 // factor steps (the machinery under test) instead of tripping the
 // cumulative drift cap, whose refactorizations would mask a growth bug.
@@ -161,8 +190,22 @@ TEST(GrowthParity, FreshLinksMidRunMatchBatchAtAnyThreadCount) {
   expect_growth_parity(spec, ref, grown);
 }
 
+TEST(GrowthParity, ConstructiveTreeGrowsFreshLinksUnderTightParity) {
+  const auto spec = branching_tree_spec();
+  // Every reserve row is an extra leaf owning one fresh link.
+  ScenarioRunner probe(spec, growth_monitor_options());
+  const std::size_t initial_cols = probe.monitor().routing().cols();
+  (void)probe.run();
+  const std::size_t grown = probe.monitor().routing().cols() - initial_cols;
+  ASSERT_EQ(grown, spec.topology.extra_leaves);
+
+  const Reference ref = batch_reference(spec);
+  expect_growth_parity(spec, ref, grown);
+}
+
 TEST(GrowthParity, PairAccumulatorMatchesBatchThroughGrowth) {
-  for (const auto& spec : {mass_grow_spec(), grow_links_spec()}) {
+  for (const auto& spec :
+       {mass_grow_spec(), grow_links_spec(), branching_tree_spec()}) {
     const Reference ref = batch_reference(spec);
     core::MonitorOptions options = growth_monitor_options();
     options.accumulator = core::CovarianceAccumulator::kSharingPairs;

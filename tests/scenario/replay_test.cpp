@@ -15,16 +15,13 @@
 #include "linalg/matrix.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "test_util.hpp"
 
 namespace losstomo::scenario {
 namespace {
 
 std::string temp_file(const std::string& name) {
-  // Unique per test: parallel ctest processes must not share scratch files.
-  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
-  return ::testing::TempDir() + "losstomo_replay_" +
-         (info != nullptr ? std::string(info->name()) + "_" : std::string()) +
-         name;
+  return losstomo::testing::scratch_file(name);
 }
 
 ScenarioSpec replay_spec() {

@@ -1,0 +1,220 @@
+// Crash drills for the SHARDED monitor: checkpoint/restore of a
+// ShardedMonitor-backed ScenarioRunner mid-scenario must resume
+// bit-identically with the cached factor carried across (exactly one
+// factorization per resumed run), the per-shard accumulators and the
+// boundary shard rebuilt from the image, and a shard-count mismatch
+// between the image and the restoring runner rejected with a typed
+// CheckpointError before any state is touched.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/sharded_moments.hpp"
+#include "io/checkpoint.hpp"
+#include "linalg/matrix.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace losstomo::scenario {
+namespace {
+
+// The failover-drill mesh instance (see failover_test.cpp): every event
+// type that touches monitor state happens before the kill window ends.
+ScenarioSpec drill_spec() {
+  ScenarioSpec spec;
+  spec.name = "sharded-failover-drill";
+  spec.topology.kind = TopologySpec::Kind::kMesh;
+  spec.topology.nodes = 40;
+  spec.topology.hosts = 24;
+  spec.topology.seed = 3;
+  spec.window = 25;
+  spec.ticks = 60;
+  spec.seed = 11;
+  spec.p = 0.6;
+  spec.probes = 600;
+  spec.min_good_loss = 0.002;
+  spec.reserve_paths = 3;
+  spec.events = {
+      {.tick = 30, .type = EventType::kPathLeave, .path = 3},
+      {.tick = 34, .type = EventType::kPathJoin, .path = 3},
+      {.tick = 45, .type = EventType::kRouteChange, .path = 5},
+      {.tick = 50, .type = EventType::kLinkDown, .link = 2},
+      {.tick = 55, .type = EventType::kGrow, .count = 2},
+  };
+  return spec;
+}
+
+// Link-discovery drill over the constructive branching-tree family: the
+// restore path must rebuild the sharded accumulator mid-growth, after the
+// link universe has already widened.
+ScenarioSpec grow_links_drill_spec() {
+  ScenarioSpec spec;
+  spec.name = "sharded-grow-links-drill";
+  spec.topology.kind = TopologySpec::Kind::kBranchingTree;
+  spec.topology.depth = 3;
+  spec.topology.branching = 4;
+  spec.topology.extra_leaves = 3;
+  spec.topology.seed = 5;
+  spec.window = 30;
+  spec.ticks = 70;
+  spec.seed = 11;
+  spec.p = 0.6;
+  spec.probes = 800;
+  spec.min_good_loss = 0.002;
+  spec.reserve_paths = 3;
+  spec.events = {
+      {.tick = 40, .type = EventType::kGrowLinks, .count = 2},
+      {.tick = 55, .type = EventType::kGrowLinks, .count = 1},
+  };
+  return spec;
+}
+
+core::MonitorOptions sharded_options(std::size_t shards,
+                                     std::size_t threads = 1) {
+  core::MonitorOptions options;
+  options.accumulator = core::CovarianceAccumulator::kSharingPairs;
+  options.shards = shards;
+  options.lia.variance.threads = threads;
+  options.lia.variance.factor_flip_threshold = 1u << 20;
+  options.lia.variance.factor_update_cap = 1u << 20;
+  return options;
+}
+
+struct UninterruptedRun {
+  std::vector<std::optional<linalg::Vector>> losses;  // per tick
+  std::vector<std::vector<std::uint8_t>> images;      // checkpoint per tick
+  std::size_t refactorizations = 0;
+};
+
+UninterruptedRun uninterrupted(const ScenarioSpec& spec,
+                               const core::MonitorOptions& options) {
+  UninterruptedRun run;
+  ScenarioRunner runner(spec, options);
+  while (runner.ticks_run() < spec.ticks) {
+    io::CheckpointWriter writer;
+    runner.save_state(writer);
+    run.images.push_back(writer.finish());
+    const auto inference = runner.step();
+    run.losses.push_back(inference
+                             ? std::optional<linalg::Vector>(inference->loss)
+                             : std::nullopt);
+  }
+  const auto* eqs = runner.monitor().streaming_equations();
+  EXPECT_NE(eqs, nullptr);
+  if (eqs) run.refactorizations = eqs->refactorizations();
+  return run;
+}
+
+// Restores a fresh sharded runner from images[kill_at], finishes the
+// scenario, and checks inferences, the factor cache, and the rebuilt
+// shard bookkeeping.
+void expect_sharded_resume(const ScenarioSpec& spec,
+                           const core::MonitorOptions& options,
+                           const UninterruptedRun& ref, std::size_t kill_at,
+                           const std::string& label) {
+  ScenarioRunner runner(spec, options);
+  auto reader = io::CheckpointReader::from_bytes(ref.images[kill_at]);
+  runner.restore_state(reader);
+  ASSERT_EQ(runner.ticks_run(), kill_at) << label;
+  while (runner.ticks_run() < spec.ticks) {
+    const std::size_t tick = runner.ticks_run();
+    const auto inference = runner.step();
+    ASSERT_EQ(inference.has_value(), ref.losses[tick].has_value())
+        << label << " tick " << tick;
+    if (!inference) continue;
+    // Bit-identical, not merely close: restore must be exact resumption.
+    EXPECT_EQ(linalg::max_abs_diff(inference->loss, *ref.losses[tick]), 0.0)
+        << label << " tick " << tick;
+    EXPECT_EQ(runner.monitor().variances().jitter_used, 0.0)
+        << label << " tick " << tick;
+  }
+  const auto* eqs = runner.monitor().streaming_equations();
+  ASSERT_NE(eqs, nullptr) << label;
+  EXPECT_EQ(eqs->refactorizations(), ref.refactorizations) << label;
+  EXPECT_EQ(eqs->refactorizations(), 1u) << label;
+  EXPECT_EQ(eqs->downdate_fallbacks(), 0u) << label;
+
+  // The restored accumulator is sharded again, with coherent ownership.
+  const auto* acc = runner.monitor().sharded_accumulator();
+  ASSERT_NE(acc, nullptr) << label;
+  EXPECT_EQ(acc->shard_count(), options.shards) << label;
+  std::size_t paths = 0;
+  std::size_t pairs = acc->cross_shard_pairs();
+  for (std::size_t s = 0; s < acc->shard_count(); ++s) {
+    paths += acc->shard_path_count(s);
+    pairs += acc->shard_pair_count(s);
+  }
+  EXPECT_EQ(paths, runner.monitor().routing().rows()) << label;
+  EXPECT_EQ(pairs, acc->pair_store()->pair_count()) << label;
+  EXPECT_GT(acc->merges(), 0u) << label;
+}
+
+TEST(ShardedFailover, KillAtEveryTickResumesBitIdentically) {
+  const auto spec = drill_spec();
+  const auto options = sharded_options(/*shards=*/3);
+  const auto ref = uninterrupted(spec, options);
+  ASSERT_EQ(ref.images.size(), spec.ticks);
+  ASSERT_EQ(ref.refactorizations, 1u);
+  for (std::size_t kill_at = 1; kill_at < spec.ticks; ++kill_at) {
+    expect_sharded_resume(spec, options, ref, kill_at,
+                          "kill_at=" + std::to_string(kill_at));
+  }
+}
+
+TEST(ShardedFailover, GrowLinksDrillResumesAcrossUniverseGrowth) {
+  const auto spec = grow_links_drill_spec();
+  for (const std::size_t shards : {2u, 5u}) {
+    const auto options = sharded_options(shards);
+    const auto ref = uninterrupted(spec, options);
+    ASSERT_EQ(ref.refactorizations, 1u) << "shards=" << shards;
+    // Curated kill points: mid-warmup, right after the window fills,
+    // straight after each grow_links burst, and late in the run.
+    for (const std::size_t kill_at : {12u, 31u, 41u, 56u, 65u}) {
+      expect_sharded_resume(spec, options, ref, kill_at,
+                            "shards=" + std::to_string(shards) +
+                                "/kill_at=" + std::to_string(kill_at));
+    }
+  }
+}
+
+TEST(ShardedFailover, ShardCountMismatchIsRefused) {
+  const auto spec = drill_spec();
+  const auto options = sharded_options(/*shards=*/3);
+  ScenarioRunner runner(spec, options);
+  while (runner.ticks_run() < 30) (void)runner.step();
+  io::CheckpointWriter writer;
+  runner.save_state(writer);
+  const auto image = writer.finish();
+
+  // A runner partitioned differently — and an unsharded one — must both
+  // refuse the image with a typed mismatch, not adopt a half-translated
+  // accumulator.
+  for (const std::size_t other_shards : {2u, 0u}) {
+    const auto other_options = other_shards > 0
+                                   ? sharded_options(other_shards)
+                                   : core::MonitorOptions{};
+    ScenarioRunner other(spec, other_options);
+    auto reader = io::CheckpointReader::from_bytes(image);
+    try {
+      other.restore_state(reader);
+      FAIL() << "accepted a shards=3 image into shards=" << other_shards;
+    } catch (const io::CheckpointError& e) {
+      EXPECT_EQ(e.kind(), io::CheckpointErrorKind::kMismatch)
+          << "shards=" << other_shards;
+    }
+  }
+
+  // A matching runner still restores the very same image and finishes.
+  ScenarioRunner matching(spec, options);
+  auto reader = io::CheckpointReader::from_bytes(image);
+  matching.restore_state(reader);
+  EXPECT_EQ(matching.ticks_run(), 30u);
+  while (matching.ticks_run() < spec.ticks) (void)matching.step();
+  EXPECT_EQ(matching.outcome().ticks, spec.ticks);
+}
+
+}  // namespace
+}  // namespace losstomo::scenario

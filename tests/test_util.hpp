@@ -1,11 +1,14 @@
 // Shared builders for the test suite: the paper's worked examples and
-// random problem generators.
+// random problem generators, plus the per-test scratch-file helper.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -19,6 +22,21 @@
 #include "topology/routing.hpp"
 
 namespace losstomo::testing {
+
+/// Scratch-file path unique to the calling gtest test.  Parallel ctest
+/// processes must not share scratch files: a fixed /tmp path racing
+/// between two tests corrupts both, so the suite and test name are
+/// embedded in the filename.  `name` distinguishes multiple files within
+/// one test.
+inline std::string scratch_file(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string unique = ::testing::TempDir() + "losstomo_";
+  if (info != nullptr) {
+    unique += std::string(info->test_suite_name()) + "_" +
+              std::string(info->name()) + "_";
+  }
+  return unique + name;
+}
 
 /// The paper's Figure 1 network: one beacon B1, three destinations, five
 /// links; link e1 shared by all paths.
