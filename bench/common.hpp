@@ -6,7 +6,6 @@
 
 #include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -28,6 +27,7 @@
 #include "topology/overlay.hpp"
 #include "topology/routing.hpp"
 #include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -41,34 +41,13 @@ namespace losstomo::bench {
 class JsonReport {
  public:
   void set(const std::string& key, double value) {
-    if (!std::isfinite(value)) {
-      // JSON has no NaN/inf literal; null keeps the file parseable.
-      entries_.emplace_back(key, "null");
-      return;
-    }
-    std::ostringstream os;
-    os.precision(12);
-    os << value;
-    entries_.emplace_back(key, os.str());
+    entries_.emplace_back(key, util::json::number(value));
   }
   void set(const std::string& key, std::size_t value) {
     entries_.emplace_back(key, std::to_string(value));
   }
   void set(const std::string& key, const std::string& value) {
-    std::string escaped = "\"";
-    for (const char c : value) {
-      if (c == '"' || c == '\\') {
-        escaped += '\\';
-        escaped += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-        escaped += buf;
-      } else {
-        escaped += c;
-      }
-    }
-    entries_.emplace_back(key, escaped + "\"");
+    entries_.emplace_back(key, util::json::escaped(value));
   }
 
   /// Writes the object to `path` when non-empty; returns true if written.
@@ -76,12 +55,13 @@ class JsonReport {
     if (path.empty()) return false;
     std::ofstream out(path);
     if (!out) throw std::runtime_error("cannot write json report: " + path);
-    out << "{\n";
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      out << "  \"" << entries_[i].first << "\": " << entries_[i].second
-          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    util::json::Writer w(out);
+    w.begin_object();
+    for (const auto& [key, token] : entries_) {
+      w.key(key).value_raw(token);
     }
-    out << "}\n";
+    w.end_object();
+    w.finish();
     return true;
   }
 

@@ -54,6 +54,7 @@
 #include "io/checkpoint.hpp"
 #include "io/pipeline.hpp"
 #include "io/trace_io.hpp"
+#include "obs/registry.hpp"
 
 namespace {
 
@@ -123,7 +124,7 @@ EngineComparison compare_engines(const linalg::SparseBinaryMatrix& r,
 // every double).
 class ChecksumSink final : public io::Element {
  public:
-  void push(const io::SnapshotBatch& batch) override {
+  void do_push(const io::SnapshotBatch& batch) override {
     rows_ += batch.rows;
     for (const double v : batch.values) sum_ += v;
   }
@@ -156,6 +157,9 @@ struct OverlayFigures {
   std::size_t pairs = 0, shared_entries = 0, store_bytes = 0;
   double store_build_seconds = 0.0;
   double streaming_tick_seconds = 0.0;
+  // The same steady tick with an obs::Registry (+ flight recorder)
+  // attached — the telemetry overhead budget is <= 2% of the plain tick.
+  double telemetry_tick_seconds = 0.0;
   std::size_t refactorizations = 0;
   std::size_t rank1_updates = 0;
   std::vector<ShardPoint> shard_sweep;
@@ -218,6 +222,27 @@ OverlayFigures run_overlay(std::size_t hosts, std::size_t m, std::size_t ticks,
   const auto* eqs = monitor.streaming_equations();
   out.refactorizations = eqs->refactorizations();
   out.rank1_updates = eqs->rank1_updates();
+
+  // Telemetry overhead probe: the identical feed (fresh simulator, same
+  // seed) and monitor configuration, with a registry and flight recorder
+  // attached — per-tick publishing, phase spans, and recorder writes all
+  // on.  Compiled with LOSSTOMO_NO_TELEMETRY this measures the stubs.
+  {
+    obs::Registry registry;
+    registry.enable_flight_recorder(256);
+    auto instrumented_options = options;
+    instrumented_options.telemetry = &registry;
+    core::LiaMonitor instrumented(r, instrumented_options);
+    sim::SnapshotSimulator feed(topo.graph, rrm, config, seed * 7);
+    stats::RunningStat stat;
+    for (std::size_t t = 0; t < m + 2 + ticks; ++t) {
+      const auto y = feed.next().path_log_trans;
+      util::Timer tick_timer;
+      instrumented.observe(y);
+      if (t > m + 1) stat.add(tick_timer.seconds());
+    }
+    out.telemetry_tick_seconds = stat.mean();
+  }
 
   util::Timer save_timer;
   io::CheckpointWriter writer;
@@ -442,6 +467,13 @@ int main(int argc, char** argv) {
                 << util::Table::num(overlay.streaming_tick_seconds, 5) << " s ("
                 << overlay.refactorizations << " refactorizations, "
                 << overlay.rank1_updates << " rank-1 updates)\n";
+      const double overhead_frac =
+          overlay.telemetry_tick_seconds / overlay.streaming_tick_seconds -
+          1.0;
+      std::cout << "  telemetry overhead: instrumented tick "
+                << util::Table::num(overlay.telemetry_tick_seconds, 5)
+                << " s (" << util::Table::num(100.0 * overhead_frac, 2)
+                << "% vs plain; budget 2%)\n";
       std::cout << "  checkpoint: " << overlay.checkpoint_bytes
                 << " bytes, saved in "
                 << util::Table::num(overlay.checkpoint_save_seconds, 4)
@@ -519,6 +551,14 @@ int main(int argc, char** argv) {
                  overlay.streaming_tick_seconds);
       report.set("overlay_refactorizations" + suffix,
                  overlay.refactorizations);
+      report.set("telemetry_overhead_tick_off_seconds" + suffix,
+                 overlay.streaming_tick_seconds);
+      report.set("telemetry_overhead_tick_on_seconds" + suffix,
+                 overlay.telemetry_tick_seconds);
+      report.set("telemetry_overhead_frac" + suffix,
+                 overlay.telemetry_tick_seconds /
+                         overlay.streaming_tick_seconds -
+                     1.0);
       report.set("checkpoint_bytes" + suffix, overlay.checkpoint_bytes);
       report.set("checkpoint_save_s" + suffix,
                  overlay.checkpoint_save_seconds);

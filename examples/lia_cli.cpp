@@ -76,6 +76,7 @@
 #include "io/scenario_io.hpp"
 #include "io/trace_io.hpp"
 #include "net/routing_matrix.hpp"
+#include "obs/registry.hpp"
 #include "scenario/runner.hpp"
 #include "sim/probe_sim.hpp"
 #include "topology/overlay.hpp"
@@ -86,6 +87,31 @@
 using namespace losstomo;
 
 namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: lia_cli mode=<mode> [key=value ...]\n"
+        "modes:\n"
+        "  generate   out= [hosts=] [m=] [seed=] [format=text|binary]\n"
+        "  infer      topology= paths= snapshots= [tl=] [top=]\n"
+        "  monitor    topology= paths= snapshots= [m=] [relearn_every=]\n"
+        "             [engine=streaming|batch] [format=auto|text|binary]\n"
+        "             [thin=] [shards=] [tl=]\n"
+        "             [metrics=<file>] [metrics_every=<ticks>]\n"
+        "  convert    in=<snapshots> out=<snapshots>\n"
+        "  scenario   scenario=<file.scn> [ticks=] [window=]\n"
+        "             [engine=streaming|batch] [accumulator=dense|pairs]\n"
+        "             [shards=] [tl=] [record=] [replay=]\n"
+        "             [metrics=<file>] [metrics_every=<ticks>]\n"
+        "  ingest-drill      [hosts=] [m=] [ticks=] [dir=] [threads=]\n"
+        "  checkpoint-drill  scenario= [kill_at=] [file=] [ticks=]\n"
+        "                    [window=] [threads=]\n"
+        "                    [fault=none|truncate|bitflip|version]\n"
+        "metrics= writes a telemetry snapshot (losstomo.metrics JSON; a\n"
+        ".prom suffix switches to Prometheus text) at the end of the run;\n"
+        "metrics_every=N also rewrites it every N ticks.  Unknown keys and\n"
+        "modes exit 2.  Full documentation: docs/OBSERVABILITY.md and the\n"
+        "header of examples/lia_cli.cpp.\n";
+}
 
 int generate(const util::Args& args) {
   const auto out = args.get_string("out", "/tmp/losstomo_campaign");
@@ -223,6 +249,8 @@ int monitor(const util::Args& args) {
   const auto format = args.get_string("format", "auto");
   const auto thin_every = args.get_size("thin", 1);
   const auto shards = args.get_size("shards", 0);
+  const auto metrics_file = args.get_string("metrics", "");
+  const auto metrics_every = args.get_size("metrics_every", 0);
   args.finish();
   if (topology_file.empty() || paths_file.empty() || snapshots_file.empty()) {
     std::cerr << "mode=monitor needs topology=, paths=, snapshots= files\n";
@@ -254,9 +282,18 @@ int monitor(const util::Args& args) {
     return 2;
   }
 
+  // A metrics= file arms the telemetry registry: the monitor publishes its
+  // deterministic counters into it every tick, the pipeline elements count
+  // rows/bytes through them, and the flight recorder keeps the last phase
+  // spans for a crash dump.
+  obs::Registry registry;
+  const bool telemetry = !metrics_file.empty();
+  if (telemetry) registry.enable_flight_recorder(256);
+
   core::MonitorOptions monitor_options;
   monitor_options.window = m;
   monitor_options.relearn_every = relearn_every;
+  if (telemetry) monitor_options.telemetry = &registry;
   monitor_options.engine = engine == "batch" ? core::MonitorEngine::kBatch
                                              : core::MonitorEngine::kStreaming;
   if (shards > 0) {
@@ -275,6 +312,9 @@ int monitor(const util::Args& args) {
   io::MonitorSink sink(
       monitor, [&](std::size_t tick, const core::LossInference& inference) {
         ++diagnosed;
+        if (telemetry && metrics_every > 0 && diagnosed % metrics_every == 0) {
+          registry.write_file(metrics_file);
+        }
         std::size_t flagged = 0;
         double worst = 0.0;
         for (std::size_t k = 0; k < rrm.link_count(); ++k) {
@@ -287,6 +327,12 @@ int monitor(const util::Args& args) {
                      util::Table::num(worst, 4)});
       });
   thin.to(log_transform).to(sink);
+  if (telemetry) {
+    opened.source->set_telemetry(&registry, "source");
+    thin.set_telemetry(&registry, "thin");
+    log_transform.set_telemetry(&registry, "log_transform");
+    sink.set_telemetry(&registry, "monitor_sink");
+  }
   std::size_t streamed = 0;
   try {
     streamed = opened.source->drain(thin);
@@ -294,6 +340,14 @@ int monitor(const util::Args& args) {
     std::cerr << "snapshot feed rejected (" << e.what() << "); expected arity "
               << rrm.path_count() << '\n';
     return 2;
+  } catch (...) {
+    if (telemetry) {
+      // Crash dump: the last phase spans, oldest first, before the error
+      // propagates — what the run was doing when it died.
+      std::cerr << "flight recorder:\n";
+      registry.write_flight_recorder_json(std::cerr);
+    }
+    throw;
   }
   log.print(std::cout);
   std::cout << '\n'
@@ -316,6 +370,10 @@ int monitor(const util::Args& args) {
               << sharded->cross_shard_pairs() << " cross-shard pairs, "
               << sharded->merges() << " merges\n";
   }
+  if (telemetry) {
+    registry.write_file(metrics_file);
+    std::cout << "metrics -> " << metrics_file << '\n';
+  }
   return 0;
 }
 
@@ -329,6 +387,8 @@ int scenario_mode(const util::Args& args) {
   const auto shards = args.get_size("shards", 0);
   const auto record_file = args.get_string("record", "");
   const auto replay_file = args.get_string("replay", "");
+  const auto metrics_file = args.get_string("metrics", "");
+  const auto metrics_every = args.get_size("metrics_every", 0);
   args.finish();
   if (shards > 0) accumulator = "pairs";  // sharding implies the pair layout
   if (scenario_file.empty()) {
@@ -365,6 +425,15 @@ int scenario_mode(const util::Args& args) {
     std::cerr << "shards= needs the streaming engine\n";
     return 2;
   }
+  // metrics= arms telemetry: the runner and monitor publish deterministic
+  // counters + per-event-type churn costs, the flight recorder keeps the
+  // last phase spans for a crash dump.
+  obs::Registry registry;
+  const bool telemetry = !metrics_file.empty();
+  if (telemetry) {
+    registry.enable_flight_recorder(256);
+    options.telemetry = &registry;
+  }
   scenario::ScenarioRunner runner(std::move(spec), options);
   if (!record_file.empty()) {
     runner.record_trace(record_file);
@@ -386,9 +455,12 @@ int scenario_mode(const util::Args& args) {
   std::cout << ")\n\n";
 
   util::Table log({"tick", "event(s)", "active", "congested", "worst loss"});
-  const auto outcome = runner.run([&](std::size_t tick, std::size_t events,
-                                      const std::optional<core::LossInference>&
-                                          inference) {
+  const auto on_tick = [&](std::size_t tick, std::size_t events,
+                           const std::optional<core::LossInference>&
+                               inference) {
+    if (telemetry && metrics_every > 0 && (tick + 1) % metrics_every == 0) {
+      registry.write_file(metrics_file);
+    }
     if (events == 0 && !inference) return;
     std::string names;
     for (const auto& e : runner.timeline().at(tick)) {
@@ -414,7 +486,17 @@ int scenario_mode(const util::Args& args) {
                  std::to_string(runner.monitor().active_path_count()),
                  inference ? std::to_string(flagged) : "-",
                  inference ? util::Table::num(worst, 4) : "-"});
-  });
+  };
+  scenario::ScenarioOutcome outcome;
+  try {
+    outcome = runner.run(on_tick);
+  } catch (...) {
+    if (telemetry) {
+      std::cerr << "flight recorder:\n";
+      registry.write_flight_recorder_json(std::cerr);
+    }
+    throw;
+  }
   log.print(std::cout);
   std::cout << '\n'
             << outcome.ticks << " ticks, " << outcome.events_applied
@@ -439,6 +521,10 @@ int scenario_mode(const util::Args& args) {
     }
     std::cout << " | " << sharded->cross_shard_pairs()
               << " cross-shard pairs, " << sharded->merges() << " merges\n";
+  }
+  if (telemetry) {
+    registry.write_file(metrics_file);
+    std::cout << "metrics -> " << metrics_file << '\n';
   }
   return 0;
 }
@@ -708,9 +794,14 @@ int main(int argc, char** argv) {
     if (mode == "scenario") return scenario_mode(args);
     if (mode == "checkpoint-drill") return checkpoint_drill(args);
     if (mode == "ingest-drill") return ingest_drill(args);
-    std::cerr << "unknown mode: " << mode
-              << " (use generate|infer|monitor|convert|scenario|"
-                 "checkpoint-drill|ingest-drill)\n";
+    std::cerr << "unknown mode: " << mode << "\n\n";
+    print_usage(std::cerr);
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    // Unknown/misspelled key=value arguments (util::Args::finish) and
+    // malformed inputs land here: usage, exit 2.
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_usage(std::cerr);
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -7,8 +7,85 @@
 
 #include "core/sharded_moments.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace losstomo::core {
+
+// Pre-resolved telemetry handles: one name lookup per metric at
+// construction, plain stores per tick afterwards.  Everything registered
+// kDeterministic here is published (Counter::set / Gauge::set) from
+// serialized engine state in publish_telemetry(), never live-counted, so
+// the exported values inherit the engine's bit-identity guarantees.
+struct LiaMonitor::Telemetry {
+  obs::Registry* registry;
+  // Deterministic counters (serialized engine state).
+  obs::Counter* ticks;
+  obs::Counter* rank1_updates;
+  obs::Counter* refactorizations;
+  obs::Counter* pin_updates;
+  obs::Counter* pcg_iterations;
+  obs::Counter* downdate_fallbacks;
+  obs::Counter* links_grown;
+  obs::Counter* pairs;
+  // Deterministic gauges (point-in-time serialized state).
+  obs::Gauge* paths;
+  obs::Gauge* active_paths;
+  obs::Gauge* links;
+  obs::Gauge* links_pinned;
+  obs::Gauge* pending_flips;
+  obs::Gauge* window_fill;
+  obs::Gauge* equations_used;
+  obs::Gauge* equations_dropped;
+  obs::Gauge* negative_clamped;
+  // Partition-dependent shard diagnostics: values depend on the shard
+  // count, so they are nondeterministic by the registry's contract.
+  std::vector<obs::Gauge*> shard_paths;
+  std::vector<obs::Gauge*> shard_pairs;
+  obs::Gauge* cross_shard_pairs = nullptr;
+  obs::Counter* merges = nullptr;
+  // Phase span ids.
+  std::size_t tick_phase;
+  std::size_t accumulate_phase;
+  std::size_t solve_phase;
+
+  Telemetry(obs::Registry& r, std::size_t shards)
+      : registry(&r),
+        ticks(&r.counter("monitor.ticks")),
+        rank1_updates(&r.counter("monitor.rank1_updates")),
+        refactorizations(&r.counter("monitor.refactorizations")),
+        pin_updates(&r.counter("monitor.pin_updates")),
+        pcg_iterations(&r.counter("monitor.pcg_iterations")),
+        downdate_fallbacks(&r.counter("monitor.downdate_fallbacks")),
+        links_grown(&r.counter("monitor.links_grown")),
+        pairs(&r.counter("monitor.pairs")),
+        paths(&r.gauge("monitor.paths")),
+        active_paths(&r.gauge("monitor.active_paths")),
+        links(&r.gauge("monitor.links")),
+        links_pinned(&r.gauge("monitor.links_pinned")),
+        pending_flips(&r.gauge("monitor.pending_flips")),
+        window_fill(&r.gauge("monitor.window_fill")),
+        equations_used(&r.gauge("monitor.estimate.equations_used")),
+        equations_dropped(&r.gauge("monitor.estimate.equations_dropped")),
+        negative_clamped(&r.gauge("monitor.estimate.negative_clamped")),
+        tick_phase(r.phase("tick")),
+        accumulate_phase(r.phase("accumulate")),
+        solve_phase(r.phase("solve")) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::string base = "monitor.shard" + std::to_string(s) + ".";
+      shard_paths.push_back(
+          &r.gauge(base + "paths", obs::Determinism::kNondeterministic));
+      shard_pairs.push_back(
+          &r.gauge(base + "pairs", obs::Determinism::kNondeterministic));
+    }
+    if (shards > 0) {
+      cross_shard_pairs = &r.gauge("monitor.cross_shard_pairs",
+                                   obs::Determinism::kNondeterministic);
+      merges =
+          &r.counter("monitor.merges", obs::Determinism::kNondeterministic);
+    }
+  }
+};
 
 namespace {
 
@@ -107,6 +184,58 @@ LiaMonitor::LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options)
   }
   active_.assign(r_.rows(), 1);
   activated_tick_.assign(r_.rows(), 0);
+  if (options_.telemetry != nullptr) {
+    obs_ = std::make_unique<Telemetry>(*options_.telemetry, options_.shards);
+    if (auto* sharded =
+            dynamic_cast<ShardedPairMoments*>(pair_accumulator_.get())) {
+      sharded->set_telemetry(options_.telemetry);
+    }
+    publish_telemetry();
+  }
+}
+
+LiaMonitor::LiaMonitor(LiaMonitor&&) = default;
+LiaMonitor& LiaMonitor::operator=(LiaMonitor&&) = default;
+LiaMonitor::~LiaMonitor() = default;
+
+void LiaMonitor::publish_telemetry() {
+  if (!obs_) return;
+  Telemetry& t = *obs_;
+  t.ticks->set(ticks_);
+  t.paths->set(static_cast<double>(r_.rows()));
+  t.links->set(static_cast<double>(r_.cols()));
+  t.active_paths->set(static_cast<double>(active_path_count()));
+  t.window_fill->set(static_cast<double>(window_fill()));
+  if (equations_) {
+    t.rank1_updates->set(equations_->rank1_updates());
+    t.refactorizations->set(equations_->refactorizations());
+    t.pin_updates->set(equations_->pin_updates());
+    t.pcg_iterations->set(equations_->refine_iterations());
+    t.downdate_fallbacks->set(equations_->downdate_fallbacks());
+    t.links_grown->set(equations_->links_grown());
+    t.links_pinned->set(static_cast<double>(equations_->links_pinned()));
+    t.pending_flips->set(static_cast<double>(equations_->pending_flips()));
+  }
+  if (store_) t.pairs->set(store_->pair_count());
+  const VarianceEstimate* estimate = nullptr;
+  if (churn_ && churn_variance_) {
+    estimate = &*churn_variance_;
+  } else if (lia_.trained()) {
+    estimate = &lia_.variances();
+  }
+  if (estimate != nullptr) {
+    t.equations_used->set(static_cast<double>(estimate->equations_used));
+    t.equations_dropped->set(static_cast<double>(estimate->equations_dropped));
+    t.negative_clamped->set(static_cast<double>(estimate->negative_clamped));
+  }
+  if (const ShardedPairMoments* sharded = sharded_accumulator()) {
+    for (std::size_t s = 0; s < t.shard_paths.size(); ++s) {
+      t.shard_paths[s]->set(static_cast<double>(sharded->shard_path_count(s)));
+      t.shard_pairs[s]->set(static_cast<double>(sharded->shard_pair_count(s)));
+    }
+    t.cross_shard_pairs->set(static_cast<double>(sharded->cross_shard_pairs()));
+    t.merges->set(sharded->merges());
+  }
 }
 
 std::size_t LiaMonitor::window_fill() const {
@@ -220,6 +349,7 @@ std::size_t LiaMonitor::add_paths(std::vector<std::vector<std::uint32_t>> rows,
       accumulator_->add_paths(count);
     }
   }
+  if (obs_) obs_->registry->note("monitor.grow");
   return index;
 }
 
@@ -292,6 +422,8 @@ std::optional<LossInference> LiaMonitor::observe_churn(
     std::span<const double> y) {
   std::optional<LossInference> result;
   if (window_fill() == options_.window) {
+    obs::Span solve_span(obs_ ? obs_->registry : nullptr,
+                         obs_ ? obs_->solve_phase : 0);
     if (!churn_variance_ || ++since_learn_ >= options_.relearn_every) {
       relearn_churn();
       since_learn_ = 0;
@@ -305,7 +437,12 @@ std::optional<LossInference> LiaMonitor::observe_churn(
           infer_snapshot_losses(*active_r_, *churn_elimination_, y_active);
     }
   }
-  push_snapshot(y);
+  {
+    obs::Span accumulate_span(obs_ ? obs_->registry : nullptr,
+                              obs_ ? obs_->accumulate_phase : 0);
+    push_snapshot(y);
+  }
+  publish_telemetry();
   return result;
 }
 
@@ -317,6 +454,8 @@ void LiaMonitor::observe_block(std::span<const double> values,
     throw std::invalid_argument("observe_block size != rows * paths");
   }
   for (std::size_t r = 0; r < rows; ++r) {
+    obs::Span tick_span(obs_ ? obs_->registry : nullptr,
+                        obs_ ? obs_->tick_phase : 0);
     const auto inference = observe(values.subspan(r * np, np));
     if (on_inference && inference) on_inference(ticks_ - 1, *inference);
   }
@@ -335,6 +474,8 @@ std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
     // Window full: (re)learn if due, then diagnose this snapshot using the
     // PRECEDING window only (the paper's m-then-(m+1) split).
     if (!lia_.trained() || ++since_learn_ >= options_.relearn_every) {
+      obs::Span solve_span(obs_ ? obs_->registry : nullptr,
+                           obs_ ? obs_->solve_phase : 0);
       if (streaming) {
         const stats::CovarianceSource& source =
             pair_accumulator_
@@ -352,7 +493,12 @@ std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
   }
   // Every snapshot enters the window — also between relearns — so a
   // delayed relearn sees the full intermediate history.
-  push_snapshot(y);
+  {
+    obs::Span accumulate_span(obs_ ? obs_->registry : nullptr,
+                              obs_ ? obs_->accumulate_phase : 0);
+    push_snapshot(y);
+  }
+  publish_telemetry();
   return result;
 }
 
@@ -547,6 +693,16 @@ void LiaMonitor::restore_state(io::CheckpointReader& reader) {
   } else {
     churn_variance_.reset();
     churn_elimination_.reset();
+  }
+  if (obs_) {
+    // The engine stack was rebuilt: re-attach the sharded gather's merge
+    // span, drop a marker, and republish from the restored state.
+    if (auto* sharded =
+            dynamic_cast<ShardedPairMoments*>(pair_accumulator_.get())) {
+      sharded->set_telemetry(obs_->registry);
+    }
+    obs_->registry->note("monitor.restore");
+    publish_telemetry();
   }
 }
 

@@ -67,6 +67,10 @@ class CheckpointWriter;
 class CheckpointReader;
 }  // namespace losstomo::io
 
+namespace losstomo::obs {
+class Registry;
+}  // namespace losstomo::obs
+
 namespace losstomo::core {
 
 enum class MonitorEngine {
@@ -112,6 +116,14 @@ struct MonitorOptions {
   /// deterministic splitmix64 hash partition.  Paths grown mid-run are
   /// always hash-partitioned.
   std::vector<std::uint32_t> partition;
+  /// Telemetry sink (obs/registry.hpp); nullptr (the default) leaves the
+  /// monitor uninstrumented.  The monitor registers its metric set, opens
+  /// accumulate/solve phase spans around the per-tick work, and publishes
+  /// the deterministic counter set from serialized engine state at the end
+  /// of every observe() — so the published values are bit-identical across
+  /// thread counts, shard counts, and a checkpoint/restore (see
+  /// docs/OBSERVABILITY.md).  The registry must outlive the monitor.
+  obs::Registry* telemetry = nullptr;
   LiaOptions lia;
 };
 
@@ -135,6 +147,9 @@ class LiaMonitor {
   /// store to the first relearn tick, while kSharingPairs builds it here
   /// (the accumulator indexes it from the first snapshot on).
   explicit LiaMonitor(linalg::SparseBinaryMatrix r, MonitorOptions options = {});
+  LiaMonitor(LiaMonitor&&);
+  LiaMonitor& operator=(LiaMonitor&&);
+  ~LiaMonitor();
 
   /// Observes one snapshot (Y = log path transmission rates).  Returns the
   /// inference for this snapshot, or std::nullopt while the window is
@@ -252,9 +267,16 @@ class LiaMonitor {
   void restore_state(io::CheckpointReader& reader);
 
  private:
+  struct Telemetry;  // pre-resolved metric handles (monitor.cpp)
+
   void relearn_batch();
   void relearn_churn();
   void rebuild_active();
+  /// Mirrors the deterministic engine state into the attached registry
+  /// (no-op without one).  Called at the end of every observe() and after
+  /// a restore commit, so exported counters always reflect the serialized
+  /// state they are derived from.
+  void publish_telemetry();
   std::optional<LossInference> observe_churn(std::span<const double> y);
   void push_snapshot(std::span<const double> y);
   [[nodiscard]] std::size_t window_fill() const;
@@ -285,6 +307,7 @@ class LiaMonitor {
   std::optional<Elimination> churn_elimination_;
   std::size_t ticks_ = 0;
   std::size_t since_learn_ = 0;
+  std::unique_ptr<Telemetry> obs_;  // nullptr unless options.telemetry
 };
 
 }  // namespace losstomo::core

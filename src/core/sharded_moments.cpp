@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "io/checkpoint.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace losstomo::core {
@@ -193,8 +195,14 @@ std::size_t ShardedPairMoments::add_paths(const linalg::SparseBinaryMatrix& r,
   return first;
 }
 
+void ShardedPairMoments::set_telemetry(obs::Registry* registry) {
+  telemetry_ = registry;
+  if (registry != nullptr) merge_phase_ = registry->phase("merge");
+}
+
 std::span<const double> ShardedPairMoments::pair_values() const {
   if (merged_dirty_) {
+    obs::Span merge_span(telemetry_, merge_phase_);
     merged_values_.resize(store_->pair_count());
     std::vector<std::span<const double>> sources(shard_count_ + 1);
     for (std::size_t s = 0; s < shard_count_; ++s) {

@@ -46,6 +46,10 @@
 #include "core/sharing_pairs.hpp"
 #include "linalg/sparse.hpp"
 
+namespace losstomo::obs {
+class Registry;
+}  // namespace losstomo::obs
+
 namespace losstomo::core {
 
 /// Partitioned pair-indexed sliding-window covariance accumulator.
@@ -130,6 +134,11 @@ class ShardedPairMoments final : public PairIndexedSource {
   /// followed at least one push).
   [[nodiscard]] std::size_t merges() const { return merges_; }
 
+  /// Attaches telemetry: each lazy coordinator gather records a "merge"
+  /// phase span (span.merge.seconds) into `registry`.  nullptr detaches.
+  /// LiaMonitor wires this from MonitorOptions::telemetry.
+  void set_telemetry(obs::Registry* registry);
+
  private:
   struct Shard {
     std::vector<std::uint32_t> paths;  // owned global path ids, ascending
@@ -164,6 +173,8 @@ class ShardedPairMoments final : public PairIndexedSource {
   mutable std::vector<double> merged_values_;
   mutable bool merged_dirty_ = true;
   mutable std::size_t merges_ = 0;
+  obs::Registry* telemetry_ = nullptr;
+  std::size_t merge_phase_ = 0;
 };
 
 }  // namespace losstomo::core

@@ -8,10 +8,48 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "sim/probe_sim.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace losstomo::io {
+
+void Element::push(const SnapshotBatch& batch) {
+  if (rows_counter_ != nullptr) {
+    rows_counter_->add(batch.rows);
+    bytes_counter_->add(batch.values.size() * sizeof(double));
+  }
+  do_push(batch);
+}
+
+void Element::set_telemetry(obs::Registry* registry, std::string_view name) {
+  if (registry == nullptr) {
+    rows_counter_ = nullptr;
+    bytes_counter_ = nullptr;
+    return;
+  }
+  const std::string base = "pipeline." + std::string(name) + ".";
+  rows_counter_ = &registry->counter(base + "rows");
+  bytes_counter_ = &registry->counter(base + "bytes");
+}
+
+void Source::set_telemetry(obs::Registry* registry, std::string_view name) {
+  if (registry == nullptr) {
+    rows_counter_ = nullptr;
+    stall_histogram_ = nullptr;
+    return;
+  }
+  const std::string base = "pipeline." + std::string(name) + ".";
+  rows_counter_ = &registry->counter(base + "rows");
+  stall_histogram_ = &registry->histogram(base + "stall_seconds");
+}
+
+void Source::note_produced(std::size_t rows, double seconds) {
+  if (rows_counter_ == nullptr) return;
+  rows_counter_->add(rows);
+  stall_histogram_->observe(seconds);
+}
 
 void Element::finish() { emit_finish(); }
 
@@ -31,7 +69,13 @@ std::size_t BinaryTraceSource::pump(Element& sink, std::size_t max_rows) {
   const std::size_t left = reader_->snapshots() - cursor_;
   const std::size_t rows = std::min(left, max_rows);
   if (rows == 0) return 0;
-  sink.push({.values = reader_->rows(cursor_, rows),
+  // Source-side "work" is just the mmap slice — timed anyway so the stall
+  // histogram stays comparable across source kinds (page faults show up
+  // here on a cold cache).
+  util::Timer timer;
+  const std::span<const double> values = reader_->rows(cursor_, rows);
+  if (telemetry_enabled()) note_produced(rows, timer.seconds());
+  sink.push({.values = values,
              .rows = rows,
              .paths = reader_->paths(),
              .log_transformed = reader_->log_transformed()});
@@ -43,6 +87,7 @@ TextSnapshotSource::TextSnapshotSource(std::istream& is)
     : stream_(is, /*log_transform=*/false) {}
 
 std::size_t TextSnapshotSource::pump(Element& sink, std::size_t max_rows) {
+  util::Timer timer;
   block_.clear();
   std::size_t rows = 0;
   while (rows < max_rows && stream_.next(row_)) {
@@ -50,6 +95,7 @@ std::size_t TextSnapshotSource::pump(Element& sink, std::size_t max_rows) {
     ++rows;
   }
   if (rows == 0) return 0;
+  if (telemetry_enabled()) note_produced(rows, timer.seconds());
   sink.push({.values = block_,
              .rows = rows,
              .paths = stream_.dim(),
@@ -64,6 +110,7 @@ SimulatorSource::SimulatorSource(sim::SnapshotSimulator& simulator,
 std::size_t SimulatorSource::pump(Element& sink, std::size_t max_rows) {
   const std::size_t rows = std::min(remaining_, max_rows);
   if (rows == 0) return 0;
+  util::Timer timer;
   block_.clear();
   std::size_t paths = 0;
   for (std::size_t r = 0; r < rows; ++r) {
@@ -73,6 +120,7 @@ std::size_t SimulatorSource::pump(Element& sink, std::size_t max_rows) {
                   snap.path_trans.data() + paths);
   }
   remaining_ -= rows;
+  if (telemetry_enabled()) note_produced(rows, timer.seconds());
   sink.push({.values = block_,
              .rows = rows,
              .paths = paths,
@@ -82,7 +130,7 @@ std::size_t SimulatorSource::pump(Element& sink, std::size_t max_rows) {
 
 // -- Transforms -------------------------------------------------------------
 
-void LogTransform::push(const SnapshotBatch& batch) {
+void LogTransform::do_push(const SnapshotBatch& batch) {
   if (batch.log_transformed) {
     emit(batch);
     return;
@@ -114,7 +162,7 @@ Thin::Thin(std::size_t keep_every) : keep_every_(keep_every) {
   }
 }
 
-void Thin::push(const SnapshotBatch& batch) {
+void Thin::do_push(const SnapshotBatch& batch) {
   if (keep_every_ == 1) {
     emit(batch);
     return;
@@ -132,7 +180,7 @@ void Thin::push(const SnapshotBatch& batch) {
   }
 }
 
-void Scale::push(const SnapshotBatch& batch) {
+void Scale::do_push(const SnapshotBatch& batch) {
   if (batch.log_transformed) {
     throw std::logic_error("Scale on a log-transformed stream");
   }
@@ -148,7 +196,7 @@ void Scale::push(const SnapshotBatch& batch) {
 
 // -- Sinks ------------------------------------------------------------------
 
-void MonitorSink::push(const SnapshotBatch& batch) {
+void MonitorSink::do_push(const SnapshotBatch& batch) {
   if (!batch.log_transformed) {
     throw std::logic_error(
         "MonitorSink fed raw phi — insert a LogTransform upstream");
@@ -160,7 +208,7 @@ void MonitorSink::push(const SnapshotBatch& batch) {
   emit(batch);
 }
 
-void BinaryTraceSink::push(const SnapshotBatch& batch) {
+void BinaryTraceSink::do_push(const SnapshotBatch& batch) {
   if (!writer_) {
     writer_ = std::make_unique<BinaryTraceWriter>(file_, batch.paths,
                                                   batch.log_transformed);
@@ -175,7 +223,7 @@ void BinaryTraceSink::finish() {
   emit_finish();
 }
 
-void TextSnapshotSink::push(const SnapshotBatch& batch) {
+void TextSnapshotSink::do_push(const SnapshotBatch& batch) {
   if (batch.log_transformed) {
     throw std::logic_error(
         "text snapshot format stores phi; cannot serialize a "
@@ -204,7 +252,7 @@ void TextSnapshotSink::push(const SnapshotBatch& batch) {
   emit(batch);
 }
 
-void CollectSink::push(const SnapshotBatch& batch) {
+void CollectSink::do_push(const SnapshotBatch& batch) {
   if (rows_ == 0) {
     paths_ = batch.paths;
     log_transformed_ = batch.log_transformed;

@@ -55,6 +55,12 @@ namespace losstomo::sim {
 class SnapshotSimulator;
 }  // namespace losstomo::sim
 
+namespace losstomo::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace losstomo::obs
+
 namespace losstomo::io {
 
 /// One contiguous row-major block of snapshots travelling down the
@@ -79,8 +85,15 @@ class Element {
  public:
   virtual ~Element() = default;
 
-  /// Consumes one batch.  Implementations transform and call emit().
-  virtual void push(const SnapshotBatch& batch) = 0;
+  /// Consumes one batch: counts it into the attached telemetry (if any),
+  /// then hands it to the stage's do_push().
+  void push(const SnapshotBatch& batch);
+
+  /// Attaches per-element ingestion telemetry: every pushed batch counts
+  /// into `pipeline.<name>.rows` and `pipeline.<name>.bytes` in
+  /// `registry` (nullptr detaches).  The push stream is single-threaded
+  /// by the pipeline contract, so the counts are deterministic.
+  void set_telemetry(obs::Registry* registry, std::string_view name);
 
   /// End-of-stream.  Default: propagate downstream (sinks override to
   /// seal files / flush state).
@@ -94,6 +107,9 @@ class Element {
   }
 
  protected:
+  /// Stage body.  Implementations transform the batch and call emit().
+  virtual void do_push(const SnapshotBatch& batch) = 0;
+
   /// Forwards a batch downstream (no-op when nothing is connected, so a
   /// chain can be truncated for tests).
   void emit(const SnapshotBatch& batch) {
@@ -105,6 +121,8 @@ class Element {
 
  private:
   Element* next_ = nullptr;
+  obs::Counter* rows_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
 };
 
 /// Drives a pipeline: pump() pushes the next batch of up to `max_rows`
@@ -120,6 +138,25 @@ class Source {
   /// larger blocks amortize per-batch overhead (the default keeps a
   /// 5112-path block comfortably inside L2-resident strips).
   std::size_t drain(Element& first, std::size_t block_rows = 64);
+
+  /// Attaches source-side telemetry: produced rows count into
+  /// `pipeline.<name>.rows` and the production time of each pumped batch
+  /// (parse / generate / slice — excluding the downstream fold) feeds the
+  /// `pipeline.<name>.stall_seconds` histogram, the "how long does the
+  /// monitor wait for input" signal.  nullptr detaches.
+  void set_telemetry(obs::Registry* registry, std::string_view name);
+
+ protected:
+  /// Subclasses report each pumped batch: `rows` produced in `seconds` of
+  /// source-side work.  Call only when telemetry_enabled().
+  void note_produced(std::size_t rows, double seconds);
+  [[nodiscard]] bool telemetry_enabled() const {
+    return rows_counter_ != nullptr;
+  }
+
+ private:
+  obs::Counter* rows_counter_ = nullptr;
+  obs::Histogram* stall_histogram_ = nullptr;
 };
 
 // -- Sources ----------------------------------------------------------------
@@ -182,7 +219,7 @@ class LogTransform final : public Element {
   /// `threads` = worker threads for the blocked pass (0 = library
   /// default).  Results are bit-identical at any count.
   explicit LogTransform(std::size_t threads = 0) : threads_(threads) {}
-  void push(const SnapshotBatch& batch) override;
+  void do_push(const SnapshotBatch& batch) override;
 
  private:
   std::size_t threads_;
@@ -196,7 +233,7 @@ class LogTransform final : public Element {
 class Thin final : public Element {
  public:
   explicit Thin(std::size_t keep_every);
-  void push(const SnapshotBatch& batch) override;
+  void do_push(const SnapshotBatch& batch) override;
 
  private:
   std::size_t keep_every_;
@@ -209,7 +246,7 @@ class Thin final : public Element {
 class Scale final : public Element {
  public:
   explicit Scale(double factor) : factor_(factor) {}
-  void push(const SnapshotBatch& batch) override;
+  void do_push(const SnapshotBatch& batch) override;
 
  private:
   double factor_;
@@ -229,7 +266,7 @@ class MonitorSink final : public Element {
       std::function<void(std::size_t, const core::LossInference&)>;
   explicit MonitorSink(core::LiaMonitor& monitor, InferenceFn on_inference = {})
       : monitor_(&monitor), on_inference_(std::move(on_inference)) {}
-  void push(const SnapshotBatch& batch) override;
+  void do_push(const SnapshotBatch& batch) override;
 
   [[nodiscard]] core::LiaMonitor& monitor() { return *monitor_; }
 
@@ -245,7 +282,7 @@ class MonitorSink final : public Element {
 class BinaryTraceSink final : public Element {
  public:
   explicit BinaryTraceSink(std::string file) : file_(std::move(file)) {}
-  void push(const SnapshotBatch& batch) override;
+  void do_push(const SnapshotBatch& batch) override;
   void finish() override;
 
   [[nodiscard]] std::size_t snapshots() const { return snapshots_; }
@@ -264,7 +301,7 @@ class BinaryTraceSink final : public Element {
 class TextSnapshotSink final : public Element {
  public:
   explicit TextSnapshotSink(std::ostream& os) : os_(&os) {}
-  void push(const SnapshotBatch& batch) override;
+  void do_push(const SnapshotBatch& batch) override;
 
  private:
   std::ostream* os_;
@@ -274,7 +311,7 @@ class TextSnapshotSink final : public Element {
 /// Accumulates everything pushed (tests and in-memory consumers).
 class CollectSink final : public Element {
  public:
-  void push(const SnapshotBatch& batch) override;
+  void do_push(const SnapshotBatch& batch) override;
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t paths() const { return paths_; }

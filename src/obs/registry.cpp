@@ -1,0 +1,369 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/span.hpp"
+#include "util/json.hpp"
+
+namespace losstomo::obs {
+
+// -- Histogram ---------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(double v) {
+  // The !(>=) form routes NaN and v <= 0 into the underflow slot too.
+  if (!(v >= std::ldexp(1.0, kMinExp))) return 0;
+  if (v >= std::ldexp(1.0, kMaxExp)) return kBuckets - 1;
+  int exp = 0;
+  const double mantissa = std::frexp(v, &exp);  // v = mantissa * 2^exp
+  const int e = exp - 1;                        // v in [2^e, 2^(e+1))
+  const auto sub =
+      static_cast<std::size_t>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  return 1 + static_cast<std::size_t>(e - kMinExp) * kSubBuckets +
+         std::min<std::size_t>(sub, kSubBuckets - 1);
+}
+
+double Histogram::bucket_upper(std::size_t i) {
+  if (i == 0) return std::ldexp(1.0, kMinExp);
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  const std::size_t idx = i - 1;
+  const int e = kMinExp + static_cast<int>(idx / kSubBuckets);
+  const auto sub = static_cast<double>(idx % kSubBuckets);
+  return std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, e);
+}
+
+void Histogram::observe(double v) {
+#ifndef LOSSTOMO_NO_TELEMETRY
+  ++buckets_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+#else
+  (void)v;
+#endif
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+// -- FlightRecorder ----------------------------------------------------------
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void FlightRecorder::record(const SpanEvent& event) {
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+  ++recorded_;
+}
+
+std::vector<SpanEvent> FlightRecorder::events() const {
+  std::vector<SpanEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (next_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t k = 0; k < size_; ++k) {
+    out.push_back(ring_[(start + k) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  next_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+// -- Registry ----------------------------------------------------------------
+
+Registry::Metric& Registry::find_or_create(std::string_view name, Kind kind,
+                                           Determinism det) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    Metric& metric = metrics_[it->second];
+    if (metric.kind != kind) {
+      throw std::logic_error("obs: metric '" + std::string(name) +
+                             "' already registered as a different kind");
+    }
+    return metric;
+  }
+  std::size_t index = 0;
+  switch (kind) {
+    case Kind::kCounter:
+      index = counters_.size();
+      counters_.emplace_back();
+      break;
+    case Kind::kGauge:
+      index = gauges_.size();
+      gauges_.emplace_back();
+      break;
+    case Kind::kHistogram:
+      index = histograms_.size();
+      histograms_.emplace_back();
+      break;
+  }
+  metrics_.push_back(
+      {.name = std::string(name), .kind = kind, .index = index, .det = det});
+  by_name_.emplace(std::string(name), metrics_.size() - 1);
+  return metrics_.back();
+}
+
+Counter& Registry::counter(std::string_view name, Determinism det) {
+  return counters_[find_or_create(name, Kind::kCounter, det).index];
+}
+
+Gauge& Registry::gauge(std::string_view name, Determinism det) {
+  return gauges_[find_or_create(name, Kind::kGauge, det).index];
+}
+
+Histogram& Registry::histogram(std::string_view name, Determinism det) {
+  return histograms_[find_or_create(name, Kind::kHistogram, det).index];
+}
+
+std::size_t Registry::phase(std::string_view name) {
+  const auto it = phase_by_name_.find(name);
+  if (it != phase_by_name_.end()) return it->second;
+  Histogram& hist = histogram("span." + std::string(name) + ".seconds",
+                              Determinism::kNondeterministic);
+  phases_.push_back({.name = std::string(name), .hist = &hist});
+  const std::size_t id = phases_.size() - 1;
+  phase_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+std::string_view Registry::phase_name(std::size_t id) const {
+  return phases_.at(id).name;
+}
+
+void Registry::enable_flight_recorder(std::size_t capacity) {
+  recorder_.emplace(capacity);
+}
+
+void Registry::note(std::string_view name) {
+  if (!recorder_) return;
+  const auto it = note_by_name_.find(name);
+  std::size_t idx = 0;
+  if (it == note_by_name_.end()) {
+    note_names_.emplace_back(name);
+    idx = note_names_.size() - 1;
+    note_by_name_.emplace(std::string(name), idx);
+  } else {
+    idx = it->second;
+  }
+  std::uint32_t depth = 0;
+#ifndef LOSSTOMO_NO_TELEMETRY
+  if (active_span_ != nullptr) depth = active_span_->depth_ + 1;
+#endif
+  recorder_->record({.seq = ++event_seq_,
+                     .name = note_names_[idx].c_str(),
+                     .seconds = 0.0,
+                     .depth = depth,
+                     .marker = true});
+}
+
+void Registry::finish_span(std::size_t phase, double seconds,
+                           std::uint32_t depth) {
+  Phase& p = phases_[phase];
+  p.hist->observe(seconds);
+  if (recorder_) {
+    recorder_->record({.seq = ++event_seq_,
+                       .name = p.name.c_str(),
+                       .seconds = seconds,
+                       .depth = depth,
+                       .marker = false});
+  }
+}
+
+std::map<std::string, std::uint64_t> Registry::deterministic_values() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const Metric& m : metrics_) {
+    if (m.det != Determinism::kDeterministic) continue;
+    if (m.kind == Kind::kCounter) {
+      out.emplace(m.name, counters_[m.index].value());
+    } else if (m.kind == Kind::kGauge) {
+      out.emplace(m.name, std::bit_cast<std::uint64_t>(gauges_[m.index].value()));
+    }
+  }
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& c : counters_) c = Counter{};
+  for (auto& g : gauges_) g = Gauge{};
+  for (auto& h : histograms_) h.reset();
+  if (recorder_) recorder_->clear();
+  event_seq_ = 0;
+}
+
+// -- Export ------------------------------------------------------------------
+
+void Registry::write_json(std::ostream& out) const {
+  util::json::Writer w(out);
+  w.begin_object();
+  w.key("schema").value("losstomo.metrics");
+  w.key("schema_version").value(1);
+  w.key("counters").begin_object();
+  for (const Metric& m : metrics_) {
+    if (m.kind != Kind::kCounter) continue;
+    w.key(m.name).begin_object(true);
+    w.key("value").value(counters_[m.index].value());
+    w.key("deterministic").value(m.det == Determinism::kDeterministic);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const Metric& m : metrics_) {
+    if (m.kind != Kind::kGauge) continue;
+    w.key(m.name).begin_object(true);
+    w.key("value").value(gauges_[m.index].value());
+    w.key("deterministic").value(m.det == Determinism::kDeterministic);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const Metric& m : metrics_) {
+    if (m.kind != Kind::kHistogram) continue;
+    const Histogram& h = histograms_[m.index];
+    w.key(m.name).begin_object();
+    w.key("deterministic").value(m.det == Determinism::kDeterministic);
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("min");
+    h.count() ? w.value(h.min()) : w.null();
+    w.key("max");
+    h.count() ? w.value(h.max()) : w.null();
+    // Sparse [upper_bound, count] pairs, non-cumulative; null = +inf.
+    w.key("buckets").begin_array(true);
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      w.begin_array(true);
+      const double upper = Histogram::bucket_upper(i);
+      std::isinf(upper) ? w.null() : w.value(upper);
+      w.value(buckets[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  if (recorder_) {
+    w.key("flight_recorder").begin_object();
+    w.key("capacity").value(static_cast<std::uint64_t>(recorder_->capacity()));
+    w.key("recorded").value(recorder_->recorded());
+    w.key("events").begin_array();
+    for (const SpanEvent& e : recorder_->events()) {
+      w.begin_object(true);
+      w.key("seq").value(e.seq);
+      w.key("name").value(std::string_view(e.name));
+      w.key("seconds").value(e.seconds);
+      w.key("depth").value(static_cast<std::uint64_t>(e.depth));
+      w.key("marker").value(e.marker);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.finish();
+}
+
+void Registry::write_flight_recorder_json(std::ostream& out) const {
+  util::json::Writer w(out);
+  w.begin_object();
+  if (recorder_) {
+    w.key("capacity").value(static_cast<std::uint64_t>(recorder_->capacity()));
+    w.key("recorded").value(recorder_->recorded());
+  }
+  w.key("events").begin_array();
+  if (recorder_) {
+    for (const SpanEvent& e : recorder_->events()) {
+      w.begin_object(true);
+      w.key("seq").value(e.seq);
+      w.key("name").value(std::string_view(e.name));
+      w.key("seconds").value(e.seconds);
+      w.key("depth").value(static_cast<std::uint64_t>(e.depth));
+      w.key("marker").value(e.marker);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  w.finish();
+}
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "losstomo_";
+  for (const char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& out) const {
+  const auto saved = out.precision(12);
+  for (const Metric& m : metrics_) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << ' ' << counters_[m.index].value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << ' ' << gauges_[m.index].value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[m.index];
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        const auto& buckets = h.buckets();
+        for (std::size_t i = 0; i + 1 < buckets.size(); ++i) {
+          if (buckets[i] == 0) continue;
+          cumulative += buckets[i];
+          out << name << "_bucket{le=\"" << Histogram::bucket_upper(i)
+              << "\"} " << cumulative << '\n';
+        }
+        cumulative += buckets.back();
+        out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+            << name << "_sum " << h.sum() << '\n'
+            << name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  out.precision(saved);
+}
+
+void Registry::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write metrics file: " + path);
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  if (prometheus) {
+    write_prometheus(out);
+  } else {
+    write_json(out);
+  }
+  if (!out) throw std::runtime_error("metrics write failed: " + path);
+}
+
+}  // namespace losstomo::obs

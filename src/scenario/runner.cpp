@@ -1,6 +1,7 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <optional>
 #include <set>
@@ -11,6 +12,8 @@
 
 #include "io/checkpoint.hpp"
 #include "io/scenario_io.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "stats/rng.hpp"
 #include "topology/generators.hpp"
 #include "topology/overlay.hpp"
@@ -114,10 +117,47 @@ GeneratedBase generate_base(const TopologySpec& topology) {
 
 }  // namespace
 
+// Pre-resolved metric handles: every name is interned once at attach time,
+// so the per-tick publishing path is plain pointer stores.  The counters are
+// *published* from the runner's serialized ledgers (tick_, events_applied_,
+// event_counts_), never live-incremented — bit-identity across thread/shard
+// counts and checkpoint restore follows from the ledgers', for free.
+struct ScenarioRunner::Telemetry {
+  obs::Registry* registry;
+  obs::Counter* ticks;
+  obs::Counter* events;
+  obs::Counter* diagnosed;
+  std::array<obs::Counter*, kEventTypeCount> by_type{};
+  // Per-event-type apply() cost (wall clock — nondeterministic): the churn
+  // cost attribution the scenario reports break down by.
+  std::array<obs::Histogram*, kEventTypeCount> seconds_by_type{};
+  std::size_t tick_phase;
+  std::size_t ingest_phase;
+
+  explicit Telemetry(obs::Registry& r)
+      : registry(&r),
+        ticks(&r.counter("scenario.ticks")),
+        events(&r.counter("scenario.events")),
+        diagnosed(&r.counter("scenario.diagnosed")),
+        tick_phase(r.phase("tick")),
+        ingest_phase(r.phase("ingest")) {
+    for (std::size_t t = 0; t < kEventTypeCount; ++t) {
+      const std::string name = event_type_name(static_cast<EventType>(t));
+      by_type[t] = &r.counter("scenario.events." + name);
+      seconds_by_type[t] = &r.histogram("scenario.event." + name + ".seconds");
+    }
+  }
+};
+
+ScenarioRunner::ScenarioRunner(ScenarioRunner&&) noexcept = default;
+ScenarioRunner& ScenarioRunner::operator=(ScenarioRunner&&) noexcept = default;
+ScenarioRunner::~ScenarioRunner() = default;
+
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
                                core::MonitorOptions monitor_options)
     : spec_(std::move(spec)), timeline_(spec_.events) {
   spec_.validate();
+  event_counts_.assign(kEventTypeCount, 0);
   auto base = generate_base(spec_.topology);
   graph_ = std::move(base.graph);
   base_paths_ = base.paths.size();
@@ -287,6 +327,21 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec,
         std::max(sim_config_.loss_model.good_hi, spec_.min_good_loss);
   }
   simulator_ = make_simulator();
+
+  if (monitor_options_.telemetry != nullptr) {
+    obs_ = std::make_unique<Telemetry>(*monitor_options_.telemetry);
+    publish_telemetry();
+  }
+}
+
+void ScenarioRunner::publish_telemetry() {
+  if (!obs_) return;
+  obs_->ticks->set(tick_);
+  obs_->events->set(events_applied_);
+  obs_->diagnosed->set(diagnosed_);
+  for (std::size_t t = 0; t < kEventTypeCount; ++t) {
+    obs_->by_type[t]->set(event_counts_[t]);
+  }
 }
 
 std::unique_ptr<core::LiaMonitor> ScenarioRunner::make_initial_monitor()
@@ -389,6 +444,7 @@ void ScenarioRunner::apply(const Event& event) {
       // Count this event BEFORE saving, so the serialized state already
       // includes it and a restored run continues exactly past it.
       ++events_applied_;
+      count_event(EventType::kCheckpoint);
       save_checkpoint(event.file);
       return;
     case EventType::kRestore:
@@ -405,12 +461,14 @@ void ScenarioRunner::apply(const Event& event) {
       // events_applied_ came back from the checkpoint (which already counts
       // its own checkpoint event); count this restore on top of it.
       ++events_applied_;
+      count_event(EventType::kRestore);
       return;
     case EventType::kHandoff: {
       // Warm failover: serialize to memory, tear the engines down, rebuild
       // them from scratch, and restore.  The run must continue as if
       // nothing happened — the parity drills pin that bit-identically.
       ++events_applied_;
+      count_event(EventType::kHandoff);
       io::CheckpointWriter writer;
       save_state(writer);
       std::vector<std::uint8_t> image = writer.finish();
@@ -423,6 +481,7 @@ void ScenarioRunner::apply(const Event& event) {
     }
   }
   ++events_applied_;
+  count_event(event.type);
 }
 
 void ScenarioRunner::save_state(io::CheckpointWriter& writer) const {
@@ -438,6 +497,7 @@ void ScenarioRunner::save_state(io::CheckpointWriter& writer) const {
   const std::vector<std::size_t> pending(pending_additions_.begin(),
                                          pending_additions_.end());
   writer.sizes(pending);
+  writer.sizes(event_counts_);
   steady_tick_.save_state(writer);
   event_tick_.save_state(writer);
   writer.f64(max_tick_seconds_);
@@ -470,6 +530,11 @@ void ScenarioRunner::restore_state(io::CheckpointReader& reader) {
                                 "pending addition outside the universe");
     }
   }
+  const std::vector<std::size_t> event_counts = reader.sizes();
+  if (event_counts.size() != kEventTypeCount) {
+    throw io::CheckpointError(io::CheckpointErrorKind::kCorrupt,
+                              "per-type event ledger has the wrong arity");
+  }
   stats::RunningStat steady_tick;
   steady_tick.restore_state(reader);
   stats::RunningStat event_tick;
@@ -486,12 +551,14 @@ void ScenarioRunner::restore_state(io::CheckpointReader& reader) {
   tick_ = tick;
   events_applied_ = events_applied;
   diagnosed_ = diagnosed;
+  event_counts_ = event_counts;
   pending_additions_.assign(pending.begin(), pending.end());
   steady_tick_ = steady_tick;
   event_tick_ = event_tick;
   max_tick_seconds_ = max_tick_seconds;
   simulator_ = std::move(simulator);
   monitor_ = std::move(monitor);
+  publish_telemetry();
 }
 
 void ScenarioRunner::save_checkpoint(const std::string& file) const {
@@ -556,35 +623,54 @@ void ScenarioRunner::replay_trace(const std::string& file) {
 std::optional<core::LossInference> ScenarioRunner::step() {
   if (tick_ >= spec_.ticks) throw std::logic_error("scenario exhausted");
   util::Timer timer;
+  // Root phase span of the tick; the monitor's accumulate/solve spans and
+  // the ingest span below nest under it (exclusive time — a parent's clock
+  // pauses while a child runs).
+  obs::Span tick_span(obs_ ? obs_->registry : nullptr,
+                      obs_ ? obs_->tick_phase : 0);
   const auto due = timeline_.at(tick_);
-  for (const Event& e : due) apply(e);
-  const std::size_t known = monitor_->routing().rows();
-  if (replay_) {
-    // Replay: the recorded universe-width row's known prefix IS the feed
-    // of the recording run — the simulator is bypassed entirely (events
-    // touching it are harmless; its output is never read), and there is
-    // no ground truth to expose in last_snapshot_.
-    const auto row = replay_->row(tick_);
-    y_.assign(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(known));
-    last_snapshot_ = sim::Snapshot{};
-  } else {
-    if (spec_.lazy_simulation &&
-        simulator_->config().mode == sim::ProbeMode::kSlotSynchronized) {
-      // Evaluate only the rows the monitor will actually read this tick:
-      // dormant reserve/alternate rows and retired paths cost nothing.  The
-      // per-unit loss processes consume the same RNG stream either way, so
-      // every evaluated entry is bit-identical to a full simulation.
-      needed_.assign(rrm_->path_count(), 0);
-      for (std::size_t i = 0; i < known; ++i) {
-        if (monitor_->path_active(i)) needed_[i] = 1;
-      }
-      last_snapshot_ = simulator_->next(needed_);
+  for (const Event& e : due) {
+    if (obs_ != nullptr) {
+      util::Timer event_timer;
+      apply(e);
+      obs_->seconds_by_type[static_cast<std::size_t>(e.type)]->observe(
+          event_timer.seconds());
     } else {
-      last_snapshot_ = simulator_->next();
+      apply(e);
     }
-    y_.assign(known, 0.0);
-    for (std::size_t i = 0; i < known; ++i) {
-      if (monitor_->path_active(i)) y_[i] = last_snapshot_.path_log_trans[i];
+  }
+  const std::size_t known = monitor_->routing().rows();
+  {
+    obs::Span ingest_span(obs_ ? obs_->registry : nullptr,
+                          obs_ ? obs_->ingest_phase : 0);
+    if (replay_) {
+      // Replay: the recorded universe-width row's known prefix IS the feed
+      // of the recording run — the simulator is bypassed entirely (events
+      // touching it are harmless; its output is never read), and there is
+      // no ground truth to expose in last_snapshot_.
+      const auto row = replay_->row(tick_);
+      y_.assign(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(known));
+      last_snapshot_ = sim::Snapshot{};
+    } else {
+      if (spec_.lazy_simulation &&
+          simulator_->config().mode == sim::ProbeMode::kSlotSynchronized) {
+        // Evaluate only the rows the monitor will actually read this tick:
+        // dormant reserve/alternate rows and retired paths cost nothing.
+        // The per-unit loss processes consume the same RNG stream either
+        // way, so every evaluated entry is bit-identical to a full
+        // simulation.
+        needed_.assign(rrm_->path_count(), 0);
+        for (std::size_t i = 0; i < known; ++i) {
+          if (monitor_->path_active(i)) needed_[i] = 1;
+        }
+        last_snapshot_ = simulator_->next(needed_);
+      } else {
+        last_snapshot_ = simulator_->next();
+      }
+      y_.assign(known, 0.0);
+      for (std::size_t i = 0; i < known; ++i) {
+        if (monitor_->path_active(i)) y_[i] = last_snapshot_.path_log_trans[i];
+      }
     }
   }
   if (recorder_) {
@@ -603,6 +689,7 @@ std::optional<core::LossInference> ScenarioRunner::step() {
     steady_tick_.add(seconds);
   }
   max_tick_seconds_ = std::max(max_tick_seconds_, seconds);
+  publish_telemetry();
   return result;
 }
 

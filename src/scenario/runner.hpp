@@ -87,6 +87,9 @@ class ScenarioRunner {
   /// never run off a misaligned queue.
   explicit ScenarioRunner(ScenarioSpec spec,
                           core::MonitorOptions monitor_options = {});
+  ScenarioRunner(ScenarioRunner&&) noexcept;
+  ScenarioRunner& operator=(ScenarioRunner&&) noexcept;
+  ~ScenarioRunner();
 
   /// Applies the events due at the current tick, generates one snapshot,
   /// and feeds it to the monitor.  Returns the monitor's inference (empty
@@ -135,6 +138,13 @@ class ScenarioRunner {
   [[nodiscard]] std::size_t base_path_count() const { return base_paths_; }
   [[nodiscard]] std::size_t ticks_run() const { return tick_; }
   [[nodiscard]] std::size_t events_applied() const { return events_applied_; }
+  /// Events applied so far by type, indexed by
+  /// static_cast<std::size_t>(EventType) (size kEventTypeCount).  Mirrors
+  /// events_applied() exactly, survives checkpoint/restore, and feeds the
+  /// per-event-type telemetry counters.
+  [[nodiscard]] const std::vector<std::size_t>& event_counts() const {
+    return event_counts_;
+  }
   /// Ground truth of the most recent tick (for accuracy evaluation).
   [[nodiscard]] const sim::Snapshot& last_snapshot() const {
     return last_snapshot_;
@@ -189,7 +199,17 @@ class ScenarioRunner {
   void restore_checkpoint(const std::string& file);
 
  private:
+  struct Telemetry;  // pre-resolved metric handles (runner.cpp)
+
   void apply(const Event& event);
+  /// Counts `type` into event_counts_ — called exactly where apply()
+  /// increments events_applied_, so the two ledgers never diverge.
+  void count_event(EventType type) {
+    ++event_counts_[static_cast<std::size_t>(type)];
+  }
+  /// Mirrors tick/diagnosis/event counters into the attached registry
+  /// (no-op without one); runs at the end of step() and after a restore.
+  void publish_telemetry();
   [[nodiscard]] std::unique_ptr<core::LiaMonitor> make_initial_monitor() const;
   [[nodiscard]] std::unique_ptr<sim::SnapshotSimulator> make_simulator() const;
 
@@ -215,6 +235,7 @@ class ScenarioRunner {
   std::size_t tick_ = 0;
   std::size_t events_applied_ = 0;
   std::size_t diagnosed_ = 0;
+  std::vector<std::size_t> event_counts_;  // by EventType, serialized
   stats::RunningStat steady_tick_;
   stats::RunningStat event_tick_;
   double max_tick_seconds_ = 0.0;
@@ -224,6 +245,7 @@ class ScenarioRunner {
   std::unique_ptr<io::BinaryTraceWriter> recorder_;
   std::vector<double> record_row_;
   std::optional<io::BinaryTraceReader> replay_;
+  std::unique_ptr<Telemetry> obs_;  // nullptr unless options.telemetry
 };
 
 /// Crash-recovery entry point: reads the checkpoint at `file`, rebuilds the

@@ -68,6 +68,10 @@ enum class EventType {
                  // the run must continue bit-identically
 };
 
+/// Number of EventType values (per-type counters, telemetry labels).
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kHandoff) + 1;
+
 /// Name used in the text format ("join", "link_down", ...).
 const char* event_type_name(EventType type);
 

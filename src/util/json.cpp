@@ -1,0 +1,155 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace losstomo::util::json {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string escaped(std::string_view s) {
+  std::string out = "\"";
+  append_escaped(out, s);
+  return out + "\"";
+}
+
+std::string number(double value, int precision) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+void Writer::newline_indent() {
+  if (!stack_.empty() && stack_.back().compact) {
+    if (!stack_.back().empty) *out_ << ' ';
+    return;
+  }
+  *out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) *out_ << "  ";
+}
+
+void Writer::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (!stack_.back().array) {
+    throw std::logic_error("json: value inside an object needs a key");
+  }
+  if (!stack_.back().empty) *out_ << ',';
+  newline_indent();
+  stack_.back().empty = false;
+}
+
+Writer& Writer::begin_object(bool compact) {
+  before_value();
+  // Nested containers of a compact container stay on its line.
+  if (!stack_.empty() && stack_.back().compact) compact = true;
+  stack_.push_back({.array = false, .compact = compact});
+  *out_ << '{';
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  if (stack_.empty() || stack_.back().array || after_key_) {
+    throw std::logic_error("json: mismatched end_object");
+  }
+  const Level level = stack_.back();
+  stack_.pop_back();
+  if (!level.empty) {
+    if (level.compact) {
+      *out_ << ' ';
+    } else {
+      *out_ << '\n';
+      for (std::size_t i = 0; i < stack_.size(); ++i) *out_ << "  ";
+    }
+  }
+  *out_ << '}';
+  return *this;
+}
+
+Writer& Writer::begin_array(bool compact) {
+  before_value();
+  if (!stack_.empty() && stack_.back().compact) compact = true;
+  stack_.push_back({.array = true, .compact = compact});
+  *out_ << '[';
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  if (stack_.empty() || !stack_.back().array || after_key_) {
+    throw std::logic_error("json: mismatched end_array");
+  }
+  const Level level = stack_.back();
+  stack_.pop_back();
+  if (!level.empty) {
+    if (level.compact) {
+      *out_ << ' ';
+    } else {
+      *out_ << '\n';
+      for (std::size_t i = 0; i < stack_.size(); ++i) *out_ << "  ";
+    }
+  }
+  *out_ << ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (stack_.empty() || stack_.back().array || after_key_) {
+    throw std::logic_error("json: key outside an object");
+  }
+  if (!stack_.back().empty) *out_ << ',';
+  newline_indent();
+  stack_.back().empty = false;
+  *out_ << escaped(k) << ": ";
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) { return value_raw(escaped(v)); }
+
+Writer& Writer::value(double v) { return value_raw(number(v)); }
+
+Writer& Writer::value(std::uint64_t v) {
+  return value_raw(std::to_string(v));
+}
+
+Writer& Writer::value(std::int64_t v) { return value_raw(std::to_string(v)); }
+
+Writer& Writer::value(bool v) { return value_raw(v ? "true" : "false"); }
+
+Writer& Writer::null() { return value_raw("null"); }
+
+Writer& Writer::value_raw(std::string_view token) {
+  before_value();
+  *out_ << token;
+  return *this;
+}
+
+void Writer::finish() {
+  if (!stack_.empty() || after_key_) {
+    throw std::logic_error("json: finish() on an unbalanced document");
+  }
+  *out_ << '\n';
+}
+
+}  // namespace losstomo::util::json

@@ -1,0 +1,81 @@
+// Shared JSON emission: escaping-correct string/number encoding plus a
+// small streaming writer for nested documents.
+//
+// Two consumers with different shapes share this code.  bench::JsonReport
+// emits flat insertion-ordered objects and needs only the token encoders
+// (escaped() / number()); the obs:: metric exporters emit nested
+// schema-versioned snapshots and drive the Writer.  Keeping the encoding
+// in one place means there is exactly one implementation of JSON string
+// escaping and one of the "non-finite doubles become null" rule in the
+// repo (JSON has no NaN/inf literal).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace losstomo::util::json {
+
+/// Appends the escaped body of `s` (no surrounding quotes) to `out`:
+/// `"` and `\` get a backslash, control characters become \u%04x.
+void append_escaped(std::string& out, std::string_view s);
+
+/// The quoted JSON string literal for `s`.
+[[nodiscard]] std::string escaped(std::string_view s);
+
+/// The JSON number token for `value` at `precision` significant digits;
+/// non-finite values encode as "null".
+[[nodiscard]] std::string number(double value, int precision = 12);
+
+/// Streaming writer for nested objects/arrays: tracks nesting, comma
+/// placement, and 2-space indentation, so emitters state structure and
+/// never touch punctuation.  A container opened with compact = true is
+/// laid out on one line (its nested containers inherit that), which keeps
+/// bucket lists and event rows readable.  Methods return *this for
+/// chaining; finish() requires a balanced document.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(&out) {}
+
+  Writer& begin_object(bool compact = false);
+  Writer& end_object();
+  Writer& begin_array(bool compact = false);
+  Writer& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(double v);  // non-finite -> null
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+  /// Emits a pre-encoded token verbatim (JsonReport's stored entries).
+  Writer& value_raw(std::string_view token);
+
+  /// Ends the document with a trailing newline; throws std::logic_error
+  /// on unbalanced nesting or a dangling key.
+  void finish();
+
+ private:
+  struct Level {
+    bool array = false;
+    bool compact = false;
+    bool empty = true;
+  };
+  /// Punctuation before a value/container: comma for a sibling, then
+  /// newline + indent (or a space in compact layout).
+  void before_value();
+  void newline_indent();
+
+  std::ostream* out_;
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace losstomo::util::json

@@ -4,11 +4,28 @@ namespace losstomo::util {
 
 Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
 
-void Timer::reset() { start_ = std::chrono::steady_clock::now(); }
+void Timer::reset() {
+  start_ = std::chrono::steady_clock::now();
+  banked_ = std::chrono::steady_clock::duration{0};
+  running_ = true;
+}
+
+void Timer::pause() {
+  if (!running_) return;
+  banked_ += std::chrono::steady_clock::now() - start_;
+  running_ = false;
+}
+
+void Timer::resume() {
+  if (running_) return;
+  start_ = std::chrono::steady_clock::now();
+  running_ = true;
+}
 
 double Timer::seconds() const {
-  const auto now = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(now - start_).count();
+  auto total = banked_;
+  if (running_) total += std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(total).count();
 }
 
 double Timer::millis() const { return seconds() * 1e3; }

@@ -6,20 +6,34 @@
 namespace losstomo::util {
 
 /// Monotonic stopwatch; starts on construction.
+///
+/// pause()/resume() accumulate: seconds() is the total time spent running,
+/// excluding paused intervals.  obs::Span leans on this to credit a parent
+/// phase with its *exclusive* time — the parent's timer is paused while a
+/// child span runs.  A timer that is never paused behaves exactly like the
+/// original two-call stopwatch.
 class Timer {
  public:
   Timer();
 
-  /// Restarts the stopwatch.
+  /// Restarts the stopwatch: zero accumulated time, running.
   void reset();
 
-  /// Elapsed time since construction/reset, in seconds.
+  /// Stops accumulating (no-op when already paused).
+  void pause();
+  /// Starts accumulating again (no-op when already running).
+  void resume();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Accumulated running time, in seconds.
   [[nodiscard]] double seconds() const;
-  /// Elapsed time in milliseconds.
+  /// Accumulated running time in milliseconds.
   [[nodiscard]] double millis() const;
 
  private:
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::duration banked_{0};
+  bool running_ = true;
 };
 
 }  // namespace losstomo::util

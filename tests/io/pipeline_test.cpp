@@ -100,7 +100,7 @@ TEST(Pipeline, ThinOneIsZeroCopyPassThrough) {
   Thin thin(1);
   struct SpanCheck final : Element {
     const double* expected = nullptr;
-    void push(const SnapshotBatch& batch) override {
+    void do_push(const SnapshotBatch& batch) override {
       EXPECT_EQ(batch.values.data(), expected);
     }
   } check;

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -110,6 +113,116 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_GE(timer.millis(), timer.seconds() * 1000.0 * 0.99);
   timer.reset();
   EXPECT_LT(timer.seconds(), 1.0);
+}
+
+// Burns enough CPU that a monotonic clock must advance through it.
+double busy_work(int iterations = 200000) {
+  volatile double acc = 0.0;
+  for (int i = 0; i < iterations; ++i) acc += static_cast<double>(i) * 1e-9;
+  return acc;
+}
+
+TEST(Timer, PauseFreezesTheClock) {
+  Timer timer;
+  EXPECT_TRUE(timer.running());
+  timer.pause();
+  EXPECT_FALSE(timer.running());
+  const double frozen = timer.seconds();
+  busy_work();
+  // Paused time never accrues, no matter how much wall time passes.
+  EXPECT_EQ(timer.seconds(), frozen);
+  timer.resume();
+  EXPECT_TRUE(timer.running());
+  busy_work();
+  EXPECT_GT(timer.seconds(), frozen);
+}
+
+TEST(Timer, PauseResumeAccumulatesAcrossIntervals) {
+  Timer timer;
+  busy_work();
+  timer.pause();
+  const double first = timer.seconds();
+  EXPECT_GT(first, 0.0);
+  busy_work();  // excluded
+  timer.resume();
+  busy_work();
+  timer.pause();
+  const double second = timer.seconds();
+  // The second reading banks the first interval plus the new one.
+  EXPECT_GT(second, first);
+  busy_work();  // excluded again
+  EXPECT_EQ(timer.seconds(), second);
+}
+
+TEST(Timer, RedundantPauseAndResumeAreNoOps) {
+  Timer timer;
+  timer.pause();
+  const double frozen = timer.seconds();
+  timer.pause();  // already paused
+  EXPECT_EQ(timer.seconds(), frozen);
+  timer.resume();
+  timer.resume();  // already running: must not re-bank or reset the start
+  busy_work();
+  EXPECT_GT(timer.seconds(), frozen);
+}
+
+TEST(Timer, ResetClearsBankAndRestarts) {
+  Timer timer;
+  busy_work();
+  timer.pause();
+  timer.reset();
+  EXPECT_TRUE(timer.running());
+  const double after_reset = timer.seconds();
+  EXPECT_LT(after_reset, 0.5);  // the bank is gone
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  using json::escaped;
+  EXPECT_EQ(escaped("plain"), "\"plain\"");
+  EXPECT_EQ(escaped("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(escaped("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(escaped(std::string_view("nul\0byte", 8)), "\"nul\\u0000byte\"");
+  EXPECT_EQ(escaped("tab\tnewline\n"), "\"tab\\u0009newline\\u000a\"");
+}
+
+TEST(Json, NumbersEncodeNonFiniteAsNull) {
+  using json::number;
+  EXPECT_EQ(number(1.5), "1.5");
+  EXPECT_EQ(number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(number(-std::numeric_limits<double>::infinity()), "null");
+  // Default precision carries 12 significant digits.
+  EXPECT_EQ(number(1.0 / 3.0), "0.333333333333");
+}
+
+TEST(Json, WriterEmitsNestedStructure) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("name").value("run");
+  w.key("count").value(std::uint64_t{3});
+  w.key("items").begin_array(/*compact=*/true);
+  w.value(1).value(2);
+  w.end_array();
+  w.key("nothing").null();
+  w.end_object();
+  w.finish();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"name\": \"run\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(text.find("[1, 2 ]"), std::string::npos);
+  EXPECT_NE(text.find("\"nothing\": null"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Json, WriterRejectsUnbalancedDocuments) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  EXPECT_THROW(w.finish(), std::logic_error);
+  std::ostringstream os2;
+  json::Writer w2(os2);
+  EXPECT_THROW(w2.key("oops"), std::logic_error);  // key outside an object
 }
 
 }  // namespace

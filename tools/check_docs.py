@@ -8,8 +8,9 @@ Run from anywhere inside the repo:
 Checks
   1. Every relative link target in every tracked *.md file exists
      (http(s)/mailto links and pure #anchors are skipped).
-  2. Every fenced ```cpp block in docs/API.md compiles standalone with
-     `$CXX -std=c++20 -fsyntax-only -I src` (CXX defaults to c++/g++).
+  2. Every fenced ```cpp block in docs/API.md and docs/OBSERVABILITY.md
+     compiles standalone with `$CXX -std=c++20 -fsyntax-only -I src`
+     (CXX defaults to c++/g++).
 
 Exits non-zero with a per-finding report on failure; prints a one-line
 summary on success.  No third-party dependencies.
@@ -81,31 +82,37 @@ def cpp_snippets(md_path):
 
 
 def check_snippets():
-    api = os.path.join(REPO, "docs", "API.md")
-    if not os.path.exists(api):
-        return [f"docs/API.md missing ({api})"], 0
     cxx = os.environ.get("CXX", "c++")
     errors = []
-    snippets = cpp_snippets(api)
-    if not snippets:
-        return ["docs/API.md: no ```cpp snippets found (expected several)"], 0
-    for start, code in snippets:
-        with tempfile.NamedTemporaryFile(
-                mode="w", suffix=".cpp", delete=False) as tmp:
-            tmp.write(code)
-            name = tmp.name
-        try:
-            proc = subprocess.run(
-                [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
-                 "-I", os.path.join(REPO, "src"), name],
-                capture_output=True, text=True)
-            if proc.returncode != 0:
-                errors.append(
-                    f"docs/API.md: snippet at line {start} does not compile:\n"
-                    f"{proc.stderr.strip()}")
-        finally:
-            os.unlink(name)
-    return errors, len(snippets)
+    total = 0
+    for md in ("API.md", "OBSERVABILITY.md"):
+        path = os.path.join(REPO, "docs", md)
+        if not os.path.exists(path):
+            errors.append(f"docs/{md} missing ({path})")
+            continue
+        snippets = cpp_snippets(path)
+        if not snippets:
+            errors.append(f"docs/{md}: no ```cpp snippets found "
+                          f"(expected at least one)")
+            continue
+        total += len(snippets)
+        for start, code in snippets:
+            with tempfile.NamedTemporaryFile(
+                    mode="w", suffix=".cpp", delete=False) as tmp:
+                tmp.write(code)
+                name = tmp.name
+            try:
+                proc = subprocess.run(
+                    [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+                     "-I", os.path.join(REPO, "src"), name],
+                    capture_output=True, text=True)
+                if proc.returncode != 0:
+                    errors.append(
+                        f"docs/{md}: snippet at line {start} does not "
+                        f"compile:\n{proc.stderr.strip()}")
+            finally:
+                os.unlink(name)
+    return errors, total
 
 
 def main():

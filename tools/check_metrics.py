@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate a losstomo.metrics JSON snapshot (obs::Registry::write_json).
+
+Usage:
+
+    python3 tools/check_metrics.py [snapshot.json ...]
+
+With no arguments, validates docs/metrics.example.json (the checked-in
+exemplar the docs describe).  Exits non-zero with a per-finding report on
+the first structurally invalid file.  No third-party dependencies.
+
+Checked invariants (schema "losstomo.metrics" version 1):
+  - top level: schema / schema_version / counters / gauges / histograms,
+    plus an optional flight_recorder section;
+  - metric names match ^[a-z0-9_.]+$ (the Prometheus exporter relies on
+    this to mangle dots);
+  - counters carry an unsigned integer "value" and a boolean
+    "deterministic"; gauges the same with a numeric (or null) value;
+  - histogram buckets are sparse non-cumulative [upper_bound, count]
+    pairs with strictly increasing bounds, where a null bound (the +inf
+    overflow slot) may only appear last, and the bucket counts sum to
+    "count";
+  - "min"/"max" are null exactly when the histogram is empty;
+  - flight-recorder events carry strictly increasing "seq" values.
+"""
+
+import json
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT = os.path.join(REPO, "docs", "metrics.example.json")
+
+NAME_RE = re.compile(r"^[a-z0-9_.]+$")
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_name(name, errors, where):
+    if not NAME_RE.match(name):
+        errors.append(f"{where}: metric name {name!r} does not match "
+                      f"{NAME_RE.pattern}")
+
+
+def check_scalar_section(section, kind, errors):
+    if not isinstance(section, dict):
+        errors.append(f"{kind}: section is not an object")
+        return
+    for name, body in section.items():
+        where = f"{kind}[{name}]"
+        check_name(name, errors, where)
+        if not isinstance(body, dict):
+            errors.append(f"{where}: entry is not an object")
+            continue
+        if not isinstance(body.get("deterministic"), bool):
+            errors.append(f"{where}: missing boolean 'deterministic'")
+        value = body.get("value")
+        if kind == "counters":
+            if not is_uint(value):
+                errors.append(f"{where}: counter value {value!r} is not an "
+                              f"unsigned integer")
+        elif value is not None and not is_number(value):
+            # Gauges hold doubles; a non-finite value encodes as null.
+            errors.append(f"{where}: gauge value {value!r} is not a number "
+                          f"or null")
+
+
+def check_histograms(section, errors):
+    if not isinstance(section, dict):
+        errors.append("histograms: section is not an object")
+        return
+    for name, body in section.items():
+        where = f"histograms[{name}]"
+        check_name(name, errors, where)
+        if not isinstance(body, dict):
+            errors.append(f"{where}: entry is not an object")
+            continue
+        if not isinstance(body.get("deterministic"), bool):
+            errors.append(f"{where}: missing boolean 'deterministic'")
+        count = body.get("count")
+        if not is_uint(count):
+            errors.append(f"{where}: count {count!r} is not an unsigned "
+                          f"integer")
+            continue
+        if not is_number(body.get("sum")):
+            errors.append(f"{where}: sum is not a number")
+        for bound in ("min", "max"):
+            v = body.get(bound)
+            if count == 0 and v is not None:
+                errors.append(f"{where}: {bound} must be null when empty")
+            if count > 0 and not is_number(v):
+                errors.append(f"{where}: {bound} must be a number when "
+                              f"count > 0")
+        buckets = body.get("buckets")
+        if not isinstance(buckets, list):
+            errors.append(f"{where}: buckets is not an array")
+            continue
+        total, last_upper, saw_inf = 0, None, False
+        for i, pair in enumerate(buckets):
+            slot = f"{where}.buckets[{i}]"
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not is_uint(pair[1])):
+                errors.append(f"{slot}: expected [upper_bound, count]")
+                continue
+            upper, n = pair
+            if n == 0:
+                errors.append(f"{slot}: empty buckets must be elided")
+            total += n
+            if saw_inf:
+                errors.append(f"{slot}: null (+inf) bound must be last")
+            if upper is None:
+                saw_inf = True
+            elif not is_number(upper):
+                errors.append(f"{slot}: bound {upper!r} is not a number or "
+                              f"null")
+            elif last_upper is not None and upper <= last_upper:
+                errors.append(f"{slot}: bounds not strictly increasing "
+                              f"({upper} after {last_upper})")
+            else:
+                last_upper = upper
+        if total != count:
+            errors.append(f"{where}: bucket counts sum to {total}, "
+                          f"count says {count}")
+
+
+def check_flight_recorder(section, errors):
+    if not isinstance(section, dict):
+        errors.append("flight_recorder: section is not an object")
+        return
+    for key in ("capacity", "recorded"):
+        if not is_uint(section.get(key)):
+            errors.append(f"flight_recorder: missing unsigned '{key}'")
+    events = section.get("events")
+    if not isinstance(events, list):
+        errors.append("flight_recorder: events is not an array")
+        return
+    capacity = section.get("capacity")
+    if is_uint(capacity) and len(events) > capacity:
+        errors.append(f"flight_recorder: {len(events)} events exceed "
+                      f"capacity {capacity}")
+    last_seq = None
+    for i, e in enumerate(events):
+        where = f"flight_recorder.events[{i}]"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not is_uint(e.get("seq")):
+            errors.append(f"{where}: missing unsigned 'seq'")
+        elif last_seq is not None and e["seq"] <= last_seq:
+            errors.append(f"{where}: seq not strictly increasing")
+        if is_uint(e.get("seq")):
+            last_seq = e["seq"]
+        if not isinstance(e.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        if not is_number(e.get("seconds")):
+            errors.append(f"{where}: missing numeric 'seconds'")
+        if not is_uint(e.get("depth")):
+            errors.append(f"{where}: missing unsigned 'depth'")
+        if not isinstance(e.get("marker"), bool):
+            errors.append(f"{where}: missing boolean 'marker'")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable or not JSON: {e}"]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    if doc.get("schema") != "losstomo.metrics":
+        errors.append(f"schema is {doc.get('schema')!r}, expected "
+                      f"'losstomo.metrics'")
+    if doc.get("schema_version") != 1:
+        errors.append(f"schema_version is {doc.get('schema_version')!r}, "
+                      f"expected 1")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            errors.append(f"missing '{section}' section")
+    known = {"schema", "schema_version", "counters", "gauges", "histograms",
+             "flight_recorder"}
+    for key in doc:
+        if key not in known:
+            errors.append(f"unknown top-level key {key!r}")
+    check_scalar_section(doc.get("counters", {}), "counters", errors)
+    check_scalar_section(doc.get("gauges", {}), "gauges", errors)
+    check_histograms(doc.get("histograms", {}), errors)
+    if "flight_recorder" in doc:
+        check_flight_recorder(doc["flight_recorder"], errors)
+    return errors
+
+
+def main(argv):
+    paths = argv[1:] or [DEFAULT]
+    failed = False
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{path}: {e}")
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            counts = ", ".join(
+                f"{len(doc.get(s, {}))} {s}"
+                for s in ("counters", "gauges", "histograms"))
+            print(f"check_metrics: {path}: {counts} — OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
