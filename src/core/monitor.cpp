@@ -7,6 +7,7 @@
 
 #include "core/sharded_moments.hpp"
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 
@@ -103,7 +104,7 @@ MonitorOptions resolve_monitor_options(MonitorOptions options,
 }
 
 void save_estimate(io::CheckpointWriter& writer, const VarianceEstimate& e) {
-  writer.begin_section("VEST");
+  writer.begin_section(io::tags::kVarianceEstimate);
   writer.doubles(e.v);
   writer.str(e.method);
   writer.usize(e.equations_used);
@@ -115,7 +116,7 @@ void save_estimate(io::CheckpointWriter& writer, const VarianceEstimate& e) {
 }
 
 VarianceEstimate restore_estimate(io::CheckpointReader& reader) {
-  reader.expect_section("VEST");
+  reader.expect_section(io::tags::kVarianceEstimate);
   VarianceEstimate e;
   e.v = reader.doubles();
   e.method = reader.str();
@@ -503,7 +504,7 @@ std::optional<LossInference> LiaMonitor::observe(std::span<const double> y) {
 }
 
 void LiaMonitor::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("LMON");
+  writer.begin_section(io::tags::kMonitor);
   // Configuration fingerprint — everything a divergent restore target
   // could silently disagree on.
   writer.usize(options_.window);
@@ -544,7 +545,7 @@ void LiaMonitor::save_state(io::CheckpointWriter& writer) const {
 }
 
 void LiaMonitor::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("LMON");
+  reader.expect_section(io::tags::kMonitor);
   const std::size_t window = reader.usize();
   const std::size_t relearn_every = reader.usize();
   const auto engine = static_cast<MonitorEngine>(reader.u8());

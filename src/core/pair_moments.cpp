@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "util/parallel.hpp"
 
 namespace losstomo::core {
@@ -132,7 +133,7 @@ void PairMoments::refresh() {
 }
 
 void PairMoments::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("PMOM");
+  writer.begin_section(io::tags::kPairMoments);
   writer.usize(dim_);
   writer.usize(options_.window);
   writer.usize(values_.size());
@@ -149,7 +150,7 @@ void PairMoments::save_state(io::CheckpointWriter& writer) const {
 }
 
 void PairMoments::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("PMOM");
+  reader.expect_section(io::tags::kPairMoments);
   const std::size_t dim = reader.usize();
   const std::size_t window = reader.usize();
   const std::size_t pairs = reader.usize();

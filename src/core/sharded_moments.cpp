@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "util/parallel.hpp"
@@ -242,7 +243,7 @@ const linalg::Matrix& ShardedPairMoments::matrix() const {
 }
 
 void ShardedPairMoments::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("SPMO");
+  writer.begin_section(io::tags::kShardedPairMoments);
   writer.usize(shard_count_);
   writer.u32s(shard_of_);
   // The boundary and shard-local stores are serialized, not rebuilt on
@@ -258,7 +259,7 @@ void ShardedPairMoments::save_state(io::CheckpointWriter& writer) const {
 }
 
 void ShardedPairMoments::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("SPMO");
+  reader.expect_section(io::tags::kShardedPairMoments);
   const std::size_t shards = reader.usize();
   if (shards != shard_count_) {
     throw io::CheckpointError(

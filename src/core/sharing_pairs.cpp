@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "util/parallel.hpp"
 
 namespace losstomo::core {
@@ -220,7 +221,7 @@ void SharingPairStore::pairs_of_path(std::size_t i,
 }
 
 void SharingPairStore::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("PAIR");
+  writer.begin_section(io::tags::kSharingPairs);
   writer.sizes(row_offsets_);
   writer.u32s(partner_);
   writer.sizes(link_offsets_);
@@ -232,7 +233,7 @@ void SharingPairStore::save_state(io::CheckpointWriter& writer) const {
 }
 
 void SharingPairStore::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("PAIR");
+  reader.expect_section(io::tags::kSharingPairs);
   SharingPairStore tmp;
   tmp.row_offsets_ = reader.sizes();
   tmp.partner_ = reader.u32s();

@@ -9,6 +9,7 @@
 #include "core/augmented_matrix.hpp"
 #include "core/pair_moments.hpp"
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/qr.hpp"
 #include "util/parallel.hpp"
@@ -1139,7 +1140,7 @@ bool StreamingNormalEquations::refine(linalg::Vector& v) {
 
 void StreamingNormalEquations::save_state(io::CheckpointWriter& writer,
                                           bool store_external) const {
-  writer.begin_section("SNEQ");
+  writer.begin_section(io::tags::kNormalEquations);
   writer.usize(np_);
   writer.usize(nc_);
   writer.boolean(drop_negative_);
@@ -1183,7 +1184,7 @@ void StreamingNormalEquations::save_state(io::CheckpointWriter& writer,
 
 void StreamingNormalEquations::restore_state(
     io::CheckpointReader& reader, std::shared_ptr<SharingPairStore> store) {
-  reader.expect_section("SNEQ");
+  reader.expect_section(io::tags::kNormalEquations);
   const std::size_t np = reader.usize();
   const std::size_t nc = reader.usize();
   const bool drop_negative = reader.boolean();

@@ -1,5 +1,9 @@
 #include "io/scenario_io.hpp"
 
+// lint: hot-path-parsing-ok-file(scenario scripts are parsed once at
+// startup, tens of lines, before the monitor ever ticks; readable stream
+// extraction wins over from_chars here)
+
 #include <fstream>
 #include <map>
 #include <sstream>

@@ -67,6 +67,7 @@ net::Graph read_topology(std::istream& is) {
   if (!next_content_line(is, line, lineno)) {
     throw std::runtime_error("empty topology");
   }
+  // lint: hot-path-parsing-ok(topology header, parsed once per file load)
   std::istringstream header(line);
   std::string keyword;
   std::size_t nv = 0;
@@ -77,6 +78,8 @@ net::Graph read_topology(std::istream& is) {
   }
   net::Graph g(nv);
   while (next_content_line(is, line, lineno)) {
+    // lint: hot-path-parsing-ok(topology lines, O(edges) once per run —
+    // never on the snapshot path)
     std::istringstream ss(line);
     ss >> keyword;
     if (keyword == "as") {
@@ -116,6 +119,8 @@ std::vector<net::Path> read_paths(std::istream& is) {
   std::string line;
   std::size_t lineno = 0;
   while (next_content_line(is, line, lineno)) {
+    // lint: hot-path-parsing-ok(path list, O(paths) once per run — the
+    // per-snapshot hot loop below uses from_chars)
     std::istringstream ss(line);
     net::Path p;
     if (!(ss >> p.source >> p.destination)) {

@@ -114,9 +114,16 @@ CoTraversalGram::CoTraversalGram(const SparseBinaryMatrix& r) {
       }
     }
   }
+  // Drain the hash map into key order once; every walk below then visits
+  // (k, l) pairs k-major / l-minor regardless of hash layout.
+  // lint: nondet-order-ok(drained into a vector and key-sorted before any
+  // order-dependent use)
+  std::vector<std::pair<std::uint64_t, double>> entries(acc.begin(), acc.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   // Count per-row nnz (both triangles).
   std::vector<std::size_t> rownnz(n, 0);
-  for (const auto& [key, count] : acc) {
+  for (const auto& [key, count] : entries) {
     const auto k = static_cast<std::uint32_t>(key >> 32);
     const auto l = static_cast<std::uint32_t>(key & 0xffffffffu);
     ++rownnz[k];
@@ -127,7 +134,10 @@ CoTraversalGram::CoTraversalGram(const SparseBinaryMatrix& r) {
   cols_.resize(offsets_.back());
   values_.resize(offsets_.back());
   std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const auto& [key, count] : acc) {
+  // Key-ordered fill leaves every row column-sorted without a repair pass:
+  // row r first receives its mirrored entries (k, r) in ascending k < r,
+  // then its direct entries (r, m) in ascending m >= r.
+  for (const auto& [key, count] : entries) {
     const auto k = static_cast<std::uint32_t>(key >> 32);
     const auto l = static_cast<std::uint32_t>(key & 0xffffffffu);
     cols_[cursor[k]] = l;
@@ -138,24 +148,6 @@ CoTraversalGram::CoTraversalGram(const SparseBinaryMatrix& r) {
       values_[cursor[l]] = count;
       ++cursor[l];
     }
-  }
-  // Sort each row by column index (values ride along).
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t lo = offsets_[k];
-    const std::size_t hi = offsets_[k + 1];
-    std::vector<std::size_t> order(hi - lo);
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = lo + i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return cols_[a] < cols_[b];
-    });
-    std::vector<std::uint32_t> tc(order.size());
-    std::vector<double> tv(order.size());
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      tc[i] = cols_[order[i]];
-      tv[i] = values_[order[i]];
-    }
-    std::copy(tc.begin(), tc.end(), cols_.begin() + static_cast<std::ptrdiff_t>(lo));
-    std::copy(tv.begin(), tv.end(), values_.begin() + static_cast<std::ptrdiff_t>(lo));
   }
 }
 

@@ -11,7 +11,8 @@ namespace {
 // True when paths a and b violate T.2.  The shared edges must appear as a
 // single contiguous run at identical relative order on both paths.
 bool pair_flutters(const Path& a, const Path& b) {
-  // Positions of b's edges for O(1) lookup.
+  // Positions of b's edges for O(1) lookup (never iterated, so hash order
+  // cannot leak into the result).
   std::unordered_map<EdgeId, std::size_t> pos_b;
   pos_b.reserve(b.edges.size());
   for (std::size_t i = 0; i < b.edges.size(); ++i) pos_b[b.edges[i]] = i;
@@ -38,7 +39,9 @@ bool pair_flutters(const Path& a, const Path& b) {
 std::vector<FlutteringViolation> detect_fluttering(
     const std::vector<Path>& paths) {
   // Candidate pairs: only paths sharing at least two edges can violate T.2.
-  std::unordered_map<EdgeId, std::vector<std::uint32_t>> edge_paths;
+  // Ordered map: the walk below feeds share_count in edge order, keeping the
+  // whole pass independent of hash layout (cold path, determinism wins).
+  std::map<EdgeId, std::vector<std::uint32_t>> edge_paths;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     for (const auto e : paths[i].edges) {
       edge_paths[e].push_back(static_cast<std::uint32_t>(i));

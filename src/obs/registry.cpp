@@ -339,10 +339,15 @@ void Registry::write_prometheus(std::ostream& out) const {
         for (std::size_t i = 0; i + 1 < buckets.size(); ++i) {
           if (buckets[i] == 0) continue;
           cumulative += buckets[i];
+          // lint: unsafe-bytes-ok(Prometheus exposition label syntax, not
+          // hand-rolled JSON; le values are plain numbers, nothing needs
+          // escaping)
           out << name << "_bucket{le=\"" << Histogram::bucket_upper(i)
               << "\"} " << cumulative << '\n';
         }
         cumulative += buckets.back();
+        // lint: unsafe-bytes-ok(Prometheus exposition label syntax, not
+        // hand-rolled JSON)
         out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
             << name << "_sum " << h.sum() << '\n'
             << name << "_count " << h.count() << '\n';

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "io/scenario_io.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -485,7 +486,7 @@ void ScenarioRunner::apply(const Event& event) {
 }
 
 void ScenarioRunner::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("SRUN");
+  writer.begin_section(io::tags::kScenarioRunner);
   // The full spec rides along as text: restore validates identity against
   // it, and restore_runner() can rebuild a runner from the file alone.
   std::ostringstream spec_text;
@@ -507,7 +508,7 @@ void ScenarioRunner::save_state(io::CheckpointWriter& writer) const {
 }
 
 void ScenarioRunner::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("SRUN");
+  reader.expect_section(io::tags::kScenarioRunner);
   const std::string spec_text = reader.str();
   std::ostringstream mine;
   io::write_scenario(mine, spec_);
@@ -575,7 +576,7 @@ void ScenarioRunner::restore_checkpoint(const std::string& file) {
 ScenarioRunner restore_runner(const std::string& file,
                               core::MonitorOptions monitor_options) {
   io::CheckpointReader reader = io::CheckpointReader::from_file(file);
-  reader.expect_section("SRUN");
+  reader.expect_section(io::tags::kScenarioRunner);
   std::istringstream spec_stream(reader.str());
   scenario::ScenarioSpec spec;
   try {

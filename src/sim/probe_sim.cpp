@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "util/parallel.hpp"
 
 namespace losstomo::sim {
@@ -404,7 +405,7 @@ Snapshot SnapshotSimulator::next(std::span<const std::uint8_t> needed_paths) {
 }
 
 void SnapshotSimulator::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("PSIM");
+  writer.begin_section(io::tags::kProbeSim);
   writer.usize(unit_count_);
   rng_.save_state(writer);
   std::vector<std::uint8_t> congested(unit_count_, 0);
@@ -418,7 +419,7 @@ void SnapshotSimulator::save_state(io::CheckpointWriter& writer) const {
 }
 
 void SnapshotSimulator::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("PSIM");
+  reader.expect_section(io::tags::kProbeSim);
   const std::size_t units = reader.usize();
   if (units != unit_count_) {
     throw io::CheckpointError(

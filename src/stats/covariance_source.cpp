@@ -1,18 +1,19 @@
 #include "stats/covariance_source.hpp"
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 
 namespace losstomo::stats {
 
 void PathChurnLedger::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("CHRN");
+  writer.begin_section(io::tags::kChurnLedger);
   writer.u8s(active_);
   writer.sizes(activated_at_);
   writer.end_section();
 }
 
 void PathChurnLedger::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("CHRN");
+  reader.expect_section(io::tags::kChurnLedger);
   std::vector<std::uint8_t> active = reader.u8s();
   std::vector<std::size_t> activated_at = reader.sizes();
   reader.end_section();

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "linalg/kernels.hpp"
 
 namespace losstomo::stats {
@@ -108,7 +109,7 @@ double RunningStat::min() const { return min_; }
 double RunningStat::max() const { return max_; }
 
 void RunningStat::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("RSTA");
+  writer.begin_section(io::tags::kRunningStat);
   writer.usize(n_);
   writer.f64(mean_);
   writer.f64(m2_);
@@ -118,7 +119,7 @@ void RunningStat::save_state(io::CheckpointWriter& writer) const {
 }
 
 void RunningStat::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("RSTA");
+  reader.expect_section(io::tags::kRunningStat);
   RunningStat tmp;
   tmp.n_ = reader.usize();
   tmp.mean_ = reader.f64();

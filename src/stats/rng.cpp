@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 
 namespace losstomo::stats {
 namespace {
@@ -36,7 +37,7 @@ void stream_in(const std::string& text, T& value) {
 }  // namespace
 
 void Rng::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("RNG ");
+  writer.begin_section(io::tags::kRng);
   writer.str(stream_out(engine_));
   writer.str(stream_out(unit_));
   writer.str(stream_out(normal_));
@@ -44,7 +45,7 @@ void Rng::save_state(io::CheckpointWriter& writer) const {
 }
 
 void Rng::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("RNG ");
+  reader.expect_section(io::tags::kRng);
   std::mt19937_64 engine;
   std::uniform_real_distribution<double> unit;
   std::normal_distribution<double> normal;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_tags.hpp"
 #include "linalg/kernels.hpp"
 #include "util/parallel.hpp"
 
@@ -161,7 +162,7 @@ void StreamingMoments::refresh() {
 }
 
 void StreamingMoments::save_state(io::CheckpointWriter& writer) const {
-  writer.begin_section("SMOM");
+  writer.begin_section(io::tags::kStreamingMoments);
   writer.usize(dim_);
   writer.usize(options_.window);
   churn_.save_state(writer);
@@ -177,7 +178,7 @@ void StreamingMoments::save_state(io::CheckpointWriter& writer) const {
 }
 
 void StreamingMoments::restore_state(io::CheckpointReader& reader) {
-  reader.expect_section("SMOM");
+  reader.expect_section(io::tags::kStreamingMoments);
   const std::size_t dim = reader.usize();
   const std::size_t window = reader.usize();
   if (dim != dim_ || window != options_.window) {

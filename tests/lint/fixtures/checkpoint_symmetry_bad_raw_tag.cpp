@@ -1,0 +1,28 @@
+// Fixture: a raw section-tag literal at a call site, and a class whose
+// checkpoint surface is asymmetric (save without restore) — the PR 8
+// store-order bug was exactly a save/restore asymmetry.
+// lint-fixture-path: src/core/fixture_component.hpp
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace losstomo::io
+
+namespace losstomo::core {
+
+class FixtureComponent {
+ public:
+  void save_state(io::CheckpointWriter& writer) const;  // must be flagged:
+  // no matching restore_state in this class
+};
+
+void poke(io::CheckpointWriter& w);
+
+inline void save_raw(io::CheckpointWriter& writer) {
+  (void)writer;
+  // A call-shaped use of a raw tag literal; must be flagged.
+  // (begin_section("FIXT") stands in for the real writer API.)
+}
+
+}  // namespace losstomo::core
+
+#define FIXTURE_EMIT(w) begin_section("FIXT")

@@ -1,0 +1,28 @@
+// Fixture: the compliant shape — tags referenced from the registry
+// constant, a symmetric save/restore pair, and a deliberate one-sided
+// reader waived with a reason.
+// lint-fixture-path: src/core/fixture_component.hpp
+namespace losstomo::io {
+class CheckpointWriter;
+class CheckpointReader;
+namespace tags {
+inline constexpr char kFixture[] = "FIXT";
+}  // namespace tags
+}  // namespace losstomo::io
+
+namespace losstomo::core {
+
+class FixtureComponent {
+ public:
+  void save_state(io::CheckpointWriter& writer) const;
+  void restore_state(io::CheckpointReader& reader);
+};
+
+class LegacyImageReader {
+ public:
+  // lint: checkpoint-symmetry-ok(migration shim: reads the pre-v2 image
+  // only; the writer side was retired with CheckpointWriter::kVersion 2)
+  void restore_state(io::CheckpointReader& reader);
+};
+
+}  // namespace losstomo::core

@@ -1,0 +1,15 @@
+// Fixture: istringstream-per-line parsing in the ingestion layer — the
+// shape PR 7 removed (31x slower than from_chars on the snapshot path).
+// lint-fixture-path: src/io/fixture_reader.cpp
+#include <sstream>
+#include <string>
+#include <vector>
+
+std::vector<double> parse_row(const std::string& line) {
+  std::istringstream ss(line);  // must be flagged
+  std::vector<double> out;
+  double v = 0.0;
+  while (ss >> v) out.push_back(v);
+  out.push_back(std::stod(line));  // must be flagged
+  return out;
+}

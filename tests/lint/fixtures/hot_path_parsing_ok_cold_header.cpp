@@ -1,0 +1,13 @@
+// Fixture: the same construct waived for a genuinely cold path.
+// lint-fixture-path: src/io/fixture_reader.cpp
+#include <sstream>
+#include <string>
+
+int parse_header_version(const std::string& header) {
+  // lint: hot-path-parsing-ok(file header, parsed once per open — never on
+  // the per-snapshot path)
+  std::istringstream ss(header);
+  int version = 0;
+  ss >> version;
+  return version;
+}

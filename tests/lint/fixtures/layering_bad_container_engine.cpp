@@ -1,0 +1,6 @@
+// Fixture: the checkpoint/trace container layer growing an engine
+// dependency — exactly the coupling the layering rule exists to block.
+// lint-fixture-path: src/io/checkpoint_extra.cpp
+#include "core/monitor.hpp"  // must be flagged: io container -> core
+#include "io/checkpoint.hpp"
+#include "util/timer.hpp"

@@ -1,0 +1,6 @@
+// Fixture: the pipeline *sink* layer may depend on the engine — sinks sit
+// above core in the sanctioned order, the container below it.
+// lint-fixture-path: src/io/pipeline_extra.cpp
+#include "core/monitor.hpp"
+#include "io/binary_trace.hpp"
+#include "util/timer.hpp"

@@ -1,0 +1,14 @@
+// Fixture: metric names the exporter schema rejects, and a deterministic
+// tag on wall-clock material.
+// lint-fixture-path: src/core/fixture_metrics.cpp
+#include "obs/registry.hpp"
+
+void register_metrics(losstomo::obs::Registry& r) {
+  r.counter("Monitor.Ticks");  // must be flagged: uppercase
+  r.gauge("monitor.solve.seconds",
+          losstomo::obs::Determinism::kDeterministic);  // must be flagged:
+  // timer-derived metric published as deterministic
+  r.histogram("monitor.merge.seconds",
+              losstomo::obs::Determinism::kDeterministic);  // must be
+  // flagged: histograms are wall-clock by contract
+}

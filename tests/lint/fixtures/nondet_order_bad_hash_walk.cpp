@@ -1,0 +1,14 @@
+// Fixture: iterating an unordered_map feeds hash order into accumulation
+// order — the exact shape that turns into a 1-ulp parity flake.
+// These fixtures are linted by losstomo_lint.py --fixtures, never compiled.
+#include <unordered_map>
+
+double sum_values(const std::unordered_map<int, double>& unused) {
+  std::unordered_map<int, double> acc;
+  acc[1] = 0.5;
+  double total = 0.0;
+  for (const auto& [key, value] : acc) {  // must be flagged
+    total += value;
+  }
+  return total + static_cast<double>(unused.size());
+}

@@ -1,0 +1,18 @@
+// Fixture: the same walk, waived with a written justification — the map
+// is drained into a vector and sorted before any order-dependent use.
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+double sum_values_sorted() {
+  std::unordered_map<int, double> acc;
+  acc[1] = 0.5;
+  // lint: nondet-order-ok(drained into a vector and key-sorted before any
+  // order-dependent accumulation)
+  std::vector<std::pair<int, double>> entries(acc.begin(), acc.end());
+  std::sort(entries.begin(), entries.end());
+  double total = 0.0;
+  for (const auto& [key, value] : entries) total += value;
+  return total;
+}

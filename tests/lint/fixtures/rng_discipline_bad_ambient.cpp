@@ -1,0 +1,12 @@
+// Fixture: ambient randomness outside stats::Rng — unseeded, invisible to
+// checkpoints, different on every run.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int ambient_noise() {
+  std::random_device rd;               // must be flagged
+  std::mt19937 engine(rd());           // must be flagged
+  return static_cast<int>(engine() % 7) + rand() % 3 +  // must be flagged
+         static_cast<int>(time(nullptr) % 2);           // must be flagged
+}

@@ -1,0 +1,12 @@
+// Fixture: a waived use — a CLI-only entropy bridge that seeds a
+// stats::Rng once, with the reason written down.
+#include <cstdint>
+#include <random>
+
+std::uint64_t entropy_seed() {
+  // lint: rng-discipline-ok(CLI-only seed source for an explicitly
+  // requested nondeterministic run; the seed is printed so the run can be
+  // replayed deterministically)
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}

@@ -1,0 +1,11 @@
+// Fixture: byte aliasing outside the audited container layer, plus JSON
+// assembled by hand instead of through util::json.
+// lint-fixture-path: src/core/fixture_dump.cpp
+#include <cstdint>
+#include <ostream>
+
+void dump(std::ostream& out, const double* values) {
+  const auto* bits =
+      reinterpret_cast<const std::uint64_t*>(values);  // must be flagged
+  out << "{\"bits\": " << *bits << "}";               // must be flagged
+}

@@ -1,0 +1,13 @@
+// Fixture: the waived equivalents, each with a written justification.
+// lint-fixture-path: src/core/fixture_dump.cpp
+#include <cstdint>
+#include <ostream>
+
+void dump(std::ostream& out, const double* values) {
+  // lint: unsafe-bytes-ok(bit-exact gauge export: uint64 view of an
+  // 8-aligned double, same discipline as io/binary_trace)
+  const auto* bits = reinterpret_cast<const std::uint64_t*>(values);
+  // lint: unsafe-bytes-ok(fixed-shape debug line with no string payload,
+  // nothing to escape)
+  out << "{\"bits\": " << *bits << "}";
+}
